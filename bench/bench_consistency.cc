@@ -1,0 +1,120 @@
+// Experiment CO (DESIGN.md): consistency checking (Definitions 5.3-5.6)
+// and the invariants (5.1, 5.2, 6.1, 6.2) over populations of growing
+// size and history length. The expected shape is linear in
+// (meaningful attributes x history segments).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/db/consistency.h"
+#include "workload/generator.h"
+
+namespace tchimera {
+namespace {
+
+struct Fixture {
+  Database db;
+  Population pop;
+};
+
+Fixture& SharedFixture(int64_t persons, int64_t timesteps) {
+  static std::map<std::pair<int64_t, int64_t>, Fixture>& cache =
+      *new std::map<std::pair<int64_t, int64_t>, Fixture>();
+  auto key = std::make_pair(persons, timesteps);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(std::piecewise_construct,
+                       std::forward_as_tuple(key), std::forward_as_tuple())
+             .first;
+    PopulationConfig config;
+    config.persons = static_cast<size_t>(persons);
+    config.projects = static_cast<size_t>(persons / 5 + 1);
+    config.timesteps = static_cast<size_t>(timesteps);
+    config.updates_per_step = 10;
+    config.migration_rate = 0.2;
+    it->second.pop = PopulateDatabase(&it->second.db, config).value();
+  }
+  return it->second;
+}
+
+void BM_CheckObjectConsistency(benchmark::State& state) {
+  Fixture& fx = SharedFixture(20, state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    Oid oid = rng.Pick(fx.pop.projects);
+    Status s = CheckObjectConsistency(fx.db, oid);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetLabel("timesteps=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CheckObjectConsistency)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_CheckConsistentObjectSet(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0), 32);
+  for (auto _ : state) {
+    Status s = CheckConsistentObjectSet(fx.db, kNow);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetLabel("persons=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CheckConsistentObjectSet)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_Invariant51(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0), 32);
+  for (auto _ : state) {
+    Status s = CheckInvariant51(fx.db);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetLabel("persons=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Invariant51)->Arg(20)->Arg(100);
+
+void BM_Invariant52(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0), 32);
+  for (auto _ : state) {
+    Status s = CheckInvariant52(fx.db);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetLabel("persons=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Invariant52)->Arg(20)->Arg(100);
+
+void BM_Invariant61(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0), 32);
+  for (auto _ : state) {
+    Status s = CheckInvariant61(fx.db);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetLabel("persons=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Invariant61)->Arg(20)->Arg(100);
+
+void BM_Invariant62(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0), 32);
+  for (auto _ : state) {
+    Status s = CheckInvariant62(fx.db);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetLabel("persons=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Invariant62)->Arg(20)->Arg(100);
+
+void BM_FullDatabaseCheck(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0), state.range(1));
+  for (auto _ : state) {
+    Status s = CheckDatabaseConsistency(fx.db);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetLabel("persons=" + std::to_string(state.range(0)) +
+                 " timesteps=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_FullDatabaseCheck)
+    ->Args({20, 8})
+    ->Args({20, 64})
+    ->Args({100, 8})
+    ->Args({100, 64});
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

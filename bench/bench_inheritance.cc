@@ -1,0 +1,141 @@
+// Experiment IN (DESIGN.md): Section 6 mechanisms — Rule 6.1 refinement
+// validation at class-definition time, the snapshot coercion that makes
+// temporal attributes substitutable for non-temporal ones, and the
+// extent-inclusion invariant (6.1) along hierarchies of growing depth.
+#include <benchmark/benchmark.h>
+
+#include "core/db/consistency.h"
+#include "core/db/database.h"
+#include "core/schema/refinement.h"
+#include "core/types/type_registry.h"
+#include "workload/generator.h"
+
+namespace tchimera {
+namespace {
+
+// Builds a linear ISA chain c0 <- c1 <- ... <- c{depth-1}, each level
+// refining the inherited attribute's class domain one step down a
+// parallel chain d0 <- d1 <- ...
+void BuildChains(Database* db, int64_t depth) {
+  std::string prev_d;
+  for (int64_t i = 0; i < depth; ++i) {
+    ClassSpec d;
+    d.name = "d" + std::to_string(i);
+    if (!prev_d.empty()) d.superclasses = {prev_d};
+    (void)db->DefineClass(d);
+    prev_d = d.name;
+  }
+  std::string prev_c;
+  for (int64_t i = 0; i < depth; ++i) {
+    ClassSpec c;
+    c.name = "c" + std::to_string(i);
+    if (!prev_c.empty()) c.superclasses = {prev_c};
+    c.attributes = {{"buddy", types::Object("d" + std::to_string(i))}};
+    (void)db->DefineClass(c);
+    prev_c = c.name;
+  }
+}
+
+void BM_DefineClassWithRefinement(benchmark::State& state) {
+  // Cost of defining a whole refinement chain (merging + Rule 6.1
+  // validation at each level).
+  const int64_t depth = state.range(0);
+  for (auto _ : state) {
+    Database db;
+    BuildChains(&db, depth);
+    benchmark::DoNotOptimize(db.class_count());
+  }
+  state.SetItemsProcessed(state.iterations() * depth * 2);
+  state.SetLabel("depth=" + std::to_string(depth));
+}
+BENCHMARK(BM_DefineClassWithRefinement)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AttributeRefinementCheck(benchmark::State& state) {
+  Database db;
+  BuildChains(&db, 16);
+  AttributeDef inherited{"buddy", types::Object("d0")};
+  AttributeDef refined{
+      "buddy", types::Temporal(types::Object("d15")).value()};
+  for (auto _ : state) {
+    Status s = CheckAttributeRefinement(inherited, refined, db.isa());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+}
+BENCHMARK(BM_AttributeRefinementCheck);
+
+void BM_SnapshotCoercion(benchmark::State& state) {
+  // Substitutability (Section 6.1): seeing an instance of a subclass
+  // whose attribute became temporal as an instance of the superclass
+  // coerces via snapshot(i, now).
+  Database db;
+  ClassSpec base;
+  base.name = "base";
+  base.attributes = {{"score", types::Integer()}};
+  (void)db.DefineClass(base);
+  ClassSpec derived;
+  derived.name = "derived";
+  derived.superclasses = {"base"};
+  derived.attributes = {
+      {"score", types::Temporal(types::Integer()).value()}};
+  (void)db.DefineClass(derived);
+  Oid obj = db.CreateObject("derived",
+                            {{"score", Value::Integer(1)}})
+                .value();
+  // Accrue history.
+  for (int i = 0; i < 64; ++i) {
+    db.Tick();
+    (void)db.UpdateAttribute(obj, "score", Value::Integer(i));
+  }
+  for (auto _ : state) {
+    // The coerced view: snapshot at now, then read the attribute as a
+    // plain (non-temporal) value.
+    auto snap = db.SnapshotOf(obj, kNow);
+    if (!snap.ok()) state.SkipWithError("snapshot failed");
+    benchmark::DoNotOptimize(snap->FieldValue("score"));
+  }
+}
+BENCHMARK(BM_SnapshotCoercion);
+
+void BM_ExtentInclusionInvariant(benchmark::State& state) {
+  // Invariant 6.1 validation cost vs hierarchy depth with objects spread
+  // across levels.
+  const int64_t depth = state.range(0);
+  Database db;
+  BuildChains(&db, depth);
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    std::string cls = "d" + std::to_string(rng.Uniform(0, depth - 1));
+    (void)db.CreateObject(cls);
+  }
+  for (auto _ : state) {
+    Status s = CheckInvariant61(db);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetLabel("depth=" + std::to_string(depth));
+}
+BENCHMARK(BM_ExtentInclusionInvariant)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MigrationAcrossDeepHierarchy(benchmark::State& state) {
+  // Migration cost grows with the number of superclasses whose extents
+  // must be adjusted.
+  const int64_t depth = state.range(0);
+  Database db;
+  BuildChains(&db, depth);
+  Oid obj = db.CreateObject("d0").value();
+  std::string leaf = "d" + std::to_string(depth - 1);
+  for (auto _ : state) {
+    db.Tick();
+    Status s1 = db.Migrate(obj, leaf);
+    db.Tick();
+    Status s2 = db.Migrate(obj, "d0");
+    if (!s1.ok() || !s2.ok()) state.SkipWithError("migration failed");
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.SetLabel("depth=" + std::to_string(depth));
+}
+BENCHMARK(BM_MigrationAcrossDeepHierarchy)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

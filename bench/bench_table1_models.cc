@@ -1,0 +1,207 @@
+// Experiment T1 (DESIGN.md): regenerates Tables 1 and 2 of the paper.
+//
+// Each implemented model variant self-reports its design axes through
+// TemporalStore::Describe(); rows for the paper-surveyed systems that this
+// repository does not re-implement (user-defined time structures,
+// arbitrary timestamping) are emitted from the paper's own table data and
+// marked "[paper]". The T_Chimera row is additionally *verified*: every
+// claimed capability is demonstrated against the live implementation, and
+// the driver fails (non-zero exit) if any demonstration breaks.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/attribute_store.h"
+#include "baselines/object_version_store.h"
+#include "baselines/snapshot_store.h"
+#include "baselines/triple_store.h"
+#include "core/db/database.h"
+#include "core/types/type_registry.h"
+#include "workload/project_schema.h"
+
+namespace tchimera {
+namespace {
+
+struct Row {
+  ModelDescriptor d;
+  bool implemented;
+};
+
+void PrintTable1(const std::vector<Row>& rows) {
+  std::printf("Table 1: comparison among temporal OO data models (I)\n");
+  std::printf("%-38s | %-14s | %-12s | %-9s | %-8s | %-8s\n", "model",
+              "oo data model", "time struct", "time dim", "val&obj",
+              "class ft");
+  std::printf("%s\n", std::string(106, '-').c_str());
+  for (const Row& row : rows) {
+    std::printf("%-38s | %-14s | %-12s | %-9s | %-8s | %-8s\n",
+                (row.d.model_name + (row.implemented ? "" : " [paper]"))
+                    .c_str(),
+                row.d.oo_data_model.c_str(), row.d.time_structure.c_str(),
+                row.d.time_dimension.c_str(),
+                row.d.values_and_objects.c_str(),
+                row.d.class_features ? "YES" : "NO");
+  }
+  std::printf("\n");
+}
+
+void PrintTable2(const std::vector<Row>& rows) {
+  std::printf("Table 2: comparison among temporal OO data models (II)\n");
+  std::printf("%-38s | %-12s | %-16s | %-30s | %-9s\n", "model",
+              "timestamped", "temporal values", "kinds of attributes",
+              "type hist");
+  std::printf("%s\n", std::string(118, '-').c_str());
+  for (const Row& row : rows) {
+    std::printf("%-38s | %-12s | %-16s | %-30s | %-9s\n",
+                (row.d.model_name + (row.implemented ? "" : " [paper]"))
+                    .c_str(),
+                row.d.what_is_timestamped.c_str(),
+                row.d.temporal_attribute_values.c_str(),
+                row.d.kinds_of_attributes.c_str(),
+                row.d.histories_of_object_types ? "YES" : "NO");
+  }
+  std::printf("\n");
+}
+
+// Rows reproduced verbatim from the paper for systems whose distinguishing
+// axes this repository does not re-implement.
+std::vector<Row> PaperOnlyRows() {
+  std::vector<Row> rows;
+  ModelDescriptor d;
+  d.model_name = "Wuu & Dayal [21]";
+  d.oo_data_model = "OODAPLEX";
+  d.time_structure = "user-defined";
+  d.time_dimension = "arbitrary";
+  d.values_and_objects = "objects";
+  d.class_features = false;
+  d.what_is_timestamped = "arbitrary";
+  d.temporal_attribute_values = "functions";
+  d.kinds_of_attributes = "temporal + immutable";
+  d.histories_of_object_types = true;
+  rows.push_back({d, false});
+  d = ModelDescriptor();
+  d.model_name = "Cheng & Gadia [6]";
+  d.oo_data_model = "OODAPLEX";
+  d.time_structure = "linear";
+  d.time_dimension = "valid";
+  d.values_and_objects = "objects";
+  d.class_features = false;
+  d.what_is_timestamped = "attributes";
+  d.temporal_attribute_values = "functions";
+  d.kinds_of_attributes = "temporal + immutable";
+  d.histories_of_object_types = false;
+  rows.push_back({d, false});
+  d = ModelDescriptor();
+  d.model_name = "Goralwalla & Ozsu [11]";
+  d.oo_data_model = "TIGUKAT";
+  d.time_structure = "user-defined";
+  d.time_dimension = "valid";
+  d.values_and_objects = "objects";
+  d.class_features = false;
+  d.what_is_timestamped = "arbitrary";
+  d.temporal_attribute_values = "sets of pairs";
+  d.kinds_of_attributes = "temporal + immutable";
+  d.histories_of_object_types = true;
+  rows.push_back({d, false});
+  d = ModelDescriptor();
+  d.model_name = "Clifford & Croker [7]";
+  d.oo_data_model = "generic";
+  d.time_structure = "linear";
+  d.time_dimension = "valid";
+  d.values_and_objects = "objects";
+  d.class_features = false;
+  d.what_is_timestamped = "attributes";
+  d.temporal_attribute_values = "functions";
+  d.kinds_of_attributes = "temporal + immutable";
+  d.histories_of_object_types = true;
+  rows.push_back({d, false});
+  return rows;
+}
+
+#define VERIFY(cond, what)                                   \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      std::printf("VERIFICATION FAILED: %s\n", what);        \
+      return false;                                          \
+    }                                                        \
+    std::printf("  verified: %s\n", what);                   \
+  } while (false)
+
+// Demonstrates every capability the T_Chimera row claims, against the
+// real implementation.
+bool VerifyOurRow() {
+  std::printf("Verifying the 'Our model' row against the implementation:\n");
+  Database db;
+  if (!InstallProjectSchema(&db).ok()) return false;
+
+  // values & objects = both: value types and object types coexist in one
+  // attribute record.
+  const ClassDef* project = db.GetClass("project");
+  VERIFY(project->FindAttribute("objective")->type == types::String(),
+         "value-typed attributes (values are first-class)");
+  VERIFY(project->FindAttribute("participants")->type->element()->element()
+                 ->IsObjectType(),
+         "object-typed attributes (objects are first-class)");
+
+  // class features = YES: c-attributes live on the class itself.
+  VERIFY(db.SetClassAttribute("project", "average-participants",
+                              Value::Integer(20))
+             .ok(),
+         "c-attributes (class features)");
+
+  // kinds of attributes = temporal + immutable + non-temporal.
+  VERIFY(project->FindAttribute("name")->is_temporal(),
+         "temporal attributes");
+  VERIFY(!project->FindAttribute("objective")->is_temporal(),
+         "non-temporal attributes");
+  // Immutable = constant temporal function (Section 1.1).
+  Result<Oid> p = db.CreateObject(
+      "project", {{"name", Value::String("IDEA")}});
+  VERIFY(p.ok(), "object creation");
+  db.Tick(10);
+  VERIFY(db.GetObject(*p)->Attribute("name")->AsTemporal()
+                 .segment_count() == 1,
+         "immutable attributes as constant functions");
+
+  // temporal attribute values = functions: projection at instants.
+  VERIFY(db.UpdateAttribute(*p, "name", Value::String("IDEA-2")).ok(),
+         "temporal update");
+  VERIFY(db.GetObject(*p)->Attribute("name")->AsTemporal().At(5)->AsString()
+             == "IDEA",
+         "temporal values are functions from TIME");
+
+  // histories of object types = YES: class histories + migration.
+  Result<Oid> e = db.CreateObject("employee");
+  VERIFY(e.ok(), "employee creation");
+  db.Tick(5);
+  VERIFY(db.Migrate(*e, "manager",
+                    {{"dependents", Value::Integer(1)},
+                     {"officialcar", Value::String("car")}})
+             .ok(),
+         "object migration");
+  VERIFY(db.GetObject(*e)->ClassAt(10).value() == "employee" &&
+             db.GetObject(*e)->ClassAt(15).value() == "manager",
+         "histories of object types (class histories)");
+  return true;
+}
+
+int Main() {
+  AttributeTimestampStore attr;
+  ObjectVersionStore object;
+  TripleStore triple;
+  SnapshotStore snap;
+  std::vector<Row> rows;
+  for (Row r : PaperOnlyRows()) rows.push_back(r);
+  rows.push_back({object.Describe(), true});   // MAD / OSAM* axes
+  rows.push_back({triple.Describe(), true});   // 3DIS axes
+  rows.push_back({snap.Describe(), true});     // non-temporal baseline
+  rows.push_back({attr.Describe(), true});     // Our model
+  PrintTable1(rows);
+  PrintTable2(rows);
+  return VerifyOurRow() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tchimera
+
+int main() { return tchimera::Main(); }

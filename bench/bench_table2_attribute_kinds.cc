@@ -1,0 +1,81 @@
+// Experiment T2b (DESIGN.md): the value of supporting all three attribute
+// kinds (temporal + immutable + non-temporal, the "Our model" row of
+// Table 2). Declaring an attribute non-temporal makes its updates O(1)
+// and its storage O(1) in history length — the paper's practical argument
+// for the non-temporal kind (Section 1.1).
+//
+// The sweep varies the fraction of attributes declared non-temporal and
+// measures update throughput and storage on identical workloads.
+#include <benchmark/benchmark.h>
+
+#include "baselines/attribute_store.h"
+#include "workload/generator.h"
+
+namespace tchimera {
+namespace {
+
+StoreWorkloadConfig Config(double static_fraction) {
+  StoreWorkloadConfig config;
+  config.objects = 64;
+  config.attributes = 8;
+  config.updates_per_object = 128;
+  config.static_attr_fraction = static_fraction;
+  config.hot_fraction = 0.0;  // uniform across attributes
+  return config;
+}
+
+void BM_UpdatesWithStaticFraction(benchmark::State& state) {
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  StoreWorkloadConfig config = Config(fraction);
+  std::vector<StoreOp> ops = GenerateStoreOps(config);
+  for (auto _ : state) {
+    AttributeTimestampStore store(StoreStaticAttributeNames(config));
+    auto run = ApplyStoreOps(&store, ops);
+    if (!run.ok()) state.SkipWithError(run.status().ToString().c_str());
+    benchmark::DoNotOptimize(store.ApproxBytes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ops.size()));
+  state.SetLabel("static_fraction=" + std::to_string(fraction));
+}
+BENCHMARK(BM_UpdatesWithStaticFraction)->Arg(0)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_StorageWithStaticFraction(benchmark::State& state) {
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  StoreWorkloadConfig config = Config(fraction);
+  std::vector<StoreOp> ops = GenerateStoreOps(config);
+  AttributeTimestampStore store(StoreStaticAttributeNames(config));
+  (void)ApplyStoreOps(&store, ops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.ApproxBytes());
+  }
+  state.counters["bytes"] = static_cast<double>(store.ApproxBytes());
+  state.SetLabel("static_fraction=" + std::to_string(fraction));
+}
+BENCHMARK(BM_StorageWithStaticFraction)->Arg(0)->Arg(25)->Arg(50)->Arg(75);
+
+// Reads of a static attribute are O(1) while temporal point reads pay a
+// binary search over the history.
+void BM_ReadStaticVsTemporal(benchmark::State& state) {
+  const bool read_static = state.range(0) == 1;
+  StoreWorkloadConfig config = Config(0.5);
+  std::vector<StoreOp> ops = GenerateStoreOps(config);
+  AttributeTimestampStore store(StoreStaticAttributeNames(config));
+  StoreRunResult run = ApplyStoreOps(&store, ops).value();
+  // a7 is static under fraction 0.5 of 8 attributes; a0 is temporal.
+  const std::string attr = read_static ? "a7" : "a0";
+  Rng rng(5);
+  for (auto _ : state) {
+    uint64_t id = run.ids[rng.Index(run.ids.size())];
+    auto v = store.ReadAttribute(id, attr, run.end_time);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel(read_static ? "non-temporal attribute"
+                             : "temporal attribute");
+}
+BENCHMARK(BM_ReadStaticVsTemporal)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

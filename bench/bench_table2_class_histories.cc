@@ -1,0 +1,113 @@
+// Experiment T2c (DESIGN.md): the cost and value of keeping histories of
+// object types (the last column of Table 2, which only [21], [11], [7]
+// and T_Chimera support).
+//
+// Measured: migration cost (which maintains class histories and extent
+// histories), the cost of answering "what was this object's most specific
+// class at instant t" from the class history, and the storage the class
+// history adds per migration.
+#include <benchmark/benchmark.h>
+
+#include "core/db/database.h"
+#include "workload/generator.h"
+#include "workload/project_schema.h"
+
+namespace tchimera {
+namespace {
+
+// A database with one employee that has migrated back and forth
+// `migrations` times.
+struct Fixture {
+  Database db;
+  Oid subject;
+};
+
+void MakeFixture(Fixture* fx, int64_t migrations) {
+  (void)InstallProjectSchema(&fx->db);
+  fx->subject = fx->db.CreateObject("employee").value();
+  bool manager = false;
+  for (int64_t i = 0; i < migrations; ++i) {
+    fx->db.Tick();
+    if (manager) {
+      (void)fx->db.Migrate(fx->subject, "employee");
+    } else {
+      (void)fx->db.Migrate(fx->subject, "manager",
+                           {{"dependents", Value::Integer(1)},
+                            {"officialcar", Value::String("car")}});
+    }
+    manager = !manager;
+  }
+}
+
+void BM_Migration(benchmark::State& state) {
+  // Cost of one promote+demote round trip, including class-history and
+  // extent maintenance plus attribute adjustment (Section 5.2).
+  Database db;
+  (void)InstallProjectSchema(&db);
+  Oid e = db.CreateObject("employee").value();
+  for (auto _ : state) {
+    db.Tick();
+    Status s1 = db.Migrate(e, "manager",
+                           {{"dependents", Value::Integer(1)},
+                            {"officialcar", Value::String("car")}});
+    db.Tick();
+    Status s2 = db.Migrate(e, "employee");
+    if (!s1.ok() || !s2.ok()) state.SkipWithError("migration failed");
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Migration);
+
+void BM_ClassAtInstant(benchmark::State& state) {
+  // "What was the most specific class of i at t?" — answerable only
+  // because class histories are kept; cost is a binary search over the
+  // migration history.
+  Fixture fx;
+  MakeFixture(&fx, state.range(0));
+  Rng rng(5);
+  TimePoint horizon = fx.db.now();
+  for (auto _ : state) {
+    auto c = fx.db.GetObject(fx.subject)->ClassAt(
+        rng.Uniform(0, horizon));
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetLabel("migrations=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ClassAtInstant)->Arg(2)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_MLifespan(benchmark::State& state) {
+  // m_lifespan(i, c): the membership intervals, reconstructed from the
+  // extent history (Table 3).
+  Fixture fx;
+  MakeFixture(&fx, state.range(0));
+  for (auto _ : state) {
+    auto m = fx.db.MLifespan(fx.subject, "manager");
+    if (!m.ok()) state.SkipWithError("m_lifespan failed");
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetLabel("migrations=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_MLifespan)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_ClassHistoryStorage(benchmark::State& state) {
+  // Storage attributable to type histories: object footprint as the
+  // number of migrations grows (attribute histories are constant here,
+  // so growth is the class history plus retained manager attributes).
+  Fixture fx;
+  MakeFixture(&fx, state.range(0));
+  const Object* obj = fx.db.GetObject(fx.subject);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj->ApproxBytes());
+  }
+  state.counters["object_bytes"] =
+      static_cast<double>(obj->ApproxBytes());
+  state.counters["class_history_segments"] =
+      static_cast<double>(obj->class_history().segment_count());
+  state.SetLabel("migrations=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ClassHistoryStorage)->Arg(0)->Arg(16)->Arg(128);
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

@@ -1,0 +1,225 @@
+// Experiment T2a (DESIGN.md): the quantitative side of Table 2's "what is
+// timestamped / how are temporal values represented" axes.
+//
+// The four store designs run the same deterministic workload; benchmarks
+// sweep object count and history length over:
+//   - per-attribute update cost
+//   - point read (attribute at instant)
+//   - whole-object snapshot reconstruction
+//   - attribute history scan
+// plus a storage report (bytes per store after identical workloads).
+//
+// Expected shapes (Section 3 of DESIGN.md): attribute timestamping wins
+// updates and storage when updates touch single attributes; object
+// versioning wins whole-object snapshots; the dense per-instant
+// representation loses to the coalesced function representation as run
+// lengths grow.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/attribute_store.h"
+#include "baselines/dense_temporal_value.h"
+#include "baselines/object_version_store.h"
+#include "baselines/snapshot_store.h"
+#include "baselines/triple_store.h"
+#include "workload/generator.h"
+
+namespace tchimera {
+namespace {
+
+enum StoreKind : int64_t {
+  kAttr = 0,
+  kObjectVersion = 1,
+  kTriple = 2,
+  kSnapshot = 3
+};
+
+const char* StoreName(int64_t kind) {
+  switch (kind) {
+    case kAttr:
+      return "attribute-ts(T_Chimera)";
+    case kObjectVersion:
+      return "object-versions(MAD)";
+    case kTriple:
+      return "triples(3DIS)";
+    default:
+      return "snapshot(non-temporal)";
+  }
+}
+
+std::unique_ptr<TemporalStore> MakeStore(int64_t kind) {
+  switch (kind) {
+    case kAttr:
+      return std::make_unique<AttributeTimestampStore>();
+    case kObjectVersion:
+      return std::make_unique<ObjectVersionStore>();
+    case kTriple:
+      return std::make_unique<TripleStore>();
+    default:
+      return std::make_unique<SnapshotStore>();
+  }
+}
+
+StoreWorkloadConfig Config(int64_t objects, int64_t history) {
+  StoreWorkloadConfig config;
+  config.objects = static_cast<size_t>(objects);
+  config.attributes = 8;
+  config.updates_per_object = static_cast<size_t>(history);
+  config.hot_fraction = 0.5;
+  return config;
+}
+
+// --- update cost ---------------------------------------------------------------
+
+void BM_Update(benchmark::State& state) {
+  const int64_t kind = state.range(0);
+  const int64_t history = state.range(1);
+  std::vector<StoreOp> ops = GenerateStoreOps(Config(64, history));
+  for (auto _ : state) {
+    auto store = MakeStore(kind);
+    auto run = ApplyStoreOps(store.get(), ops);
+    if (!run.ok()) state.SkipWithError(run.status().ToString().c_str());
+    benchmark::DoNotOptimize(store->ApproxBytes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ops.size()));
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_Update)
+    ->ArgsProduct({{kAttr, kObjectVersion, kTriple, kSnapshot},
+                   {8, 64, 256}});
+
+// --- point reads ----------------------------------------------------------------
+
+void BM_ReadAtInstant(benchmark::State& state) {
+  const int64_t kind = state.range(0);
+  const int64_t history = state.range(1);
+  auto store = MakeStore(kind);
+  std::vector<StoreOp> ops = GenerateStoreOps(Config(64, history));
+  StoreRunResult run = ApplyStoreOps(store.get(), ops).value();
+  Rng rng(7);
+  std::vector<std::string> attrs = StoreAttributeNames(8);
+  for (auto _ : state) {
+    uint64_t id = run.ids[rng.Index(run.ids.size())];
+    // The snapshot store can only answer at the end time.
+    TimePoint t = kind == kSnapshot
+                      ? run.end_time
+                      : rng.Uniform(2, run.end_time);
+    auto v = store->ReadAttribute(id, rng.Pick(attrs), t);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_ReadAtInstant)
+    ->ArgsProduct({{kAttr, kObjectVersion, kTriple, kSnapshot},
+                   {8, 64, 256}});
+
+// --- whole-object snapshots ------------------------------------------------------
+
+void BM_SnapshotObject(benchmark::State& state) {
+  const int64_t kind = state.range(0);
+  const int64_t history = state.range(1);
+  auto store = MakeStore(kind);
+  std::vector<StoreOp> ops = GenerateStoreOps(Config(64, history));
+  StoreRunResult run = ApplyStoreOps(store.get(), ops).value();
+  Rng rng(7);
+  for (auto _ : state) {
+    uint64_t id = run.ids[rng.Index(run.ids.size())];
+    TimePoint t = kind == kSnapshot
+                      ? run.end_time
+                      : rng.Uniform(2, run.end_time);
+    auto v = store->SnapshotObject(id, t);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_SnapshotObject)
+    ->ArgsProduct({{kAttr, kObjectVersion, kTriple, kSnapshot},
+                   {8, 64, 256}});
+
+// --- attribute history scans ------------------------------------------------------
+
+void BM_HistoryScan(benchmark::State& state) {
+  const int64_t kind = state.range(0);
+  const int64_t history = state.range(1);
+  auto store = MakeStore(kind);
+  std::vector<StoreOp> ops = GenerateStoreOps(Config(64, history));
+  StoreRunResult run = ApplyStoreOps(store.get(), ops).value();
+  Rng rng(7);
+  for (auto _ : state) {
+    uint64_t id = run.ids[rng.Index(run.ids.size())];
+    auto v = store->History(id, "a0");
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_HistoryScan)
+    ->ArgsProduct({{kAttr, kObjectVersion, kTriple}, {8, 64, 256}});
+
+// --- storage accounting (reported as a counter) ----------------------------------
+
+void BM_StorageBytes(benchmark::State& state) {
+  const int64_t kind = state.range(0);
+  const int64_t history = state.range(1);
+  auto store = MakeStore(kind);
+  std::vector<StoreOp> ops = GenerateStoreOps(Config(64, history));
+  (void)ApplyStoreOps(store.get(), ops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->ApproxBytes());
+  }
+  state.counters["bytes"] =
+      static_cast<double>(store->ApproxBytes());
+  state.counters["bytes_per_update"] =
+      static_cast<double>(store->ApproxBytes()) /
+      static_cast<double>(64 * history);
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_StorageBytes)
+    ->ArgsProduct({{kAttr, kObjectVersion, kTriple, kSnapshot},
+                   {8, 64, 256}});
+
+// --- T2a-rep: function representation vs per-instant pairs ------------------------
+
+void BM_RepresentationCoalesced(benchmark::State& state) {
+  const int64_t run_length = state.range(0);
+  TemporalFunction f;
+  TimePoint t = 0;
+  for (int i = 0; i < 64; ++i) {
+    (void)f.Define(Interval(t, t + run_length - 1), Value::Integer(i));
+    t += run_length;
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.At(rng.Uniform(0, t - 1)));
+  }
+  state.counters["bytes"] = static_cast<double>(f.ApproxBytes());
+  state.SetLabel("coalesced-function");
+}
+BENCHMARK(BM_RepresentationCoalesced)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_RepresentationDense(benchmark::State& state) {
+  const int64_t run_length = state.range(0);
+  TemporalFunction f;
+  TimePoint t = 0;
+  for (int i = 0; i < 64; ++i) {
+    (void)f.Define(Interval(t, t + run_length - 1), Value::Integer(i));
+    t += run_length;
+  }
+  DenseTemporalValue dense = DenseTemporalValue::FromFunction(f, t - 1);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.At(rng.Uniform(0, t - 1)));
+  }
+  state.counters["bytes"] = static_cast<double>(dense.ApproxBytes());
+  state.SetLabel("dense-per-instant");
+}
+BENCHMARK(BM_RepresentationDense)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// Experiment T3 (DESIGN.md): micro-benchmarks for each formal function of
+// Table 3, over a populated database, sweeping history length where the
+// function's cost depends on it.
+//
+//   T^-          BM_TMinus
+//   pi           BM_Pi
+//   type         BM_StructuralType
+//   h_type       BM_HistoricalType
+//   s_type       BM_StaticType
+//   h_state      BM_HState
+//   s_state      BM_SState
+//   o_lifespan   BM_OLifespan
+//   m_lifespan   BM_MLifespan (see also bench_table2_class_histories)
+//   ref          BM_Ref
+//   snapshot     BM_Snapshot
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/db/database.h"
+#include "core/types/type_registry.h"
+#include "workload/generator.h"
+
+namespace tchimera {
+namespace {
+
+struct Fixture {
+  Database db;
+  Population pop;
+};
+
+Fixture& SharedFixture(int64_t timesteps) {
+  static std::map<int64_t, Fixture>& cache =
+      *new std::map<int64_t, Fixture>();
+  auto it = cache.find(timesteps);
+  if (it == cache.end()) {
+    it = cache.emplace(std::piecewise_construct,
+                       std::forward_as_tuple(timesteps),
+                       std::forward_as_tuple())
+             .first;
+    PopulationConfig config;
+    config.persons = 50;
+    config.projects = 10;
+    config.timesteps = static_cast<size_t>(timesteps);
+    config.updates_per_step = 20;
+    config.migration_rate = 0.2;
+    it->second.pop = PopulateDatabase(&it->second.db, config).value();
+  }
+  return it->second;
+}
+
+void BM_TMinus(benchmark::State& state) {
+  const Type* t = types::Temporal(types::SetOf(types::Object("person")))
+                      .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(types::TMinus(t));
+  }
+}
+BENCHMARK(BM_TMinus);
+
+void BM_Pi(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    auto extent = fx.db.Pi("person", rng.Uniform(0, fx.db.now()));
+    benchmark::DoNotOptimize(extent);
+  }
+  state.SetLabel("timesteps=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Pi)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_StructuralType(benchmark::State& state) {
+  Fixture& fx = SharedFixture(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.db.StructuralTypeOf("project"));
+  }
+}
+BENCHMARK(BM_StructuralType);
+
+void BM_HistoricalType(benchmark::State& state) {
+  Fixture& fx = SharedFixture(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.db.HistoricalTypeOf("project"));
+  }
+}
+BENCHMARK(BM_HistoricalType);
+
+void BM_StaticType(benchmark::State& state) {
+  Fixture& fx = SharedFixture(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.db.StaticTypeOf("project"));
+  }
+}
+BENCHMARK(BM_StaticType);
+
+void BM_HState(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    Oid oid = rng.Pick(fx.pop.persons);
+    auto v = fx.db.HStateOf(oid, rng.Uniform(0, fx.db.now()));
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel("timesteps=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_HState)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SState(benchmark::State& state) {
+  Fixture& fx = SharedFixture(16);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto v = fx.db.SStateOf(rng.Pick(fx.pop.persons));
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SState);
+
+void BM_OLifespan(benchmark::State& state) {
+  Fixture& fx = SharedFixture(16);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.db.OLifespan(rng.Pick(fx.pop.persons)));
+  }
+}
+BENCHMARK(BM_OLifespan);
+
+void BM_MLifespan(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    auto m = fx.db.MLifespan(rng.Pick(fx.pop.persons), "manager");
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetLabel("timesteps=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_MLifespan)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Ref(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    Oid oid = rng.Pick(fx.pop.projects);
+    auto refs = fx.db.Ref(oid, rng.Uniform(0, fx.db.now()));
+    benchmark::DoNotOptimize(refs);
+  }
+  state.SetLabel("timesteps=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Ref)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Snapshot(benchmark::State& state) {
+  Fixture& fx = SharedFixture(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    // Projects carry static attributes, so only the current snapshot is
+    // defined (Section 5.3).
+    auto v = fx.db.SnapshotOf(rng.Pick(fx.pop.projects), kNow);
+    if (!v.ok()) state.SkipWithError(v.status().ToString().c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel("timesteps=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Snapshot)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

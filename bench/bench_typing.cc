@@ -1,0 +1,159 @@
+// Experiment TY (DESIGN.md): the typing machinery of Definitions 3.5/3.6
+// — type inference, legal-value checking, subtyping and lub — measured
+// over values of growing structural depth and histories of growing
+// length, plus the type-interning fast path.
+#include <benchmark/benchmark.h>
+
+#include "core/db/database.h"
+#include "core/types/type_parser.h"
+#include "core/types/type_registry.h"
+#include "core/values/temporal_function.h"
+#include "core/values/typing.h"
+#include "core/values/value_parser.h"
+#include "workload/random.h"
+
+namespace tchimera {
+namespace {
+
+// A value of nesting depth d: record(set(record(...))) with scalars at the
+// leaves.
+Value DeepValue(int depth) {
+  if (depth == 0) return Value::Integer(7);
+  std::vector<Value> elems;
+  for (int i = 0; i < 3; ++i) elems.push_back(DeepValue(depth - 1));
+  return Value::Record({{"left", Value::Set(std::move(elems))},
+                        {"right", Value::String("x")}})
+      .value();
+}
+
+const Type* DeepType(int depth) {
+  if (depth == 0) return types::Integer();
+  return types::RecordOf({{"left", types::SetOf(DeepType(depth - 1))},
+                          {"right", types::String()}})
+      .value();
+}
+
+void BM_InferType(benchmark::State& state) {
+  Database db;
+  Value v = DeepValue(static_cast<int>(state.range(0)));
+  TypingContext ctx = db.typing_context();
+  for (auto _ : state) {
+    auto t = InferType(v, 0, ctx);
+    if (!t.ok()) state.SkipWithError("inference failed");
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_InferType)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_CheckLegalValue(benchmark::State& state) {
+  Database db;
+  Value v = DeepValue(static_cast<int>(state.range(0)));
+  const Type* t = DeepType(static_cast<int>(state.range(0)));
+  TypingContext ctx = db.typing_context();
+  for (auto _ : state) {
+    Status s = CheckLegalValue(v, t, 0, ctx);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CheckLegalValue)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_CheckTemporalValue(benchmark::State& state) {
+  // Legality of a temporal value is linear in its segment count.
+  Database db;
+  TemporalFunction f;
+  Rng rng(9);
+  TimePoint t = 0;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)f.Define(Interval(t, t + 3), Value::Integer(rng.Uniform(0, 99)));
+    t += 5;
+  }
+  Value v = Value::Temporal(std::move(f));
+  const Type* type = types::Temporal(types::Integer()).value();
+  TypingContext ctx = db.typing_context();
+  for (auto _ : state) {
+    Status s = CheckLegalValue(v, type, 0, ctx);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel("segments=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CheckTemporalValue)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_IsSubtypeIsaChain(benchmark::State& state) {
+  // Subtype checks along an ISA chain of growing depth.
+  Database db;
+  std::string prev;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    ClassSpec spec;
+    spec.name = "c" + std::to_string(i);
+    if (!prev.empty()) spec.superclasses = {prev};
+    (void)db.DefineClass(spec);
+    prev = spec.name;
+  }
+  const Type* leaf = types::SetOf(types::Object(prev));
+  const Type* root = types::SetOf(types::Object("c0"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSubtype(leaf, root, db.isa()));
+  }
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_IsSubtypeIsaChain)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LeastUpperBound(benchmark::State& state) {
+  Database db;
+  ClassSpec person;
+  person.name = "person";
+  (void)db.DefineClass(person);
+  // A wide fan of siblings: lub(person-sibling-i, person-sibling-j).
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    ClassSpec spec;
+    spec.name = "s" + std::to_string(i);
+    spec.superclasses = {"person"};
+    (void)db.DefineClass(spec);
+  }
+  const Type* a = types::Object("s0");
+  const Type* b =
+      types::Object("s" + std::to_string(state.range(0) - 1));
+  for (auto _ : state) {
+    auto lub = LeastUpperBound(a, b, db.isa());
+    if (!lub.ok()) state.SkipWithError("lub failed");
+    benchmark::DoNotOptimize(lub);
+  }
+  state.SetLabel("siblings=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_LeastUpperBound)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_TypeInterning(benchmark::State& state) {
+  // Re-interning an existing structural type is a hash lookup.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        types::RecordOf({{"task", types::Object("project")},
+                         {"startbudget", types::Real()},
+                         {"endbudget", types::Real()}}));
+  }
+}
+BENCHMARK(BM_TypeInterning);
+
+void BM_TypeParse(benchmark::State& state) {
+  const char* text =
+      "record-of(task:temporal(project),startbudget:real,endbudget:real)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseType(text));
+  }
+}
+BENCHMARK(BM_TypeParse);
+
+void BM_ValueParse(benchmark::State& state) {
+  const char* text = "(name:'Bob',score:{<[1,100],40>,<[101,200],70>})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseValue(text));
+  }
+}
+BENCHMARK(BM_ValueParse);
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

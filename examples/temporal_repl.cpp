@@ -1,0 +1,160 @@
+// An interactive TQL shell over a persistent T_Chimera database.
+//
+//   ./build/examples/temporal_repl [db-directory]
+//
+// On startup the shell loads `snapshot.tchdb` (if present) from the
+// database directory and replays `journal.tql` on top; every mutating
+// statement is journaled before execution; `.checkpoint` writes a fresh
+// snapshot and truncates the journal. Without a directory argument the
+// session is in-memory only.
+//
+// Meta commands: .help .checkpoint .quit — everything else is TQL
+// (see src/query/parser.h for the grammar).
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include <fstream>
+
+#include "common/string_util.h"
+#include "core/db/database.h"
+#include "storage/deserializer.h"
+#include "storage/journal.h"
+#include "storage/serializer.h"
+#include "triggers/trigger.h"
+
+namespace {
+
+constexpr const char* kHelp = R"(TQL statements:
+  define class NAME [under SUPER,...] [attributes a: type, ...]
+      [methods m(T,...): T, ...] [c-attributes a: type, ...] end
+  create CLASS [at T] (attr: value, ...)
+  update iN set attr = value [during [a,b]]
+  migrate iN to CLASS [set attr = value, ...]
+  delete iN
+  select expr, ... from x in CLASS [at T] [where expr]
+  snapshot iN [at T]   |  history iN.attr
+  tick [n]  |  advance to T  |  check  |  when <expr>
+  show class NAME | show object iN | show classes | show now
+  trigger NAME on EVENT [of CLASS[.ATTR]] do <stmt>
+  constraint NAME on CLASS always|sometime <expr>
+  constraint NAME on CLASS nondecreasing|immutable ATTR
+meta commands:
+  .help  .checkpoint  .quit
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tchimera::ActiveDatabase;
+  using tchimera::Database;
+  using tchimera::Journal;
+  using tchimera::Result;
+  using tchimera::Status;
+
+  std::unique_ptr<Database> db = std::make_unique<Database>();
+  Journal journal;
+  std::string snapshot_path, journal_path;
+
+  if (argc > 1) {
+    std::filesystem::path dir(argv[1]);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    snapshot_path = (dir / "snapshot.tchdb").string();
+    journal_path = (dir / "journal.tql").string();
+    if (std::filesystem::exists(snapshot_path)) {
+      Result<std::unique_ptr<Database>> loaded =
+          tchimera::LoadDatabaseFromFile(snapshot_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "cannot load %s: %s\n", snapshot_path.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(loaded).value();
+      std::printf("loaded snapshot (%zu objects, now = %lld)\n",
+                  db->object_count(), static_cast<long long>(db->now()));
+    }
+    Status opened = Status::OK();
+    (void)opened;
+  } else {
+    std::printf("(in-memory session; pass a directory to persist)\n");
+  }
+
+  ActiveDatabase active(db.get());
+  if (!journal_path.empty()) {
+    // Replay the journal tail through the active facade so trigger and
+    // constraint definitions are restored too.
+    if (std::filesystem::exists(journal_path)) {
+      std::ifstream in(journal_path);
+      std::string replay_line;
+      size_t applied = 0;
+      while (std::getline(in, replay_line)) {
+        if (tchimera::StripWhitespace(replay_line).empty()) continue;
+        Result<std::string> r = active.Execute(replay_line);
+        if (!r.ok()) {
+          std::fprintf(stderr, "journal replay failed at '%s': %s\n",
+                       replay_line.c_str(),
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        ++applied;
+      }
+      std::printf("replayed %zu journaled statements\n", applied);
+    }
+    Status opened = journal.Open(journal_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("T_Chimera temporal shell — .help for help\n");
+  std::string line;
+  while (true) {
+    std::printf("tql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = tchimera::StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed == ".help") {
+      std::printf("%s", kHelp);
+      continue;
+    }
+    if (trimmed == ".checkpoint") {
+      if (snapshot_path.empty()) {
+        std::printf("no database directory; nothing to checkpoint\n");
+        continue;
+      }
+      Status s = tchimera::SaveDatabaseToFile(*db, snapshot_path);
+      if (s.ok()) s = journal.Truncate();
+      std::printf("%s\n", s.ok() ? "checkpointed" : s.ToString().c_str());
+      continue;
+    }
+    // Journal mutating statements before executing (write-ahead).
+    if (journal.is_open()) {
+      std::string head;
+      for (char c : trimmed.substr(0, 8)) {
+        head.push_back(static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c))));
+      }
+      for (std::string_view kw : {"define", "drop", "create", "update",
+                                  "migrate", "delete", "tick", "advance",
+                                  "trigger", "constraint"}) {
+        if (tchimera::StartsWith(head, kw)) {
+          Status s = journal.Append(trimmed);
+          if (!s.ok()) std::printf("journal: %s\n", s.ToString().c_str());
+          break;
+        }
+      }
+    }
+    Result<std::string> out = active.Execute(trimmed);
+    if (out.ok()) {
+      std::printf("%s\n", out->c_str());
+    } else {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

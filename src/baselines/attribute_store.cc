@@ -1,0 +1,120 @@
+#include "baselines/attribute_store.h"
+
+namespace tchimera {
+
+ModelDescriptor AttributeTimestampStore::Describe() const {
+  ModelDescriptor d;
+  d.model_name = "T_Chimera (attribute timestamping)";
+  d.oo_data_model = "Chimera";
+  d.time_structure = "linear";
+  d.time_dimension = "valid";
+  d.values_and_objects = "both";
+  d.class_features = true;
+  d.what_is_timestamped = "attributes";
+  d.temporal_attribute_values = "functions";
+  d.kinds_of_attributes = "temporal + immutable + non-temporal";
+  d.histories_of_object_types = true;
+  return d;
+}
+
+uint64_t AttributeTimestampStore::CreateObject(const FieldInits& init,
+                                               TimePoint t) {
+  StoredObject obj;
+  for (const auto& [name, v] : init) {
+    if (IsStaticAttr(name)) {
+      obj.statics[name] = v;
+    } else {
+      TemporalFunction f;
+      Status s = f.AssertFrom(t, v);
+      (void)s;  // cannot fail on a fresh function
+      obj.temporal.emplace(name, std::move(f));
+    }
+  }
+  uint64_t id = next_id_++;
+  objects_.emplace(id, std::move(obj));
+  return id;
+}
+
+Status AttributeTimestampStore::UpdateAttribute(uint64_t id,
+                                                const std::string& attr,
+                                                Value v, TimePoint t) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  if (IsStaticAttr(attr)) {
+    it->second.statics[attr] = std::move(v);
+    return Status::OK();
+  }
+  return it->second.temporal[attr].AssertFrom(t, std::move(v));
+}
+
+Result<Value> AttributeTimestampStore::ReadAttribute(uint64_t id,
+                                                     const std::string& attr,
+                                                     TimePoint t) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  if (IsStaticAttr(attr)) {
+    auto sit = it->second.statics.find(attr);
+    return sit == it->second.statics.end() ? Value::Null() : sit->second;
+  }
+  auto fit = it->second.temporal.find(attr);
+  if (fit == it->second.temporal.end()) return Value::Null();
+  const Value* v = fit->second.At(t);
+  return v == nullptr ? Value::Null() : *v;
+}
+
+Result<Value> AttributeTimestampStore::SnapshotObject(uint64_t id,
+                                                      TimePoint t) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  std::vector<Value::Field> fields;
+  for (const auto& [name, f] : it->second.temporal) {
+    const Value* v = f.At(t);
+    fields.emplace_back(name, v == nullptr ? Value::Null() : *v);
+  }
+  for (const auto& [name, v] : it->second.statics) {
+    fields.emplace_back(name, v);
+  }
+  return Value::Record(std::move(fields));
+}
+
+Result<std::vector<std::pair<Interval, Value>>>
+AttributeTimestampStore::History(uint64_t id, const std::string& attr) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  if (IsStaticAttr(attr)) {
+    return Status::TemporalError("attribute '" + attr +
+                                 "' is non-temporal: no history is kept");
+  }
+  auto fit = it->second.temporal.find(attr);
+  std::vector<std::pair<Interval, Value>> out;
+  if (fit != it->second.temporal.end()) {
+    for (const auto& seg : fit->second.segments()) {
+      out.emplace_back(seg.interval, seg.value);
+    }
+  }
+  return out;
+}
+
+size_t AttributeTimestampStore::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [id, obj] : objects_) {
+    bytes += sizeof(id) + sizeof(obj);
+    for (const auto& [name, f] : obj.temporal) {
+      bytes += name.capacity() + f.ApproxBytes();
+    }
+    for (const auto& [name, v] : obj.statics) {
+      bytes += name.capacity() + v.ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace tchimera

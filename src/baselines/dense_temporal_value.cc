@@ -1,0 +1,67 @@
+#include "baselines/dense_temporal_value.h"
+
+#include <algorithm>
+
+namespace tchimera {
+
+DenseTemporalValue DenseTemporalValue::FromFunction(
+    const TemporalFunction& f, TimePoint horizon) {
+  DenseTemporalValue out;
+  for (const auto& seg : f.segments()) {
+    TimePoint from = seg.interval.start();
+    TimePoint to = std::min(ResolveInstant(seg.interval.end(), horizon),
+                            horizon);
+    for (TimePoint t = from; t <= to; ++t) {
+      out.entries_.push_back({t, seg.value});
+    }
+  }
+  return out;
+}
+
+void DenseTemporalValue::DefineRange(TimePoint from, TimePoint to,
+                                     const Value& v) {
+  for (TimePoint t = from; t <= to; ++t) {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), t,
+        [](const Entry& e, TimePoint x) { return e.t < x; });
+    if (it != entries_.end() && it->t == t) {
+      it->value = v;
+    } else {
+      entries_.insert(it, {t, v});
+    }
+  }
+}
+
+const Value* DenseTemporalValue::At(TimePoint t) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), t,
+      [](const Entry& e, TimePoint x) { return e.t < x; });
+  if (it == entries_.end() || it->t != t) return nullptr;
+  return &it->value;
+}
+
+size_t DenseTemporalValue::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Entry& e : entries_) {
+    bytes += sizeof(e.t) + e.value.ApproxBytes();
+  }
+  return bytes;
+}
+
+TemporalFunction DenseTemporalValue::Coalesced() const {
+  std::vector<TemporalFunction::Segment> segments;
+  for (const Entry& e : entries_) {
+    if (!segments.empty()) {
+      auto& last = segments.back();
+      if (last.interval.end() + 1 == e.t && last.value == e.value) {
+        last.interval = Interval(last.interval.start(), e.t);
+        continue;
+      }
+    }
+    segments.push_back({Interval::At(e.t), e.value});
+  }
+  Result<TemporalFunction> f = TemporalFunction::Make(std::move(segments));
+  return f.ok() ? std::move(f).value() : TemporalFunction();
+}
+
+}  // namespace tchimera

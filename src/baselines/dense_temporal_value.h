@@ -1,0 +1,50 @@
+// The per-instant representation of a temporal value: literally the set of
+// pairs (t, f(t)) of Definition 3.5, one entry per instant, before the
+// paper's "more efficient" interval-coalesced representation of
+// Section 3.2 is applied.
+//
+// Exists for the representation benchmark (experiment T2a-rep in
+// DESIGN.md): it quantifies the storage and scan-time gap between the two
+// representations as value run lengths grow.
+#ifndef TCHIMERA_BASELINES_DENSE_TEMPORAL_VALUE_H_
+#define TCHIMERA_BASELINES_DENSE_TEMPORAL_VALUE_H_
+
+#include <vector>
+
+#include "core/values/temporal_function.h"
+#include "core/values/value.h"
+
+namespace tchimera {
+
+class DenseTemporalValue {
+ public:
+  DenseTemporalValue() = default;
+
+  // Expands `f` over [f.DomainStart(), horizon] into per-instant pairs.
+  static DenseTemporalValue FromFunction(const TemporalFunction& f,
+                                         TimePoint horizon);
+
+  // Sets f(t) = v for every t in [from, to].
+  void DefineRange(TimePoint from, TimePoint to, const Value& v);
+
+  // f(t), or nullptr when undefined. O(log n).
+  const Value* At(TimePoint t) const;
+
+  size_t instant_count() const { return entries_.size(); }
+  size_t ApproxBytes() const;
+
+  // Converts back to the coalesced representation (equal adjacent values
+  // merge into intervals).
+  TemporalFunction Coalesced() const;
+
+ private:
+  struct Entry {
+    TimePoint t;
+    Value value;
+  };
+  std::vector<Entry> entries_;  // sorted by t, unique
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_BASELINES_DENSE_TEMPORAL_VALUE_H_

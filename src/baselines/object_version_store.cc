@@ -1,0 +1,146 @@
+#include "baselines/object_version_store.h"
+
+#include <algorithm>
+
+namespace tchimera {
+
+ModelDescriptor ObjectVersionStore::Describe() const {
+  ModelDescriptor d;
+  d.model_name = "object versions (MAD / OSAM* style)";
+  d.oo_data_model = "MAD / OSAM*";
+  d.time_structure = "linear";
+  d.time_dimension = "valid";
+  d.values_and_objects = "objects";
+  d.class_features = false;
+  d.what_is_timestamped = "objects";
+  d.temporal_attribute_values = "atomic valued";
+  d.kinds_of_attributes = "temporal + immutable";
+  d.histories_of_object_types = false;
+  return d;
+}
+
+uint64_t ObjectVersionStore::CreateObject(const FieldInits& init,
+                                          TimePoint t) {
+  std::vector<Value::Field> fields(init.begin(), init.end());
+  Result<Value> record = Value::Record(std::move(fields));
+  StoredObject obj;
+  obj.versions.push_back(
+      {t, record.ok() ? std::move(record).value() : Value::Null()});
+  uint64_t id = next_id_++;
+  objects_.emplace(id, std::move(obj));
+  return id;
+}
+
+const ObjectVersionStore::Version* ObjectVersionStore::VersionAt(
+    const StoredObject& obj, TimePoint t) {
+  auto it = std::upper_bound(
+      obj.versions.begin(), obj.versions.end(), t,
+      [](TimePoint v, const Version& ver) { return v < ver.from; });
+  if (it == obj.versions.begin()) return nullptr;
+  return &*(it - 1);
+}
+
+Status ObjectVersionStore::UpdateAttribute(uint64_t id,
+                                           const std::string& attr, Value v,
+                                           TimePoint t) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  StoredObject& obj = it->second;
+  if (t < obj.versions.back().from) {
+    // Object-level timestamping orders whole-state versions by time;
+    // retroactive single-attribute updates are not expressible (one more
+    // cost of the design — see DESIGN.md).
+    return Status::FailedPrecondition(
+        "object-version store requires non-decreasing update times");
+  }
+  // Copy the whole current state — this is the cost the attribute-level
+  // design avoids.
+  std::vector<Value::Field> fields = obj.versions.back().state.Fields();
+  bool found = false;
+  for (auto& [name, value] : fields) {
+    if (name == attr) {
+      value = std::move(v);
+      found = true;
+      break;
+    }
+  }
+  if (!found) fields.emplace_back(attr, std::move(v));
+  Result<Value> record = Value::Record(std::move(fields));
+  if (!record.ok()) return record.status();
+  if (obj.versions.back().from == t) {
+    obj.versions.back().state = std::move(record).value();
+  } else {
+    obj.versions.push_back({t, std::move(record).value()});
+  }
+  return Status::OK();
+}
+
+Result<Value> ObjectVersionStore::ReadAttribute(uint64_t id,
+                                                const std::string& attr,
+                                                TimePoint t) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  const Version* ver = VersionAt(it->second, t);
+  if (ver == nullptr) return Value::Null();
+  const Value* v = ver->state.FieldValue(attr);
+  return v == nullptr ? Value::Null() : *v;
+}
+
+Result<Value> ObjectVersionStore::SnapshotObject(uint64_t id,
+                                                 TimePoint t) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  const Version* ver = VersionAt(it->second, t);
+  if (ver == nullptr) {
+    return Status::TemporalError("object " + std::to_string(id) +
+                                 " did not exist at " + InstantToString(t));
+  }
+  return ver->state;
+}
+
+Result<std::vector<std::pair<Interval, Value>>> ObjectVersionStore::History(
+    uint64_t id, const std::string& attr) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  // Scan every version, coalescing runs of equal attribute values — the
+  // work object-level timestamping must do to answer an attribute-history
+  // question.
+  std::vector<std::pair<Interval, Value>> out;
+  const auto& versions = it->second.versions;
+  for (size_t i = 0; i < versions.size(); ++i) {
+    const Value* v = versions[i].state.FieldValue(attr);
+    Value value = v == nullptr ? Value::Null() : *v;
+    TimePoint from = versions[i].from;
+    TimePoint to =
+        i + 1 < versions.size() ? versions[i + 1].from - 1 : kNow;
+    if (!out.empty() && out.back().second == value &&
+        !IsNow(out.back().first.end()) &&
+        out.back().first.end() + 1 == from) {
+      out.back().first = Interval(out.back().first.start(), to);
+    } else {
+      out.emplace_back(Interval(from, to), std::move(value));
+    }
+  }
+  return out;
+}
+
+size_t ObjectVersionStore::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [id, obj] : objects_) {
+    bytes += sizeof(id) + sizeof(obj);
+    for (const Version& v : obj.versions) {
+      bytes += sizeof(v.from) + v.state.ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace tchimera

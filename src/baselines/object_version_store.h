@@ -1,0 +1,56 @@
+// Object-level timestamping: time is associated with the entire object
+// state, which is copied on every change (the MAD [13] / OSAM* [19] row of
+// Table 2: "objects timestamped, atomic valued").
+//
+// Whole-object snapshots at any instant are a binary search away, but a
+// one-attribute update copies the full state, and storage grows with
+// (state size x number of changes) instead of (changed attribute size x
+// number of changes).
+#ifndef TCHIMERA_BASELINES_OBJECT_VERSION_STORE_H_
+#define TCHIMERA_BASELINES_OBJECT_VERSION_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/temporal_store.h"
+
+namespace tchimera {
+
+class ObjectVersionStore final : public TemporalStore {
+ public:
+  ObjectVersionStore() = default;
+
+  ModelDescriptor Describe() const override;
+
+  uint64_t CreateObject(const FieldInits& init, TimePoint t) override;
+  Status UpdateAttribute(uint64_t id, const std::string& attr, Value v,
+                         TimePoint t) override;
+  Result<Value> ReadAttribute(uint64_t id, const std::string& attr,
+                              TimePoint t) const override;
+  Result<Value> SnapshotObject(uint64_t id, TimePoint t) const override;
+  Result<std::vector<std::pair<Interval, Value>>> History(
+      uint64_t id, const std::string& attr) const override;
+
+  size_t object_count() const override { return objects_.size(); }
+  size_t ApproxBytes() const override;
+
+ private:
+  struct Version {
+    TimePoint from;  // valid from this instant until the next version
+    Value state;     // the full record
+  };
+  struct StoredObject {
+    std::vector<Version> versions;  // sorted by `from`
+  };
+
+  // The version live at instant t, or nullptr if t precedes creation.
+  static const Version* VersionAt(const StoredObject& obj, TimePoint t);
+
+  std::unordered_map<uint64_t, StoredObject> objects_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_BASELINES_OBJECT_VERSION_STORE_H_

@@ -1,0 +1,88 @@
+#include "baselines/snapshot_store.h"
+
+namespace tchimera {
+
+ModelDescriptor SnapshotStore::Describe() const {
+  ModelDescriptor d;
+  d.model_name = "snapshot (non-temporal Chimera)";
+  d.oo_data_model = "Chimera (base)";
+  d.time_structure = "none";
+  d.time_dimension = "none";
+  d.values_and_objects = "both";
+  d.class_features = true;
+  d.what_is_timestamped = "nothing";
+  d.temporal_attribute_values = "n/a";
+  d.kinds_of_attributes = "non-temporal";
+  d.histories_of_object_types = false;
+  return d;
+}
+
+uint64_t SnapshotStore::CreateObject(const FieldInits& init, TimePoint t) {
+  StoredObject obj;
+  obj.last_write = t;
+  for (const auto& [name, v] : init) obj.attrs[name] = v;
+  uint64_t id = next_id_++;
+  objects_.emplace(id, std::move(obj));
+  return id;
+}
+
+Status SnapshotStore::UpdateAttribute(uint64_t id, const std::string& attr,
+                                      Value v, TimePoint t) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  it->second.attrs[attr] = std::move(v);
+  if (t > it->second.last_write) it->second.last_write = t;
+  return Status::OK();
+}
+
+Result<Value> SnapshotStore::ReadAttribute(uint64_t id,
+                                           const std::string& attr,
+                                           TimePoint t) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  if (t < it->second.last_write) {
+    return Status::TemporalError(
+        "snapshot store cannot answer a past-instant read (asked " +
+        InstantToString(t) + ", state is as of " +
+        InstantToString(it->second.last_write) + ")");
+  }
+  auto ait = it->second.attrs.find(attr);
+  return ait == it->second.attrs.end() ? Value::Null() : ait->second;
+}
+
+Result<Value> SnapshotStore::SnapshotObject(uint64_t id, TimePoint t) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  if (t < it->second.last_write) {
+    return Status::TemporalError(
+        "snapshot store cannot reconstruct a past state");
+  }
+  std::vector<Value::Field> fields(it->second.attrs.begin(),
+                                   it->second.attrs.end());
+  return Value::Record(std::move(fields));
+}
+
+Result<std::vector<std::pair<Interval, Value>>> SnapshotStore::History(
+    uint64_t, const std::string& attr) const {
+  return Status::TemporalError("snapshot store keeps no history for '" +
+                               attr + "'");
+}
+
+size_t SnapshotStore::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [id, obj] : objects_) {
+    bytes += sizeof(id) + sizeof(obj.last_write);
+    for (const auto& [name, v] : obj.attrs) {
+      bytes += name.capacity() + v.ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace tchimera

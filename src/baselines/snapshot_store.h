@@ -1,0 +1,49 @@
+// The non-temporal baseline: a conventional snapshot database ("the
+// content of a database represents a snapshot of the reality in that only
+// the current data are recorded", Section 1). Updates overwrite; reads at
+// past instants fail — applications would have to manage histories
+// themselves, the problem the paper sets out to solve.
+#ifndef TCHIMERA_BASELINES_SNAPSHOT_STORE_H_
+#define TCHIMERA_BASELINES_SNAPSHOT_STORE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/temporal_store.h"
+
+namespace tchimera {
+
+class SnapshotStore final : public TemporalStore {
+ public:
+  SnapshotStore() = default;
+
+  ModelDescriptor Describe() const override;
+
+  uint64_t CreateObject(const FieldInits& init, TimePoint t) override;
+  Status UpdateAttribute(uint64_t id, const std::string& attr, Value v,
+                         TimePoint t) override;
+  // Past-instant reads fail with TemporalError (the instant is compared
+  // against the last write time per object).
+  Result<Value> ReadAttribute(uint64_t id, const std::string& attr,
+                              TimePoint t) const override;
+  Result<Value> SnapshotObject(uint64_t id, TimePoint t) const override;
+  Result<std::vector<std::pair<Interval, Value>>> History(
+      uint64_t id, const std::string& attr) const override;
+
+  size_t object_count() const override { return objects_.size(); }
+  size_t ApproxBytes() const override;
+
+ private:
+  struct StoredObject {
+    std::map<std::string, Value> attrs;
+    TimePoint last_write = 0;
+  };
+
+  std::unordered_map<uint64_t, StoredObject> objects_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_BASELINES_SNAPSHOT_STORE_H_

@@ -1,0 +1,3 @@
+#include "baselines/temporal_store.h"
+
+// TemporalStore is an interface; this translation unit anchors its vtable.

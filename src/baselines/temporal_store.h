@@ -1,0 +1,85 @@
+// Baseline temporal-store variants reproducing the design axes that
+// Tables 1 and 2 of the paper compare across systems.
+//
+// The systems of those tables (OODAPLEX [21,6], TIGUKAT [11], MAD [13],
+// OSAM* [19], 3DIS [15], Clifford-Croker [7]) are unavailable, so the
+// repository implements the *design choices* that distinguish them as four
+// schema-light stores behind one interface:
+//
+//   AttributeTimestampStore  attribute timestamping, values as functions
+//                            from a temporal domain (the paper's choice;
+//                            also [21, 6, 7]);
+//   ObjectVersionStore       object timestamping, atomic-valued versions
+//                            of the whole state (MAD [13], OSAM* [19]);
+//   TripleStore              (oid, attribute, value) triples carrying a
+//                            time interval and a version number
+//                            (3DIS [15]);
+//   SnapshotStore            no temporal support at all (plain Chimera) —
+//                            the "conventional database" of Section 1.
+//
+// The stores are deliberately schema-light (objects are attribute bags):
+// the benchmarks isolate the *timestamping strategy*, not the schema
+// machinery. Every store self-reports its Table 1 / Table 2 row through
+// Describe(), which the table-driver bench prints.
+#ifndef TCHIMERA_BASELINES_TEMPORAL_STORE_H_
+#define TCHIMERA_BASELINES_TEMPORAL_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/temporal/interval.h"
+#include "core/values/value.h"
+
+namespace tchimera {
+
+// One row of Tables 1 and 2.
+struct ModelDescriptor {
+  std::string model_name;
+  // Table 1 columns.
+  std::string oo_data_model;
+  std::string time_structure;
+  std::string time_dimension;
+  std::string values_and_objects;
+  bool class_features = false;
+  // Table 2 columns.
+  std::string what_is_timestamped;
+  std::string temporal_attribute_values;
+  std::string kinds_of_attributes;
+  bool histories_of_object_types = false;
+};
+
+class TemporalStore {
+ public:
+  using FieldInits = std::vector<std::pair<std::string, Value>>;
+
+  virtual ~TemporalStore() = default;
+
+  virtual ModelDescriptor Describe() const = 0;
+
+  // Creates an object with the given attribute values at instant t;
+  // returns its id.
+  virtual uint64_t CreateObject(const FieldInits& init, TimePoint t) = 0;
+  // Sets attribute `attr` of `id` to `v` from instant t onward.
+  virtual Status UpdateAttribute(uint64_t id, const std::string& attr,
+                                 Value v, TimePoint t) = 0;
+  // The value of `attr` at instant t. Stores without history support fail
+  // with TemporalError for past instants.
+  virtual Result<Value> ReadAttribute(uint64_t id, const std::string& attr,
+                                      TimePoint t) const = 0;
+  // The full object state at instant t, as a record value.
+  virtual Result<Value> SnapshotObject(uint64_t id, TimePoint t) const = 0;
+  // The change history of one attribute as <interval, value> pairs.
+  virtual Result<std::vector<std::pair<Interval, Value>>> History(
+      uint64_t id, const std::string& attr) const = 0;
+
+  virtual size_t object_count() const = 0;
+  // Approximate resident bytes (the Table 2 storage comparison).
+  virtual size_t ApproxBytes() const = 0;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_BASELINES_TEMPORAL_STORE_H_

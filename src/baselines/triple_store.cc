@@ -1,0 +1,122 @@
+#include "baselines/triple_store.h"
+
+namespace tchimera {
+
+ModelDescriptor TripleStore::Describe() const {
+  ModelDescriptor d;
+  d.model_name = "interval triples (3DIS style)";
+  d.oo_data_model = "3DIS";
+  d.time_structure = "linear";
+  d.time_dimension = "valid";
+  d.values_and_objects = "objects";
+  d.class_features = false;
+  d.what_is_timestamped = "attributes";
+  d.temporal_attribute_values = "sets of triples";
+  d.kinds_of_attributes = "temporal";
+  d.histories_of_object_types = false;
+  return d;
+}
+
+uint64_t TripleStore::CreateObject(const FieldInits& init, TimePoint t) {
+  std::vector<Triple> triples;
+  triples.reserve(init.size());
+  for (const auto& [name, v] : init) {
+    triples.push_back({name, v, Interval::FromUntilNow(t), next_version_++});
+  }
+  uint64_t id = next_id_++;
+  objects_.emplace(id, std::move(triples));
+  return id;
+}
+
+Status TripleStore::UpdateAttribute(uint64_t id, const std::string& attr,
+                                    Value v, TimePoint t) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  // Close the currently-open triple for this attribute (reverse scan: the
+  // open triple is the most recent one).
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->attr == attr && rit->valid.is_ongoing()) {
+      if (rit->valid.start() > t) {
+        // Triples are interval-stamped in time order; retroactive updates
+        // are not expressible in this design.
+        return Status::FailedPrecondition(
+            "triple store requires non-decreasing update times");
+      }
+      if (rit->valid.start() == t) {
+        // Same-instant rewrite: drop the superseded triple.
+        it->second.erase(std::next(rit).base());
+      } else {
+        rit->valid = Interval(rit->valid.start(), t - 1);
+      }
+      break;
+    }
+  }
+  it->second.push_back(
+      {attr, std::move(v), Interval::FromUntilNow(t), next_version_++});
+  return Status::OK();
+}
+
+Result<Value> TripleStore::ReadAttribute(uint64_t id, const std::string& attr,
+                                         TimePoint t) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  for (const Triple& triple : it->second) {
+    if (triple.attr == attr && triple.valid.ContainsResolved(t)) {
+      return triple.value;
+    }
+  }
+  return Value::Null();
+}
+
+Result<Value> TripleStore::SnapshotObject(uint64_t id, TimePoint t) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  std::vector<Value::Field> fields;
+  for (const Triple& triple : it->second) {
+    if (triple.valid.ContainsResolved(t)) {
+      fields.emplace_back(triple.attr, triple.value);
+    }
+  }
+  return Value::Record(std::move(fields));
+}
+
+Result<std::vector<std::pair<Interval, Value>>> TripleStore::History(
+    uint64_t id, const std::string& attr) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + std::to_string(id));
+  }
+  std::vector<std::pair<Interval, Value>> out;
+  for (const Triple& triple : it->second) {
+    if (triple.attr == attr) {
+      out.emplace_back(triple.valid, triple.value);
+    }
+  }
+  return out;
+}
+
+size_t TripleStore::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [id, triples] : objects_) {
+    bytes += sizeof(id);
+    for (const Triple& t : triples) {
+      bytes += sizeof(Triple) - sizeof(Value) + t.attr.capacity() +
+               t.value.ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
+size_t TripleStore::triple_count() const {
+  size_t n = 0;
+  for (const auto& [unused, triples] : objects_) n += triples.size();
+  return n;
+}
+
+}  // namespace tchimera

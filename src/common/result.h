@@ -1,0 +1,77 @@
+// Result<T>: a value or a Status, in the style of arrow::Result /
+// absl::StatusOr. Used as the return type of every fallible computation
+// that produces a value.
+#ifndef TCHIMERA_COMMON_RESULT_H_
+#define TCHIMERA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tchimera {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps call
+  // sites terse: `return 42;` / `return Status::TypeError(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace tchimera
+
+// Evaluates `expr` (a Result<T>); on error, propagates the Status to the
+// caller; on success, moves the value into `lhs`.
+#define TCH_ASSIGN_OR_RETURN(lhs, expr)                   \
+  TCH_ASSIGN_OR_RETURN_IMPL_(                             \
+      TCH_RESULT_CONCAT_(_tch_result_, __LINE__), lhs, expr)
+
+#define TCH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define TCH_RESULT_CONCAT_(a, b) TCH_RESULT_CONCAT_IMPL_(a, b)
+#define TCH_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // TCHIMERA_COMMON_RESULT_H_

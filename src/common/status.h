@@ -1,0 +1,116 @@
+// Error model for T_Chimera. The library does not use exceptions; every
+// fallible operation returns a Status (or a Result<T>, see result.h) in the
+// style of RocksDB / Arrow.
+#ifndef TCHIMERA_COMMON_STATUS_H_
+#define TCHIMERA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tchimera {
+
+// Machine-inspectable failure categories. Values are stable; new codes are
+// appended at the end.
+enum class StatusCode {
+  kOk = 0,
+  // A malformed request: bad name, bad literal, parse error.
+  kInvalidArgument = 1,
+  // A referenced entity (class, object, attribute, method) does not exist.
+  kNotFound = 2,
+  // An entity with the given identity already exists.
+  kAlreadyExists = 3,
+  // A value does not conform to the type required by the model
+  // (Definition 3.5 / 3.6 of the paper).
+  kTypeError = 4,
+  // A model invariant is violated (Invariants 5.1, 5.2, 6.1, 6.2) or an
+  // object is not a consistent instance of its class (Definitions 5.3-5.5).
+  kConsistencyViolation = 5,
+  // A temporal precondition failed: instant outside a lifespan, overlapping
+  // intervals where disjointness is required, etc.
+  kTemporalError = 6,
+  // The operation is not valid in the current state (e.g. migrating to a
+  // class in a different ISA hierarchy, Invariant 6.2).
+  kFailedPrecondition = 7,
+  // Corrupt or unreadable persistent state.
+  kCorruption = 8,
+  // An I/O error from the underlying filesystem.
+  kIoError = 9,
+  // Anything that should not happen; indicates a bug in this library.
+  kInternal = 10,
+};
+
+// Returns a stable human-readable name such as "TypeError".
+const char* StatusCodeName(StatusCode code);
+
+// A Status is either OK or carries an error code plus message. Cheap to
+// copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ConsistencyViolation(std::string msg) {
+    return Status(StatusCode::kConsistencyViolation, std::move(msg));
+  }
+  static Status TemporalError(std::string msg) {
+    return Status(StatusCode::kTemporalError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "TypeError: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace tchimera
+
+// Propagates a non-OK Status from an expression to the caller.
+#define TCH_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::tchimera::Status _tch_status = (expr);         \
+    if (!_tch_status.ok()) return _tch_status;       \
+  } while (false)
+
+#endif  // TCHIMERA_COMMON_STATUS_H_

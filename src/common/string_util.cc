@@ -1,0 +1,124 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace tchimera {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string EscapeString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool UnescapeString(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (i + 1 >= s.size()) return false;
+    char next = s[++i];
+    switch (next) {
+      case '"':
+        out->push_back('"');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  char first = s[0];
+  if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_')) {
+    return false;
+  }
+  for (size_t i = 1; i < s.size(); ++i) {
+    char c = s[i];
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tchimera

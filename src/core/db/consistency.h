@@ -1,0 +1,83 @@
+// Consistency notions of Section 5.2 and the temporal invariants of
+// Sections 5.1 and 6.2, as executable checkers over a Database.
+//
+//   Definition 5.3  historical consistency   CheckHistoricalConsistency*
+//   Definition 5.4  static consistency       CheckStaticConsistency
+//   Definition 5.5  object consistency       CheckObjectConsistency
+//   Definition 5.6  consistent set           CheckConsistentObjectSet
+//   Invariant 5.1   extents vs lifespans / class histories
+//   Invariant 5.2   lifespan partition by membership
+//   Invariant 6.1   extent & lifespan inclusion along ISA
+//   Invariant 6.2   hierarchy disjointness over all time
+//   (Theorem 6.1 is a property of the type system; see the test suite.)
+//
+// All checks are *exact* over dense time: temporal values and extents are
+// piecewise constant, so quantifications "for every instant t" are
+// evaluated per maximal constant piece (with object-type membership
+// verified throughout each piece via ExtentProvider::InExtentThroughout).
+#ifndef TCHIMERA_CORE_DB_CONSISTENCY_H_
+#define TCHIMERA_CORE_DB_CONSISTENCY_H_
+
+#include "common/status.h"
+#include "core/db/database.h"
+
+namespace tchimera {
+
+// Definition 5.3 at a single instant: h_state(o,t) is legal for
+// h_type(c).
+Status CheckHistoricalConsistency(const Database& db, const Object& obj,
+                                  const ClassDef& cls, TimePoint t);
+
+// Definition 5.3 quantified over every instant of `interval` (piecewise).
+// Requires: every temporal attribute of `cls` meaningful throughout with
+// legal values, and no extra temporal attribute of the object meaningful
+// anywhere in the interval.
+Status CheckHistoricalConsistencyOver(const Database& db, const Object& obj,
+                                      const ClassDef& cls,
+                                      const Interval& interval);
+
+// Definition 5.4: s_state(o) is legal for s_type(c).
+Status CheckStaticConsistency(const Database& db, const Object& obj,
+                              const ClassDef& cls);
+
+// Definition 5.5: the object is consistent — every class-history pair
+// <tau, c> lies within c's lifespan and is historically consistent
+// throughout tau, and the object is statically consistent with its
+// current class.
+Status CheckObjectConsistency(const Database& db, Oid oid);
+
+// Definition 5.6 at instant t: OID-uniqueness (structural in this store)
+// and referential integrity — every oid referenced at t by a then-living
+// object denotes an object alive at t.
+Status CheckConsistentObjectSet(const Database& db, TimePoint t);
+
+// Referential integrity quantified over all time: every reference
+// recorded in any temporal segment points to an object whose lifespan
+// covers the segment.
+Status CheckReferentialIntegrityAllTime(const Database& db);
+
+// Invariant 5.1: (1) extent membership implies the instant is within the
+// object lifespan; (2) proper-extent membership intervals coincide with
+// the object's class history.
+Status CheckInvariant51(const Database& db);
+
+// Invariant 5.2: (1) the object lifespan equals the union of its
+// membership intervals over all classes; (2) membership intervals derived
+// from extents agree with those derived from class histories.
+Status CheckInvariant52(const Database& db);
+
+// Invariant 6.1: for c2 <=_ISA c1, lifespan inclusion, extent inclusion at
+// every instant, and membership-interval inclusion per object.
+Status CheckInvariant61(const Database& db);
+
+// Invariant 6.2: the sets of objects that have ever belonged to different
+// hierarchies are disjoint.
+Status CheckInvariant62(const Database& db);
+
+// Runs every check above over the whole database (every object, every
+// invariant, referential integrity over all time).
+Status CheckDatabaseConsistency(const Database& db);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_DB_CONSISTENCY_H_

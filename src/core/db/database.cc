@@ -1,0 +1,685 @@
+#include "core/db/database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "core/schema/refinement.h"
+#include "core/types/type_registry.h"
+
+namespace tchimera {
+namespace {
+
+// Attribute names reserved for the class history record (Definition 4.1).
+bool IsReservedName(std::string_view name) {
+  return name == "ext" || name == "proper-ext";
+}
+
+Status ValidateMemberType(const std::string& owner, const char* kind,
+                          const std::string& name, const Type* type) {
+  if (type == nullptr) {
+    return Status::InvalidArgument(kind + (" '" + name + "' of class ") +
+                                   owner + " has no type");
+  }
+  if (type->ContainsAny()) {
+    return Status::TypeError(kind + (" '" + name + "' of class ") + owner +
+                             ": type " + type->ToString() +
+                             " contains the pseudo-type 'any'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- schema ------------------------------------------------------------------
+
+Status Database::DefineClass(const ClassSpec& spec) {
+  if (!IsIdentifier(spec.name)) {
+    return Status::InvalidArgument("class name '" + spec.name +
+                                   "' is not a valid identifier");
+  }
+  if (classes_.count(spec.name) != 0) {
+    return Status::AlreadyExists("class " + spec.name + " already exists");
+  }
+  std::vector<const ClassDef*> supers;
+  for (const std::string& super : spec.superclasses) {
+    TCH_ASSIGN_OR_RETURN(const ClassDef* sc, FindClass(super));
+    if (!sc->alive()) {
+      return Status::FailedPrecondition("superclass " + super +
+                                        " has been deleted");
+    }
+    supers.push_back(sc);
+  }
+  for (const AttributeDef& a : spec.attributes) {
+    if (!IsIdentifier(a.name)) {
+      return Status::InvalidArgument("attribute name '" + a.name +
+                                     "' is not a valid identifier");
+    }
+    TCH_RETURN_IF_ERROR(
+        ValidateMemberType(spec.name, "attribute", a.name, a.type));
+  }
+  for (const AttributeDef& a : spec.c_attributes) {
+    if (!IsIdentifier(a.name) || IsReservedName(a.name)) {
+      return Status::InvalidArgument(
+          "c-attribute name '" + a.name +
+          "' is not a valid identifier (note 'ext' and 'proper-ext' are "
+          "reserved)");
+    }
+    TCH_RETURN_IF_ERROR(
+        ValidateMemberType(spec.name, "c-attribute", a.name, a.type));
+  }
+  for (const MethodDef& m : spec.methods) {
+    if (!IsIdentifier(m.name)) {
+      return Status::InvalidArgument("method name '" + m.name +
+                                     "' is not a valid identifier");
+    }
+    for (const Type* in : m.inputs) {
+      TCH_RETURN_IF_ERROR(ValidateMemberType(spec.name, "method", m.name, in));
+    }
+    TCH_RETURN_IF_ERROR(
+        ValidateMemberType(spec.name, "method", m.name, m.output));
+  }
+  for (const MethodDef& m : spec.c_methods) {
+    for (const Type* in : m.inputs) {
+      TCH_RETURN_IF_ERROR(
+          ValidateMemberType(spec.name, "c-method", m.name, in));
+    }
+    TCH_RETURN_IF_ERROR(
+        ValidateMemberType(spec.name, "c-method", m.name, m.output));
+  }
+  // Rule 6.1 / method variance checks + member merge.
+  TCH_ASSIGN_OR_RETURN(MergedMembers merged,
+                       MergeClassMembers(spec, supers, isa_));
+  TCH_RETURN_IF_ERROR(isa_.AddClass(spec.name, spec.superclasses));
+  classes_.emplace(
+      spec.name,
+      std::make_unique<ClassDef>(spec.name, now(), spec.superclasses,
+                                 std::move(merged.attributes),
+                                 std::move(merged.methods),
+                                 std::move(merged.c_attributes),
+                                 std::move(merged.c_methods)));
+  return Status::OK();
+}
+
+Status Database::DropClass(std::string_view name) {
+  ClassDef* cls = GetMutableClass(name);
+  if (cls == nullptr) {
+    return Status::NotFound("class " + std::string(name) + " does not exist");
+  }
+  if (!cls->alive()) {
+    return Status::FailedPrecondition("class " + std::string(name) +
+                                      " is already deleted");
+  }
+  if (!cls->ExtentAt(now()).empty()) {
+    return Status::FailedPrecondition("class " + std::string(name) +
+                                      " still has members");
+  }
+  for (const std::string& sub : isa_.Subclasses(name)) {
+    const ClassDef* c = GetClass(sub);
+    if (c != nullptr && c->alive()) {
+      return Status::FailedPrecondition("class " + std::string(name) +
+                                        " still has a live subclass " + sub);
+    }
+  }
+  return cls->CloseLifespan(now());
+}
+
+const ClassDef* Database::GetClass(std::string_view name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+ClassDef* Database::GetMutableClass(std::string_view name) {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+Result<const ClassDef*> Database::FindClass(std::string_view name) const {
+  const ClassDef* cls = GetClass(name);
+  if (cls == nullptr) {
+    return Status::NotFound("class " + std::string(name) + " does not exist");
+  }
+  return cls;
+}
+
+std::vector<std::string> Database::ClassNames() const {
+  std::vector<std::string> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, unused] : classes_) out.push_back(name);
+  return out;
+}
+
+Status Database::SetClassAttribute(std::string_view class_name,
+                                   std::string_view attr_name, Value v) {
+  ClassDef* cls = GetMutableClass(class_name);
+  if (cls == nullptr) {
+    return Status::NotFound("class " + std::string(class_name) +
+                            " does not exist");
+  }
+  const AttributeDef* attr = cls->FindCAttribute(attr_name);
+  if (attr == nullptr) {
+    return Status::NotFound("class " + std::string(class_name) +
+                            " has no c-attribute '" + std::string(attr_name) +
+                            "'");
+  }
+  const Type* check_type =
+      attr->is_temporal() ? attr->type->element() : attr->type;
+  TCH_RETURN_IF_ERROR(
+      CheckLegalValue(v, check_type, now(), typing_context()));
+  return cls->SetCAttribute(attr_name, std::move(v), now());
+}
+
+Result<Value> Database::ClassHistory(std::string_view class_name) const {
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(class_name));
+  return cls->History();
+}
+
+Result<Object> Database::MetaObjectOf(std::string_view class_name) const {
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(class_name));
+  // Synthetic oid: offset past any real object so the two id spaces never
+  // collide (meta-objects are views, not stored objects).
+  constexpr uint64_t kMetaOidBase = 1ull << 62;
+  uint64_t index = 1;
+  for (const std::string& name : ClassNames()) {
+    if (name == class_name) break;
+    ++index;
+  }
+  Object meta(Oid{kMetaOidBase + index}, cls->metaclass(),
+              cls->lifespan().start());
+  if (!cls->lifespan().is_ongoing()) {
+    TCH_RETURN_IF_ERROR(meta.CloseLifespan(cls->lifespan().end()));
+  }
+  for (const AttributeDef& a : cls->c_attributes()) {
+    TCH_ASSIGN_OR_RETURN(Value v, cls->CAttributeValue(a.name));
+    meta.SetAttribute(a.name, std::move(v));
+  }
+  meta.SetAttribute("ext", Value::Temporal(cls->ext()));
+  meta.SetAttribute("proper-ext", Value::Temporal(cls->proper_ext()));
+  return meta;
+}
+
+Result<ClassSpec> Database::MetaclassSpecOf(
+    std::string_view class_name) const {
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(class_name));
+  ClassSpec spec;
+  spec.name = cls->metaclass();
+  spec.attributes = cls->c_attributes();
+  // ext / proper-ext: temporal sets of members / instances. Their element
+  // type is the described class itself.
+  const Type* oid_set = types::SetOf(types::Object(cls->name()));
+  TCH_ASSIGN_OR_RETURN(const Type* temporal_set, types::Temporal(oid_set));
+  spec.attributes.push_back({"ext", temporal_set});
+  spec.attributes.push_back({"proper-ext", temporal_set});
+  spec.methods = cls->c_methods();
+  return spec;
+}
+
+// --- object lifecycle ----------------------------------------------------------
+
+Status Database::InstallInitialValue(Object* obj, const AttributeDef& attr,
+                                     Value v, TimePoint start) {
+  if (!attr.is_temporal()) {
+    TCH_RETURN_IF_ERROR(
+        CheckLegalValue(v, attr.type, now(), typing_context()));
+    obj->SetAttribute(attr.name, std::move(v));
+    return Status::OK();
+  }
+  if (v.kind() == ValueKind::kTemporal) {
+    // A full history supplied at creation: must be legal for the temporal
+    // type and lie within the object lifespan.
+    TCH_RETURN_IF_ERROR(
+        CheckLegalValue(v, attr.type, start, typing_context()));
+    if (!v.AsTemporal().empty() && v.AsTemporal().DomainStart() < start) {
+      return Status::TemporalError(
+          "initial history of attribute '" + attr.name +
+          "' starts before the object lifespan");
+    }
+    obj->SetAttribute(attr.name, std::move(v));
+    return Status::OK();
+  }
+  // A plain value of the static counterpart type, asserted from `start`.
+  TCH_RETURN_IF_ERROR(
+      CheckLegalValue(v, attr.type->element(), start, typing_context()));
+  return obj->AssertTemporalAttribute(attr.name, start, std::move(v));
+}
+
+Result<Oid> Database::CreateObject(std::string_view class_name,
+                                   FieldInits init) {
+  return CreateObjectAt(class_name, now(), std::move(init));
+}
+
+Result<Oid> Database::CreateObjectAt(std::string_view class_name,
+                                     TimePoint start, FieldInits init) {
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(class_name));
+  if (!cls->alive()) {
+    return Status::FailedPrecondition("class " + std::string(class_name) +
+                                      " has been deleted");
+  }
+  if (start > now()) {
+    return Status::TemporalError(
+        "objects cannot be created in the future (start=" +
+        InstantToString(start) + ", now=" + InstantToString(now()) + ")");
+  }
+  if (!cls->lifespan().ContainsResolved(start)) {
+    return Status::TemporalError(
+        "creation instant " + InstantToString(start) +
+        " is outside the lifespan of class " + std::string(class_name));
+  }
+  Oid oid{next_oid_};
+  auto obj = std::make_unique<Object>(oid, std::string(class_name), start);
+
+  // Initial values: every attribute of the class gets a slot. Explicit
+  // inits are validated; missing attributes default to null (asserted from
+  // `start` for temporal ones, so the object is consistent by
+  // construction — Definition 5.5 requires a value for every temporal
+  // attribute at every instant of membership).
+  std::map<std::string, Value, std::less<>> provided;
+  for (auto& [name, v] : init) {
+    if (cls->FindAttribute(name) == nullptr) {
+      return Status::NotFound("class " + std::string(class_name) +
+                              " has no attribute '" + name + "'");
+    }
+    if (!provided.emplace(name, std::move(v)).second) {
+      return Status::InvalidArgument("duplicate initial value for '" + name +
+                                     "'");
+    }
+  }
+  for (const AttributeDef& attr : cls->attributes()) {
+    auto it = provided.find(attr.name);
+    Value v = it == provided.end() ? Value::Null() : std::move(it->second);
+    TCH_RETURN_IF_ERROR(InstallInitialValue(obj.get(), attr, std::move(v),
+                                            start));
+  }
+
+  // Extents: instance of `cls`, member of `cls` and all superclasses.
+  ClassDef* mut_cls = GetMutableClass(class_name);
+  TCH_RETURN_IF_ERROR(mut_cls->AddInstance(oid, start));
+  for (ClassDef* c : SelfAndSuperclasses(class_name)) {
+    TCH_RETURN_IF_ERROR(c->AddMember(oid, start));
+  }
+  ++next_oid_;
+  objects_.emplace(oid.id, std::move(obj));
+  return oid;
+}
+
+Status Database::UpdateAttribute(Oid oid, std::string_view attr, Value v) {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  if (!obj->alive()) {
+    return Status::FailedPrecondition("object " + oid.ToString() +
+                                      " has been deleted");
+  }
+  std::optional<std::string> cls_name = obj->CurrentClass();
+  if (!cls_name.has_value()) {
+    return Status::Internal("object " + oid.ToString() + " has no class");
+  }
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(*cls_name));
+  const AttributeDef* def = cls->FindAttribute(attr);
+  if (def == nullptr) {
+    return Status::NotFound("class " + *cls_name + " has no attribute '" +
+                            std::string(attr) + "'");
+  }
+  Object* mut = GetMutableObject(oid);
+  if (def->is_temporal()) {
+    TCH_RETURN_IF_ERROR(CheckLegalValueOverInterval(
+        v, def->type->element(), Interval::FromUntilNow(now()),
+        typing_context()));
+    return mut->AssertTemporalAttribute(attr, now(), std::move(v));
+  }
+  TCH_RETURN_IF_ERROR(CheckLegalValue(v, def->type, now(), typing_context()));
+  mut->SetAttribute(attr, std::move(v));
+  return Status::OK();
+}
+
+Status Database::UpdateAttributeAt(Oid oid, std::string_view attr,
+                                   const Interval& interval, Value v) {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  std::optional<std::string> cls_name = obj->CurrentClass();
+  if (!cls_name.has_value()) {
+    return Status::Internal("object " + oid.ToString() + " has no class");
+  }
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(*cls_name));
+  const AttributeDef* def = cls->FindAttribute(attr);
+  if (def == nullptr) {
+    return Status::NotFound("class " + *cls_name + " has no attribute '" +
+                            std::string(attr) + "'");
+  }
+  if (!def->is_temporal()) {
+    return Status::FailedPrecondition(
+        "attribute '" + std::string(attr) +
+        "' is non-temporal; valid-time updates do not apply (its past "
+        "values are not recorded)");
+  }
+  if (!obj->lifespan().Covers(interval, now())) {
+    return Status::TemporalError("interval " + interval.ToString() +
+                                 " is not within the lifespan of " +
+                                 oid.ToString());
+  }
+  TCH_RETURN_IF_ERROR(CheckLegalValueOverInterval(
+      v, def->type->element(), interval, typing_context()));
+  return GetMutableObject(oid)->DefineTemporalAttribute(attr, interval,
+                                                        std::move(v));
+}
+
+Status Database::Migrate(Oid oid, std::string_view new_class,
+                         FieldInits added) {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  if (!obj->alive()) {
+    return Status::FailedPrecondition("object " + oid.ToString() +
+                                      " has been deleted");
+  }
+  std::optional<std::string> old_name = obj->CurrentClass();
+  if (!old_name.has_value()) {
+    return Status::Internal("object " + oid.ToString() + " has no class");
+  }
+  if (*old_name == new_class) return Status::OK();
+  TCH_ASSIGN_OR_RETURN(const ClassDef* old_cls, FindClass(*old_name));
+  TCH_ASSIGN_OR_RETURN(const ClassDef* new_cls, FindClass(new_class));
+  if (!new_cls->alive()) {
+    return Status::FailedPrecondition("class " + std::string(new_class) +
+                                      " has been deleted");
+  }
+  // Invariant 6.2: objects never migrate across hierarchies.
+  TCH_ASSIGN_OR_RETURN(std::string old_h, isa_.HierarchyId(*old_name));
+  TCH_ASSIGN_OR_RETURN(std::string new_h, isa_.HierarchyId(new_class));
+  if (old_h != new_h) {
+    return Status::FailedPrecondition(
+        "cannot migrate " + oid.ToString() + " from class " + *old_name +
+        " to class " + std::string(new_class) +
+        ": the classes belong to different ISA hierarchies (Invariant "
+        "6.2)");
+  }
+
+  TimePoint t = now();
+  Object* mut = GetMutableObject(oid);
+
+  std::map<std::string, Value, std::less<>> provided;
+  for (auto& [name, v] : added) {
+    if (new_cls->FindAttribute(name) == nullptr) {
+      return Status::NotFound("class " + std::string(new_class) +
+                              " has no attribute '" + name + "'");
+    }
+    provided.emplace(name, std::move(v));
+  }
+
+  // Attributes gained by the migration (Section 5.2: promotion adds
+  // dependents/officialcar). Also covers re-specialization after an
+  // earlier generalization: a retained temporal attribute is simply
+  // asserted again from now.
+  for (const AttributeDef& attr : new_cls->attributes()) {
+    const bool had = old_cls->FindAttribute(attr.name) != nullptr;
+    auto it = provided.find(attr.name);
+    if (had && it == provided.end()) continue;
+    Value v = it == provided.end() ? Value::Null() : std::move(it->second);
+    if (attr.is_temporal()) {
+      TCH_RETURN_IF_ERROR(CheckLegalValueOverInterval(
+          v, attr.type->element(), Interval::FromUntilNow(t),
+          typing_context()));
+      TCH_RETURN_IF_ERROR(mut->AssertTemporalAttribute(attr.name, t,
+                                                       std::move(v)));
+    } else {
+      TCH_RETURN_IF_ERROR(
+          CheckLegalValue(v, attr.type, t, typing_context()));
+      mut->SetAttribute(attr.name, std::move(v));
+    }
+  }
+  // Attributes lost by the migration (Section 5.2: demotion drops
+  // dependents/officialcar; static ones vanish, temporal ones are closed
+  // but retained).
+  for (const AttributeDef& attr : old_cls->attributes()) {
+    if (new_cls->FindAttribute(attr.name) != nullptr) continue;
+    if (attr.is_temporal()) {
+      TCH_RETURN_IF_ERROR(mut->CloseTemporalAttribute(attr.name, t - 1));
+    } else {
+      mut->RemoveAttribute(attr.name);
+    }
+  }
+
+  TCH_RETURN_IF_ERROR(mut->MigrateTo(new_class, t));
+
+  // Extents: the instance moves between proper extents; membership is
+  // recomputed as {new class + its superclasses}.
+  TCH_RETURN_IF_ERROR(GetMutableClass(*old_name)->RemoveInstance(oid, t));
+  TCH_RETURN_IF_ERROR(GetMutableClass(new_class)->AddInstance(oid, t));
+  std::set<std::string> new_membership;
+  new_membership.insert(std::string(new_class));
+  for (const std::string& s : isa_.Superclasses(new_class)) {
+    new_membership.insert(s);
+  }
+  std::set<std::string> old_membership;
+  old_membership.insert(*old_name);
+  for (const std::string& s : isa_.Superclasses(*old_name)) {
+    old_membership.insert(s);
+  }
+  for (const std::string& cls : old_membership) {
+    if (new_membership.count(cls) == 0) {
+      TCH_RETURN_IF_ERROR(GetMutableClass(cls)->RemoveMember(oid, t));
+    }
+  }
+  for (const std::string& cls : new_membership) {
+    if (old_membership.count(cls) == 0) {
+      TCH_RETURN_IF_ERROR(GetMutableClass(cls)->AddMember(oid, t));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteObject(Oid oid) {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  if (!obj->alive()) {
+    return Status::FailedPrecondition("object " + oid.ToString() +
+                                      " is already deleted");
+  }
+  // Referential integrity: no *live* object may still reference oid at
+  // the current time.
+  for (const auto& [other_id, other] : objects_) {
+    if (other_id == oid.id || !other->alive()) continue;
+    std::vector<Oid> refs = other->ReferencedOids(now());
+    if (std::binary_search(refs.begin(), refs.end(), oid)) {
+      return Status::ConsistencyViolation(
+          "cannot delete " + oid.ToString() + ": object " +
+          other->id().ToString() + " still references it at time " +
+          InstantToString(now()));
+    }
+  }
+  return DeleteObjectUnchecked(oid);
+}
+
+Status Database::DeleteObjectUnchecked(Oid oid) {
+  Object* obj = GetMutableObject(oid);
+  if (obj == nullptr) {
+    return Status::NotFound("object " + oid.ToString() + " does not exist");
+  }
+  TimePoint t = now();
+  std::optional<std::string> cls = obj->CurrentClass();
+  TCH_RETURN_IF_ERROR(obj->CloseLifespan(t));
+  if (cls.has_value()) {
+    ClassDef* c = GetMutableClass(*cls);
+    if (c != nullptr) TCH_RETURN_IF_ERROR(c->RemoveInstance(oid, t + 1));
+    for (ClassDef* sc : SelfAndSuperclasses(*cls)) {
+      TCH_RETURN_IF_ERROR(sc->RemoveMember(oid, t + 1));
+    }
+  }
+  return Status::OK();
+}
+
+const Object* Database::GetObject(Oid oid) const {
+  auto it = objects_.find(oid.id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+Object* Database::GetMutableObject(Oid oid) {
+  auto it = objects_.find(oid.id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+Result<const Object*> Database::FindObject(Oid oid) const {
+  const Object* obj = GetObject(oid);
+  if (obj == nullptr) {
+    return Status::NotFound("object " + oid.ToString() + " does not exist");
+  }
+  return obj;
+}
+
+std::vector<Oid> Database::AllOids() const {
+  std::vector<Oid> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, unused] : objects_) out.push_back(Oid{id});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- Table 3 functions ------------------------------------------------------
+
+std::vector<Oid> Database::Pi(std::string_view class_name,
+                              TimePoint t) const {
+  const ClassDef* cls = GetClass(class_name);
+  if (cls == nullptr) return {};
+  return cls->ExtentAt(ResolveInstant(t, now()));
+}
+
+Result<const Type*> Database::StructuralTypeOf(
+    std::string_view class_name) const {
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(class_name));
+  return cls->StructuralType();
+}
+
+Result<const Type*> Database::HistoricalTypeOf(
+    std::string_view class_name) const {
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(class_name));
+  return cls->HistoricalType();
+}
+
+Result<const Type*> Database::StaticTypeOf(
+    std::string_view class_name) const {
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(class_name));
+  return cls->StaticType();
+}
+
+Result<Value> Database::HStateOf(Oid oid, TimePoint t) const {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  return obj->HState(ResolveInstant(t, now()));
+}
+
+Result<Value> Database::SStateOf(Oid oid) const {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  return obj->SState();
+}
+
+Result<Interval> Database::OLifespan(Oid oid) const {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  return obj->lifespan();
+}
+
+Result<IntervalSet> Database::MLifespan(Oid oid,
+                                        std::string_view class_name) const {
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(class_name));
+  TCH_RETURN_IF_ERROR(FindObject(oid).status());
+  return cls->MemberIntervals(oid, now());
+}
+
+Result<std::vector<Oid>> Database::Ref(Oid oid, TimePoint t) const {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  return obj->ReferencedOids(ResolveInstant(t, now()));
+}
+
+Result<Value> Database::SnapshotOf(Oid oid, TimePoint t) const {
+  TCH_ASSIGN_OR_RETURN(const Object* obj, FindObject(oid));
+  return obj->Snapshot(t, now());
+}
+
+// --- ExtentProvider ------------------------------------------------------------
+
+bool Database::InExtent(std::string_view class_name, Oid oid,
+                        TimePoint t) const {
+  const ClassDef* cls = GetClass(class_name);
+  if (cls == nullptr) return false;
+  return cls->InExtentAt(oid, ResolveInstant(t, now()));
+}
+
+bool Database::InExtentThroughout(std::string_view class_name, Oid oid,
+                                  const Interval& interval) const {
+  const ClassDef* cls = GetClass(class_name);
+  if (cls == nullptr) return false;
+  return cls->RawMemberIntervals(oid).CoversInterval(interval);
+}
+
+std::optional<std::string> Database::MostSpecificClass(Oid oid,
+                                                       TimePoint t) const {
+  const Object* obj = GetObject(oid);
+  if (obj == nullptr) return std::nullopt;
+  return obj->ClassAt(ResolveInstant(t, now()));
+}
+
+std::vector<ClassDef*> Database::SelfAndSuperclasses(std::string_view name) {
+  std::vector<ClassDef*> out;
+  ClassDef* self = GetMutableClass(name);
+  if (self == nullptr) return out;
+  out.push_back(self);
+  for (const std::string& super : isa_.Superclasses(name)) {
+    ClassDef* c = GetMutableClass(super);
+    if (c != nullptr) out.push_back(c);
+  }
+  return out;
+}
+
+Status Database::RestoreClass(const ClassSpec& effective_spec,
+                              const Interval& lifespan, TemporalFunction ext,
+                              TemporalFunction proper_ext,
+                              std::vector<Value::Field> c_attr_values) {
+  if (classes_.count(effective_spec.name) != 0) {
+    return Status::AlreadyExists("class " + effective_spec.name +
+                                 " already exists");
+  }
+  TCH_RETURN_IF_ERROR(
+      isa_.AddClass(effective_spec.name, effective_spec.superclasses));
+  auto cls = std::make_unique<ClassDef>(
+      effective_spec.name, lifespan.start(), effective_spec.superclasses,
+      effective_spec.attributes, effective_spec.methods,
+      effective_spec.c_attributes, effective_spec.c_methods);
+  // Reorder the c-attribute values to the class's sorted layout.
+  std::vector<Value> values(cls->c_attributes().size());
+  for (auto& [name, v] : c_attr_values) {
+    bool found = false;
+    for (size_t i = 0; i < cls->c_attributes().size(); ++i) {
+      if (cls->c_attributes()[i].name == name) {
+        values[i] = std::move(v);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Corruption("restored value for unknown c-attribute '" +
+                                name + "' of class " + effective_spec.name);
+    }
+  }
+  TCH_RETURN_IF_ERROR(cls->RestoreState(lifespan, std::move(ext),
+                                        std::move(proper_ext),
+                                        std::move(values)));
+  classes_.emplace(effective_spec.name, std::move(cls));
+  return Status::OK();
+}
+
+Status Database::RestoreObject(Oid oid, const Interval& lifespan,
+                               TemporalFunction class_history,
+                               std::vector<Value::Field> attributes) {
+  if (objects_.count(oid.id) != 0) {
+    return Status::AlreadyExists("object " + oid.ToString() +
+                                 " already exists");
+  }
+  auto obj = std::make_unique<Object>(oid, "", lifespan.start());
+  obj->RestoreState(lifespan, std::move(class_history));
+  for (auto& [name, v] : attributes) {
+    obj->SetAttribute(name, std::move(v));
+  }
+  objects_.emplace(oid.id, std::move(obj));
+  if (oid.id >= next_oid_) next_oid_ = oid.id + 1;
+  return Status::OK();
+}
+
+size_t Database::ApproxObjectBytes() const {
+  size_t bytes = 0;
+  for (const auto& [unused, obj] : objects_) bytes += obj->ApproxBytes();
+  return bytes;
+}
+
+}  // namespace tchimera

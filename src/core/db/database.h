@@ -1,0 +1,208 @@
+// The T_Chimera database: classes + objects + the model clock.
+//
+// Database is the owner of every ClassDef and Object, enforces the model's
+// rules on every mutation (typing of attribute values per Definition 3.5,
+// Rule 6.1 refinement at class definition, hierarchy confinement of
+// migrations per Invariant 6.2), and exposes the formal functions of
+// Table 3:
+//
+//   T^-          types::TMinus (type layer)
+//   pi           Database::Pi
+//   type         Database::StructuralTypeOf
+//   h_type       Database::HistoricalTypeOf
+//   s_type       Database::StaticTypeOf
+//   h_state      Database::HStateOf
+//   s_state      Database::SStateOf
+//   o_lifespan   Database::OLifespan
+//   m_lifespan   Database::MLifespan   (the paper also calls it c_lifespan)
+//   ref          Database::Ref
+//   snapshot     Database::SnapshotOf
+//
+// Database implements ExtentProvider, and its IsaGraph implements
+// IsaProvider, so a Database can be handed directly to the typing layer
+// (typing_context()).
+#ifndef TCHIMERA_CORE_DB_DATABASE_H_
+#define TCHIMERA_CORE_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/object/object.h"
+#include "core/schema/class_def.h"
+#include "core/schema/isa_graph.h"
+#include "core/temporal/clock.h"
+#include "core/values/typing.h"
+
+namespace tchimera {
+
+class Database final : public ExtentProvider {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- time ---------------------------------------------------------------
+
+  TimePoint now() const { return clock_.now(); }
+  void Tick(int64_t steps = 1) { clock_.Tick(steps); }
+  Status AdvanceTo(TimePoint t) { return clock_.AdvanceTo(t); }
+
+  // --- schema -------------------------------------------------------------
+
+  // Defines a class (lifespan starts now). Validates the spec: identifier
+  // syntax, attribute/method types (well-formed, no `any`), existing &
+  // alive superclasses, Rule 6.1 refinement, method co/contravariance.
+  Status DefineClass(const ClassSpec& spec);
+  // Ends the class lifespan now. Fails while the class has living members
+  // or subclasses that are still alive.
+  Status DropClass(std::string_view name);
+
+  const ClassDef* GetClass(std::string_view name) const;
+  Result<const ClassDef*> FindClass(std::string_view name) const;
+  std::vector<std::string> ClassNames() const;
+  size_t class_count() const { return classes_.size(); }
+  const IsaGraph& isa() const { return isa_; }
+
+  // Sets a c-attribute of a class (type-checked; temporal c-attributes are
+  // asserted from now).
+  Status SetClassAttribute(std::string_view class_name,
+                           std::string_view attr_name, Value v);
+  // The metaclass view of Section 4: the class seen as the unique instance
+  // of its metaclass, with the class `history` record as its state.
+  Result<Value> ClassHistory(std::string_view class_name) const;
+  // Materializes the full meta-object: an Object whose attributes are the
+  // class's c-attributes plus `ext`/`proper-ext`, whose lifespan is the
+  // class lifespan, and whose class history names the metaclass
+  // ("m-<name>"). Built on demand — the class state stays the single
+  // source of truth. The meta-object's oid is synthetic (not in the
+  // object store; metaclass extents are the singleton {class}).
+  Result<Object> MetaObjectOf(std::string_view class_name) const;
+  // The class signature of the metaclass itself: attributes are the
+  // class's c-attributes plus ext/proper-ext, methods its c-methods; its
+  // own metaclass is the fixed root "metaclass" (Smalltalk-80 style, so
+  // the tower terminates).
+  Result<ClassSpec> MetaclassSpecOf(std::string_view class_name) const;
+
+  // --- object lifecycle ----------------------------------------------------
+
+  // Initial attribute values at creation. For a temporal attribute the
+  // value may be either a plain value of the static counterpart type
+  // (asserted from the creation instant) or a full temporal-function value
+  // (retroactive history; must lie within the lifespan).
+  using FieldInits = std::vector<Value::Field>;
+
+  // Creates an object of `class_name`, alive from now.
+  Result<Oid> CreateObject(std::string_view class_name,
+                           FieldInits init = {});
+  // Creates an object retroactively, alive from `start` (start <= now and
+  // within the class lifespan). Extent histories are spliced, not
+  // overwritten.
+  Result<Oid> CreateObjectAt(std::string_view class_name, TimePoint start,
+                             FieldInits init = {});
+
+  // Updates attribute `attr` of `oid` to `v`:
+  //   static attribute   — replaces the current value (no history kept);
+  //   temporal attribute — asserts `v` from now onward.
+  // `v` is type-checked against the attribute domain first.
+  Status UpdateAttribute(Oid oid, std::string_view attr, Value v);
+  // Valid-time update of a temporal attribute over an explicit interval
+  // (retroactive corrections, future-dated assertions).
+  Status UpdateAttributeAt(Oid oid, std::string_view attr,
+                           const Interval& interval, Value v);
+
+  // Migrates `oid` so that its most specific class becomes `new_class`
+  // from now on (specialization or generalization; must stay within the
+  // object's ISA hierarchy, Invariant 6.2). Attributes are adjusted per
+  // Section 5.2: dropped static attributes disappear; dropped temporal
+  // attributes are closed but retained; `added` supplies initial values
+  // for attributes gained by the migration.
+  Status Migrate(Oid oid, std::string_view new_class, FieldInits added = {});
+
+  // Deletes `oid`: its lifespan ends at now (it still exists *at* now) and
+  // it leaves every extent from now+1. Fails if other live objects still
+  // reference it (referential integrity, Definition 5.6).
+  Status DeleteObject(Oid oid);
+  // Deletes unconditionally (used by failure-injection tests).
+  Status DeleteObjectUnchecked(Oid oid);
+
+  const Object* GetObject(Oid oid) const;
+  Object* GetMutableObject(Oid oid);
+  Result<const Object*> FindObject(Oid oid) const;
+  std::vector<Oid> AllOids() const;
+  size_t object_count() const { return objects_.size(); }
+  // The next oid the database will assign (serialized with snapshots).
+  uint64_t next_oid() const { return next_oid_; }
+
+  // --- Table 3 functions ----------------------------------------------------
+
+  // pi(c, t): the extent of class c at instant t.
+  std::vector<Oid> Pi(std::string_view class_name, TimePoint t) const;
+  Result<const Type*> StructuralTypeOf(std::string_view class_name) const;
+  Result<const Type*> HistoricalTypeOf(std::string_view class_name) const;
+  Result<const Type*> StaticTypeOf(std::string_view class_name) const;
+  Result<Value> HStateOf(Oid oid, TimePoint t) const;
+  Result<Value> SStateOf(Oid oid) const;
+  Result<Interval> OLifespan(Oid oid) const;
+  // m_lifespan(i, c): the instants at which i was a member of c.
+  Result<IntervalSet> MLifespan(Oid oid, std::string_view class_name) const;
+  Result<std::vector<Oid>> Ref(Oid oid, TimePoint t) const;
+  Result<Value> SnapshotOf(Oid oid, TimePoint t) const;
+
+  // --- typing ----------------------------------------------------------------
+
+  TypingContext typing_context() const { return {*this, isa_}; }
+
+  // ExtentProvider:
+  bool InExtent(std::string_view class_name, Oid oid,
+                TimePoint t) const override;
+  bool InExtentThroughout(std::string_view class_name, Oid oid,
+                          const Interval& interval) const override;
+  std::optional<std::string> MostSpecificClass(Oid oid,
+                                               TimePoint t) const override;
+
+  // Total approximate footprint of all stored objects (bench accounting).
+  size_t ApproxObjectBytes() const;
+
+  // --- raw restore (storage layer only) -----------------------------------
+
+  // Restores the clock / oid counter without the monotonicity checks
+  // (loading a snapshot starts from scratch).
+  void RestoreClock(TimePoint t) { clock_ = Clock(t); }
+  void RestoreNextOid(uint64_t next) { next_oid_ = next; }
+  // Registers a class whose members are already *effective* (inherited
+  // members included) and whose state was captured by a serializer.
+  // Superclasses must have been restored first.
+  Status RestoreClass(const ClassSpec& effective_spec,
+                      const Interval& lifespan, TemporalFunction ext,
+                      TemporalFunction proper_ext,
+                      std::vector<Value::Field> c_attr_values);
+  // Registers an object with raw state (no typing or extent side effects;
+  // the serialized extents already contain it).
+  Status RestoreObject(Oid oid, const Interval& lifespan,
+                       TemporalFunction class_history,
+                       std::vector<Value::Field> attributes);
+
+ private:
+  ClassDef* GetMutableClass(std::string_view name);
+  // The class and its transitive superclasses.
+  std::vector<ClassDef*> SelfAndSuperclasses(std::string_view name);
+  // Validates one creation/migration init value and installs it.
+  Status InstallInitialValue(Object* obj, const AttributeDef& attr,
+                             Value v, TimePoint start);
+
+  Clock clock_;
+  IsaGraph isa_;
+  std::map<std::string, std::unique_ptr<ClassDef>, std::less<>> classes_;
+  std::unordered_map<uint64_t, std::unique_ptr<Object>> objects_;
+  uint64_t next_oid_ = 1;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_DB_DATABASE_H_

@@ -1,0 +1,212 @@
+#include "core/db/equality.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/db/database.h"
+#include "core/values/temporal_function.h"
+
+namespace tchimera {
+namespace {
+
+// The instants at which the object's snapshot can change value: the
+// lifespan start plus every temporal-segment boundary, clipped to
+// [lifespan.start, min(lifespan.end, now)]. Between two consecutive
+// returned instants every attribute is constant, so testing snapshots at
+// these instants is exhaustive.
+std::vector<TimePoint> SnapshotBoundaries(const Object& obj, TimePoint now) {
+  TimePoint lo = obj.lifespan().start();
+  TimePoint hi = std::min(ResolveInstant(obj.lifespan().end(), now), now);
+  if (hi < lo) return {};
+  std::vector<TimePoint> out;
+  out.push_back(lo);
+  for (const std::string& name : obj.AttributeNames()) {
+    const Value* v = obj.Attribute(name);
+    if (v->kind() != ValueKind::kTemporal) continue;
+    for (const auto& seg : v->AsTemporal().segments()) {
+      TimePoint s = seg.interval.start();
+      if (s >= lo && s <= hi) out.push_back(s);
+      // The instant right after a segment ends is also a change point.
+      if (!seg.interval.is_ongoing()) {
+        TimePoint e = seg.interval.end() + 1;
+        if (e >= lo && e <= hi) out.push_back(e);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool EqualByIdentity(const Object& a, const Object& b) {
+  return a.id() == b.id();
+}
+
+bool EqualByValue(const Object& a, const Object& b) {
+  // o1.v = o2.v: equality of attribute names and values (for temporal
+  // attributes, of the whole history).
+  return a.AttributeRecord() == b.AttributeRecord();
+}
+
+std::optional<TimePoint> InstantaneousEqualityWitness(const Object& a,
+                                                      const Object& b,
+                                                      TimePoint now) {
+  // Objects with static attributes can only be compared at the current
+  // time (snapshots at past instants are undefined, Section 5.3).
+  if (a.HasStaticAttributes() || b.HasStaticAttributes()) {
+    if (!a.lifespan().Contains(now, now) || !b.lifespan().Contains(now, now)) {
+      return std::nullopt;
+    }
+    Result<Value> sa = a.Snapshot(now, now);
+    Result<Value> sb = b.Snapshot(now, now);
+    if (sa.ok() && sb.ok() && *sa == *sb) return now;
+    return std::nullopt;
+  }
+  // All-temporal objects: scan the union of both objects' snapshot
+  // boundaries restricted to the lifespan intersection; snapshots are
+  // piecewise constant between boundaries.
+  Interval common = a.lifespan().Intersect(b.lifespan(), now);
+  if (common.empty()) return std::nullopt;
+  std::vector<TimePoint> candidates;
+  for (const Object* o : {&a, &b}) {
+    for (TimePoint t : SnapshotBoundaries(*o, now)) {
+      if (common.ContainsResolved(t)) candidates.push_back(t);
+    }
+  }
+  candidates.push_back(common.start());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (TimePoint t : candidates) {
+    Result<Value> sa = a.Snapshot(t, now);
+    Result<Value> sb = b.Snapshot(t, now);
+    if (sa.ok() && sb.ok() && *sa == *sb) return t;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+using OidPairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+bool DeepCompareObjects(const Database& db, Oid a, Oid b,
+                        OidPairSet* in_progress);
+
+// Structural comparison with oid references followed.
+bool DeepCompareValues(const Database& db, const Value& a, const Value& b,
+                       OidPairSet* in_progress) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case ValueKind::kOid:
+      return DeepCompareObjects(db, a.AsOid(), b.AsOid(), in_progress);
+    case ValueKind::kSet:
+    case ValueKind::kList: {
+      const auto& ea = a.Elements();
+      const auto& eb = b.Elements();
+      if (ea.size() != eb.size()) return false;
+      for (size_t i = 0; i < ea.size(); ++i) {
+        if (!DeepCompareValues(db, ea[i], eb[i], in_progress)) return false;
+      }
+      return true;
+    }
+    case ValueKind::kRecord: {
+      const auto& fa = a.Fields();
+      const auto& fb = b.Fields();
+      if (fa.size() != fb.size()) return false;
+      for (size_t i = 0; i < fa.size(); ++i) {
+        if (fa[i].first != fb[i].first) return false;
+        if (!DeepCompareValues(db, fa[i].second, fb[i].second,
+                               in_progress)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ValueKind::kTemporal: {
+      const auto& sa = a.AsTemporal().segments();
+      const auto& sb = b.AsTemporal().segments();
+      if (sa.size() != sb.size()) return false;
+      for (size_t i = 0; i < sa.size(); ++i) {
+        if (sa[i].interval != sb[i].interval) return false;
+        if (!DeepCompareValues(db, sa[i].value, sb[i].value, in_progress)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      // Scalars: plain structural equality.
+      return Value::Compare(a, b) == 0;
+  }
+}
+
+bool DeepCompareObjects(const Database& db, Oid a, Oid b,
+                        OidPairSet* in_progress) {
+  if (a == b) return true;
+  // Coinductive hypothesis: while comparing (a, b), treat the pair as
+  // equal — cycles then terminate with success unless a concrete
+  // difference is found elsewhere.
+  auto key = std::make_pair(std::min(a.id, b.id), std::max(a.id, b.id));
+  if (!in_progress->insert(key).second) return true;
+  const Object* oa = db.GetObject(a);
+  const Object* ob = db.GetObject(b);
+  bool equal = oa != nullptr && ob != nullptr &&
+               DeepCompareValues(db, oa->AttributeRecord(),
+                                 ob->AttributeRecord(), in_progress);
+  in_progress->erase(key);
+  return equal;
+}
+
+}  // namespace
+
+bool DeepValueEqual(const Database& db, const Object& a, const Object& b) {
+  OidPairSet in_progress;
+  auto key = std::make_pair(std::min(a.id().id, b.id().id),
+                            std::max(a.id().id, b.id().id));
+  in_progress.insert(key);
+  return DeepCompareValues(db, a.AttributeRecord(), b.AttributeRecord(),
+                           &in_progress);
+}
+
+std::optional<std::pair<TimePoint, TimePoint>> WeakEqualityWitness(
+    const Object& a, const Object& b, TimePoint now) {
+  if (a.HasStaticAttributes() || b.HasStaticAttributes()) {
+    std::optional<TimePoint> t = InstantaneousEqualityWitness(a, b, now);
+    if (t.has_value()) return std::make_pair(*t, *t);
+    return std::nullopt;
+  }
+  std::vector<TimePoint> ba = SnapshotBoundaries(a, now);
+  std::vector<TimePoint> bb = SnapshotBoundaries(b, now);
+  // Materialize a's distinct snapshots once, then probe with b's.
+  std::vector<std::pair<Value, TimePoint>> snapshots_a;
+  snapshots_a.reserve(ba.size());
+  for (TimePoint t : ba) {
+    Result<Value> s = a.Snapshot(t, now);
+    if (s.ok()) snapshots_a.emplace_back(std::move(s).value(), t);
+  }
+  std::sort(snapshots_a.begin(), snapshots_a.end(),
+            [](const auto& x, const auto& y) {
+              int c = Value::Compare(x.first, y.first);
+              if (c != 0) return c < 0;
+              return x.second < y.second;
+            });
+  for (TimePoint t : bb) {
+    Result<Value> s = b.Snapshot(t, now);
+    if (!s.ok()) continue;
+    auto it = std::lower_bound(
+        snapshots_a.begin(), snapshots_a.end(), *s,
+        [](const auto& x, const Value& v) {
+          return Value::Compare(x.first, v) < 0;
+        });
+    if (it != snapshots_a.end() && Value::Compare(it->first, *s) == 0) {
+      return std::make_pair(it->second, t);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tchimera

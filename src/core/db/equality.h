@@ -1,0 +1,74 @@
+// The four notions of object equality of Section 5.3:
+//
+//   Definition 5.7  equality by identity        EqualByIdentity
+//   Definition 5.8  value equality              EqualByValue
+//   Definition 5.9  instantaneous-value eq.     InstantaneousEqualityWitness
+//   Definition 5.10 weak-value equality         WeakEqualityWitness
+//
+// The implication lattice (Section 5.3) holds by construction and is
+// verified by property tests:
+//
+//   identity ==> value ==> instantaneous ==> weak
+//
+// Snapshot-based equalities return the *witness instants* so callers can
+// display or verify them; per Section 5.3, objects with static attributes
+// can only be compared at the current time (their snapshots at past
+// instants are undefined).
+//
+// Projection note: for an all-temporal object, snapshot(i, t) projects
+// every attribute at t; attributes not meaningful at t project to null, so
+// two objects whose attribute is undefined at the compared instants agree
+// on it. (The paper leaves this case open; see DESIGN.md.)
+#ifndef TCHIMERA_CORE_DB_EQUALITY_H_
+#define TCHIMERA_CORE_DB_EQUALITY_H_
+
+#include <optional>
+#include <utility>
+
+#include "core/object/object.h"
+
+namespace tchimera {
+
+// Definition 5.7: same oid.
+bool EqualByIdentity(const Object& a, const Object& b);
+
+// Definition 5.8: same attribute record — same attribute names and, for
+// temporal attributes, the same complete history.
+bool EqualByValue(const Object& a, const Object& b);
+
+// Definition 5.9: the earliest instant t in both lifespans with
+// snapshot(a,t) == snapshot(b,t), or nullopt if none exists. `now` is the
+// database's current time.
+std::optional<TimePoint> InstantaneousEqualityWitness(const Object& a,
+                                                      const Object& b,
+                                                      TimePoint now);
+inline bool InstantaneousValueEqual(const Object& a, const Object& b,
+                                    TimePoint now) {
+  return InstantaneousEqualityWitness(a, b, now).has_value();
+}
+
+// Definition 5.10: instants (t', t'') with snapshot(a,t') ==
+// snapshot(b,t''), or nullopt.
+std::optional<std::pair<TimePoint, TimePoint>> WeakEqualityWitness(
+    const Object& a, const Object& b, TimePoint now);
+inline bool WeakValueEqual(const Object& a, const Object& b, TimePoint now) {
+  return WeakEqualityWitness(a, b, now).has_value();
+}
+
+class Database;
+
+// Deep value equality (Section 5.3 distinguishes shallow from deep value
+// equality; Definition 5.8 is the shallow one): attribute records are
+// compared recursively, with oid references followed into the referenced
+// objects' attribute records. Bisimulation-style: a pair of oids under
+// comparison is assumed equal while its components are being compared, so
+// cyclic reference graphs terminate.
+//
+// Collections are compared element-wise in their canonical (shallow)
+// order; two sets whose deep-equal elements sort differently under the
+// shallow order are conservatively reported unequal (see DESIGN.md).
+bool DeepValueEqual(const Database& db, const Object& a, const Object& b);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_DB_EQUALITY_H_

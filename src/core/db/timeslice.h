@@ -1,0 +1,43 @@
+// Database timeslice: the whole-database form of the paper's snapshot
+// coercion (Section 6.1), and the executable version of Section 1's
+// contrast — "the content of a [conventional] database represents a
+// snapshot of the reality".
+//
+// TimeSlice(db, t) materializes a *non-temporal* database whose content is
+// the state of `db` at instant t:
+//
+//   - every class alive at t reappears with its temporal attribute domains
+//     coerced to their static counterparts (temporal(T) -> T, the paper's
+//     T^-); temporal c-attributes are projected likewise;
+//   - every object alive at t reappears (same oid) with its attributes
+//     projected at t; its most specific class is its class at t;
+//   - extents are the memberships as of t;
+//   - the slice's clock reads t: inside the slice, t is "the present".
+//
+// Faithfulness to Section 5.3's limits: at a *past* instant the values of
+// non-temporal attributes are not recorded, so for t < now the slice
+// schema keeps only the temporal attributes (the historical type
+// h_type(c), coerced); at t = now the full structural type is coerced and
+// static attributes carry their current values. Temporal attributes
+// undefined at t project to null.
+//
+// The result is an ordinary Database: it passes the full consistency
+// check, answers (now-only) queries, serializes, and can evolve
+// independently — a what-if copy of the world as of t.
+#ifndef TCHIMERA_CORE_DB_TIMESLICE_H_
+#define TCHIMERA_CORE_DB_TIMESLICE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/db/database.h"
+
+namespace tchimera {
+
+// Slices `db` at instant `t` (kNow or db.now() for the present). Fails
+// with TemporalError for t outside [0, db.now()].
+Result<std::unique_ptr<Database>> TimeSlice(const Database& db, TimePoint t);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_DB_TIMESLICE_H_

@@ -1,0 +1,144 @@
+#include "core/schema/refinement.h"
+
+#include <map>
+
+namespace tchimera {
+
+Status CheckAttributeRefinement(const AttributeDef& inherited,
+                                const AttributeDef& refined,
+                                const IsaProvider& isa) {
+  const Type* t = inherited.type;
+  const Type* t_prime = refined.type;
+  // Clause 1: T' <=_T T. (Covers temporal-to-temporal refinement through
+  // the temporal clause of Definition 6.1.)
+  if (IsSubtype(t_prime, t, isa)) return Status::OK();
+  // Clause 2: T' = temporal(T'') with T'' <=_T T — a non-temporal domain
+  // may be refined into a temporal one.
+  if (t_prime->kind() == TypeKind::kTemporal &&
+      IsSubtype(t_prime->element(), t, isa)) {
+    return Status::OK();
+  }
+  return Status::TypeError(
+      "attribute '" + refined.name + "': domain " + t_prime->ToString() +
+      " is not a legal refinement of inherited domain " + t->ToString() +
+      " (Rule 6.1; note a temporal attribute can never become "
+      "non-temporal)");
+}
+
+Status CheckMethodRefinement(const MethodDef& inherited,
+                             const MethodDef& refined,
+                             const IsaProvider& isa) {
+  if (inherited.inputs.size() != refined.inputs.size()) {
+    return Status::TypeError("method '" + refined.name +
+                             "': arity mismatch with inherited signature");
+  }
+  // Contravariance for input parameters: the redefined method must accept
+  // at least everything the inherited one accepted.
+  for (size_t i = 0; i < inherited.inputs.size(); ++i) {
+    if (!IsSubtype(inherited.inputs[i], refined.inputs[i], isa)) {
+      return Status::TypeError(
+          "method '" + refined.name + "': input parameter " +
+          std::to_string(i + 1) + " of type " +
+          refined.inputs[i]->ToString() +
+          " violates the contravariance rule against inherited " +
+          inherited.inputs[i]->ToString());
+    }
+  }
+  // Covariance for the result parameter.
+  if (!IsSubtype(refined.output, inherited.output, isa)) {
+    return Status::TypeError(
+        "method '" + refined.name + "': result type " +
+        refined.output->ToString() +
+        " violates the covariance rule against inherited " +
+        inherited.output->ToString());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+bool SameSignature(const AttributeDef& a, const AttributeDef& b) {
+  return a.type == b.type;
+}
+
+bool SameSignature(const MethodDef& a, const MethodDef& b) {
+  return a.inputs == b.inputs && a.output == b.output;
+}
+
+// Merges one member kind (attributes or methods).
+template <typename Member, typename CheckFn>
+Result<std::vector<Member>> MergeMembers(
+    const std::string& class_name, const char* member_kind,
+    const std::vector<Member>& declared,
+    const std::vector<const ClassDef*>& supers,
+    const std::vector<Member>& (ClassDef::*getter)() const,
+    const IsaProvider& isa, CheckFn check) {
+  std::map<std::string, Member> merged;
+  std::map<std::string, std::string> source;  // member name -> superclass
+  // Gather inherited members; a same-named member inherited twice must
+  // agree structurally unless redeclared below.
+  std::map<std::string, bool> conflicting;
+  for (const ClassDef* super : supers) {
+    for (const Member& m : (super->*getter)()) {
+      auto it = merged.find(m.name);
+      if (it == merged.end()) {
+        merged.emplace(m.name, m);
+        source.emplace(m.name, super->name());
+      } else if (!SameSignature(it->second, m)) {
+        conflicting[m.name] = true;
+      }
+    }
+  }
+  // Apply declarations (new members or refinements).
+  for (const Member& m : declared) {
+    auto it = merged.find(m.name);
+    if (it != merged.end()) {
+      TCH_RETURN_IF_ERROR(check(it->second, m, isa));
+      it->second = m;
+      conflicting.erase(m.name);
+    } else {
+      merged.emplace(m.name, m);
+    }
+  }
+  for (const auto& [name, unused] : conflicting) {
+    return Status::TypeError(
+        "class " + class_name + " inherits conflicting definitions of " +
+        member_kind + " '" + name +
+        "' from multiple superclasses and does not redeclare it");
+  }
+  std::vector<Member> out;
+  out.reserve(merged.size());
+  for (auto& [unused, m] : merged) out.push_back(std::move(m));
+  return out;
+}
+
+}  // namespace
+
+Result<MergedMembers> MergeClassMembers(
+    const ClassSpec& spec,
+    const std::vector<const ClassDef*>& direct_superclasses,
+    const IsaProvider& isa) {
+  MergedMembers out;
+  TCH_ASSIGN_OR_RETURN(
+      out.attributes,
+      MergeMembers(spec.name, "attribute", spec.attributes,
+                   direct_superclasses, &ClassDef::attributes, isa,
+                   CheckAttributeRefinement));
+  TCH_ASSIGN_OR_RETURN(
+      out.methods,
+      MergeMembers(spec.name, "method", spec.methods, direct_superclasses,
+                   &ClassDef::methods, isa, CheckMethodRefinement));
+  TCH_ASSIGN_OR_RETURN(
+      out.c_attributes,
+      MergeMembers(spec.name, "c-attribute", spec.c_attributes,
+                   direct_superclasses, &ClassDef::c_attributes, isa,
+                   CheckAttributeRefinement));
+  TCH_ASSIGN_OR_RETURN(
+      out.c_methods,
+      MergeMembers(spec.name, "c-method", spec.c_methods,
+                   direct_superclasses, &ClassDef::c_methods, isa,
+                   CheckMethodRefinement));
+  return out;
+}
+
+}  // namespace tchimera

@@ -1,0 +1,61 @@
+// Inheritance-time validation (Section 6.1):
+//
+//   Rule 6.1 (refinement of attribute domains): a subclass may redeclare
+//   an inherited attribute of domain T with domain T' provided
+//     (1) T' <=_T T, or
+//     (2) T' = temporal(T'') with T'' <=_T T
+//   — i.e. a non-temporal attribute may become temporal (never the
+//   reverse; substitutability is then obtained through the snapshot
+//   coercion, implemented in the object layer).
+//
+//   Method redefinition must respect the covariance rule for the result
+//   and the contravariance rule for the inputs.
+//
+// MergeClassMembers applies these rules while computing a subclass's
+// effective attribute/method lists from its declared members and its
+// superclasses' effective members.
+#ifndef TCHIMERA_CORE_SCHEMA_REFINEMENT_H_
+#define TCHIMERA_CORE_SCHEMA_REFINEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/schema/class_def.h"
+#include "core/types/subtyping.h"
+
+namespace tchimera {
+
+// Checks Rule 6.1 for a single attribute: may `refined` legally override
+// `inherited` in a subclass?
+Status CheckAttributeRefinement(const AttributeDef& inherited,
+                                const AttributeDef& refined,
+                                const IsaProvider& isa);
+
+// Checks method redefinition: same arity, covariant output, contravariant
+// inputs.
+Status CheckMethodRefinement(const MethodDef& inherited,
+                             const MethodDef& refined, const IsaProvider& isa);
+
+// The result of merging declared members with inherited ones.
+struct MergedMembers {
+  std::vector<AttributeDef> attributes;
+  std::vector<MethodDef> methods;
+  std::vector<AttributeDef> c_attributes;
+  std::vector<MethodDef> c_methods;
+};
+
+// Computes the effective members of a class declared by `spec` whose
+// superclasses have the given effective members. Validates every
+// redeclaration against the refinement rules; when two superclasses both
+// provide an attribute/method with the same name, their types must agree
+// unless the subclass redeclares it (multiple-inheritance conflicts are
+// reported, not silently resolved).
+Result<MergedMembers> MergeClassMembers(
+    const ClassSpec& spec,
+    const std::vector<const ClassDef*>& direct_superclasses,
+    const IsaProvider& isa);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_SCHEMA_REFINEMENT_H_

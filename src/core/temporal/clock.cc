@@ -1,0 +1,4 @@
+#include "core/temporal/clock.h"
+
+// Clock is header-only today; this translation unit anchors the target and
+// reserves room for future clock policies (e.g. transaction-time clocks).

@@ -1,0 +1,45 @@
+// The database clock: the authority for the value of the moving constant
+// `now`. The paper treats `now` as a special element of TIME; giving it a
+// model-controlled value (rather than wall-clock time) keeps every run
+// deterministic and lets tests and benchmarks advance time explicitly.
+#ifndef TCHIMERA_CORE_TEMPORAL_CLOCK_H_
+#define TCHIMERA_CORE_TEMPORAL_CLOCK_H_
+
+#include "common/status.h"
+#include "core/temporal/instant.h"
+
+namespace tchimera {
+
+class Clock {
+ public:
+  // Time starts at the relative beginning '0'.
+  Clock() : now_(kTimeOrigin) {}
+  explicit Clock(TimePoint start) : now_(start) {}
+
+  // The concrete current time.
+  TimePoint now() const { return now_; }
+
+  // Advances the clock by `steps` instants (default 1).
+  void Tick(int64_t steps = 1) { now_ += steps; }
+
+  // Moves the clock to instant `t`. Time is monotone: moving backwards is
+  // an error (the valid-time history already recorded up to now_ would
+  // become partly "in the future").
+  Status AdvanceTo(TimePoint t) {
+    if (IsNow(t)) return Status::InvalidArgument("cannot advance to 'now'");
+    if (t < now_) {
+      return Status::TemporalError("clock cannot move backwards: now=" +
+                                   std::to_string(now_) + " requested=" +
+                                   std::to_string(t));
+    }
+    now_ = t;
+    return Status::OK();
+  }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_TEMPORAL_CLOCK_H_

@@ -1,0 +1,83 @@
+// A temporal element: a set of disjoint, coalesced intervals used as the
+// compact notation of Section 3.2 for a set of time instants. IntervalSet
+// is the carrier for temporal-function domains, class lifespans unions
+// (Invariant 5.2: o_lifespan(i) = U_c c_lifespan(i,c)), and query results.
+//
+// All intervals stored in an IntervalSet are fully resolved (no symbolic
+// `now`); callers resolve ongoing intervals against the database clock
+// before building sets.
+#ifndef TCHIMERA_CORE_TEMPORAL_INTERVAL_SET_H_
+#define TCHIMERA_CORE_TEMPORAL_INTERVAL_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/temporal/interval.h"
+
+namespace tchimera {
+
+class IntervalSet {
+ public:
+  // The empty set of instants.
+  IntervalSet() = default;
+
+  // Builds a set from arbitrary (possibly overlapping, unordered, empty)
+  // resolved intervals; the result is sorted, disjoint and coalesced
+  // (adjacent intervals merged).
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  static IntervalSet Of(const Interval& interval) {
+    return IntervalSet(std::vector<Interval>{interval});
+  }
+
+  bool empty() const { return intervals_.empty(); }
+  // Number of maximal intervals.
+  size_t interval_count() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  // Total number of instants in the set.
+  int64_t Cardinality() const;
+
+  // True iff instant t belongs to the set. O(log n).
+  bool Contains(TimePoint t) const;
+  // True iff every instant of `interval` belongs to the set.
+  bool CoversInterval(const Interval& interval) const;
+  // True iff `other` is a subset of this set.
+  bool CoversSet(const IntervalSet& other) const;
+
+  // Set algebra; inputs untouched, results coalesced.
+  IntervalSet Union(const IntervalSet& other) const;
+  IntervalSet Intersect(const IntervalSet& other) const;
+  IntervalSet Difference(const IntervalSet& other) const;
+
+  // Adds one interval (coalescing).
+  void Add(const Interval& interval);
+
+  // Earliest / latest instant; meaningless when empty().
+  TimePoint Min() const { return intervals_.front().start(); }
+  TimePoint Max() const { return intervals_.back().end(); }
+
+  // True if the set is one contiguous run of instants (or empty). Object
+  // and class lifespans are required to be contiguous (Sections 4, 5.1).
+  bool IsContiguous() const { return intervals_.size() <= 1; }
+
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b) {
+    return a.intervals_ == b.intervals_;
+  }
+  friend bool operator!=(const IntervalSet& a, const IntervalSet& b) {
+    return !(a == b);
+  }
+
+  // "{[1,4],[7,9]}" or "{}".
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  // Sorted by start, pairwise disjoint, no two adjacent, no empties.
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_TEMPORAL_INTERVAL_SET_H_

@@ -1,0 +1,115 @@
+#include "core/types/subtyping.h"
+
+#include <vector>
+
+#include "core/types/type_registry.h"
+
+namespace tchimera {
+
+bool IsSubtype(const Type* sub, const Type* super, const IsaProvider& isa) {
+  if (sub == nullptr || super == nullptr) return false;
+  // T1 = T2 (types are interned, so pointer equality is type equality).
+  if (sub == super) return true;
+  // `any` is the bottom element (implementation extension: the type of
+  // null and of empty collections).
+  if (sub->kind() == TypeKind::kAny) return true;
+  if (sub->kind() != super->kind()) return false;
+  switch (sub->kind()) {
+    case TypeKind::kObject:
+      // T2, T1 in OT and T2 <=_ISA T1.
+      return isa.IsSubclassOf(sub->class_name(), super->class_name());
+    case TypeKind::kSet:
+    case TypeKind::kList:
+      // set-of / list-of are covariant in the element type.
+      return IsSubtype(sub->element(), super->element(), isa);
+    case TypeKind::kTemporal:
+      // temporal(T2') <=_T temporal(T1') iff T2' <=_T T1'.
+      return IsSubtype(sub->element(), super->element(), isa);
+    case TypeKind::kRecord: {
+      // Same field names, covariant field types (see header note on the
+      // paper's erratum).
+      const auto& sub_fields = sub->fields();
+      const auto& super_fields = super->fields();
+      if (sub_fields.size() != super_fields.size()) return false;
+      for (size_t i = 0; i < sub_fields.size(); ++i) {
+        if (sub_fields[i].name != super_fields[i].name) return false;
+        if (!IsSubtype(sub_fields[i].type, super_fields[i].type, isa)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      // Distinct basic types are unrelated.
+      return false;
+  }
+}
+
+Result<const Type*> LeastUpperBound(const Type* a, const Type* b,
+                                    const IsaProvider& isa) {
+  if (a == nullptr || b == nullptr) {
+    return Status::InvalidArgument("lub of null type");
+  }
+  if (a == b) return a;
+  if (a->kind() == TypeKind::kAny) return b;
+  if (b->kind() == TypeKind::kAny) return a;
+  if (a->kind() != b->kind()) {
+    return Status::TypeError("types " + a->ToString() + " and " +
+                             b->ToString() + " have no upper bound");
+  }
+  switch (a->kind()) {
+    case TypeKind::kObject: {
+      std::optional<std::string> lcs =
+          isa.LeastCommonSuperclass(a->class_name(), b->class_name());
+      if (!lcs.has_value()) {
+        return Status::TypeError("classes " + a->class_name() + " and " +
+                                 b->class_name() +
+                                 " have no least common superclass");
+      }
+      return types::Object(*lcs);
+    }
+    case TypeKind::kSet: {
+      TCH_ASSIGN_OR_RETURN(const Type* e,
+                           LeastUpperBound(a->element(), b->element(), isa));
+      return types::SetOf(e);
+    }
+    case TypeKind::kList: {
+      TCH_ASSIGN_OR_RETURN(const Type* e,
+                           LeastUpperBound(a->element(), b->element(), isa));
+      return types::ListOf(e);
+    }
+    case TypeKind::kTemporal: {
+      TCH_ASSIGN_OR_RETURN(const Type* e,
+                           LeastUpperBound(a->element(), b->element(), isa));
+      return types::Temporal(e);
+    }
+    case TypeKind::kRecord: {
+      const auto& fa = a->fields();
+      const auto& fb = b->fields();
+      if (fa.size() != fb.size()) {
+        return Status::TypeError("record types " + a->ToString() + " and " +
+                                 b->ToString() +
+                                 " have different field sets");
+      }
+      std::vector<RecordField> fields;
+      fields.reserve(fa.size());
+      for (size_t i = 0; i < fa.size(); ++i) {
+        if (fa[i].name != fb[i].name) {
+          return Status::TypeError("record types " + a->ToString() + " and " +
+                                   b->ToString() +
+                                   " have different field sets");
+        }
+        TCH_ASSIGN_OR_RETURN(
+            const Type* ft, LeastUpperBound(fa[i].type, fb[i].type, isa));
+        fields.push_back({fa[i].name, ft});
+      }
+      return types::RecordOf(std::move(fields));
+    }
+    default:
+      // Distinct basic types (a != b was already checked).
+      return Status::TypeError("types " + a->ToString() + " and " +
+                               b->ToString() + " have no upper bound");
+  }
+}
+
+}  // namespace tchimera

@@ -1,0 +1,74 @@
+// The subtype relation <=_T of Definition 6.1 and the derived least upper
+// bound (lub) used by the typing rule for sets (Definition 3.6).
+//
+// Subtyping over object types is induced by the ISA hierarchy, which lives
+// in the schema layer; to keep the type system independent of the schema
+// the relation is parameterized by an IsaProvider.
+//
+// Note on record subtyping: Definition 6.1 as printed in the paper relates
+// the fields as T'_i <=_T T''_i (contravariantly). Taken literally this
+// contradicts Theorem 6.1 ([[T1]]_t subset of [[T2]]_t whenever
+// T1 <=_T T2): a record value whose field values are legal for the
+// *sub*type's field types must also be legal for the *super*type's. We
+// therefore implement the covariant reading — T2 <=_T T1 iff each field
+// type of T2 is a subtype of the corresponding field type of T1 — which is
+// also the rule used by Rule 6.1's examples and by the Chimera base model.
+// This is recorded as a paper erratum in DESIGN.md.
+#ifndef TCHIMERA_CORE_TYPES_SUBTYPING_H_
+#define TCHIMERA_CORE_TYPES_SUBTYPING_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/types/type.h"
+
+namespace tchimera {
+
+// The ISA hierarchy seen by the type system (a partial order <=_ISA on
+// class identifiers, Section 6).
+class IsaProvider {
+ public:
+  virtual ~IsaProvider() = default;
+
+  // True iff `sub` <=_ISA `super` (reflexive: every class is a subclass of
+  // itself). Unknown class names are only related to themselves.
+  virtual bool IsSubclassOf(std::string_view sub,
+                            std::string_view super) const = 0;
+
+  // The least class c with a <=_ISA c and b <=_ISA c, if a unique least
+  // one exists; nullopt otherwise (unrelated hierarchies, or an ambiguous
+  // pair of uncomparable common superclasses in a DAG).
+  virtual std::optional<std::string> LeastCommonSuperclass(
+      std::string_view a, std::string_view b) const = 0;
+};
+
+// The trivial hierarchy: no user classes are related. Useful for value-only
+// code and tests.
+class EmptyIsaProvider final : public IsaProvider {
+ public:
+  bool IsSubclassOf(std::string_view sub,
+                    std::string_view super) const override {
+    return sub == super;
+  }
+  std::optional<std::string> LeastCommonSuperclass(
+      std::string_view a, std::string_view b) const override {
+    if (a == b) return std::string(a);
+    return std::nullopt;
+  }
+};
+
+// True iff sub <=_T super according to Definition 6.1 (with `any` as
+// bottom). Reflexive and transitive.
+bool IsSubtype(const Type* sub, const Type* super, const IsaProvider& isa);
+
+// Least upper bound of {a, b} in the <=_T poset. Fails with TypeError when
+// the two types have no upper bound (e.g. integer vs string) or no *least*
+// one (ambiguous common superclasses).
+Result<const Type*> LeastUpperBound(const Type* a, const Type* b,
+                                    const IsaProvider& isa);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_TYPES_SUBTYPING_H_

@@ -1,0 +1,46 @@
+#include "core/types/type.h"
+
+#include <algorithm>
+
+namespace tchimera {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kAny:
+      return "any";
+    case TypeKind::kInteger:
+      return "integer";
+    case TypeKind::kReal:
+      return "real";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kChar:
+      return "char";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kTime:
+      return "time";
+    case TypeKind::kObject:
+      return "object";
+    case TypeKind::kSet:
+      return "set-of";
+    case TypeKind::kList:
+      return "list-of";
+    case TypeKind::kRecord:
+      return "record-of";
+    case TypeKind::kTemporal:
+      return "temporal";
+  }
+  return "unknown";
+}
+
+const Type* Type::FieldType(std::string_view name) const {
+  if (kind_ != TypeKind::kRecord) return nullptr;
+  auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), name,
+      [](const RecordField& f, std::string_view n) { return f.name < n; });
+  if (it == fields_.end() || it->name != name) return nullptr;
+  return it->type;
+}
+
+}  // namespace tchimera

@@ -1,0 +1,129 @@
+// The T_Chimera type system (Section 3.1 of the paper).
+//
+//   - basic predefined value types BVT: integer, real, bool, char, string,
+//     plus `time` (added by T_Chimera);
+//   - object types OT: one per class identifier;
+//   - structured value types: set-of(T), list-of(T),
+//     record-of(a1:T1,...,an:Tn);
+//   - temporal types TT: temporal(T) for each *Chimera* type T
+//     (Definition 3.3) — temporal may not be nested inside temporal;
+//   - T_Chimera types (Definition 3.4) close set-of / list-of / record-of
+//     over temporal types as well.
+//
+// In addition to the paper's types we provide the pseudo-type `any`, the
+// bottom of the subtype order. It is the inferred element type of the empty
+// collection and the inferred type of `null` (the paper's rule "null : T
+// for all T"); it never appears in a class signature.
+//
+// Types are immutable and interned: two structurally equal types are the
+// same pointer (see type_registry.h), so type equality is pointer equality.
+#ifndef TCHIMERA_CORE_TYPES_TYPE_H_
+#define TCHIMERA_CORE_TYPES_TYPE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tchimera {
+
+enum class TypeKind {
+  kAny,      // bottom pseudo-type (implementation extension, see above)
+  kInteger,  // BVT
+  kReal,     // BVT
+  kBool,     // BVT
+  kChar,     // BVT
+  kString,   // BVT
+  kTime,     // BVT (added by T_Chimera, Section 3.1)
+  kObject,   // a class identifier used as a type (Definition 3.1)
+  kSet,      // set-of(T)
+  kList,     // list-of(T)
+  kRecord,   // record-of(a1:T1,...,an:Tn)
+  kTemporal  // temporal(T), T a Chimera type (Definition 3.3)
+};
+
+const char* TypeKindName(TypeKind kind);
+
+class Type;
+
+// One component of a record type. Fields are kept sorted by name; the
+// paper's record types are sets of (name, type) pairs, so order carries no
+// meaning.
+struct RecordField {
+  std::string name;
+  const Type* type;
+
+  friend bool operator==(const RecordField& a, const RecordField& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+// An interned, immutable type node. Construct through the factory
+// functions in type_registry.h; never directly.
+class Type {
+ public:
+  TypeKind kind() const { return kind_; }
+
+  bool IsBasicValueType() const {
+    switch (kind_) {
+      case TypeKind::kInteger:
+      case TypeKind::kReal:
+      case TypeKind::kBool:
+      case TypeKind::kChar:
+      case TypeKind::kString:
+      case TypeKind::kTime:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool IsObjectType() const { return kind_ == TypeKind::kObject; }
+  bool IsTemporal() const { return kind_ == TypeKind::kTemporal; }
+  bool IsCollection() const {
+    return kind_ == TypeKind::kSet || kind_ == TypeKind::kList;
+  }
+  bool IsRecord() const { return kind_ == TypeKind::kRecord; }
+
+  // True if this is a *Chimera* type CT = VT u OT (Definition 3.2): no
+  // temporal constructor anywhere in the term, and no `any`.
+  bool IsChimeraType() const { return !contains_any_ && !contains_temporal_; }
+
+  // True if the `any` pseudo-type occurs anywhere in this type.
+  bool ContainsAny() const { return contains_any_; }
+
+  // True if a temporal(...) constructor occurs anywhere in this type.
+  bool ContainsTemporal() const { return contains_temporal_; }
+
+  // The class identifier; requires kind() == kObject.
+  const std::string& class_name() const { return name_; }
+
+  // The component type of set-of / list-of / temporal; requires one of
+  // those kinds.
+  const Type* element() const { return element_; }
+
+  // The fields of a record type, sorted by name; requires kind() == kRecord.
+  const std::vector<RecordField>& fields() const { return fields_; }
+  // The type of field `name`, or nullptr if no such field (or not a record).
+  const Type* FieldType(std::string_view name) const;
+
+  // Canonical syntax, e.g. "temporal(set-of(project))" or
+  // "record-of(name:string,score:temporal(integer))".
+  const std::string& ToString() const { return printed_; }
+
+ private:
+  friend struct TypeFactory;  // the interning factory in type_registry.cc
+  Type() = default;
+
+  TypeKind kind_ = TypeKind::kAny;
+  std::string name_;                 // kObject: class identifier
+  const Type* element_ = nullptr;    // kSet / kList / kTemporal
+  std::vector<RecordField> fields_;  // kRecord
+  bool contains_any_ = false;
+  bool contains_temporal_ = false;
+  std::string printed_;  // cached ToString
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_TYPES_TYPE_H_

@@ -1,0 +1,134 @@
+#include "core/types/type_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "core/types/type_registry.h"
+
+namespace tchimera {
+namespace {
+
+// A minimal recursive-descent parser over a string_view cursor.
+class TypeParser {
+ public:
+  explicit TypeParser(std::string_view text) : text_(text) {}
+
+  Result<const Type*> Parse() {
+    TCH_ASSIGN_OR_RETURN(const Type* t, ParseType());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after type at " +
+                                     std::to_string(pos_) + " in '" +
+                                     std::string(text_) + "'");
+    }
+    return t;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // Reads an identifier token ([A-Za-z_][A-Za-z0-9_-]*). Empty on failure.
+  std::string_view ReadIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<const Type*> ParseType() {
+    std::string_view id = ReadIdentifier();
+    if (id.empty()) {
+      return Status::InvalidArgument("expected a type at position " +
+                                     std::to_string(pos_) + " in '" +
+                                     std::string(text_) + "'");
+    }
+    if (id == "integer") return types::Integer();
+    if (id == "real") return types::Real();
+    if (id == "bool" || id == "boolean") return types::Bool();
+    if (id == "char" || id == "character") return types::Char();
+    if (id == "string") return types::String();
+    if (id == "time") return types::Time();
+    if (id == "any") return types::Any();
+    if (id == "set-of" || id == "list-of" || id == "temporal") {
+      if (!Consume('(')) {
+        return Status::InvalidArgument("expected '(' after '" +
+                                       std::string(id) + "'");
+      }
+      TCH_ASSIGN_OR_RETURN(const Type* element, ParseType());
+      if (!Consume(')')) {
+        return Status::InvalidArgument("expected ')' closing '" +
+                                       std::string(id) + "'");
+      }
+      if (id == "set-of") return types::SetOf(element);
+      if (id == "list-of") return types::ListOf(element);
+      return types::Temporal(element);
+    }
+    if (id == "record-of") {
+      if (!Consume('(')) {
+        return Status::InvalidArgument("expected '(' after 'record-of'");
+      }
+      std::vector<RecordField> fields;
+      SkipSpace();
+      if (!Consume(')')) {
+        while (true) {
+          std::string_view name = ReadIdentifier();
+          if (name.empty()) {
+            return Status::InvalidArgument(
+                "expected a field name in record-of at position " +
+                std::to_string(pos_));
+          }
+          if (!Consume(':')) {
+            return Status::InvalidArgument("expected ':' after field name '" +
+                                           std::string(name) + "'");
+          }
+          TCH_ASSIGN_OR_RETURN(const Type* ft, ParseType());
+          fields.push_back({std::string(name), ft});
+          if (Consume(')')) break;
+          if (!Consume(',')) {
+            return Status::InvalidArgument(
+                "expected ',' or ')' in record-of field list");
+          }
+        }
+      }
+      return types::RecordOf(std::move(fields));
+    }
+    // Any other identifier denotes an object type (a class name,
+    // Definition 3.1).
+    return types::Object(id);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<const Type*> ParseType(std::string_view text) {
+  return TypeParser(text).Parse();
+}
+
+}  // namespace tchimera

@@ -1,0 +1,31 @@
+// Parser for the canonical textual type syntax produced by Type::ToString:
+//
+//   type      := "integer" | "real" | "bool" | "char" | "string" | "time"
+//              | "any"
+//              | "set-of" "(" type ")"
+//              | "list-of" "(" type ")"
+//              | "temporal" "(" type ")"
+//              | "record-of" "(" [field ("," field)*] ")"
+//              | identifier                     (an object type / class name)
+//   field     := identifier ":" type
+//
+// Whitespace is permitted between tokens. ParseType(ToString(t)) == t for
+// every interned type (round-trip property, tested).
+#ifndef TCHIMERA_CORE_TYPES_TYPE_PARSER_H_
+#define TCHIMERA_CORE_TYPES_TYPE_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "core/types/type.h"
+
+namespace tchimera {
+
+// Parses `text` as a T_Chimera type. Fails with InvalidArgument on syntax
+// errors and TypeError on well-formed but illegal types (e.g. nested
+// temporal).
+Result<const Type*> ParseType(std::string_view text);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_TYPES_TYPE_PARSER_H_

@@ -1,0 +1,215 @@
+#include "core/values/typing.h"
+
+#include <vector>
+
+#include "core/types/type_registry.h"
+#include "core/values/temporal_function.h"
+
+namespace tchimera {
+namespace {
+
+Status Mismatch(const Value& v, const Type* type) {
+  return Status::TypeError("value " + v.ToString() +
+                           " is not a legal value for type " +
+                           type->ToString());
+}
+
+// Checks v in [[T]] where object-type membership must hold throughout
+// `interval` (a single instant [t,t] at the top level; a segment interval
+// inside temporal values).
+Status CheckOverInterval(const Value& v, const Type* type,
+                         const Interval& interval, const TypingContext& ctx) {
+  // null in [[T]]_t for every T (Definition 3.5, first clause).
+  if (v.is_null()) return Status::OK();
+  switch (type->kind()) {
+    case TypeKind::kAny:
+      // Everything inhabits the bottom-up closure of `any` only via null;
+      // a non-null value is never checked against `any` in legal schemas.
+      return Mismatch(v, type);
+    case TypeKind::kInteger:
+      return v.kind() == ValueKind::kInteger ? Status::OK()
+                                             : Mismatch(v, type);
+    case TypeKind::kReal:
+      return v.kind() == ValueKind::kReal ? Status::OK() : Mismatch(v, type);
+    case TypeKind::kBool:
+      return v.kind() == ValueKind::kBool ? Status::OK() : Mismatch(v, type);
+    case TypeKind::kChar:
+      return v.kind() == ValueKind::kChar ? Status::OK() : Mismatch(v, type);
+    case TypeKind::kString:
+      return v.kind() == ValueKind::kString ? Status::OK()
+                                            : Mismatch(v, type);
+    case TypeKind::kTime:
+      // [[time]]_t = TIME.
+      return v.kind() == ValueKind::kTime && IsValidInstant(v.AsTime())
+                 ? Status::OK()
+                 : Mismatch(v, type);
+    case TypeKind::kObject: {
+      // [[c]]_t = pi(c,t); over an interval, membership must hold
+      // throughout.
+      if (v.kind() != ValueKind::kOid) return Mismatch(v, type);
+      bool ok =
+          interval.start() == interval.end()
+              ? ctx.extents.InExtent(type->class_name(), v.AsOid(),
+                                     interval.start())
+              : ctx.extents.InExtentThroughout(type->class_name(), v.AsOid(),
+                                               interval);
+      if (!ok) {
+        return Status::TypeError("object " + v.AsOid().ToString() +
+                                 " does not belong to class " +
+                                 type->class_name() + " throughout " +
+                                 interval.ToString());
+      }
+      return Status::OK();
+    }
+    case TypeKind::kSet: {
+      if (v.kind() != ValueKind::kSet) return Mismatch(v, type);
+      for (const Value& e : v.Elements()) {
+        TCH_RETURN_IF_ERROR(
+            CheckOverInterval(e, type->element(), interval, ctx));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kList: {
+      if (v.kind() != ValueKind::kList) return Mismatch(v, type);
+      for (const Value& e : v.Elements()) {
+        TCH_RETURN_IF_ERROR(
+            CheckOverInterval(e, type->element(), interval, ctx));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kRecord: {
+      // Definition 3.5: a record value has exactly the components
+      // a_1..a_n, each legal for its component type.
+      if (v.kind() != ValueKind::kRecord) return Mismatch(v, type);
+      const auto& fields = v.Fields();
+      const auto& field_types = type->fields();
+      if (fields.size() != field_types.size()) return Mismatch(v, type);
+      // Both are sorted by name.
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i].first != field_types[i].name) return Mismatch(v, type);
+        TCH_RETURN_IF_ERROR(CheckOverInterval(
+            fields[i].second, field_types[i].type, interval, ctx));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kTemporal: {
+      // [[temporal(T)]]_t: a partial function f with f(t') in [[T]]_t'
+      // wherever defined. Each stored segment asserts the value over its
+      // whole interval.
+      if (v.kind() != ValueKind::kTemporal) return Mismatch(v, type);
+      for (const auto& seg : v.AsTemporal().segments()) {
+        TCH_RETURN_IF_ERROR(
+            CheckOverInterval(seg.value, type->element(), seg.interval, ctx));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled type kind");
+}
+
+// Infers the type of the elements of a collection: the lub of the element
+// types (Definition 3.6, set/list rules), or `any` for the empty
+// collection.
+Result<const Type*> InferElementsType(const std::vector<Value>& elements,
+                                      TimePoint t, const TypingContext& ctx);
+
+Result<const Type*> InferAt(const Value& v, TimePoint t,
+                            const TypingContext& ctx) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      // null : T for every T; the most specific deduction is bottom.
+      return types::Any();
+    case ValueKind::kInteger:
+      return types::Integer();
+    case ValueKind::kReal:
+      return types::Real();
+    case ValueKind::kBool:
+      return types::Bool();
+    case ValueKind::kChar:
+      return types::Char();
+    case ValueKind::kString:
+      return types::String();
+    case ValueKind::kTime:
+      return types::Time();
+    case ValueKind::kOid: {
+      // Rule: i : c when i in pi(c, t); deduce the most specific class.
+      std::optional<std::string> cls =
+          ctx.extents.MostSpecificClass(v.AsOid(), t);
+      if (!cls.has_value()) {
+        return Status::TypeError("object " + v.AsOid().ToString() +
+                                 " does not belong to any class at time " +
+                                 InstantToString(t));
+      }
+      return types::Object(*cls);
+    }
+    case ValueKind::kSet: {
+      TCH_ASSIGN_OR_RETURN(const Type* e,
+                           InferElementsType(v.Elements(), t, ctx));
+      return types::SetOf(e);
+    }
+    case ValueKind::kList: {
+      TCH_ASSIGN_OR_RETURN(const Type* e,
+                           InferElementsType(v.Elements(), t, ctx));
+      return types::ListOf(e);
+    }
+    case ValueKind::kRecord: {
+      std::vector<RecordField> fields;
+      fields.reserve(v.Fields().size());
+      for (const auto& [name, fv] : v.Fields()) {
+        TCH_ASSIGN_OR_RETURN(const Type* ft, InferAt(fv, t, ctx));
+        fields.push_back({name, ft});
+      }
+      return types::RecordOf(std::move(fields));
+    }
+    case ValueKind::kTemporal: {
+      // Rule: v_i : T, t_i : time |- {(t_i, v_i)} : temporal(T); segments
+      // are typed at their own instants and joined with the lub.
+      const Type* element = types::Any();
+      for (const auto& seg : v.AsTemporal().segments()) {
+        TCH_ASSIGN_OR_RETURN(const Type* st,
+                             InferAt(seg.value, seg.interval.start(), ctx));
+        TCH_ASSIGN_OR_RETURN(element,
+                             LeastUpperBound(element, st, ctx.isa));
+      }
+      return types::Temporal(element);
+    }
+  }
+  return Status::Internal("unhandled value kind");
+}
+
+Result<const Type*> InferElementsType(const std::vector<Value>& elements,
+                                      TimePoint t, const TypingContext& ctx) {
+  const Type* lub = types::Any();
+  for (const Value& e : elements) {
+    TCH_ASSIGN_OR_RETURN(const Type* et, InferAt(e, t, ctx));
+    TCH_ASSIGN_OR_RETURN(lub, LeastUpperBound(lub, et, ctx.isa));
+  }
+  return lub;
+}
+
+}  // namespace
+
+Status CheckLegalValue(const Value& v, const Type* type, TimePoint t,
+                       const TypingContext& ctx) {
+  if (type == nullptr) {
+    return Status::InvalidArgument("null type in CheckLegalValue");
+  }
+  return CheckOverInterval(v, type, Interval::At(t), ctx);
+}
+
+Status CheckLegalValueOverInterval(const Value& v, const Type* type,
+                                   const Interval& interval,
+                                   const TypingContext& ctx) {
+  if (type == nullptr) {
+    return Status::InvalidArgument("null type in CheckLegalValueOverInterval");
+  }
+  if (interval.empty()) return Status::OK();
+  return CheckOverInterval(v, type, interval, ctx);
+}
+
+Result<const Type*> InferType(const Value& v, TimePoint t,
+                              const TypingContext& ctx) {
+  return InferAt(v, t, ctx);
+}
+
+}  // namespace tchimera

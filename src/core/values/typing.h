@@ -1,0 +1,109 @@
+// The typing machinery of Section 3.2:
+//
+//   - CheckLegalValue implements Definition 3.5: v in [[T]]_t, the
+//     extension of type T at time t;
+//   - InferType implements the typing rules of Definition 3.6: it deduces
+//     the most specific type of a value (using the lub for collections);
+//
+// together they make Theorem 3.1 (soundness) and Theorem 3.2
+// (completeness) machine-checkable properties:
+//
+//   soundness:    InferType(v) = T  ==>  exists t, v in [[T]]_t
+//   completeness: v in [[T]]_t      ==>  InferType(v) <=_T T
+//
+// (The paper phrases completeness as deducing exactly T for v; because the
+// rules deduce the *most specific* type and null/empty collections inhabit
+// every type, the deduced type is in general a subtype of T. This is the
+// standard reading and is what the property tests verify.)
+//
+// Object-type rules need the class extents: `i : c` holds iff
+// i in pi(c, t). Those live in the schema layer, so the checker is
+// parameterized by an ExtentProvider.
+#ifndef TCHIMERA_CORE_VALUES_TYPING_H_
+#define TCHIMERA_CORE_VALUES_TYPING_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/temporal/interval.h"
+#include "core/types/subtyping.h"
+#include "core/types/type.h"
+#include "core/values/value.h"
+
+namespace tchimera {
+
+// The function pi: CI x TIME -> 2^OI of the paper, as seen by the type
+// checker.
+class ExtentProvider {
+ public:
+  virtual ~ExtentProvider() = default;
+
+  // True iff oid in pi(class_name, t): the object belonged to the class
+  // (as instance or member) at instant t.
+  virtual bool InExtent(std::string_view class_name, Oid oid,
+                        TimePoint t) const = 0;
+
+  // True iff oid in pi(class_name, t) for *every* t in `interval`. Used
+  // when checking temporal values, whose segments assert membership over
+  // whole intervals (Example 5.3 in the paper spells this out).
+  virtual bool InExtentThroughout(std::string_view class_name, Oid oid,
+                                  const Interval& interval) const = 0;
+
+  // The most specific class the object belongs to at instant t, if any.
+  // Drives the inference rule for oids.
+  virtual std::optional<std::string> MostSpecificClass(Oid oid,
+                                                       TimePoint t) const = 0;
+};
+
+// A world with no objects: every extent is empty. Value-only code paths
+// and tests use this.
+class EmptyExtentProvider final : public ExtentProvider {
+ public:
+  bool InExtent(std::string_view, Oid, TimePoint) const override {
+    return false;
+  }
+  bool InExtentThroughout(std::string_view, Oid,
+                          const Interval&) const override {
+    return false;
+  }
+  std::optional<std::string> MostSpecificClass(Oid, TimePoint) const override {
+    return std::nullopt;
+  }
+};
+
+// Groups the two schema-facing interfaces the type system depends on.
+struct TypingContext {
+  const ExtentProvider& extents;
+  const IsaProvider& isa;
+};
+
+// Definition 3.5: OK iff v in [[T]]_t. The error message pinpoints the
+// first violating component.
+Status CheckLegalValue(const Value& v, const Type* type, TimePoint t,
+                       const TypingContext& ctx);
+
+// OK iff v in [[T]]_t for every t in `interval` (object-type membership
+// must hold throughout). Used for temporal segments, whose values are
+// asserted over whole intervals.
+Status CheckLegalValueOverInterval(const Value& v, const Type* type,
+                                   const Interval& interval,
+                                   const TypingContext& ctx);
+inline bool IsLegalValue(const Value& v, const Type* type, TimePoint t,
+                         const TypingContext& ctx) {
+  return CheckLegalValue(v, type, t, ctx).ok();
+}
+
+// Definition 3.6: the deduced (most specific) type of `v`, evaluated at
+// reference instant `t` (oids are typed by their most specific class at
+// the instant where they occur: `t` for non-temporal positions, the
+// segment instants for temporal ones). Fails with TypeError when no type
+// can be deduced (unknown oid, or a collection whose element types have no
+// lub).
+Result<const Type*> InferType(const Value& v, TimePoint t,
+                              const TypingContext& ctx);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_VALUES_TYPING_H_

@@ -1,0 +1,299 @@
+#include "core/values/value_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/values/temporal_function.h"
+
+namespace tchimera {
+namespace {
+
+class ValueParser {
+ public:
+  explicit ValueParser(std::string_view text) : text_(text) {}
+
+  Result<Value> Parse(const Type* hint) {
+    TCH_ASSIGN_OR_RETURN(Value v, ParseValue(hint));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after value at " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ErrorHere(const std::string& what) {
+    return Status::InvalidArgument(what + " at position " +
+                                   std::to_string(pos_) + " in '" +
+                                   std::string(text_) + "'");
+  }
+
+  // Parses a single-quoted, backslash-escaped literal body (after the
+  // opening quote has been consumed).
+  Result<std::string> ParseQuotedBody() {
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '\'') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return ErrorHere("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '\'':
+            out.push_back('\'');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            return ErrorHere("bad escape sequence");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return ErrorHere("unterminated string literal");
+  }
+
+  Result<TimePoint> ParseInstant() {
+    SkipSpace();
+    if (text_.compare(pos_, 3, "now") == 0) {
+      pos_ += 3;
+      return kNow;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return ErrorHere("expected an instant");
+    return static_cast<TimePoint>(
+        std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                     nullptr, 10));
+  }
+
+  Result<Interval> ParseInterval() {
+    if (!Consume('[')) return ErrorHere("expected '['");
+    if (Consume(']')) return Interval::Empty();
+    TCH_ASSIGN_OR_RETURN(TimePoint s, ParseInstant());
+    if (!Consume(',')) return ErrorHere("expected ',' in interval");
+    TCH_ASSIGN_OR_RETURN(TimePoint e, ParseInstant());
+    if (!Consume(']')) return ErrorHere("expected ']' closing interval");
+    return Interval(s, e);
+  }
+
+  Result<Value> ParseValue(const Type* hint) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return ErrorHere("expected a value");
+    char c = text_[pos_];
+
+    // Braces open a set or a temporal function.
+    if (c == '{') return ParseBraced(hint);
+    if (c == '[') return ParseList(hint);
+    if (c == '(') return ParseRecord(hint);
+    if (c == '\'') {
+      ++pos_;
+      TCH_ASSIGN_OR_RETURN(std::string s, ParseQuotedBody());
+      return Value::String(std::move(s));
+    }
+    // c'<char>'
+    if (c == 'c' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+      pos_ += 2;
+      TCH_ASSIGN_OR_RETURN(std::string s, ParseQuotedBody());
+      if (s.size() != 1) return ErrorHere("char literal must be one character");
+      return Value::Char(s[0]);
+    }
+    // t<instant>
+    if (c == 't' && pos_ + 1 < text_.size() &&
+        (std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) ||
+         text_.compare(pos_ + 1, 3, "now") == 0)) {
+      ++pos_;
+      TCH_ASSIGN_OR_RETURN(TimePoint t, ParseInstant());
+      return Value::Time(t);
+    }
+    // i<digits> — an oid.
+    if (c == 'i' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      uint64_t id = std::strtoull(
+          std::string(text_.substr(start, pos_ - start)).c_str(), nullptr, 10);
+      return Value::OfOid(Oid{id});
+    }
+    // Keywords.
+    if (MatchKeyword("null")) return Value::Null();
+    if (MatchKeyword("true")) return Value::Bool(true);
+    if (MatchKeyword("false")) return Value::Bool(false);
+    // Numbers: integer or real.
+    if (c == '-' || c == '+' ||
+        std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    return ErrorHere("unrecognized value");
+  }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (text_.compare(pos_, kw.size(), kw) != 0) return false;
+    size_t end = pos_ + kw.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_real = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_real = true;
+        ++pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-" || token == "+") {
+      return ErrorHere("malformed number");
+    }
+    if (is_real) return Value::Real(std::strtod(token.c_str(), nullptr));
+    return Value::Integer(std::strtoll(token.c_str(), nullptr, 10));
+  }
+
+  // '{' ... : either a set {v1,...} or a temporal function {<[..],v>,...}.
+  Result<Value> ParseBraced(const Type* hint) {
+    Consume('{');
+    bool want_temporal =
+        hint != nullptr && hint->kind() == TypeKind::kTemporal;
+    if (Consume('}')) {
+      if (want_temporal) return Value::Temporal(TemporalFunction());
+      return Value::EmptySet();
+    }
+    if (Peek('<')) {
+      // Temporal function.
+      const Type* element_hint =
+          want_temporal ? hint->element() : nullptr;
+      std::vector<TemporalFunction::Segment> segments;
+      do {
+        if (!Consume('<')) return ErrorHere("expected '<'");
+        TCH_ASSIGN_OR_RETURN(Interval iv, ParseInterval());
+        if (!Consume(',')) return ErrorHere("expected ',' in segment");
+        TCH_ASSIGN_OR_RETURN(Value v, ParseValue(element_hint));
+        if (!Consume('>')) return ErrorHere("expected '>' closing segment");
+        segments.push_back({iv, std::move(v)});
+      } while (Consume(','));
+      if (!Consume('}')) return ErrorHere("expected '}'");
+      TCH_ASSIGN_OR_RETURN(TemporalFunction f,
+                           TemporalFunction::Make(std::move(segments)));
+      return Value::Temporal(std::move(f));
+    }
+    // Set.
+    const Type* element_hint =
+        hint != nullptr && hint->kind() == TypeKind::kSet ? hint->element()
+                                                          : nullptr;
+    std::vector<Value> elements;
+    do {
+      TCH_ASSIGN_OR_RETURN(Value v, ParseValue(element_hint));
+      elements.push_back(std::move(v));
+    } while (Consume(','));
+    if (!Consume('}')) return ErrorHere("expected '}'");
+    return Value::Set(std::move(elements));
+  }
+
+  Result<Value> ParseList(const Type* hint) {
+    Consume('[');
+    const Type* element_hint =
+        hint != nullptr && hint->kind() == TypeKind::kList ? hint->element()
+                                                           : nullptr;
+    std::vector<Value> elements;
+    if (Consume(']')) return Value::List(std::move(elements));
+    do {
+      TCH_ASSIGN_OR_RETURN(Value v, ParseValue(element_hint));
+      elements.push_back(std::move(v));
+    } while (Consume(','));
+    if (!Consume(']')) return ErrorHere("expected ']'");
+    return Value::List(std::move(elements));
+  }
+
+  Result<Value> ParseRecord(const Type* hint) {
+    Consume('(');
+    std::vector<Value::Field> fields;
+    if (Consume(')')) return Value::Record(std::move(fields));
+    do {
+      SkipSpace();
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ == start) return ErrorHere("expected a field name");
+      std::string name(text_.substr(start, pos_ - start));
+      if (!Consume(':')) return ErrorHere("expected ':' after field name");
+      const Type* field_hint =
+          hint != nullptr && hint->kind() == TypeKind::kRecord
+              ? hint->FieldType(name)
+              : nullptr;
+      TCH_ASSIGN_OR_RETURN(Value v, ParseValue(field_hint));
+      fields.emplace_back(std::move(name), std::move(v));
+    } while (Consume(','));
+    if (!Consume(')')) return ErrorHere("expected ')'");
+    return Value::Record(std::move(fields));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> ParseValue(std::string_view text, const Type* hint) {
+  return ValueParser(text).Parse(hint);
+}
+
+}  // namespace tchimera

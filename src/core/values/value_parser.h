@@ -1,0 +1,25 @@
+// Parser for the textual value notation produced by Value::ToString (the
+// paper's notation; see value_printer.cc for the grammar).
+//
+// One ambiguity exists in the surface syntax: "{}" can denote the empty
+// set or the everywhere-undefined temporal function. An optional type hint
+// resolves it (the storage layer always has the declared attribute type at
+// hand); without a hint "{}" parses as the empty set.
+#ifndef TCHIMERA_CORE_VALUES_VALUE_PARSER_H_
+#define TCHIMERA_CORE_VALUES_VALUE_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "core/types/type.h"
+#include "core/values/value.h"
+
+namespace tchimera {
+
+// Parses `text` as a value. `hint` (may be null) disambiguates "{}" and is
+// propagated into collections/records/temporal segments.
+Result<Value> ParseValue(std::string_view text, const Type* hint = nullptr);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_VALUES_VALUE_PARSER_H_

@@ -1,0 +1,85 @@
+#include "query/ast.h"
+
+namespace tchimera {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kIn:
+      return "in";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kVar:
+      return name;
+    case ExprKind::kAttrAccess: {
+      std::string out = base->ToString() + "." + name;
+      if (at.has_value()) out += "@t" + InstantToString(*at);
+      return out;
+    }
+    case ExprKind::kNot:
+      return "not " + base->ToString();
+    case ExprKind::kNegate:
+      return "-" + base->ToString();
+    case ExprKind::kBinary:
+      return "(" + base->ToString() + " " + BinaryOpName(op) + " " +
+             rhs->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kSetCtor:
+    case ExprKind::kListCtor: {
+      std::string out(1, kind == ExprKind::kSetCtor ? '{' : '[');
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      out += kind == ExprKind::kSetCtor ? '}' : ']';
+      return out;
+    }
+    case ExprKind::kRecCtor: {
+      std::string out = "rec(";
+      for (size_t i = 0; i < rec_fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rec_fields[i].first + ": " + rec_fields[i].second->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace tchimera

@@ -1,0 +1,199 @@
+// Abstract syntax of TQL.
+//
+// Expressions are evaluated *at an instant*: the query's AT time (default
+// `now`). Accessing a temporal attribute without an explicit `@ t`
+// projects it at that instant — this is exactly the snapshot coercion of
+// Section 6.1, surfaced in the language; `@ t` projects at another
+// instant. Full histories are reached through the HISTORY statement, not
+// through expressions, so expression types are always non-temporal.
+#ifndef TCHIMERA_QUERY_AST_H_
+#define TCHIMERA_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/schema/class_def.h"
+#include "core/temporal/interval.h"
+#include "core/types/type.h"
+#include "core/values/value.h"
+
+namespace tchimera {
+
+enum class ExprKind {
+  kLiteral,     // 42, 'IDEA', true, null, i7, t42
+  kVar,         // the FROM binder
+  kAttrAccess,  // base.attr [@ t]
+  kNot,         // not e
+  kNegate,      // - e
+  kBinary,      // e op e
+  kCall,        // size(e), defined(e), videntical(x,y), ...
+  kSetCtor,     // { e1, ..., en }
+  kListCtor,    // [ e1, ..., en ]
+  kRecCtor,     // rec(a: e, ...)
+};
+
+enum class BinaryOp {
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kIn,   // membership in a set or list
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  size_t position = 0;  // for error messages
+
+  Value literal;               // kLiteral
+  std::string name;            // kVar / kAttrAccess (attribute) / kCall
+  ExprPtr base;                // kAttrAccess / kNot / kNegate / kBinary lhs
+  ExprPtr rhs;                 // kBinary rhs
+  BinaryOp op = BinaryOp::kEq;
+  std::optional<TimePoint> at;  // kAttrAccess explicit @ t
+  std::vector<ExprPtr> args;   // kCall / kSetCtor / kListCtor
+  std::vector<std::pair<std::string, ExprPtr>> rec_fields;  // kRecCtor
+
+  // Filled in by the type checker.
+  const Type* inferred = nullptr;
+
+  std::string ToString() const;
+};
+
+// --- statements ---------------------------------------------------------------
+
+struct DefineClassStmt {
+  ClassSpec spec;
+};
+
+struct DropClassStmt {
+  std::string name;
+};
+
+struct CreateStmt {
+  std::string class_name;
+  std::vector<std::pair<std::string, ExprPtr>> inits;
+  std::optional<TimePoint> at;  // retroactive creation
+};
+
+struct UpdateStmt {
+  Oid oid;
+  std::string attr;
+  ExprPtr value;
+  std::optional<Interval> during;  // valid-time update window
+};
+
+struct MigrateStmt {
+  Oid oid;
+  std::string to_class;
+  std::vector<std::pair<std::string, ExprPtr>> sets;
+};
+
+struct DeleteStmt {
+  Oid oid;
+};
+
+struct SelectBinder {
+  std::string var;
+  std::string class_name;
+};
+
+struct SelectStmt {
+  // Projections; a bare `select x` yields the oids themselves.
+  std::vector<ExprPtr> projections;
+  // One or more binders: `from x in c1, y in c2` iterates the cartesian
+  // product of the classes' extents at the evaluation instant.
+  std::vector<SelectBinder> binders;
+  std::optional<TimePoint> at;  // evaluation instant (default now)
+  ExprPtr where;                // may be null
+};
+
+struct SnapshotStmt {
+  Oid oid;
+  std::optional<TimePoint> at;
+};
+
+struct HistoryStmt {
+  Oid oid;
+  std::string attr;
+};
+
+struct TickStmt {
+  int64_t steps = 1;
+};
+
+struct AdvanceStmt {
+  TimePoint to = 0;
+};
+
+struct CheckStmt {};
+
+// WHEN <expr>: temporal selection — the instants at which a closed (no
+// binder) boolean condition over specific objects held, reported as a
+// coalesced interval set. The temporal analog of TQuel's valid clause;
+// e.g. `when i1.salary > 50000 and i2 in i3.participants`.
+struct WhenStmt {
+  ExprPtr condition;
+};
+
+struct ShowStmt {
+  enum class What { kClass, kObject, kClasses, kNow };
+  What what = What::kNow;
+  std::string name;  // kClass
+  Oid oid;           // kObject
+};
+
+struct Statement {
+  enum class Kind {
+    kDefineClass,
+    kDropClass,
+    kCreate,
+    kUpdate,
+    kMigrate,
+    kDelete,
+    kSelect,
+    kSnapshot,
+    kHistory,
+    kTick,
+    kAdvance,
+    kCheck,
+    kWhen,
+    kShow,
+  };
+  Kind kind = Kind::kCheck;
+
+  // Exactly the member matching `kind` is populated (kept flat rather than
+  // a variant for readable accessors).
+  std::optional<DefineClassStmt> define_class;
+  std::optional<DropClassStmt> drop_class;
+  std::optional<CreateStmt> create;
+  std::optional<UpdateStmt> update;
+  std::optional<MigrateStmt> migrate;
+  std::optional<DeleteStmt> del;
+  std::optional<SelectStmt> select;
+  std::optional<SnapshotStmt> snapshot;
+  std::optional<HistoryStmt> history;
+  std::optional<TickStmt> tick;
+  std::optional<AdvanceStmt> advance;
+  std::optional<WhenStmt> when;
+  std::optional<ShowStmt> show;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_QUERY_AST_H_

@@ -1,0 +1,325 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/db/equality.h"
+#include "core/values/temporal_function.h"
+
+namespace tchimera {
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const Database& db, const ValueEnv& env, TimePoint at)
+      : db_(db), env_(env), at_(ResolveInstant(at, db.now())) {}
+
+  Result<Value> Eval(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return e.literal;
+      case ExprKind::kVar: {
+        auto it = env_.find(e.name);
+        if (it == env_.end()) {
+          return Status::Internal("unbound variable '" + e.name +
+                                  "' at evaluation time");
+        }
+        return Value::OfOid(it->second);
+      }
+      case ExprKind::kAttrAccess:
+        return EvalAttrAccess(e);
+      case ExprKind::kNot: {
+        TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.base));
+        if (v.is_null()) return Value::Null();
+        return Value::Bool(!v.AsBool());
+      }
+      case ExprKind::kNegate: {
+        TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.base));
+        if (v.is_null()) return Value::Null();
+        if (v.kind() == ValueKind::kReal) return Value::Real(-v.AsReal());
+        return Value::Integer(-v.AsInteger());
+      }
+      case ExprKind::kBinary:
+        return EvalBinary(e);
+      case ExprKind::kCall:
+        return EvalCall(e);
+      case ExprKind::kSetCtor:
+      case ExprKind::kListCtor: {
+        std::vector<Value> elems;
+        elems.reserve(e.args.size());
+        for (const ExprPtr& a : e.args) {
+          TCH_ASSIGN_OR_RETURN(Value v, Eval(*a));
+          elems.push_back(std::move(v));
+        }
+        return e.kind == ExprKind::kSetCtor ? Value::Set(std::move(elems))
+                                            : Value::List(std::move(elems));
+      }
+      case ExprKind::kRecCtor: {
+        std::vector<Value::Field> fields;
+        for (const auto& [name, fe] : e.rec_fields) {
+          TCH_ASSIGN_OR_RETURN(Value v, Eval(*fe));
+          fields.emplace_back(name, std::move(v));
+        }
+        return Value::Record(std::move(fields));
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+ private:
+  Result<Value> EvalAttrAccess(const Expr& e) {
+    TCH_ASSIGN_OR_RETURN(Value base, Eval(*e.base));
+    if (base.is_null()) return Value::Null();
+    const Object* obj = db_.GetObject(base.AsOid());
+    if (obj == nullptr) {
+      return Status::NotFound("dangling reference " +
+                              base.AsOid().ToString());
+    }
+    const Value* stored = obj->Attribute(e.name);
+    if (stored == nullptr) return Value::Null();
+    if (stored->kind() == ValueKind::kTemporal) {
+      TimePoint t = e.at.has_value() ? ResolveInstant(*e.at, db_.now()) : at_;
+      const Value* projected = stored->AsTemporal().At(t);
+      return projected == nullptr ? Value::Null() : *projected;
+    }
+    return *stored;
+  }
+
+  Result<Value> EvalBinary(const Expr& e) {
+    // Short-circuit connectives first.
+    if (e.op == BinaryOp::kAnd || e.op == BinaryOp::kOr) {
+      TCH_ASSIGN_OR_RETURN(Value l, Eval(*e.base));
+      bool lb = !l.is_null() && l.AsBool();
+      if (e.op == BinaryOp::kAnd && !lb) return Value::Bool(false);
+      if (e.op == BinaryOp::kOr && lb) return Value::Bool(true);
+      TCH_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs));
+      return Value::Bool(!r.is_null() && r.AsBool());
+    }
+    TCH_ASSIGN_OR_RETURN(Value l, Eval(*e.base));
+    TCH_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs));
+    switch (e.op) {
+      case BinaryOp::kEq:
+        return Value::Bool(l == r);
+      case BinaryOp::kNeq:
+        return Value::Bool(l != r);
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        int c = Value::Compare(l, r);
+        switch (e.op) {
+          case BinaryOp::kLt:
+            return Value::Bool(c < 0);
+          case BinaryOp::kLe:
+            return Value::Bool(c <= 0);
+          case BinaryOp::kGt:
+            return Value::Bool(c > 0);
+          default:
+            return Value::Bool(c >= 0);
+        }
+      }
+      case BinaryOp::kIn:
+        if (r.is_null()) return Value::Null();
+        return Value::Bool(r.Contains(l));
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        if (l.kind() == ValueKind::kReal) {
+          double a = l.AsReal(), b = r.AsReal();
+          switch (e.op) {
+            case BinaryOp::kAdd:
+              return Value::Real(a + b);
+            case BinaryOp::kSub:
+              return Value::Real(a - b);
+            case BinaryOp::kMul:
+              return Value::Real(a * b);
+            default:
+              return Value::Real(a / b);
+          }
+        }
+        int64_t a = l.AsInteger(), b = r.AsInteger();
+        if (e.op == BinaryOp::kDiv && b == 0) {
+          return Status::InvalidArgument("integer division by zero");
+        }
+        switch (e.op) {
+          case BinaryOp::kAdd:
+            return Value::Integer(a + b);
+          case BinaryOp::kSub:
+            return Value::Integer(a - b);
+          case BinaryOp::kMul:
+            return Value::Integer(a * b);
+          default:
+            return Value::Integer(a / b);
+        }
+      }
+      default:
+        return Status::Internal("unhandled binary op");
+    }
+  }
+
+  Result<Value> EvalCall(const Expr& e) {
+    const std::string& fn = e.name;
+    if (fn == "size") {
+      TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+      if (v.is_null()) return Value::Null();
+      return Value::Integer(static_cast<int64_t>(v.Elements().size()));
+    }
+    if (fn == "defined") {
+      TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+      return Value::Bool(!v.is_null());
+    }
+    if (fn == "snapshot") {
+      TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+      if (v.is_null()) return Value::Null();
+      TimePoint t = at_;
+      if (e.args.size() == 2) {
+        TCH_ASSIGN_OR_RETURN(Value tv, Eval(*e.args[1]));
+        if (tv.is_null()) return Value::Null();
+        t = ResolveInstant(tv.AsTime(), db_.now());
+      }
+      Result<Value> snap = db_.SnapshotOf(v.AsOid(), t);
+      // An undefined snapshot (Section 5.3) evaluates to null rather than
+      // failing the whole query.
+      if (!snap.ok()) return Value::Null();
+      return std::move(snap).value();
+    }
+    if (fn == "lifespan") {
+      TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+      if (v.is_null()) return Value::Null();
+      TCH_ASSIGN_OR_RETURN(Interval ls, db_.OLifespan(v.AsOid()));
+      return Value::List({Value::Time(ls.start()), Value::Time(ls.end())});
+    }
+    if (fn == "videntical" || fn == "vequal" || fn == "vinstant" ||
+        fn == "vweak" || fn == "vdeep") {
+      TCH_ASSIGN_OR_RETURN(Value a, Eval(*e.args[0]));
+      TCH_ASSIGN_OR_RETURN(Value b, Eval(*e.args[1]));
+      if (a.is_null() || b.is_null()) return Value::Null();
+      TCH_ASSIGN_OR_RETURN(const Object* oa, db_.FindObject(a.AsOid()));
+      TCH_ASSIGN_OR_RETURN(const Object* ob, db_.FindObject(b.AsOid()));
+      if (fn == "videntical") return Value::Bool(EqualByIdentity(*oa, *ob));
+      if (fn == "vequal") return Value::Bool(EqualByValue(*oa, *ob));
+      if (fn == "vdeep") return Value::Bool(DeepValueEqual(db_, *oa, *ob));
+      if (fn == "vinstant") {
+        return Value::Bool(InstantaneousValueEqual(*oa, *ob, db_.now()));
+      }
+      return Value::Bool(WeakValueEqual(*oa, *ob, db_.now()));
+    }
+    return Status::Internal("unknown function '" + fn + "'");
+  }
+
+  const Database& db_;
+  const ValueEnv& env_;
+  TimePoint at_;
+};
+
+}  // namespace
+
+Result<Value> EvaluateExpr(const Expr& expr, const Database& db,
+                           const ValueEnv& env, TimePoint at) {
+  return Evaluator(db, env, at).Eval(expr);
+}
+
+namespace {
+
+// Recursively extends `env` with one binder at a time (the cartesian
+// product of the binders' extents) and emits rows at the leaves.
+Status EnumerateBindings(const SelectStmt& stmt, const Database& db,
+                         TimePoint at, size_t binder_index, ValueEnv* env,
+                         std::vector<SelectRow>* rows) {
+  if (binder_index == stmt.binders.size()) {
+    if (stmt.where != nullptr) {
+      TCH_ASSIGN_OR_RETURN(Value keep,
+                           EvaluateExpr(*stmt.where, db, *env, at));
+      if (keep.is_null() || !keep.AsBool()) return Status::OK();
+    }
+    SelectRow row;
+    row.oid = env->find(stmt.binders.front().var)->second;
+    for (const ExprPtr& p : stmt.projections) {
+      TCH_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*p, db, *env, at));
+      row.columns.push_back(std::move(v));
+    }
+    rows->push_back(std::move(row));
+    return Status::OK();
+  }
+  const SelectBinder& binder = stmt.binders[binder_index];
+  for (Oid oid : db.Pi(binder.class_name, at)) {
+    auto [it, inserted] = env->insert_or_assign(binder.var, oid);
+    (void)it;
+    (void)inserted;
+    TCH_RETURN_IF_ERROR(
+        EnumerateBindings(stmt, db, at, binder_index + 1, env, rows));
+  }
+  env->erase(binder.var);
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+// All oids mentioned literally anywhere in the expression.
+void CollectExprOids(const Expr& e, std::vector<Oid>* out) {
+  if (e.kind == ExprKind::kLiteral) e.literal.CollectOids(out);
+  if (e.base != nullptr) CollectExprOids(*e.base, out);
+  if (e.rhs != nullptr) CollectExprOids(*e.rhs, out);
+  for (const ExprPtr& a : e.args) CollectExprOids(*a, out);
+  for (const auto& [unused, fe] : e.rec_fields) CollectExprOids(*fe, out);
+}
+
+}  // namespace
+
+Result<IntervalSet> EvaluateWhen(const Expr& condition, const Database& db) {
+  // Boundaries at which the condition can change truth value: the
+  // lifespan edges and temporal-segment edges of every mentioned object.
+  std::vector<Oid> oids;
+  CollectExprOids(condition, &oids);
+  std::set<TimePoint> boundary_set = {0};
+  TimePoint now = db.now();
+  auto add = [&boundary_set, now](TimePoint t) {
+    if (t >= 0 && t <= now) boundary_set.insert(t);
+  };
+  for (Oid oid : oids) {
+    const Object* obj = db.GetObject(oid);
+    if (obj == nullptr) continue;
+    add(obj->lifespan().start());
+    if (!obj->lifespan().is_ongoing()) add(obj->lifespan().end() + 1);
+    for (const std::string& name : obj->AttributeNames()) {
+      const Value* v = obj->Attribute(name);
+      if (v->kind() != ValueKind::kTemporal) continue;
+      for (const auto& seg : v->AsTemporal().segments()) {
+        add(seg.interval.start());
+        if (!seg.interval.is_ongoing()) add(seg.interval.end() + 1);
+      }
+    }
+  }
+  std::vector<TimePoint> boundaries(boundary_set.begin(),
+                                    boundary_set.end());
+  ValueEnv empty;
+  IntervalSet held;
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    TimePoint from = boundaries[i];
+    TimePoint to = i + 1 < boundaries.size() ? boundaries[i + 1] - 1 : now;
+    TCH_ASSIGN_OR_RETURN(Value v,
+                         EvaluateExpr(condition, db, empty, from));
+    if (!v.is_null() && v.AsBool()) held.Add(Interval(from, to));
+  }
+  return held;
+}
+
+Result<std::vector<SelectRow>> EvaluateSelect(const SelectStmt& stmt,
+                                              const Database& db) {
+  if (stmt.binders.empty()) {
+    return Status::InvalidArgument("SELECT has no FROM binder");
+  }
+  TimePoint at =
+      stmt.at.has_value() ? ResolveInstant(*stmt.at, db.now()) : db.now();
+  std::vector<SelectRow> rows;
+  ValueEnv env;
+  TCH_RETURN_IF_ERROR(EnumerateBindings(stmt, db, at, 0, &env, &rows));
+  return rows;
+}
+
+}  // namespace tchimera

@@ -1,0 +1,49 @@
+// Evaluation of type-checked TQL expressions and SELECT statements.
+//
+// Expressions are evaluated at an instant `at` (the query's AT time,
+// default now). Temporal attribute access projects the attribute's
+// function at that instant (or at the explicit `@ t`); a projection
+// outside the function's domain yields null. Null propagates through
+// operators; a null predicate counts as false (two-valued semantics with
+// null absorption — documented in DESIGN.md).
+#ifndef TCHIMERA_QUERY_EVALUATOR_H_
+#define TCHIMERA_QUERY_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/temporal/interval_set.h"
+#include "core/db/database.h"
+#include "query/ast.h"
+
+namespace tchimera {
+
+// The runtime environment: binder name -> bound oid.
+using ValueEnv = std::map<std::string, Oid, std::less<>>;
+
+// Evaluates a (type-checked) expression at instant `at`.
+Result<Value> EvaluateExpr(const Expr& expr, const Database& db,
+                           const ValueEnv& env, TimePoint at);
+
+// One result row of a SELECT.
+struct SelectRow {
+  Oid oid;                     // the bound object
+  std::vector<Value> columns;  // one value per projection
+};
+
+// Runs a SELECT: iterates pi(class, at), filters with WHERE, evaluates
+// the projections. The statement must have been type-checked first.
+Result<std::vector<SelectRow>> EvaluateSelect(const SelectStmt& stmt,
+                                              const Database& db);
+
+// Evaluates a WHEN statement: the coalesced set of instants in [0, now]
+// at which the closed boolean condition held. Piecewise-exact: the
+// condition is constant between the value-change boundaries of every
+// object it mentions, so it is decided once per piece.
+Result<IntervalSet> EvaluateWhen(const Expr& condition, const Database& db);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_QUERY_EVALUATOR_H_

@@ -1,0 +1,38 @@
+// The TQL interpreter: parses, type-checks and executes statements against
+// a Database, returning a printable result. Drives the REPL example, the
+// script-based tests and the query benchmarks.
+#ifndef TCHIMERA_QUERY_INTERPRETER_H_
+#define TCHIMERA_QUERY_INTERPRETER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/db/database.h"
+#include "query/ast.h"
+
+namespace tchimera {
+
+class Interpreter {
+ public:
+  // Does not take ownership; `db` must outlive the interpreter.
+  explicit Interpreter(Database* db) : db_(db) {}
+
+  // Parses and executes one statement; returns its printable outcome
+  // (e.g. "i7" for CREATE, a table for SELECT, "ok" for updates).
+  Result<std::string> Execute(std::string_view statement);
+
+  // Executes a whole script (';'-separated); returns the concatenated
+  // outputs, one line per statement. Stops at the first error.
+  Result<std::string> ExecuteScript(std::string_view script);
+
+  // Executes an already-parsed statement.
+  Result<std::string> ExecuteStatement(Statement* stmt);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_QUERY_INTERPRETER_H_

@@ -1,0 +1,716 @@
+#include "query/parser.h"
+
+#include <utility>
+
+#include "core/types/type_parser.h"
+#include "core/types/type_registry.h"
+#include "query/lexer.h"
+
+namespace tchimera {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseOneStatement() {
+    TCH_ASSIGN_OR_RETURN(Statement stmt, ParseStmt());
+    Accept(TokenKind::kSemicolon);
+    if (!AtEnd()) {
+      return ErrorHere("unexpected input after statement: " +
+                       Peek().Describe());
+    }
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      TCH_ASSIGN_OR_RETURN(Statement stmt, ParseStmt());
+      out.push_back(std::move(stmt));
+      while (Accept(TokenKind::kSemicolon)) {
+      }
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseOneExpression() {
+    TCH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) {
+      return ErrorHere("unexpected input after expression: " +
+                       Peek().Describe());
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ErrorHere(const std::string& what) const {
+    return Status::InvalidArgument(what + " (at position " +
+                                   std::to_string(Peek().position) + ")");
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Accept(kind)) return Status::OK();
+    return ErrorHere(std::string("expected ") + TokenKindName(kind) +
+                     ", found " + Peek().Describe());
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (AcceptKeyword(kw)) return Status::OK();
+    return ErrorHere("expected keyword '" + std::string(kw) + "', found " +
+                     Peek().Describe());
+  }
+
+  // A class / attribute / variable name. Non-reserved identifiers only.
+  Result<std::string> ParseName() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected a name, found " + Peek().Describe());
+    }
+    return Advance().text;
+  }
+
+  Result<Oid> ParseOid() {
+    if (Peek().kind != TokenKind::kOidLit) {
+      return ErrorHere("expected an oid (i<n>), found " + Peek().Describe());
+    }
+    return Oid{static_cast<uint64_t>(Advance().int_value)};
+  }
+
+  // instant := t<digits> | tnow | <digits>
+  Result<TimePoint> ParseInstant() {
+    if (Peek().kind == TokenKind::kTimeLit) return Advance().int_value;
+    if (Peek().kind == TokenKind::kInteger) return Advance().int_value;
+    if (AcceptKeyword("now")) return kNow;
+    return ErrorHere("expected an instant, found " + Peek().Describe());
+  }
+
+  Result<Interval> ParseInterval() {
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+    TCH_ASSIGN_OR_RETURN(TimePoint s, ParseInstant());
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+    TCH_ASSIGN_OR_RETURN(TimePoint e, ParseInstant());
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    return Interval(s, e);
+  }
+
+  // Types are parsed token-wise into the canonical textual syntax, then
+  // handed to the type parser; this keeps one authoritative type grammar.
+  Result<const Type*> ParseTypeRef() {
+    std::string text;
+    TCH_RETURN_IF_ERROR(CollectTypeText(&text));
+    return ParseType(text);
+  }
+
+  Status CollectTypeText(std::string* out) {
+    // type := name | name '(' ... ')' where the constructor names are
+    // keywords-free identifiers like set-of / temporal / record-of.
+    if (Peek().kind != TokenKind::kIdentifier &&
+        !(Peek().kind == TokenKind::kKeyword)) {
+      return ErrorHere("expected a type, found " + Peek().Describe());
+    }
+    out->append(Advance().text);
+    if (!Accept(TokenKind::kLParen)) return Status::OK();
+    out->push_back('(');
+    if (!Accept(TokenKind::kRParen)) {
+      while (true) {
+        // record-of fields: name ':' type; others: type.
+        if (Peek().kind == TokenKind::kIdentifier &&
+            tokens_[pos_ + 1].kind == TokenKind::kColon) {
+          out->append(Advance().text);
+          Advance();  // ':'
+          out->push_back(':');
+        }
+        TCH_RETURN_IF_ERROR(CollectTypeText(out));
+        if (Accept(TokenKind::kComma)) {
+          out->push_back(',');
+          continue;
+        }
+        TCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        break;
+      }
+    }
+    out->push_back(')');
+    return Status::OK();
+  }
+
+  // field := name ':' type
+  Result<AttributeDef> ParseField() {
+    TCH_ASSIGN_OR_RETURN(std::string name, ParseName());
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    TCH_ASSIGN_OR_RETURN(const Type* type, ParseTypeRef());
+    return AttributeDef{std::move(name), type};
+  }
+
+  // msig := name '(' [type (, type)*] ')' ':' type
+  Result<MethodDef> ParseMethodSig() {
+    MethodDef m;
+    TCH_ASSIGN_OR_RETURN(m.name, ParseName());
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!Accept(TokenKind::kRParen)) {
+      while (true) {
+        TCH_ASSIGN_OR_RETURN(const Type* t, ParseTypeRef());
+        m.inputs.push_back(t);
+        if (Accept(TokenKind::kComma)) continue;
+        TCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        break;
+      }
+    }
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    TCH_ASSIGN_OR_RETURN(m.output, ParseTypeRef());
+    return m;
+  }
+
+  Result<Statement> ParseStmt() {
+    if (AcceptKeyword("define")) return ParseDefineClass();
+    if (AcceptKeyword("drop")) return ParseDropClass();
+    if (AcceptKeyword("create")) return ParseCreate();
+    if (AcceptKeyword("update")) return ParseUpdate();
+    if (AcceptKeyword("migrate")) return ParseMigrate();
+    if (AcceptKeyword("delete")) return ParseDelete();
+    if (AcceptKeyword("select")) return ParseSelect();
+    if (AcceptKeyword("snapshot")) return ParseSnapshot();
+    if (AcceptKeyword("history")) return ParseHistory();
+    if (AcceptKeyword("tick")) return ParseTick();
+    if (AcceptKeyword("advance")) return ParseAdvance();
+    if (AcceptKeyword("check")) {
+      Statement s;
+      s.kind = Statement::Kind::kCheck;
+      return s;
+    }
+    if (AcceptKeyword("when")) {
+      Statement s;
+      s.kind = Statement::Kind::kWhen;
+      s.when.emplace();
+      TCH_ASSIGN_OR_RETURN(s.when->condition, ParseExpr());
+      return s;
+    }
+    if (AcceptKeyword("show")) return ParseShow();
+    return ErrorHere("expected a statement, found " + Peek().Describe());
+  }
+
+  Result<Statement> ParseDefineClass() {
+    TCH_RETURN_IF_ERROR(ExpectKeyword("class"));
+    Statement s;
+    s.kind = Statement::Kind::kDefineClass;
+    s.define_class.emplace();
+    ClassSpec& spec = s.define_class->spec;
+    TCH_ASSIGN_OR_RETURN(spec.name, ParseName());
+    if (AcceptKeyword("under")) {
+      while (true) {
+        TCH_ASSIGN_OR_RETURN(std::string super, ParseName());
+        spec.superclasses.push_back(std::move(super));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    if (AcceptKeyword("attributes")) {
+      while (true) {
+        TCH_ASSIGN_OR_RETURN(AttributeDef f, ParseField());
+        spec.attributes.push_back(std::move(f));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    if (AcceptKeyword("methods")) {
+      while (true) {
+        TCH_ASSIGN_OR_RETURN(MethodDef m, ParseMethodSig());
+        spec.methods.push_back(std::move(m));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    if (AcceptKeyword("c-attributes")) {
+      while (true) {
+        TCH_ASSIGN_OR_RETURN(AttributeDef f, ParseField());
+        spec.c_attributes.push_back(std::move(f));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    TCH_RETURN_IF_ERROR(ExpectKeyword("end"));
+    return s;
+  }
+
+  Result<Statement> ParseDropClass() {
+    TCH_RETURN_IF_ERROR(ExpectKeyword("class"));
+    Statement s;
+    s.kind = Statement::Kind::kDropClass;
+    s.drop_class.emplace();
+    TCH_ASSIGN_OR_RETURN(s.drop_class->name, ParseName());
+    return s;
+  }
+
+  Result<Statement> ParseCreate() {
+    Statement s;
+    s.kind = Statement::Kind::kCreate;
+    s.create.emplace();
+    TCH_ASSIGN_OR_RETURN(s.create->class_name, ParseName());
+    if (AcceptKeyword("at")) {
+      TCH_ASSIGN_OR_RETURN(TimePoint t, ParseInstant());
+      s.create->at = t;
+    }
+    if (Accept(TokenKind::kLParen)) {
+      if (!Accept(TokenKind::kRParen)) {
+        while (true) {
+          TCH_ASSIGN_OR_RETURN(std::string name, ParseName());
+          TCH_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+          TCH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          s.create->inits.emplace_back(std::move(name), std::move(e));
+          if (Accept(TokenKind::kComma)) continue;
+          TCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          break;
+        }
+      }
+    }
+    return s;
+  }
+
+  Result<Statement> ParseUpdate() {
+    Statement s;
+    s.kind = Statement::Kind::kUpdate;
+    s.update.emplace();
+    TCH_ASSIGN_OR_RETURN(s.update->oid, ParseOid());
+    TCH_RETURN_IF_ERROR(ExpectKeyword("set"));
+    TCH_ASSIGN_OR_RETURN(s.update->attr, ParseName());
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+    TCH_ASSIGN_OR_RETURN(s.update->value, ParseExpr());
+    if (AcceptKeyword("during")) {
+      TCH_ASSIGN_OR_RETURN(Interval iv, ParseInterval());
+      s.update->during = iv;
+    }
+    return s;
+  }
+
+  Result<Statement> ParseMigrate() {
+    Statement s;
+    s.kind = Statement::Kind::kMigrate;
+    s.migrate.emplace();
+    TCH_ASSIGN_OR_RETURN(s.migrate->oid, ParseOid());
+    TCH_RETURN_IF_ERROR(ExpectKeyword("to"));
+    TCH_ASSIGN_OR_RETURN(s.migrate->to_class, ParseName());
+    if (AcceptKeyword("set")) {
+      while (true) {
+        TCH_ASSIGN_OR_RETURN(std::string name, ParseName());
+        TCH_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+        TCH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        s.migrate->sets.emplace_back(std::move(name), std::move(e));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    return s;
+  }
+
+  Result<Statement> ParseDelete() {
+    Statement s;
+    s.kind = Statement::Kind::kDelete;
+    s.del.emplace();
+    TCH_ASSIGN_OR_RETURN(s.del->oid, ParseOid());
+    return s;
+  }
+
+  Result<Statement> ParseSelect() {
+    Statement s;
+    s.kind = Statement::Kind::kSelect;
+    s.select.emplace();
+    while (true) {
+      TCH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      s.select->projections.push_back(std::move(e));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    TCH_RETURN_IF_ERROR(ExpectKeyword("from"));
+    while (true) {
+      SelectBinder binder;
+      TCH_ASSIGN_OR_RETURN(binder.var, ParseName());
+      TCH_RETURN_IF_ERROR(ExpectKeyword("in"));
+      TCH_ASSIGN_OR_RETURN(binder.class_name, ParseName());
+      s.select->binders.push_back(std::move(binder));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    if (AcceptKeyword("at")) {
+      TCH_ASSIGN_OR_RETURN(TimePoint t, ParseInstant());
+      s.select->at = t;
+    }
+    if (AcceptKeyword("where")) {
+      TCH_ASSIGN_OR_RETURN(s.select->where, ParseExpr());
+    }
+    return s;
+  }
+
+  Result<Statement> ParseSnapshot() {
+    Statement s;
+    s.kind = Statement::Kind::kSnapshot;
+    s.snapshot.emplace();
+    TCH_ASSIGN_OR_RETURN(s.snapshot->oid, ParseOid());
+    if (AcceptKeyword("at")) {
+      TCH_ASSIGN_OR_RETURN(TimePoint t, ParseInstant());
+      s.snapshot->at = t;
+    }
+    return s;
+  }
+
+  Result<Statement> ParseHistory() {
+    Statement s;
+    s.kind = Statement::Kind::kHistory;
+    s.history.emplace();
+    TCH_ASSIGN_OR_RETURN(s.history->oid, ParseOid());
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    TCH_ASSIGN_OR_RETURN(s.history->attr, ParseName());
+    return s;
+  }
+
+  Result<Statement> ParseTick() {
+    Statement s;
+    s.kind = Statement::Kind::kTick;
+    s.tick.emplace();
+    if (Peek().kind == TokenKind::kInteger) {
+      s.tick->steps = Advance().int_value;
+    }
+    return s;
+  }
+
+  Result<Statement> ParseAdvance() {
+    TCH_RETURN_IF_ERROR(ExpectKeyword("to"));
+    Statement s;
+    s.kind = Statement::Kind::kAdvance;
+    s.advance.emplace();
+    TCH_ASSIGN_OR_RETURN(s.advance->to, ParseInstant());
+    return s;
+  }
+
+  Result<Statement> ParseShow() {
+    Statement s;
+    s.kind = Statement::Kind::kShow;
+    s.show.emplace();
+    if (AcceptKeyword("classes")) {
+      s.show->what = ShowStmt::What::kClasses;
+      return s;
+    }
+    if (AcceptKeyword("now")) {
+      s.show->what = ShowStmt::What::kNow;
+      return s;
+    }
+    if (AcceptKeyword("class")) {
+      s.show->what = ShowStmt::What::kClass;
+      TCH_ASSIGN_OR_RETURN(s.show->name, ParseName());
+      return s;
+    }
+    if (AcceptKeyword("object")) {
+      s.show->what = ShowStmt::What::kObject;
+      TCH_ASSIGN_OR_RETURN(s.show->oid, ParseOid());
+      return s;
+    }
+    return ErrorHere("expected CLASS, OBJECT, CLASSES or NOW after SHOW");
+  }
+
+  // --- expressions -------------------------------------------------------
+
+  ExprPtr MakeExpr(ExprKind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->position = Peek().position;
+    return e;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    TCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      TCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      ExprPtr node = MakeExpr(ExprKind::kBinary);
+      node->op = BinaryOp::kOr;
+      node->base = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    TCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCmp());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      TCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCmp());
+      ExprPtr node = MakeExpr(ExprKind::kBinary);
+      node->op = BinaryOp::kAnd;
+      node->base = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    TCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseSum());
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = BinaryOp::kEq;
+        break;
+      case TokenKind::kNeq:
+        op = BinaryOp::kNeq;
+        break;
+      case TokenKind::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinaryOp::kGe;
+        break;
+      case TokenKind::kKeyword:
+        if (Peek().text == "in") {
+          op = BinaryOp::kIn;
+          break;
+        }
+        return lhs;
+      default:
+        return lhs;
+    }
+    Advance();
+    TCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseSum());
+    ExprPtr node = MakeExpr(ExprKind::kBinary);
+    node->op = op;
+    node->base = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<ExprPtr> ParseSum() {
+    TCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseProd());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      BinaryOp op = Peek().kind == TokenKind::kPlus ? BinaryOp::kAdd
+                                                    : BinaryOp::kSub;
+      Advance();
+      TCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseProd());
+      ExprPtr node = MakeExpr(ExprKind::kBinary);
+      node->op = op;
+      node->base = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseProd() {
+    TCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash) {
+      BinaryOp op = Peek().kind == TokenKind::kStar ? BinaryOp::kMul
+                                                    : BinaryOp::kDiv;
+      Advance();
+      TCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      ExprPtr node = MakeExpr(ExprKind::kBinary);
+      node->op = op;
+      node->base = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptKeyword("not")) {
+      ExprPtr node = MakeExpr(ExprKind::kNot);
+      TCH_ASSIGN_OR_RETURN(node->base, ParseUnary());
+      return node;
+    }
+    if (Accept(TokenKind::kMinus)) {
+      ExprPtr node = MakeExpr(ExprKind::kNegate);
+      TCH_ASSIGN_OR_RETURN(node->base, ParseUnary());
+      return node;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    TCH_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    while (Accept(TokenKind::kDot)) {
+      ExprPtr node = MakeExpr(ExprKind::kAttrAccess);
+      TCH_ASSIGN_OR_RETURN(node->name, ParseName());
+      node->base = std::move(e);
+      if (Accept(TokenKind::kAt)) {
+        TCH_ASSIGN_OR_RETURN(TimePoint t, ParseInstant());
+        node->at = t;
+      }
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInteger: {
+        ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->literal = Value::Integer(Advance().int_value);
+        return e;
+      }
+      case TokenKind::kReal: {
+        ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->literal = Value::Real(Advance().real_value);
+        return e;
+      }
+      case TokenKind::kString: {
+        ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->literal = Value::String(Advance().text);
+        return e;
+      }
+      case TokenKind::kCharLit: {
+        ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->literal = Value::Char(Advance().text[0]);
+        return e;
+      }
+      case TokenKind::kOidLit: {
+        ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->literal = Value::OfOid(Oid{static_cast<uint64_t>(
+            Advance().int_value)});
+        return e;
+      }
+      case TokenKind::kTimeLit: {
+        ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->literal = Value::Time(Advance().int_value);
+        return e;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        TCH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        TCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return e;
+      }
+      case TokenKind::kLBrace: {
+        Advance();
+        ExprPtr e = MakeExpr(ExprKind::kSetCtor);
+        if (!Accept(TokenKind::kRBrace)) {
+          while (true) {
+            TCH_ASSIGN_OR_RETURN(ExprPtr el, ParseExpr());
+            e->args.push_back(std::move(el));
+            if (Accept(TokenKind::kComma)) continue;
+            TCH_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+            break;
+          }
+        }
+        return e;
+      }
+      case TokenKind::kLBracket: {
+        Advance();
+        ExprPtr e = MakeExpr(ExprKind::kListCtor);
+        if (!Accept(TokenKind::kRBracket)) {
+          while (true) {
+            TCH_ASSIGN_OR_RETURN(ExprPtr el, ParseExpr());
+            e->args.push_back(std::move(el));
+            if (Accept(TokenKind::kComma)) continue;
+            TCH_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+            break;
+          }
+        }
+        return e;
+      }
+      case TokenKind::kKeyword: {
+        if (tok.text == "null") {
+          Advance();
+          ExprPtr e = MakeExpr(ExprKind::kLiteral);
+          e->literal = Value::Null();
+          return e;
+        }
+        if (tok.text == "true" || tok.text == "false") {
+          ExprPtr e = MakeExpr(ExprKind::kLiteral);
+          e->literal = Value::Bool(Advance().text == "true");
+          return e;
+        }
+        if (tok.text == "now") {
+          Advance();
+          ExprPtr e = MakeExpr(ExprKind::kLiteral);
+          e->literal = Value::Time(kNow);
+          return e;
+        }
+        if (tok.text == "rec") {
+          Advance();
+          TCH_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+          ExprPtr e = MakeExpr(ExprKind::kRecCtor);
+          if (!Accept(TokenKind::kRParen)) {
+            while (true) {
+              TCH_ASSIGN_OR_RETURN(std::string name, ParseName());
+              TCH_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+              TCH_ASSIGN_OR_RETURN(ExprPtr fv, ParseExpr());
+              e->rec_fields.emplace_back(std::move(name), std::move(fv));
+              if (Accept(TokenKind::kComma)) continue;
+              TCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+              break;
+            }
+          }
+          return e;
+        }
+        if (tok.text == "size" || tok.text == "defined" ||
+            tok.text == "snapshot" || tok.text == "videntical" ||
+            tok.text == "vequal" || tok.text == "vinstant" ||
+            tok.text == "vweak" || tok.text == "vdeep" ||
+            tok.text == "lifespan") {
+          ExprPtr e = MakeExpr(ExprKind::kCall);
+          e->name = Advance().text;
+          TCH_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+          if (!Accept(TokenKind::kRParen)) {
+            while (true) {
+              TCH_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+              e->args.push_back(std::move(a));
+              if (Accept(TokenKind::kComma)) continue;
+              TCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+              break;
+            }
+          }
+          return e;
+        }
+        return ErrorHere("unexpected " + tok.Describe() + " in expression");
+      }
+      case TokenKind::kIdentifier: {
+        ExprPtr e = MakeExpr(ExprKind::kVar);
+        e->name = Advance().text;
+        return e;
+      }
+      default:
+        return ErrorHere("unexpected " + tok.Describe() + " in expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view input) {
+  TCH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  return Parser(std::move(tokens)).ParseOneStatement();
+}
+
+Result<std::vector<Statement>> ParseScript(std::string_view input) {
+  TCH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  return Parser(std::move(tokens)).ParseAll();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view input) {
+  TCH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  return Parser(std::move(tokens)).ParseOneExpression();
+}
+
+}  // namespace tchimera

@@ -1,0 +1,260 @@
+#include "storage/deserializer.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/types/type_parser.h"
+#include "core/types/type_registry.h"
+#include "core/values/temporal_function.h"
+#include "core/values/value_parser.h"
+
+namespace tchimera {
+namespace {
+
+Status Corrupt(size_t line_no, const std::string& what) {
+  return Status::Corruption("snapshot line " + std::to_string(line_no) +
+                            ": " + what);
+}
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::istream* in) : in_(in) {}
+
+  Result<std::unique_ptr<Database>> Load() {
+    auto db = std::make_unique<Database>();
+    TCH_ASSIGN_OR_RETURN(std::string header, NextLine());
+    if (header != "TCHIMERA-SNAPSHOT 1") {
+      return Corrupt(line_no_, "bad header '" + header + "'");
+    }
+    TimePoint now = 0;
+    uint64_t next_oid = 1;
+    while (true) {
+      TCH_ASSIGN_OR_RETURN(std::string line, NextLine());
+      if (line == "EOF") break;
+      auto [tag, rest] = SplitTag(line);
+      if (tag == "NOW") {
+        now = std::strtoll(rest.c_str(), nullptr, 10);
+      } else if (tag == "NEXT-OID") {
+        next_oid = std::strtoull(rest.c_str(), nullptr, 10);
+      } else if (tag == "CLASS") {
+        TCH_RETURN_IF_ERROR(LoadClass(rest, db.get()));
+      } else if (tag == "OBJECT") {
+        TCH_RETURN_IF_ERROR(LoadObject(rest, db.get()));
+      } else {
+        return Corrupt(line_no_, "unexpected record '" + tag + "'");
+      }
+    }
+    db->RestoreClock(now);
+    db->RestoreNextOid(next_oid);
+    return db;
+  }
+
+ private:
+  Result<std::string> NextLine() {
+    std::string line;
+    if (!std::getline(*in_, line)) {
+      return Corrupt(line_no_, "unexpected end of snapshot");
+    }
+    ++line_no_;
+    return line;
+  }
+
+  static std::pair<std::string, std::string> SplitTag(
+      const std::string& line) {
+    size_t sp = line.find(' ');
+    if (sp == std::string::npos) return {line, ""};
+    return {line.substr(0, sp), line.substr(sp + 1)};
+  }
+
+  // "name rest" -> (name, rest).
+  static std::pair<std::string, std::string> SplitName(
+      const std::string& text) {
+    return SplitTag(text);
+  }
+
+  Result<Interval> ParseIntervalText(const std::string& text) {
+    // "[a,b]" or "[]".
+    if (text == "[]") return Interval::Empty();
+    if (text.size() < 5 || text.front() != '[' || text.back() != ']') {
+      return Corrupt(line_no_, "bad interval '" + text + "'");
+    }
+    std::vector<std::string> parts =
+        Split(text.substr(1, text.size() - 2), ',');
+    if (parts.size() != 2) {
+      return Corrupt(line_no_, "bad interval '" + text + "'");
+    }
+    auto parse_instant = [](const std::string& s) -> TimePoint {
+      return s == "now" ? kNow : std::strtoll(s.c_str(), nullptr, 10);
+    };
+    return Interval(parse_instant(parts[0]), parse_instant(parts[1]));
+  }
+
+  Result<TemporalFunction> ParseTemporalText(const std::string& text,
+                                             const Type* hint) {
+    TCH_ASSIGN_OR_RETURN(Value v, ParseValue(text, hint));
+    if (v.kind() == ValueKind::kSet && v.Elements().empty()) {
+      return TemporalFunction();  // "{}" without a usable hint
+    }
+    if (v.kind() != ValueKind::kTemporal) {
+      return Corrupt(line_no_, "expected a temporal value, got '" + text +
+                                   "'");
+    }
+    return v.AsTemporal();
+  }
+
+  Result<std::vector<const Type*>> ParseTypeList(const std::string& text) {
+    std::vector<const Type*> out;
+    if (text == "-") return out;
+    // Types can nest commas inside parentheses; split at depth 0.
+    std::string cur;
+    int depth = 0;
+    for (char c : text) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ',' && depth == 0) {
+        TCH_ASSIGN_OR_RETURN(const Type* t, ParseType(cur));
+        out.push_back(t);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) {
+      TCH_ASSIGN_OR_RETURN(const Type* t, ParseType(cur));
+      out.push_back(t);
+    }
+    return out;
+  }
+
+  Status LoadClass(const std::string& name, Database* db) {
+    ClassSpec spec;
+    spec.name = name;
+    Interval lifespan;
+    TemporalFunction ext, pext;
+    std::vector<Value::Field> c_values;
+    while (true) {
+      TCH_ASSIGN_OR_RETURN(std::string line, NextLine());
+      if (line == "END") break;
+      auto [tag, rest] = SplitTag(line);
+      if (tag == "SUPERS") {
+        if (rest != "-") spec.superclasses = Split(rest, ',');
+      } else if (tag == "LIFESPAN") {
+        TCH_ASSIGN_OR_RETURN(lifespan, ParseIntervalText(rest));
+      } else if (tag == "ATTR" || tag == "CATTR") {
+        auto [attr_name, type_text] = SplitName(rest);
+        TCH_ASSIGN_OR_RETURN(const Type* t, ParseType(type_text));
+        (tag == "ATTR" ? spec.attributes : spec.c_attributes)
+            .push_back({attr_name, t});
+      } else if (tag == "METHOD" || tag == "CMETHOD") {
+        auto [m_name, sig] = SplitName(rest);
+        auto [ins_text, out_text] = SplitName(sig);
+        MethodDef m;
+        m.name = m_name;
+        TCH_ASSIGN_OR_RETURN(m.inputs, ParseTypeList(ins_text));
+        TCH_ASSIGN_OR_RETURN(m.output, ParseType(out_text));
+        (tag == "METHOD" ? spec.methods : spec.c_methods)
+            .push_back(std::move(m));
+      } else if (tag == "CATTRVAL") {
+        auto [attr_name, value_text] = SplitName(rest);
+        const Type* hint = nullptr;
+        for (const AttributeDef& a : spec.c_attributes) {
+          if (a.name == attr_name) hint = a.type;
+        }
+        TCH_ASSIGN_OR_RETURN(Value v, ParseValue(value_text, hint));
+        c_values.emplace_back(attr_name, std::move(v));
+      } else if (tag == "EXT" || tag == "PEXT") {
+        const Type* hint =
+            types::Temporal(types::SetOf(types::Any())).value();
+        TCH_ASSIGN_OR_RETURN(TemporalFunction f,
+                             ParseTemporalText(rest, hint));
+        (tag == "EXT" ? ext : pext) = std::move(f);
+      } else {
+        return Corrupt(line_no_, "unexpected class record '" + tag + "'");
+      }
+    }
+    return db->RestoreClass(spec, lifespan, std::move(ext), std::move(pext),
+                            std::move(c_values));
+  }
+
+  Status LoadObject(const std::string& header, Database* db) {
+    auto [oid_text, lifespan_text] = SplitName(header);
+    Oid oid{std::strtoull(oid_text.c_str(), nullptr, 10)};
+    TCH_ASSIGN_OR_RETURN(Interval lifespan,
+                         ParseIntervalText(lifespan_text));
+    TemporalFunction class_history;
+    std::vector<Value::Field> attrs;
+    // The object's class (for attribute type hints) is known only after
+    // CLASSHIST; hints matter only for the "{}" ambiguity, so resolve
+    // hints lazily from the restored schema.
+    while (true) {
+      TCH_ASSIGN_OR_RETURN(std::string line, NextLine());
+      if (line == "END") break;
+      auto [tag, rest] = SplitTag(line);
+      if (tag == "CLASSHIST") {
+        const Type* hint = types::Temporal(types::String()).value();
+        TCH_ASSIGN_OR_RETURN(class_history, ParseTemporalText(rest, hint));
+      } else if (tag == "ATTRVAL") {
+        auto [attr_name, marked] = SplitName(rest);
+        auto [marker, value_text] = SplitName(marked);
+        if (marker != "T" && marker != "S") {
+          return Corrupt(line_no_, "bad ATTRVAL marker '" + marker + "'");
+        }
+        const Type* hint = nullptr;
+        if (!class_history.empty()) {
+          const auto& last = class_history.segments().back();
+          if (last.value.kind() == ValueKind::kString) {
+            const ClassDef* cls = db->GetClass(last.value.AsString());
+            if (cls != nullptr) {
+              const AttributeDef* a = cls->FindAttribute(attr_name);
+              if (a != nullptr) hint = a->type;
+            }
+          }
+        }
+        TCH_ASSIGN_OR_RETURN(Value v, ParseValue(value_text, hint));
+        if (marker == "T" && v.kind() != ValueKind::kTemporal) {
+          if (v.kind() == ValueKind::kSet && v.Elements().empty()) {
+            v = Value::Temporal(TemporalFunction());
+          } else {
+            return Corrupt(line_no_, "attribute '" + attr_name +
+                                         "' marked temporal but value is " +
+                                         ValueKindName(v.kind()));
+          }
+        }
+        attrs.emplace_back(attr_name, std::move(v));
+      } else {
+        return Corrupt(line_no_, "unexpected object record '" + tag + "'");
+      }
+    }
+    return db->RestoreObject(oid, lifespan, std::move(class_history),
+                             std::move(attrs));
+  }
+
+  std::istream* in_;
+  size_t line_no_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> LoadDatabase(std::istream* in) {
+  return SnapshotReader(in).Load();
+}
+
+Result<std::unique_ptr<Database>> LoadDatabaseFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path + " for reading");
+  }
+  return LoadDatabase(&in);
+}
+
+Result<std::unique_ptr<Database>> LoadDatabaseFromString(
+    const std::string& text) {
+  std::istringstream in(text);
+  return LoadDatabase(&in);
+}
+
+}  // namespace tchimera

@@ -1,0 +1,23 @@
+// Restores a Database from the snapshot format written by serializer.h.
+#ifndef TCHIMERA_STORAGE_DESERIALIZER_H_
+#define TCHIMERA_STORAGE_DESERIALIZER_H_
+
+#include <istream>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/db/database.h"
+
+namespace tchimera {
+
+// Parses a snapshot; fails with Corruption on any malformed record.
+Result<std::unique_ptr<Database>> LoadDatabase(std::istream* in);
+Result<std::unique_ptr<Database>> LoadDatabaseFromFile(
+    const std::string& path);
+Result<std::unique_ptr<Database>> LoadDatabaseFromString(
+    const std::string& text);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_STORAGE_DESERIALIZER_H_

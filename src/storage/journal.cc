@@ -1,0 +1,112 @@
+#include "storage/journal.h"
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace tchimera {
+namespace {
+
+// Statements that change database state and therefore must be journaled.
+bool IsMutatingStatement(std::string_view statement) {
+  std::string_view s = StripWhitespace(statement);
+  std::string head;
+  for (char c : s) {
+    if (head.size() >= 8) break;
+    head.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (std::string_view kw :
+       {"define", "drop", "create", "update", "migrate", "delete", "tick",
+        "advance"}) {
+    if (StartsWith(head, kw)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Journal::Open(const std::string& path) {
+  if (out_.is_open()) return Status::FailedPrecondition("journal is open");
+  out_.open(path, std::ios::app);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot open journal " + path);
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status Journal::Append(std::string_view statement) {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  // One statement per line; statements cannot contain raw newlines
+  // (string literals escape them), so the framing is unambiguous.
+  out_ << statement << "\n";
+  out_.flush();
+  if (!out_.good()) return Status::IoError("journal append failed");
+  ++appended_;
+  return Status::OK();
+}
+
+Status Journal::Truncate() {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  out_.close();
+  out_.open(path_, std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot truncate journal " + path_);
+  }
+  appended_ = 0;
+  return Status::OK();
+}
+
+void Journal::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+Result<size_t> Journal::Replay(const std::string& path, Interpreter* interp) {
+  return ReplayPrefix(path, interp, std::numeric_limits<size_t>::max());
+}
+
+Result<size_t> Journal::ReplayPrefix(const std::string& path,
+                                     Interpreter* interp,
+                                     size_t max_statements) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open journal " + path);
+  }
+  size_t applied = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (applied < max_statements && std::getline(in, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    Result<std::string> r = interp->Execute(line);
+    if (!r.ok()) {
+      return Status::Corruption("journal " + path + " line " +
+                                std::to_string(line_no) +
+                                " failed to replay: " + r.status().ToString());
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+JournaledDatabase::JournaledDatabase(const std::string& journal_path)
+    : interp_(&db_) {
+  status_ = journal_.Open(journal_path);
+}
+
+Result<std::string> JournaledDatabase::Execute(std::string_view statement) {
+  TCH_RETURN_IF_ERROR(status_);
+  if (IsMutatingStatement(statement)) {
+    TCH_RETURN_IF_ERROR(journal_.Append(statement));
+  }
+  return interp_.Execute(statement);
+}
+
+}  // namespace tchimera

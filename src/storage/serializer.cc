@@ -1,0 +1,143 @@
+#include "storage/serializer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/values/temporal_function.h"
+
+namespace tchimera {
+namespace {
+
+std::string JoinTypes(const std::vector<const Type*>& types) {
+  if (types.empty()) return "-";
+  std::vector<std::string> parts;
+  parts.reserve(types.size());
+  for (const Type* t : types) parts.push_back(t->ToString());
+  return Join(parts, ",");
+}
+
+void WriteClass(const Database& db, const ClassDef& cls, std::ostream* out) {
+  *out << "CLASS " << cls.name() << "\n";
+  *out << "SUPERS "
+       << (cls.direct_superclasses().empty()
+               ? "-"
+               : Join(cls.direct_superclasses(), ","))
+       << "\n";
+  *out << "LIFESPAN " << cls.lifespan().ToString() << "\n";
+  for (const AttributeDef& a : cls.attributes()) {
+    *out << "ATTR " << a.name << " " << a.type->ToString() << "\n";
+  }
+  for (const MethodDef& m : cls.methods()) {
+    *out << "METHOD " << m.name << " " << JoinTypes(m.inputs) << " "
+         << m.output->ToString() << "\n";
+  }
+  for (const AttributeDef& a : cls.c_attributes()) {
+    *out << "CATTR " << a.name << " " << a.type->ToString() << "\n";
+  }
+  for (const MethodDef& m : cls.c_methods()) {
+    *out << "CMETHOD " << m.name << " " << JoinTypes(m.inputs) << " "
+         << m.output->ToString() << "\n";
+  }
+  for (const AttributeDef& a : cls.c_attributes()) {
+    Result<Value> v = cls.CAttributeValue(a.name);
+    if (v.ok()) {
+      *out << "CATTRVAL " << a.name << " " << v->ToString() << "\n";
+    }
+  }
+  *out << "EXT " << cls.ext().ToString() << "\n";
+  *out << "PEXT " << cls.proper_ext().ToString() << "\n";
+  *out << "END\n";
+  (void)db;
+}
+
+void WriteObject(const Object& obj, std::ostream* out) {
+  *out << "OBJECT " << obj.id().id << " " << obj.lifespan().ToString()
+       << "\n";
+  *out << "CLASSHIST " << obj.class_history().ToString() << "\n";
+  for (const std::string& name : obj.AttributeNames()) {
+    const Value* v = obj.Attribute(name);
+    // The T/S marker disambiguates an empty temporal function from an
+    // empty set (both print "{}").
+    *out << "ATTRVAL " << name << " "
+         << (v->kind() == ValueKind::kTemporal ? "T " : "S ")
+         << v->ToString() << "\n";
+  }
+  *out << "END\n";
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, std::ostream* out) {
+  *out << "TCHIMERA-SNAPSHOT 1\n";
+  *out << "NOW " << db.now() << "\n";
+  // Emit classes in an ISA-respecting order: repeatedly flush classes
+  // whose superclasses were already written.
+  std::vector<std::string> pending = db.ClassNames();
+  std::vector<std::string> ordered;
+  std::set<std::string> written;
+  while (!pending.empty()) {
+    bool progress = false;
+    std::vector<std::string> next;
+    for (const std::string& name : pending) {
+      const ClassDef* cls = db.GetClass(name);
+      bool ready = true;
+      for (const std::string& super : cls->direct_superclasses()) {
+        if (written.count(super) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        ordered.push_back(name);
+        written.insert(name);
+        progress = true;
+      } else {
+        next.push_back(name);
+      }
+    }
+    if (!progress) {
+      return Status::Internal("ISA cycle detected while serializing");
+    }
+    pending = std::move(next);
+  }
+  for (const std::string& name : ordered) {
+    WriteClass(db, *db.GetClass(name), out);
+  }
+  for (Oid oid : db.AllOids()) {
+    WriteObject(*db.GetObject(oid), out);
+  }
+  // NEXT-OID last so restore can clamp upward regardless of object order.
+  *out << "NEXT-OID " << db.next_oid() << "\n";
+  *out << "EOF\n";
+  if (!out->good()) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status SaveDatabaseToFile(const Database& db, const std::string& path) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    TCH_RETURN_IF_ERROR(SaveDatabase(db, &out));
+    out.flush();
+    if (!out.good()) return Status::IoError("flush of " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<std::string> SaveDatabaseToString(const Database& db) {
+  std::ostringstream out;
+  TCH_RETURN_IF_ERROR(SaveDatabase(db, &out));
+  return out.str();
+}
+
+}  // namespace tchimera

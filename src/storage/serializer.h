@@ -1,0 +1,50 @@
+// Persistence for T_Chimera databases: a line-oriented text snapshot
+// format that round-trips the full database state (schema with effective
+// members, extent histories, c-attribute values, objects with complete
+// attribute histories and class histories, clock and oid counter).
+//
+// Format sketch (one record per line; values/types in their canonical
+// textual syntax, which never contains newlines):
+//
+//   TCHIMERA-SNAPSHOT 1
+//   NOW <t>
+//   NEXT-OID <n>
+//   CLASS <name>
+//   SUPERS <name>,<name> | SUPERS -
+//   LIFESPAN [a,b]
+//   ATTR <name> <type>
+//   METHOD <name> <in1,in2|-> <out>
+//   CATTR <name> <type>
+//   CMETHOD <name> <in1,in2|-> <out>
+//   CATTRVAL <name> <value>
+//   EXT <temporal-value>
+//   PEXT <temporal-value>
+//   END
+//   OBJECT <oid> [a,b]
+//   CLASSHIST <temporal-value>
+//   ATTRVAL <name> <value>
+//   END
+//
+// Classes are emitted in topological (ISA) order so restore never sees a
+// dangling superclass.
+#ifndef TCHIMERA_STORAGE_SERIALIZER_H_
+#define TCHIMERA_STORAGE_SERIALIZER_H_
+
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "core/db/database.h"
+
+namespace tchimera {
+
+// Writes a full snapshot of `db`.
+Status SaveDatabase(const Database& db, std::ostream* out);
+// Convenience: snapshot to a file (atomically via rename of a temp file).
+Status SaveDatabaseToFile(const Database& db, const std::string& path);
+// Snapshot into a string (tests, benchmarks).
+Result<std::string> SaveDatabaseToString(const Database& db);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_STORAGE_SERIALIZER_H_

@@ -1,0 +1,208 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "workload/project_schema.h"
+
+namespace tchimera {
+
+Result<Population> PopulateDatabase(Database* db,
+                                    const PopulationConfig& config) {
+  if (db->GetClass("project") == nullptr) {
+    TCH_RETURN_IF_ERROR(InstallProjectSchema(db));
+  }
+  Rng rng(config.seed);
+  Population pop;
+
+  // People: employees with a temporal name and salary.
+  for (size_t i = 0; i < config.persons; ++i) {
+    TCH_ASSIGN_OR_RETURN(
+        Oid oid,
+        db->CreateObject(
+            "employee",
+            {{"name", Value::String(rng.Name(8))},
+             {"birthyear",
+              Value::Integer(rng.Uniform(1950, 2000))},
+             {"salary", Value::Integer(rng.Uniform(20000, 80000))},
+             {"office", Value::String(rng.Name(4))}}));
+    pop.persons.push_back(oid);
+  }
+  // Projects with tasks and participants.
+  for (size_t p = 0; p < config.projects; ++p) {
+    std::vector<Value> plan;
+    for (size_t k = 0; k < config.tasks_per_project; ++k) {
+      TCH_ASSIGN_OR_RETURN(
+          Oid task,
+          db->CreateObject("task",
+                           {{"description", Value::String(rng.Name(12))},
+                            {"effort",
+                             Value::Integer(rng.Uniform(1, 100))}}));
+      pop.tasks.push_back(task);
+      plan.push_back(Value::OfOid(task));
+    }
+    std::vector<Value> participants;
+    size_t count = 1 + rng.Index(std::max<size_t>(1, config.persons / 4));
+    for (size_t k = 0; k < count && k < pop.persons.size(); ++k) {
+      participants.push_back(Value::OfOid(rng.Pick(pop.persons)));
+    }
+    TCH_ASSIGN_OR_RETURN(
+        Oid proj,
+        db->CreateObject(
+            "project",
+            {{"name", Value::String(rng.Name(6))},
+             {"objective", Value::String(rng.Name(16))},
+             {"workplan", Value::Set(std::move(plan))},
+             {"participants", Value::Set(std::move(participants))}}));
+    pop.projects.push_back(proj);
+  }
+
+  // Time marches; histories accumulate.
+  std::set<uint64_t> managers;
+  for (size_t step = 0; step < config.timesteps; ++step) {
+    db->Tick();
+    for (size_t u = 0; u < config.updates_per_step; ++u) {
+      // Re-draw when the chosen pool is empty (degenerate configs).
+      size_t kind = rng.Index(4);
+      if ((kind == 0 && pop.persons.empty()) ||
+          (kind == 1 && pop.projects.empty()) ||
+          (kind == 2 && pop.tasks.empty()) ||
+          (kind == 3 && pop.projects.empty())) {
+        if (!pop.tasks.empty()) {
+          kind = 2;
+        } else if (!pop.projects.empty()) {
+          kind = 1;
+        } else if (!pop.persons.empty()) {
+          kind = 0;
+        } else {
+          continue;  // nothing to update at all
+        }
+      }
+      switch (kind) {
+        case 0: {  // salary raise
+          Oid oid = rng.Pick(pop.persons);
+          TCH_RETURN_IF_ERROR(db->UpdateAttribute(
+              oid, "salary", Value::Integer(rng.Uniform(20000, 120000))));
+          break;
+        }
+        case 1: {  // rename a project
+          Oid oid = rng.Pick(pop.projects);
+          TCH_RETURN_IF_ERROR(
+              db->UpdateAttribute(oid, "name",
+                                  Value::String(rng.Name(6))));
+          break;
+        }
+        case 2: {  // task effort re-estimate
+          Oid oid = rng.Pick(pop.tasks);
+          TCH_RETURN_IF_ERROR(db->UpdateAttribute(
+              oid, "effort", Value::Integer(rng.Uniform(1, 100))));
+          break;
+        }
+        default: {  // participants churn
+          Oid proj = rng.Pick(pop.projects);
+          std::vector<Value> participants;
+          size_t count =
+              1 + rng.Index(std::max<size_t>(1, config.persons / 4));
+          for (size_t k = 0; k < count && k < pop.persons.size(); ++k) {
+            participants.push_back(Value::OfOid(rng.Pick(pop.persons)));
+          }
+          TCH_RETURN_IF_ERROR(db->UpdateAttribute(
+              proj, "participants", Value::Set(std::move(participants))));
+          break;
+        }
+      }
+      ++pop.updates_applied;
+    }
+    // Occasional promotion / demotion (Section 5.2).
+    if (rng.Chance(config.migration_rate) && !pop.persons.empty()) {
+      Oid oid = rng.Pick(pop.persons);
+      if (managers.count(oid.id) == 0) {
+        TCH_RETURN_IF_ERROR(db->Migrate(
+            oid, "manager",
+            {{"dependents", Value::Integer(rng.Uniform(0, 5))},
+             {"officialcar", Value::String(rng.Name(5))}}));
+        managers.insert(oid.id);
+      } else {
+        TCH_RETURN_IF_ERROR(db->Migrate(oid, "employee"));
+        managers.erase(oid.id);
+      }
+      ++pop.migrations_applied;
+    }
+  }
+  return pop;
+}
+
+std::vector<std::string> StoreAttributeNames(size_t attributes) {
+  std::vector<std::string> out;
+  out.reserve(attributes);
+  for (size_t i = 0; i < attributes; ++i) {
+    out.push_back("a" + std::to_string(i));
+  }
+  return out;
+}
+
+std::set<std::string> StoreStaticAttributeNames(
+    const StoreWorkloadConfig& config) {
+  std::set<std::string> out;
+  size_t statics = static_cast<size_t>(config.attributes *
+                                       config.static_attr_fraction);
+  // The static attributes are the trailing ones, so the hot attribute a0
+  // stays temporal.
+  for (size_t i = config.attributes - statics; i < config.attributes; ++i) {
+    out.insert("a" + std::to_string(i));
+  }
+  return out;
+}
+
+std::vector<StoreOp> GenerateStoreOps(const StoreWorkloadConfig& config) {
+  Rng rng(config.seed);
+  std::vector<std::string> attrs = StoreAttributeNames(config.attributes);
+  std::vector<StoreOp> ops;
+  ops.reserve(config.objects * (1 + config.updates_per_object));
+  TimePoint t = 1;
+  for (size_t i = 0; i < config.objects; ++i) {
+    StoreOp op;
+    op.kind = StoreOp::Kind::kCreate;
+    op.object_index = i;
+    op.t = t;
+    ops.push_back(std::move(op));
+  }
+  ++t;
+  size_t total_updates = config.objects * config.updates_per_object;
+  for (size_t u = 0; u < total_updates; ++u) {
+    StoreOp op;
+    op.kind = StoreOp::Kind::kUpdate;
+    op.object_index = rng.Index(config.objects);
+    op.attr = rng.Chance(config.hot_fraction) ? attrs[0]
+                                              : rng.Pick(attrs);
+    op.value = Value::Integer(rng.Uniform(0, 1'000'000));
+    op.t = t;
+    // Advance time every few updates so runs have realistic lengths.
+    if (u % 4 == 3) ++t;
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Result<StoreRunResult> ApplyStoreOps(TemporalStore* store,
+                                     const std::vector<StoreOp>& ops) {
+  StoreRunResult run;
+  for (const StoreOp& op : ops) {
+    if (op.kind == StoreOp::Kind::kCreate) {
+      // Initialize every attribute to 0 so all stores start comparable.
+      TemporalStore::FieldInits init;
+      uint64_t id = store->CreateObject(init, op.t);
+      if (run.ids.size() <= op.object_index) {
+        run.ids.resize(op.object_index + 1);
+      }
+      run.ids[op.object_index] = id;
+    } else {
+      TCH_RETURN_IF_ERROR(store->UpdateAttribute(
+          run.ids[op.object_index], op.attr, op.value, op.t));
+    }
+    run.end_time = op.t;
+  }
+  return run;
+}
+
+}  // namespace tchimera

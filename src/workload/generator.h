@@ -1,0 +1,104 @@
+// Synthetic workload generation for the benchmarks and stress tests.
+//
+// Two layers:
+//
+//   1. Database populations — builds a full T_Chimera database over the
+//      project-management schema (persons/employees/managers, projects
+//      referencing them), drives the clock forward, applies random
+//      temporal updates and migrations. Used by the consistency, equality,
+//      Table 3 and storage benchmarks.
+//
+//   2. Operation streams — store-agnostic create/update/read/snapshot/
+//      history operations over plain attribute bags, applied identically
+//      to every TemporalStore baseline. Used by the Table 2 timestamping
+//      benchmarks.
+#ifndef TCHIMERA_WORKLOAD_GENERATOR_H_
+#define TCHIMERA_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/temporal_store.h"
+#include "common/result.h"
+#include "core/db/database.h"
+#include "workload/random.h"
+
+namespace tchimera {
+
+// --- layer 1: database populations ------------------------------------------
+
+struct PopulationConfig {
+  uint64_t seed = 42;
+  size_t persons = 50;          // created as employees under person
+  size_t projects = 10;
+  size_t tasks_per_project = 3;
+  // Clock steps simulated after creation; each step applies
+  // updates_per_step random temporal updates.
+  size_t timesteps = 20;
+  size_t updates_per_step = 10;
+  // Probability per step that a random employee is promoted to manager or
+  // a manager demoted (the Section 5.2 migration scenario).
+  double migration_rate = 0.05;
+};
+
+struct Population {
+  std::vector<Oid> persons;   // employees and managers
+  std::vector<Oid> projects;
+  std::vector<Oid> tasks;
+  size_t updates_applied = 0;
+  size_t migrations_applied = 0;
+};
+
+// Installs the project schema (if absent) and populates `db` per config.
+// The database clock ends at its start + timesteps.
+Result<Population> PopulateDatabase(Database* db,
+                                    const PopulationConfig& config);
+
+// --- layer 2: store-agnostic operation streams -------------------------------
+
+struct StoreWorkloadConfig {
+  uint64_t seed = 42;
+  size_t objects = 100;
+  size_t attributes = 8;         // attributes per object: a0..a{n-1}
+  size_t updates_per_object = 50;
+  // Fraction of the attributes that are declared non-temporal for stores
+  // supporting the distinction (experiment T2b).
+  double static_attr_fraction = 0.0;
+  // Updates are skewed: this fraction of updates touches attribute a0
+  // (hot attribute), the rest are uniform.
+  double hot_fraction = 0.5;
+};
+
+struct StoreOp {
+  enum class Kind { kCreate, kUpdate };
+  Kind kind = Kind::kUpdate;
+  size_t object_index = 0;       // index into the per-run id table
+  std::string attr;
+  Value value;
+  TimePoint t = 0;
+};
+
+// A deterministic operation stream; kCreate ops come first (one per
+// object), then interleaved updates with strictly increasing timestamps.
+std::vector<StoreOp> GenerateStoreOps(const StoreWorkloadConfig& config);
+
+// Applies the stream to a store; returns the ids assigned (indexed by
+// object_index) and the final timestamp.
+struct StoreRunResult {
+  std::vector<uint64_t> ids;
+  TimePoint end_time = 0;
+};
+Result<StoreRunResult> ApplyStoreOps(TemporalStore* store,
+                                     const std::vector<StoreOp>& ops);
+
+// The attribute names a0..a{n-1} used by the stream, and the subset
+// declared static under `config`.
+std::vector<std::string> StoreAttributeNames(size_t attributes);
+std::set<std::string> StoreStaticAttributeNames(
+    const StoreWorkloadConfig& config);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,61 @@
+#include "workload/project_schema.h"
+
+#include "core/types/type_registry.h"
+
+namespace tchimera {
+
+Status InstallProjectSchema(Database* db) {
+  const Type* t_string = types::String();
+  const Type* t_int = types::Integer();
+  TCH_ASSIGN_OR_RETURN(const Type* temporal_string,
+                       types::Temporal(t_string));
+  TCH_ASSIGN_OR_RETURN(const Type* temporal_int, types::Temporal(t_int));
+
+  ClassSpec person;
+  person.name = "person";
+  person.attributes = {{"name", temporal_string}, {"birthyear", t_int}};
+  TCH_RETURN_IF_ERROR(db->DefineClass(person));
+
+  ClassSpec employee;
+  employee.name = "employee";
+  employee.superclasses = {"person"};
+  employee.attributes = {{"salary", temporal_int}, {"office", t_string}};
+  TCH_RETURN_IF_ERROR(db->DefineClass(employee));
+
+  ClassSpec manager;
+  manager.name = "manager";
+  manager.superclasses = {"employee"};
+  manager.attributes = {{"dependents", temporal_int},
+                        {"officialcar", t_string}};
+  TCH_RETURN_IF_ERROR(db->DefineClass(manager));
+
+  ClassSpec task;
+  task.name = "task";
+  task.attributes = {{"description", t_string}, {"effort", temporal_int}};
+  TCH_RETURN_IF_ERROR(db->DefineClass(task));
+
+  TCH_ASSIGN_OR_RETURN(const Type* temporal_project,
+                       types::Temporal(types::Object("project")));
+  TCH_ASSIGN_OR_RETURN(
+      const Type* temporal_person_set,
+      types::Temporal(types::SetOf(types::Object("person"))));
+
+  ClassSpec project;
+  project.name = "project";
+  project.attributes = {
+      {"name", temporal_string},
+      {"objective", t_string},
+      {"workplan", types::SetOf(types::Object("task"))},
+      {"subproject", temporal_project},
+      {"participants", temporal_person_set},
+  };
+  project.methods = {
+      {"add-participant", {types::Object("person")},
+       types::Object("project")}};
+  project.c_attributes = {{"average-participants", t_int}};
+  TCH_RETURN_IF_ERROR(db->DefineClass(project));
+
+  return Status::OK();
+}
+
+}  // namespace tchimera

@@ -1,0 +1,32 @@
+// The project-management schema the paper's running examples use
+// (Examples 4.1, 5.1, and the employee/manager migration of Section 5.2),
+// installed into a Database:
+//
+//   person    (root)      name:temporal(string), birthyear:integer
+//   employee  < person    salary:temporal(integer), office:string
+//   manager   < employee  dependents:temporal(integer),
+//                         officialcar:string
+//   task      (root)      description:string, effort:temporal(integer)
+//   project   (root)      name:temporal(string), objective:string,
+//                         workplan:set-of(task),
+//                         subproject:temporal(project),
+//                         participants:temporal(set-of(person)),
+//                         c-attribute average-participants:integer,
+//                         method add-participant(person):project
+//
+// This is the shared fixture of the workload generators, the examples and
+// several benchmarks.
+#ifndef TCHIMERA_WORKLOAD_PROJECT_SCHEMA_H_
+#define TCHIMERA_WORKLOAD_PROJECT_SCHEMA_H_
+
+#include "common/status.h"
+#include "core/db/database.h"
+
+namespace tchimera {
+
+// Defines the five classes above at the database's current time.
+Status InstallProjectSchema(Database* db);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_WORKLOAD_PROJECT_SCHEMA_H_

@@ -1,0 +1,28 @@
+#include "workload/random.h"
+
+namespace tchimera {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Real01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::Chance(double p) { return Real01() < p; }
+
+size_t Rng::Index(size_t n) {
+  return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+}
+
+std::string Rng::Name(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+  }
+  return out;
+}
+
+}  // namespace tchimera

@@ -1,0 +1,42 @@
+// Deterministic random helpers for workload generation. Every generator
+// takes an explicit seed, so all tests and benchmark sweeps are exactly
+// reproducible.
+#ifndef TCHIMERA_WORKLOAD_RANDOM_H_
+#define TCHIMERA_WORKLOAD_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace tchimera {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi);
+  // Uniform real in [0, 1).
+  double Real01();
+  // True with probability p.
+  bool Chance(double p);
+  // Uniformly picks an element index of a container of size n (n > 0).
+  size_t Index(size_t n);
+  // A random lowercase identifier-ish string of the given length.
+  std::string Name(size_t length);
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Index(items.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_WORKLOAD_RANDOM_H_

@@ -1,0 +1,110 @@
+// Tests for the common layer: Status, Result<T>, string utilities.
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace tchimera {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::TypeError("bad value");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.message(), "bad value");
+  EXPECT_EQ(s.ToString(), "TypeError: bad value");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int code = 0; code <= 10; ++code) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown")
+        << code;
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    TCH_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+  Result<int> err = Status::NotFound("gone");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto source = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("boom");
+    return 5;
+  };
+  auto wrapper = [&](bool fail) -> Result<int> {
+    TCH_ASSIGN_OR_RETURN(int v, source(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*wrapper(false), 10);
+  EXPECT_EQ(wrapper(true).status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 9);
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("define class", "define"));
+  EXPECT_FALSE(StartsWith("def", "define"));
+  EXPECT_TRUE(EndsWith("snapshot.tchdb", ".tchdb"));
+  EXPECT_FALSE(EndsWith("x", ".tchdb"));
+}
+
+TEST(StringUtilTest, EscapeRoundTrip) {
+  const std::string tricky = "quote \" back\\slash\nnew\tline";
+  std::string unescaped;
+  ASSERT_TRUE(UnescapeString(EscapeString(tricky), &unescaped));
+  EXPECT_EQ(unescaped, tricky);
+  EXPECT_FALSE(UnescapeString("dangling\\", &unescaped));
+  EXPECT_FALSE(UnescapeString("bad\\q", &unescaped));
+}
+
+TEST(StringUtilTest, IsIdentifier) {
+  for (const char* good :
+       {"a", "proper-ext", "m-project", "x_1", "_lead", "CamelToo"}) {
+    EXPECT_TRUE(IsIdentifier(good)) << good;
+  }
+  for (const char* bad : {"", "9lead", "-lead", "has space", "dot.ted"}) {
+    EXPECT_FALSE(IsIdentifier(bad)) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace tchimera

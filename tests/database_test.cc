@@ -1,0 +1,231 @@
+// Tests for the Database: object lifecycle, type-checked updates,
+// valid-time updates, migration (Section 5.2), deletion, and the Table 3
+// functions pi / m_lifespan / ref.
+#include <gtest/gtest.h>
+
+#include "core/db/consistency.h"
+#include "core/db/database.h"
+#include "core/types/type_registry.h"
+#include "core/values/temporal_function.h"
+#include "workload/project_schema.h"
+
+namespace tchimera {
+namespace {
+
+Value I(int64_t v) { return Value::Integer(v); }
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(InstallProjectSchema(&db_).ok()); }
+  Database db_;
+};
+
+TEST_F(DatabaseTest, CreateObjectDefaultsAndExtents) {
+  Oid e = db_.CreateObject("employee").value();
+  const Object* obj = db_.GetObject(e);
+  ASSERT_NE(obj, nullptr);
+  // Temporal attributes default to null asserted from creation, so the
+  // object is consistent by construction.
+  EXPECT_EQ(obj->Attribute("salary")->kind(), ValueKind::kTemporal);
+  EXPECT_TRUE(obj->Attribute("salary")->AsTemporal().At(0)->is_null());
+  EXPECT_TRUE(obj->Attribute("office")->is_null());
+  // Instance of employee; member of employee and person.
+  EXPECT_TRUE(db_.GetClass("employee")->InProperExtentAt(e, 0));
+  EXPECT_TRUE(db_.GetClass("employee")->InExtentAt(e, 0));
+  EXPECT_TRUE(db_.GetClass("person")->InExtentAt(e, 0));
+  EXPECT_FALSE(db_.GetClass("person")->InProperExtentAt(e, 0));
+  EXPECT_FALSE(db_.GetClass("manager")->InExtentAt(e, 0));
+  EXPECT_TRUE(CheckDatabaseConsistency(db_).ok());
+}
+
+TEST_F(DatabaseTest, CreateObjectValidatesInits) {
+  // Unknown attribute.
+  EXPECT_FALSE(
+      db_.CreateObject("employee", {{"ghost", I(1)}}).ok());
+  // Type error.
+  Result<Oid> bad =
+      db_.CreateObject("employee", {{"salary", Value::String("lots")}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+  // Unknown class.
+  EXPECT_FALSE(db_.CreateObject("ghost").ok());
+  // Duplicate init.
+  EXPECT_FALSE(
+      db_.CreateObject("employee", {{"office", Value::String("a")},
+                                    {"office", Value::String("b")}})
+          .ok());
+}
+
+TEST_F(DatabaseTest, CreateObjectWithFullHistory) {
+  ASSERT_TRUE(db_.AdvanceTo(50).ok());
+  TemporalFunction salary;
+  ASSERT_TRUE(salary.Define(Interval(10, 30), I(100)).ok());
+  ASSERT_TRUE(salary.AssertFrom(31, I(200)).ok());
+  Oid e = db_.CreateObjectAt("employee", 10,
+                             {{"salary", Value::Temporal(salary)}})
+              .value();
+  EXPECT_EQ(db_.OLifespan(e).value(), Interval::FromUntilNow(10));
+  EXPECT_EQ(db_.HStateOf(e, 20).value().FieldValue("salary")->AsInteger(),
+            100);
+  EXPECT_TRUE(CheckDatabaseConsistency(db_).ok());
+  // A history beginning before the lifespan is rejected.
+  TemporalFunction early;
+  ASSERT_TRUE(early.Define(Interval(5, 30), I(1)).ok());
+  EXPECT_FALSE(db_.CreateObjectAt("employee", 10,
+                                  {{"salary", Value::Temporal(early)}})
+                   .ok());
+  // Creations in the future are rejected.
+  EXPECT_FALSE(db_.CreateObjectAt("employee", 60).ok());
+}
+
+TEST_F(DatabaseTest, UpdateAttributeSemantics) {
+  Oid e = db_.CreateObject(
+                "employee",
+                {{"salary", I(100)}, {"office", Value::String("A1")}})
+              .value();
+  ASSERT_TRUE(db_.AdvanceTo(10).ok());
+  // Temporal update: history accrues.
+  ASSERT_TRUE(db_.UpdateAttribute(e, "salary", I(150)).ok());
+  EXPECT_EQ(db_.HStateOf(e, 5).value().FieldValue("salary")->AsInteger(),
+            100);
+  EXPECT_EQ(db_.HStateOf(e, 10).value().FieldValue("salary")->AsInteger(),
+            150);
+  // Static update: the past is gone.
+  ASSERT_TRUE(
+      db_.UpdateAttribute(e, "office", Value::String("B2")).ok());
+  EXPECT_EQ(db_.SStateOf(e).value().FieldValue("office")->AsString(), "B2");
+  // Type checking guards updates.
+  EXPECT_FALSE(db_.UpdateAttribute(e, "salary", Value::Bool(true)).ok());
+  EXPECT_FALSE(db_.UpdateAttribute(e, "ghost", I(1)).ok());
+  EXPECT_FALSE(db_.UpdateAttribute(Oid{999}, "salary", I(1)).ok());
+}
+
+TEST_F(DatabaseTest, ValidTimeUpdates) {
+  Oid e = db_.CreateObject("employee", {{"salary", I(100)}}).value();
+  ASSERT_TRUE(db_.AdvanceTo(50).ok());
+  // Retroactive correction of a past interval.
+  ASSERT_TRUE(
+      db_.UpdateAttributeAt(e, "salary", Interval(10, 19), I(120)).ok());
+  EXPECT_EQ(db_.HStateOf(e, 5).value().FieldValue("salary")->AsInteger(),
+            100);
+  EXPECT_EQ(db_.HStateOf(e, 15).value().FieldValue("salary")->AsInteger(),
+            120);
+  EXPECT_EQ(db_.HStateOf(e, 30).value().FieldValue("salary")->AsInteger(),
+            100);
+  // Valid-time updates require a temporal attribute...
+  EXPECT_FALSE(
+      db_.UpdateAttributeAt(e, "office", Interval(10, 19),
+                            Value::String("X"))
+          .ok());
+  // ...and an interval within the lifespan.
+  EXPECT_FALSE(
+      db_.UpdateAttributeAt(e, "salary", Interval(100, 200), I(1)).ok());
+  EXPECT_TRUE(CheckDatabaseConsistency(db_).ok());
+}
+
+TEST_F(DatabaseTest, MigrationPromoteDemote) {
+  // The Section 5.2 scenario: employee -> manager -> employee.
+  Oid e = db_.CreateObject("employee", {{"salary", I(100)}}).value();
+  ASSERT_TRUE(db_.AdvanceTo(30).ok());
+  ASSERT_TRUE(db_.Migrate(e, "manager",
+                          {{"dependents", I(2)},
+                           {"officialcar", Value::String("sedan")}})
+                  .ok());
+  const Object* obj = db_.GetObject(e);
+  EXPECT_EQ(obj->CurrentClass().value(), "manager");
+  EXPECT_EQ(obj->SState().FieldValue("officialcar")->AsString(), "sedan");
+  EXPECT_TRUE(db_.GetClass("manager")->InProperExtentAt(e, 30));
+  EXPECT_FALSE(db_.GetClass("manager")->InExtentAt(e, 29));
+  EXPECT_TRUE(db_.GetClass("employee")->InExtentAt(e, 30));
+  EXPECT_TRUE(CheckDatabaseConsistency(db_).ok());
+
+  ASSERT_TRUE(db_.AdvanceTo(60).ok());
+  ASSERT_TRUE(db_.Migrate(e, "employee").ok());
+  obj = db_.GetObject(e);
+  // Static attribute dropped without trace; temporal attribute retained
+  // but closed (Section 5.2).
+  EXPECT_EQ(obj->Attribute("officialcar"), nullptr);
+  const Value* dependents = obj->Attribute("dependents");
+  ASSERT_NE(dependents, nullptr);
+  EXPECT_EQ(dependents->AsTemporal().At(45)->AsInteger(), 2);
+  EXPECT_EQ(dependents->AsTemporal().At(60), nullptr);
+  EXPECT_FALSE(db_.GetClass("manager")->InExtentAt(e, 60));
+  EXPECT_TRUE(db_.GetClass("manager")->InExtentAt(e, 45));
+  EXPECT_TRUE(CheckDatabaseConsistency(db_).ok());
+  // m_lifespan(e, manager) = [30, 59].
+  EXPECT_EQ(db_.MLifespan(e, "manager").value().ToString(), "{[30,59]}");
+}
+
+TEST_F(DatabaseTest, MigrationGuards) {
+  Oid e = db_.CreateObject("employee").value();
+  // Cannot migrate across hierarchies (Invariant 6.2).
+  EXPECT_FALSE(db_.Migrate(e, "project").ok());
+  EXPECT_FALSE(db_.Migrate(e, "ghost").ok());
+  EXPECT_FALSE(db_.Migrate(Oid{999}, "manager").ok());
+  // Migration to the same class is a no-op.
+  EXPECT_TRUE(db_.Migrate(e, "employee").ok());
+  // Added values are type checked.
+  Status s = db_.Migrate(e, "manager",
+                         {{"dependents", Value::String("two")}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(DatabaseTest, DeleteRespectsReferentialIntegrity) {
+  Oid p = db_.CreateObject("person").value();
+  Oid proj =
+      db_.CreateObject("project",
+                       {{"participants", Value::Set({Value::OfOid(p)})}})
+          .value();
+  ASSERT_TRUE(db_.AdvanceTo(10).ok());
+  // p is still referenced by the project's current participants.
+  Status s = db_.DeleteObject(p);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kConsistencyViolation);
+  // Clear the reference, then deletion succeeds.
+  ASSERT_TRUE(
+      db_.UpdateAttribute(proj, "participants", Value::EmptySet()).ok());
+  EXPECT_TRUE(db_.DeleteObject(p).ok());
+  EXPECT_FALSE(db_.GetObject(p)->alive());
+  // Deleted at now=10: exists at 10, gone at 11.
+  EXPECT_EQ(db_.OLifespan(p).value(), Interval(0, 10));
+  db_.Tick();
+  EXPECT_TRUE(db_.Pi("person", 10).size() >= 1);
+  for (Oid oid : db_.Pi("person", 11)) EXPECT_NE(oid, p);
+  EXPECT_TRUE(CheckDatabaseConsistency(db_).ok());
+  // Double deletion fails.
+  EXPECT_FALSE(db_.DeleteObject(p).ok());
+}
+
+TEST_F(DatabaseTest, PiIsTimeIndexed) {
+  Oid a = db_.CreateObject("employee").value();
+  ASSERT_TRUE(db_.AdvanceTo(10).ok());
+  Oid b = db_.CreateObject("employee").value();
+  EXPECT_EQ(db_.Pi("employee", 5).size(), 1u);
+  EXPECT_EQ(db_.Pi("employee", 10).size(), 2u);
+  EXPECT_EQ(db_.Pi("employee", kNow).size(), 2u);
+  EXPECT_TRUE(db_.Pi("ghost", 5).empty());
+  (void)a;
+  (void)b;
+}
+
+TEST_F(DatabaseTest, ClassAttributeUpdates) {
+  ASSERT_TRUE(
+      db_.SetClassAttribute("project", "average-participants", I(20)).ok());
+  EXPECT_EQ(db_.GetClass("project")
+                ->CAttributeValue("average-participants")
+                .value(),
+            I(20));
+  EXPECT_FALSE(
+      db_.SetClassAttribute("project", "ghost", I(1)).ok());
+  EXPECT_FALSE(db_.SetClassAttribute("project", "average-participants",
+                                     Value::String("x"))
+                   .ok());
+  EXPECT_FALSE(db_.SetClassAttribute("ghost", "x", I(1)).ok());
+  // The class history record is the metaclass instance state (Section 4).
+  Value history = db_.ClassHistory("project").value();
+  EXPECT_EQ(*history.FieldValue("average-participants"), I(20));
+}
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,189 @@
+// Tests for the four equality notions of Section 5.3 (Definitions
+// 5.7-5.10), including the implication lattice
+//   identity => value => instantaneous => weak
+// verified as a property over randomly generated object pairs.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/db/equality.h"
+#include "core/values/temporal_function.h"
+
+namespace tchimera {
+namespace {
+
+Value I(int64_t v) { return Value::Integer(v); }
+
+// An all-temporal object with one attribute "x" following `segments`.
+Object HistoricalObject(uint64_t id, TimePoint born,
+                        std::vector<TemporalFunction::Segment> segments) {
+  Object obj(Oid{id}, "c", born);
+  TemporalFunction f;
+  for (auto& seg : segments) {
+    EXPECT_TRUE(f.Define(seg.interval, std::move(seg.value)).ok());
+  }
+  obj.SetAttribute("x", Value::Temporal(std::move(f)));
+  return obj;
+}
+
+TEST(EqualityTest, IdentityIsOidEquality) {
+  Object a(Oid{1}, "c", 0);
+  Object b(Oid{1}, "c", 0);
+  Object c(Oid{2}, "c", 0);
+  EXPECT_TRUE(EqualByIdentity(a, b));
+  EXPECT_FALSE(EqualByIdentity(a, c));
+}
+
+TEST(EqualityTest, ValueEqualityComparesFullHistories) {
+  Object a = HistoricalObject(1, 0, {{Interval(0, 10), I(1)},
+                                     {Interval(11, 20), I(2)}});
+  Object b = HistoricalObject(2, 0, {{Interval(0, 10), I(1)},
+                                     {Interval(11, 20), I(2)}});
+  EXPECT_TRUE(EqualByValue(a, b));
+  // Same current value, different past: not value equal.
+  Object c = HistoricalObject(3, 0, {{Interval(0, 5), I(9)},
+                                     {Interval(6, 10), I(1)},
+                                     {Interval(11, 20), I(2)}});
+  EXPECT_FALSE(EqualByValue(a, c));
+  // Different attribute names: not value equal.
+  Object d(Oid{4}, "c", 0);
+  d.SetAttribute("y", a.Attribute("x") != nullptr ? *a.Attribute("x")
+                                                  : Value::Null());
+  EXPECT_FALSE(EqualByValue(a, d));
+}
+
+TEST(EqualityTest, InstantaneousNeedsACommonInstant) {
+  // a: x=1 on [0,10], x=2 on [11,20]; b: x=2 on [0,10], x=1 on [11,20].
+  // They never agree at the same instant...
+  Object a = HistoricalObject(1, 0, {{Interval(0, 10), I(1)},
+                                     {Interval(11, 20), I(2)}});
+  Object b = HistoricalObject(2, 0, {{Interval(0, 10), I(2)},
+                                     {Interval(11, 20), I(1)}});
+  // Close both lifespans at 20 — past 20 both attributes would project to
+  // null and trivially agree.
+  ASSERT_TRUE(a.CloseLifespan(20).ok());
+  ASSERT_TRUE(b.CloseLifespan(20).ok());
+  EXPECT_FALSE(InstantaneousValueEqual(a, b, 100));
+  // ...but each value occurred in both lifetimes: weakly equal
+  // (Definition 5.10).
+  auto witness = WeakEqualityWitness(a, b, 100);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(witness->first, witness->second);
+
+  // c agrees with a on [5,10].
+  Object c = HistoricalObject(3, 0, {{Interval(0, 4), I(7)},
+                                     {Interval(5, 10), I(1)},
+                                     {Interval(11, 20), I(2)}});
+  auto t = InstantaneousEqualityWitness(a, c, 100);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 5);  // earliest witness
+}
+
+TEST(EqualityTest, DisjointLifespansAreNeverInstantaneouslyEqual) {
+  Object a = HistoricalObject(1, 0, {{Interval(0, 10), I(1)}});
+  Object b = HistoricalObject(2, 50, {{Interval(50, 60), I(1)}});
+  // Lifespans are ongoing from birth; clip: a=[0,now], b=[50,now]; they
+  // do intersect. Close a's lifespan first.
+  ASSERT_TRUE(a.CloseLifespan(10).ok());
+  EXPECT_FALSE(InstantaneousValueEqual(a, b, 100));
+  // Weak equality still holds: both had x=1 at some instant.
+  EXPECT_TRUE(WeakValueEqual(a, b, 100));
+}
+
+TEST(EqualityTest, ObjectsWithStaticAttributesCompareOnlyAtNow) {
+  // Section 5.3: snapshots of objects with static attributes exist only
+  // at the current time.
+  Object a(Oid{1}, "c", 0);
+  a.SetAttribute("s", I(5));
+  ASSERT_TRUE(a.AssertTemporalAttribute("x", 0, I(1)).ok());
+  Object b(Oid{2}, "c", 0);
+  b.SetAttribute("s", I(5));
+  ASSERT_TRUE(b.AssertTemporalAttribute("x", 0, I(2)).ok());
+  // Current x values differ: not equal at now, and the past is
+  // inaccessible.
+  EXPECT_FALSE(InstantaneousValueEqual(a, b, 100));
+  EXPECT_FALSE(WeakValueEqual(a, b, 100));
+  // Align the current values: equal at now.
+  ASSERT_TRUE(b.AssertTemporalAttribute("x", 50, I(1)).ok());
+  auto t = InstantaneousEqualityWitness(a, b, 100);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 100);
+  auto w = WeakEqualityWitness(a, b, 100);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->first, 100);
+  EXPECT_EQ(w->second, 100);
+}
+
+TEST(EqualityTest, PaperExample54) {
+  // "Two project objects having the same current state and the same
+  // history of modifications ... are value equal. By contrast, two
+  // project objects having the same current value for all the attributes
+  // are instantaneous (and thus, weak) value equal."
+  Object a = HistoricalObject(1, 0, {{Interval(0, 49), I(10)},
+                                     {Interval(50, 99), I(20)}});
+  Object b = HistoricalObject(2, 0, {{Interval(0, 49), I(10)},
+                                     {Interval(50, 99), I(20)}});
+  EXPECT_TRUE(EqualByValue(a, b));
+  EXPECT_TRUE(InstantaneousValueEqual(a, b, 99));
+  EXPECT_TRUE(WeakValueEqual(a, b, 99));
+  Object c = HistoricalObject(3, 0, {{Interval(0, 98), I(77)},
+                                     {Interval(99, 99), I(20)}});
+  EXPECT_FALSE(EqualByValue(a, c));
+  EXPECT_TRUE(InstantaneousValueEqual(a, c, 99));  // both 20 at t=99
+}
+
+// --- the implication lattice as a property ------------------------------------
+
+class EqualityLatticeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EqualityLatticeTest, ImplicationsHoldOnRandomPairs) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> val(0, 2);
+  std::uniform_int_distribution<TimePoint> len(1, 8);
+  auto random_object = [&](uint64_t id) {
+    Object obj(Oid{id}, "c", 0);
+    TemporalFunction f;
+    TimePoint cursor = 0;
+    while (cursor < 40) {
+      TimePoint end = cursor + len(rng);
+      EXPECT_TRUE(f.Define(Interval(cursor, end), I(val(rng))).ok());
+      cursor = end + 1;
+    }
+    obj.SetAttribute("x", Value::Temporal(std::move(f)));
+    return obj;
+  };
+  int value_equal = 0, instant_equal = 0, weak_equal = 0;
+  for (int round = 0; round < 200; ++round) {
+    Object a = random_object(1);
+    Object b = random_object(2);
+    bool v = EqualByValue(a, b);
+    bool inst = InstantaneousValueEqual(a, b, 40);
+    bool weak = WeakValueEqual(a, b, 40);
+    // value => instantaneous => weak.
+    if (v) {
+      EXPECT_TRUE(inst) << "round " << round;
+    }
+    if (inst) {
+      EXPECT_TRUE(weak) << "round " << round;
+    }
+    value_equal += v;
+    instant_equal += inst;
+    weak_equal += weak;
+    // Identity implies everything: compare an object with itself.
+    EXPECT_TRUE(EqualByIdentity(a, a));
+    EXPECT_TRUE(EqualByValue(a, a));
+    EXPECT_TRUE(InstantaneousValueEqual(a, a, 40));
+    EXPECT_TRUE(WeakValueEqual(a, a, 40));
+  }
+  // With only 3 values, instants collide frequently: the generator must
+  // exercise all three levels distinctly.
+  EXPECT_GT(weak_equal, instant_equal - 1);
+  EXPECT_GT(instant_equal, value_equal - 1);
+  EXPECT_GT(weak_equal, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqualityLatticeTest,
+                         ::testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace tchimera

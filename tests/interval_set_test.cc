@@ -1,0 +1,133 @@
+// Unit + property tests for IntervalSet (temporal elements). The property
+// suite cross-checks the interval algebra against a brute-force bitset
+// model over a small domain.
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <random>
+
+#include "core/temporal/interval_set.h"
+
+namespace tchimera {
+namespace {
+
+TEST(IntervalSetTest, NormalizationSortsMergesAndDropsEmpties) {
+  IntervalSet s({Interval(7, 9), Interval(1, 3), Interval(4, 5),
+                 Interval::Empty(), Interval(2, 4)});
+  // [1,3], [4,5], [2,4] merge into [1,5]; [7,9] stays.
+  EXPECT_EQ(s.ToString(), "{[1,5],[7,9]}");
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_EQ(s.Cardinality(), 8);
+}
+
+TEST(IntervalSetTest, ContainsBinarySearch) {
+  IntervalSet s({Interval(1, 3), Interval(10, 12), Interval(20, 20)});
+  for (TimePoint t : {1, 2, 3, 10, 12, 20}) EXPECT_TRUE(s.Contains(t));
+  for (TimePoint t : {0, 4, 9, 13, 19, 21}) EXPECT_FALSE(s.Contains(t));
+}
+
+TEST(IntervalSetTest, CoversInterval) {
+  IntervalSet s({Interval(1, 5), Interval(8, 10)});
+  EXPECT_TRUE(s.CoversInterval(Interval(2, 4)));
+  EXPECT_TRUE(s.CoversInterval(Interval(1, 5)));
+  EXPECT_TRUE(s.CoversInterval(Interval::Empty()));
+  EXPECT_FALSE(s.CoversInterval(Interval(4, 8)));  // gap at 6-7
+  EXPECT_FALSE(s.CoversInterval(Interval(0, 2)));
+}
+
+TEST(IntervalSetTest, UnionIntersectDifference) {
+  IntervalSet a({Interval(1, 5), Interval(10, 15)});
+  IntervalSet b({Interval(4, 11)});
+  EXPECT_EQ(a.Union(b).ToString(), "{[1,15]}");
+  EXPECT_EQ(a.Intersect(b).ToString(), "{[4,5],[10,11]}");
+  EXPECT_EQ(a.Difference(b).ToString(), "{[1,3],[12,15]}");
+  EXPECT_EQ(b.Difference(a).ToString(), "{[6,9]}");
+}
+
+TEST(IntervalSetTest, ContiguityForLifespans) {
+  EXPECT_TRUE(IntervalSet().IsContiguous());
+  EXPECT_TRUE(IntervalSet::Of(Interval(1, 9)).IsContiguous());
+  EXPECT_FALSE(
+      IntervalSet({Interval(1, 3), Interval(5, 9)}).IsContiguous());
+}
+
+TEST(IntervalSetTest, AddCoalesces) {
+  IntervalSet s;
+  s.Add(Interval(1, 3));
+  s.Add(Interval(7, 9));
+  s.Add(Interval(4, 6));  // bridges the gap
+  EXPECT_EQ(s.ToString(), "{[1,9]}");
+}
+
+// --- property suite against a bitset model ----------------------------------
+
+constexpr int kDomain = 64;
+
+std::bitset<kDomain> ToBits(const IntervalSet& s) {
+  std::bitset<kDomain> bits;
+  for (int t = 0; t < kDomain; ++t) {
+    if (s.Contains(t)) bits.set(t);
+  }
+  return bits;
+}
+
+IntervalSet RandomSet(std::mt19937_64* rng) {
+  std::uniform_int_distribution<int> count(0, 5);
+  std::uniform_int_distribution<int> point(0, kDomain - 1);
+  std::vector<Interval> intervals;
+  int n = count(*rng);
+  for (int i = 0; i < n; ++i) {
+    int a = point(*rng);
+    int b = point(*rng);
+    intervals.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  return IntervalSet(std::move(intervals));
+}
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetPropertyTest, AlgebraMatchesBitsetModel) {
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet a = RandomSet(&rng);
+    IntervalSet b = RandomSet(&rng);
+    std::bitset<kDomain> ba = ToBits(a);
+    std::bitset<kDomain> bb = ToBits(b);
+    EXPECT_EQ(ToBits(a.Union(b)), ba | bb);
+    EXPECT_EQ(ToBits(a.Intersect(b)), ba & bb);
+    EXPECT_EQ(ToBits(a.Difference(b)), ba & ~bb);
+    // Cardinality agrees with the model.
+    EXPECT_EQ(static_cast<size_t>(a.Cardinality()), ba.count());
+    // CoversSet <=> subset.
+    EXPECT_EQ(a.CoversSet(b), (bb & ~ba).none());
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, AlgebraicLaws) {
+  std::mt19937_64 rng(GetParam() ^ 0x9e3779b97f4a7c15ULL);
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet a = RandomSet(&rng);
+    IntervalSet b = RandomSet(&rng);
+    IntervalSet c = RandomSet(&rng);
+    // Commutativity and associativity of union/intersection.
+    EXPECT_EQ(a.Union(b), b.Union(a));
+    EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+    EXPECT_EQ(a.Union(b).Union(c), a.Union(b.Union(c)));
+    EXPECT_EQ(a.Intersect(b).Intersect(c), a.Intersect(b.Intersect(c)));
+    // Idempotence and absorption.
+    EXPECT_EQ(a.Union(a), a);
+    EXPECT_EQ(a.Intersect(a), a);
+    EXPECT_EQ(a.Union(a.Intersect(b)), a);
+    // Difference laws.
+    EXPECT_EQ(a.Difference(a), IntervalSet());
+    EXPECT_EQ(a.Difference(IntervalSet()), a);
+    // Normalization is canonical: re-normalizing is the identity.
+    EXPECT_EQ(IntervalSet(a.intervals()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,143 @@
+// Unit tests for the TIME domain (Section 3.2): intervals, the symbolic
+// `now`, and Allen relations.
+#include <gtest/gtest.h>
+
+#include "core/temporal/clock.h"
+#include "core/temporal/interval.h"
+
+namespace tchimera {
+namespace {
+
+TEST(InstantTest, NowSentinel) {
+  EXPECT_TRUE(IsNow(kNow));
+  EXPECT_FALSE(IsNow(0));
+  EXPECT_FALSE(IsNow(123456));
+  EXPECT_EQ(ResolveInstant(kNow, 77), 77);
+  EXPECT_EQ(ResolveInstant(42, 77), 42);
+  EXPECT_EQ(InstantToString(kNow), "now");
+  EXPECT_EQ(InstantToString(9), "9");
+}
+
+TEST(IntervalTest, EmptyAndSingleton) {
+  EXPECT_TRUE(Interval::Empty().empty());
+  EXPECT_TRUE(Interval(5, 4).empty());
+  EXPECT_FALSE(Interval::At(5).empty());
+  EXPECT_EQ(Interval::At(5).Duration(100), 1);
+  EXPECT_EQ(Interval::Empty().ToString(), "[]");
+  EXPECT_EQ(Interval(3, 17).ToString(), "[3,17]");
+  EXPECT_EQ(Interval::FromUntilNow(10).ToString(), "[10,now]");
+}
+
+TEST(IntervalTest, OngoingBehavesAsUnbounded) {
+  Interval ongoing = Interval::FromUntilNow(10);
+  EXPECT_TRUE(ongoing.is_ongoing());
+  // Arithmetically kNow acts as +infinity.
+  EXPECT_TRUE(ongoing.ContainsResolved(10));
+  EXPECT_TRUE(ongoing.ContainsResolved(1'000'000));
+  EXPECT_FALSE(ongoing.ContainsResolved(9));
+}
+
+TEST(IntervalTest, Resolve) {
+  Interval ongoing = Interval::FromUntilNow(10);
+  EXPECT_EQ(ongoing.Resolve(50), Interval(10, 50));
+  // Resolving before the start yields the empty interval.
+  EXPECT_TRUE(ongoing.Resolve(9).empty());
+  EXPECT_EQ(Interval(3, 7).Resolve(100), Interval(3, 7));
+}
+
+TEST(IntervalTest, ContainsWithNow) {
+  Interval ongoing = Interval::FromUntilNow(10);
+  EXPECT_TRUE(ongoing.Contains(10, 50));
+  EXPECT_TRUE(ongoing.Contains(50, 50));
+  EXPECT_FALSE(ongoing.Contains(51, 50));  // beyond resolved `now`
+  EXPECT_TRUE(ongoing.Contains(kNow, 50));  // query instant `now` -> 50
+}
+
+TEST(IntervalTest, IntersectAndOverlap) {
+  EXPECT_EQ(Interval(1, 10).Intersect(Interval(5, 20), 100),
+            Interval(5, 10));
+  EXPECT_TRUE(Interval(1, 4).Intersect(Interval(5, 20), 100).empty());
+  EXPECT_TRUE(Interval(1, 10).Overlaps(Interval(10, 12), 100));
+  EXPECT_FALSE(Interval(1, 9).Overlaps(Interval(10, 12), 100));
+}
+
+TEST(IntervalTest, Covers) {
+  EXPECT_TRUE(Interval(1, 10).Covers(Interval(3, 7), 100));
+  EXPECT_TRUE(Interval(1, 10).Covers(Interval::Empty(), 100));
+  EXPECT_FALSE(Interval(3, 7).Covers(Interval(1, 10), 100));
+  EXPECT_TRUE(
+      Interval::FromUntilNow(1).Covers(Interval::FromUntilNow(5), 100));
+}
+
+TEST(IntervalTest, Touches) {
+  EXPECT_TRUE(Interval(1, 4).Touches(Interval(5, 9), 100));  // adjacent
+  EXPECT_TRUE(Interval(1, 6).Touches(Interval(5, 9), 100));  // overlapping
+  EXPECT_FALSE(Interval(1, 3).Touches(Interval(5, 9), 100));  // gap
+}
+
+TEST(IntervalTest, DurationResolvesNow) {
+  EXPECT_EQ(Interval(3, 7).Duration(100), 5);
+  EXPECT_EQ(Interval::FromUntilNow(95).Duration(100), 6);
+  EXPECT_EQ(Interval::Empty().Duration(100), 0);
+}
+
+struct AllenCase {
+  Interval a;
+  Interval b;
+  AllenRelation expected;
+};
+
+class AllenRelationTest : public ::testing::TestWithParam<AllenCase> {};
+
+TEST_P(AllenRelationTest, Relation) {
+  const AllenCase& c = GetParam();
+  auto r = c.a.RelationTo(c.b, 1000);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, c.expected) << c.a.ToString() << " vs " << c.b.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThirteen, AllenRelationTest,
+    ::testing::Values(
+        AllenCase{Interval(1, 3), Interval(5, 9), AllenRelation::kBefore},
+        AllenCase{Interval(1, 4), Interval(5, 9), AllenRelation::kMeets},
+        AllenCase{Interval(1, 6), Interval(5, 9), AllenRelation::kOverlaps},
+        AllenCase{Interval(5, 7), Interval(5, 9), AllenRelation::kStarts},
+        AllenCase{Interval(6, 8), Interval(5, 9), AllenRelation::kDuring},
+        AllenCase{Interval(7, 9), Interval(5, 9), AllenRelation::kFinishes},
+        AllenCase{Interval(5, 9), Interval(5, 9), AllenRelation::kEquals},
+        AllenCase{Interval(5, 9), Interval(7, 9),
+                  AllenRelation::kFinishedBy},
+        AllenCase{Interval(5, 9), Interval(6, 8), AllenRelation::kContains},
+        AllenCase{Interval(5, 9), Interval(5, 7),
+                  AllenRelation::kStartedBy},
+        AllenCase{Interval(5, 9), Interval(1, 6),
+                  AllenRelation::kOverlappedBy},
+        AllenCase{Interval(5, 9), Interval(1, 4), AllenRelation::kMetBy},
+        AllenCase{Interval(5, 9), Interval(1, 3), AllenRelation::kAfter}));
+
+TEST(AllenRelationTest, EmptyHasNoRelation) {
+  EXPECT_FALSE(Interval::Empty().RelationTo(Interval(1, 2), 10).has_value());
+  EXPECT_FALSE(Interval(1, 2).RelationTo(Interval::Empty(), 10).has_value());
+}
+
+TEST(ClockTest, TickAndAdvance) {
+  Clock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.Tick();
+  EXPECT_EQ(clock.now(), 1);
+  clock.Tick(9);
+  EXPECT_EQ(clock.now(), 10);
+  EXPECT_TRUE(clock.AdvanceTo(10).ok());  // no-op advance is fine
+  EXPECT_TRUE(clock.AdvanceTo(25).ok());
+  EXPECT_EQ(clock.now(), 25);
+  // Time is monotone.
+  Status back = clock.AdvanceTo(24);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.code(), StatusCode::kTemporalError);
+  // `now` is not a valid target.
+  EXPECT_FALSE(clock.AdvanceTo(kNow).ok());
+}
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,108 @@
+// Tests for the metaclass machinery of Section 4: "a metaclass is a
+// special class having a class as unique instance. Each class is then
+// seen as an instance of a metaclass in the same way as an object is seen
+// as an instance of a class."
+#include <gtest/gtest.h>
+
+#include "core/db/database.h"
+#include "core/types/type_registry.h"
+#include "workload/project_schema.h"
+
+namespace tchimera {
+namespace {
+
+class MetaclassTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AdvanceTo(10).ok());
+    ASSERT_TRUE(InstallProjectSchema(&db_).ok());
+    ASSERT_TRUE(db_.SetClassAttribute("project", "average-participants",
+                                      Value::Integer(20))
+                    .ok());
+    e_ = db_.CreateObject("project").value();
+  }
+  Database db_;
+  Oid e_;
+};
+
+TEST_F(MetaclassTest, EveryClassNamesItsMetaclass) {
+  for (const char* name : {"person", "employee", "manager", "task",
+                           "project"}) {
+    EXPECT_EQ(db_.GetClass(name)->metaclass(),
+              std::string("m-") + name);
+  }
+}
+
+TEST_F(MetaclassTest, MetaObjectMirrorsClassState) {
+  Object meta = db_.MetaObjectOf("project").value();
+  // The meta-object lives exactly as long as the class.
+  EXPECT_EQ(meta.lifespan(), db_.GetClass("project")->lifespan());
+  EXPECT_EQ(meta.CurrentClass().value(), "m-project");
+  // Its state is the class history record: c-attributes + extents.
+  EXPECT_EQ(*meta.Attribute("average-participants"), Value::Integer(20));
+  ASSERT_NE(meta.Attribute("ext"), nullptr);
+  EXPECT_EQ(meta.Attribute("ext")->kind(), ValueKind::kTemporal);
+  // The extent temporal value contains the created object from t=10.
+  const Value* at10 = meta.Attribute("ext")->AsTemporal().At(10);
+  ASSERT_NE(at10, nullptr);
+  EXPECT_TRUE(at10->Contains(Value::OfOid(e_)));
+  // And it matches the class's History record field-for-field.
+  Value history = db_.ClassHistory("project").value();
+  EXPECT_EQ(meta.AttributeRecord(), history);
+}
+
+TEST_F(MetaclassTest, MetaObjectsAreDistinctFromRealObjects) {
+  Object meta = db_.MetaObjectOf("project").value();
+  EXPECT_EQ(db_.GetObject(meta.id()), nullptr);  // a view, not stored
+  EXPECT_NE(meta.id(), e_);
+}
+
+TEST_F(MetaclassTest, MetaclassSpecDescribesTheMetaObject) {
+  ClassSpec spec = db_.MetaclassSpecOf("project").value();
+  EXPECT_EQ(spec.name, "m-project");
+  // Attributes: the c-attribute + ext + proper-ext.
+  ASSERT_EQ(spec.attributes.size(), 3u);
+  bool has_ext = false, has_pext = false, has_cattr = false;
+  for (const AttributeDef& a : spec.attributes) {
+    if (a.name == "ext") has_ext = true;
+    if (a.name == "proper-ext") has_pext = true;
+    if (a.name == "average-participants") {
+      has_cattr = true;
+      EXPECT_EQ(a.type, types::Integer());
+    }
+  }
+  EXPECT_TRUE(has_ext && has_pext && has_cattr);
+  // A historical class (temporal c-attribute) yields a temporal
+  // meta-attribute; check through a fresh class.
+  ClassSpec tracked;
+  tracked.name = "tracked";
+  tracked.c_attributes = {
+      {"avg", types::Temporal(types::Integer()).value()}};
+  ASSERT_TRUE(db_.DefineClass(tracked).ok());
+  EXPECT_EQ(db_.GetClass("tracked")->kind(), ClassKind::kHistorical);
+  ClassSpec meta_spec = db_.MetaclassSpecOf("tracked").value();
+  for (const AttributeDef& a : meta_spec.attributes) {
+    if (a.name == "avg") {
+      EXPECT_TRUE(a.is_temporal());
+    }
+  }
+}
+
+TEST_F(MetaclassTest, MetaObjectOfDeletedClassIsClosed) {
+  ClassSpec scratch;
+  scratch.name = "scratch";
+  ASSERT_TRUE(db_.DefineClass(scratch).ok());
+  db_.Tick(5);
+  ASSERT_TRUE(db_.DropClass("scratch").ok());
+  Object meta = db_.MetaObjectOf("scratch").value();
+  EXPECT_FALSE(meta.alive());
+  EXPECT_EQ(meta.lifespan(), Interval(10, 15));
+}
+
+TEST_F(MetaclassTest, UnknownClassFails) {
+  EXPECT_FALSE(db_.MetaObjectOf("ghost").ok());
+  EXPECT_FALSE(db_.MetaclassSpecOf("ghost").ok());
+}
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,157 @@
+// Tests for objects (Definition 5.1) and the state functions h_state,
+// s_state, snapshot, ref (Table 3 / Sections 5.2-5.3).
+#include <gtest/gtest.h>
+
+#include "core/object/object.h"
+
+namespace tchimera {
+namespace {
+
+Value I(int64_t v) { return Value::Integer(v); }
+
+TEST(ObjectTest, FreshObjectShape) {
+  Object obj(Oid{7}, "project", 20);
+  EXPECT_EQ(obj.id(), (Oid{7}));
+  EXPECT_EQ(obj.lifespan(), Interval::FromUntilNow(20));
+  EXPECT_TRUE(obj.alive());
+  EXPECT_EQ(obj.CurrentClass().value(), "project");
+  EXPECT_EQ(obj.ClassAt(20).value(), "project");
+  EXPECT_FALSE(obj.ClassAt(19).has_value());
+  EXPECT_FALSE(obj.IsHistorical());
+  EXPECT_EQ(obj.AttributeRecord().ToString(), "()");
+}
+
+TEST(ObjectTest, StaticAndTemporalAttributes) {
+  Object obj(Oid{1}, "c", 0);
+  obj.SetAttribute("objective", Value::String("Implementation"));
+  ASSERT_TRUE(obj.AssertTemporalAttribute("name", 0,
+                                          Value::String("IDEA")).ok());
+  EXPECT_TRUE(obj.IsHistorical());
+  EXPECT_TRUE(obj.HasStaticAttributes());
+  EXPECT_EQ(obj.Attribute("objective")->AsString(), "Implementation");
+  EXPECT_EQ(obj.Attribute("name")->kind(), ValueKind::kTemporal);
+  EXPECT_EQ(obj.Attribute("ghost"), nullptr);
+}
+
+TEST(ObjectTest, HStateProjectsMeaningfulAttributes) {
+  Object obj(Oid{1}, "c", 10);
+  ASSERT_TRUE(obj.AssertTemporalAttribute("a", 10, I(1)).ok());
+  ASSERT_TRUE(obj.DefineTemporalAttribute("b", Interval(20, 30), I(2)).ok());
+  obj.SetAttribute("s", Value::String("x"));
+  // At t=15 only `a` is meaningful (Definition 5.2).
+  Value at15 = obj.HState(15).value();
+  EXPECT_EQ(at15.ToString(), "(a:1)");
+  // At t=25 both temporal attributes are meaningful.
+  Value at25 = obj.HState(25).value();
+  EXPECT_EQ(at25.ToString(), "(a:1,b:2)");
+  // Outside the lifespan h_state is undefined.
+  EXPECT_FALSE(obj.HState(9).ok());
+  // s_state carries exactly the static attributes.
+  EXPECT_EQ(obj.SState().ToString(), "(s:'x')");
+}
+
+TEST(ObjectTest, SnapshotRules) {
+  // All-temporal object: snapshots exist at every instant of the
+  // lifespan; undefined attributes project to null.
+  Object ht(Oid{1}, "c", 10);
+  ASSERT_TRUE(ht.AssertTemporalAttribute("a", 10, I(1)).ok());
+  ASSERT_TRUE(ht.DefineTemporalAttribute("b", Interval(20, 30), I(2)).ok());
+  EXPECT_EQ(ht.Snapshot(15, 100).value().ToString(), "(a:1,b:null)");
+  EXPECT_EQ(ht.Snapshot(25, 100).value().ToString(), "(a:1,b:2)");
+  EXPECT_FALSE(ht.Snapshot(5, 100).ok());  // before the lifespan
+  // With static attributes, only snapshot(i, now) is defined
+  // (Section 5.3).
+  Object st(Oid{2}, "c", 10);
+  st.SetAttribute("s", Value::String("x"));
+  ASSERT_TRUE(st.AssertTemporalAttribute("a", 10, I(3)).ok());
+  EXPECT_TRUE(st.Snapshot(100, 100).ok());
+  EXPECT_TRUE(st.Snapshot(kNow, 100).ok());
+  Result<Value> past = st.Snapshot(50, 100);
+  EXPECT_FALSE(past.ok());
+  EXPECT_EQ(past.status().code(), StatusCode::kTemporalError);
+}
+
+TEST(ObjectTest, RefCollectsReferencesAtInstant) {
+  Object obj(Oid{1}, "c", 0);
+  obj.SetAttribute("w", Value::Set({Value::OfOid(Oid{7})}));
+  TemporalFunction sub;
+  ASSERT_TRUE(sub.Define(Interval(20, 45), Value::OfOid(Oid{4})).ok());
+  ASSERT_TRUE(sub.AssertFrom(46, Value::OfOid(Oid{9})).ok());
+  obj.SetAttribute("sub", Value::Temporal(sub));
+  std::vector<Oid> at30 = obj.ReferencedOids(30);
+  EXPECT_EQ(at30, (std::vector<Oid>{Oid{4}, Oid{7}}));
+  std::vector<Oid> at50 = obj.ReferencedOids(50);
+  EXPECT_EQ(at50, (std::vector<Oid>{Oid{7}, Oid{9}}));
+  std::vector<Oid> all = obj.AllReferencedOids();
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(ObjectTest, MigrationRecordsClassHistory) {
+  Object obj(Oid{1}, "employee", 10);
+  ASSERT_TRUE(obj.AssertTemporalAttribute("salary", 10, I(100)).ok());
+  ASSERT_TRUE(obj.MigrateTo("manager", 30).ok());
+  EXPECT_EQ(obj.ClassAt(29).value(), "employee");
+  EXPECT_EQ(obj.ClassAt(30).value(), "manager");
+  EXPECT_EQ(obj.CurrentClass().value(), "manager");
+  // Migrating outside the lifespan is rejected.
+  EXPECT_FALSE(obj.MigrateTo("person", 5).ok());
+}
+
+TEST(ObjectTest, RetainedTemporalAttributesAfterClose) {
+  // Section 5.2: when a temporal attribute is dropped by a migration, its
+  // past values are retained but its domain is closed.
+  Object obj(Oid{1}, "manager", 10);
+  ASSERT_TRUE(obj.AssertTemporalAttribute("dependents", 10, I(2)).ok());
+  ASSERT_TRUE(obj.CloseTemporalAttribute("dependents", 29).ok());
+  const Value* v = obj.Attribute("dependents");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->AsTemporal().At(20)->AsInteger(), 2);
+  EXPECT_EQ(v->AsTemporal().At(30), nullptr);
+  // Closing a static or missing attribute is an error.
+  obj.SetAttribute("s", I(1));
+  EXPECT_FALSE(obj.CloseTemporalAttribute("s", 5).ok());
+  EXPECT_FALSE(obj.CloseTemporalAttribute("ghost", 5).ok());
+}
+
+TEST(ObjectTest, NormalizedClassHistoryForStaticObjects) {
+  // Definition 5.1: a static object's class history holds the single pair
+  // <[now,now], current class>.
+  Object st(Oid{1}, "a", 10);
+  st.SetAttribute("x", I(1));
+  ASSERT_TRUE(st.MigrateTo("b", 20).ok());
+  TemporalFunction normalized = st.NormalizedClassHistory(50);
+  ASSERT_EQ(normalized.segment_count(), 1u);
+  EXPECT_EQ(normalized.segments()[0].interval, Interval::At(50));
+  EXPECT_EQ(normalized.segments()[0].value, Value::String("b"));
+  // Historical objects keep the full history.
+  Object ht(Oid{2}, "a", 10);
+  ASSERT_TRUE(ht.AssertTemporalAttribute("x", 10, I(1)).ok());
+  ASSERT_TRUE(ht.MigrateTo("b", 20).ok());
+  EXPECT_EQ(ht.NormalizedClassHistory(50).segment_count(), 2u);
+}
+
+TEST(ObjectTest, CloseLifespanFreezesEverything) {
+  Object obj(Oid{1}, "c", 10);
+  ASSERT_TRUE(obj.AssertTemporalAttribute("a", 10, I(1)).ok());
+  ASSERT_TRUE(obj.CloseLifespan(40).ok());
+  EXPECT_FALSE(obj.alive());
+  EXPECT_EQ(obj.lifespan(), Interval(10, 40));
+  EXPECT_EQ(obj.Attribute("a")->AsTemporal().RawDomain().ToString(),
+            "{[10,40]}");
+  EXPECT_EQ(obj.class_history().RawDomain().ToString(), "{[10,40]}");
+  EXPECT_FALSE(obj.CloseLifespan(50).ok());  // no reincarnation
+  // Closing before creation is a temporal error.
+  Object late(Oid{2}, "c", 10);
+  EXPECT_FALSE(late.CloseLifespan(5).ok());
+}
+
+TEST(ObjectTest, TemporalUpdateOnStaticAttributeFails) {
+  Object obj(Oid{1}, "c", 0);
+  obj.SetAttribute("s", I(1));
+  Status s = obj.AssertTemporalAttribute("s", 5, I(2));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace tchimera

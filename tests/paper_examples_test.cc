@@ -1,0 +1,230 @@
+// End-to-end reconstruction of the paper's running example:
+//   Example 3.1/3.2 (types and values), Example 4.1 (class project),
+//   Example 4.2 (h_type / s_type), Example 5.1 (object i1),
+//   Example 5.2 (h_state / s_state), Example 5.3 (consistency conditions),
+//   and the snapshot of Section 5.3.
+#include <gtest/gtest.h>
+
+#include "core/db/consistency.h"
+#include "core/db/database.h"
+#include "core/types/type_parser.h"
+#include "core/types/type_registry.h"
+#include "core/values/value_parser.h"
+
+namespace tchimera {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // t = 10: the schema of Example 4.1 comes to life.
+    ASSERT_TRUE(db_.AdvanceTo(10).ok());
+    ClassSpec person;
+    person.name = "person";
+    ASSERT_TRUE(db_.DefineClass(person).ok());
+    ClassSpec task;
+    task.name = "task";
+    ASSERT_TRUE(db_.DefineClass(task).ok());
+
+    const Type* t_string = types::String();
+    ClassSpec project;
+    project.name = "project";
+    project.attributes = {
+        {"name", types::Temporal(t_string).value()},
+        {"objective", t_string},
+        {"workplan", types::SetOf(types::Object("task"))},
+        {"subproject", types::Temporal(types::Object("project")).value()},
+        {"participants",
+         types::Temporal(types::SetOf(types::Object("person"))).value()},
+    };
+    project.methods = {{"add-participant",
+                        {types::Object("person")},
+                        types::Object("project")}};
+    project.c_attributes = {{"average-participants", types::Integer()}};
+    ASSERT_TRUE(db_.DefineClass(project).ok());
+
+    // t = 20: the objects of Example 5.1.
+    ASSERT_TRUE(db_.AdvanceTo(20).ok());
+    p2_ = db_.CreateObject("person").value();
+    p3_ = db_.CreateObject("person").value();
+    t7_ = db_.CreateObject("task").value();
+    sub4_ = db_.CreateObject("project",
+                             {{"name", Value::String("SUB-A")}})
+                .value();
+    i1_ = db_.CreateObject(
+                 "project",
+                 {{"name", Value::String("IDEA")},
+                  {"objective", Value::String("Implementation")},
+                  {"workplan", Value::Set({Value::OfOid(t7_)})},
+                  {"subproject", Value::OfOid(sub4_)},
+                  {"participants",
+                   Value::Set({Value::OfOid(p2_), Value::OfOid(p3_)})}})
+              .value();
+
+    // t = 46: the subproject changes (paper: <[20,45],i4>,<[46,now],i9>).
+    ASSERT_TRUE(db_.AdvanceTo(46).ok());
+    sub9_ = db_.CreateObject("project",
+                             {{"name", Value::String("SUB-B")}})
+                .value();
+    ASSERT_TRUE(
+        db_.UpdateAttribute(i1_, "subproject", Value::OfOid(sub9_)).ok());
+
+    // t = 81: a participant joins (paper: <[20,80],{i2,i3}>,
+    // <[81,now],{i2,i3,i8}>).
+    ASSERT_TRUE(db_.AdvanceTo(81).ok());
+    p8_ = db_.CreateObject("person").value();
+    ASSERT_TRUE(db_.UpdateAttribute(
+                       i1_, "participants",
+                       Value::Set({Value::OfOid(p2_), Value::OfOid(p3_),
+                                   Value::OfOid(p8_)}))
+                    .ok());
+
+    ASSERT_TRUE(db_.AdvanceTo(100).ok());
+  }
+
+  Database db_;
+  Oid i1_, p2_, p3_, p8_, t7_, sub4_, sub9_;
+};
+
+TEST_F(PaperExampleTest, Example31Types) {
+  // The five example types of Example 3.1 are all constructible and
+  // round-trip through the parser.
+  const char* kTypes[] = {
+      "time", "temporal(integer)", "list-of(bool)",
+      "temporal(set-of(project))",
+      "record-of(task:temporal(project),startbudget:real,endbudget:real)"};
+  for (const char* text : kTypes) {
+    Result<const Type*> t = ParseType(text);
+    ASSERT_TRUE(t.ok()) << text << ": " << t.status();
+    EXPECT_EQ(ParseType((*t)->ToString()).value(), *t);
+  }
+}
+
+TEST_F(PaperExampleTest, Example32Values) {
+  // {<[5,10],12>,<[11,30],5>} in [[temporal(integer)]]_t.
+  Result<Value> f = ParseValue("{<[5,10],12>,<[11,30],5>}");
+  ASSERT_TRUE(f.ok()) << f.status();
+  const Type* tint = types::Temporal(types::Integer()).value();
+  EXPECT_TRUE(IsLegalValue(*f, tint, db_.now(), db_.typing_context()));
+
+  // (name:'Bob', score:{<[1,100],40>,<[101,200],70>}) in
+  // [[record-of(name:string,score:temporal(integer))]]_t.
+  Result<Value> rec =
+      ParseValue("(name:'Bob',score:{<[1,100],40>,<[101,200],70>})");
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  const Type* rtype =
+      ParseType("record-of(name:string,score:temporal(integer))").value();
+  EXPECT_TRUE(IsLegalValue(*rec, rtype, db_.now(), db_.typing_context()));
+}
+
+TEST_F(PaperExampleTest, Example41ClassSignature) {
+  const ClassDef* project = db_.GetClass("project");
+  ASSERT_NE(project, nullptr);
+  // The class is static: its only c-attribute is non-temporal.
+  EXPECT_EQ(project->kind(), ClassKind::kStatic);
+  EXPECT_EQ(project->lifespan().start(), 10);
+  EXPECT_TRUE(project->lifespan().is_ongoing());
+  EXPECT_EQ(project->metaclass(), "m-project");
+  ASSERT_NE(project->FindMethod("add-participant"), nullptr);
+  EXPECT_EQ(project->FindMethod("add-participant")->ToString(),
+            "add-participant: person -> project");
+  // The history record carries the c-attribute plus ext / proper-ext.
+  Value history = project->History();
+  ASSERT_EQ(history.kind(), ValueKind::kRecord);
+  EXPECT_NE(history.FieldValue("average-participants"), nullptr);
+  EXPECT_NE(history.FieldValue("ext"), nullptr);
+  EXPECT_NE(history.FieldValue("proper-ext"), nullptr);
+}
+
+TEST_F(PaperExampleTest, Example42DerivedTypes) {
+  const ClassDef* project = db_.GetClass("project");
+  const Type* h = project->HistoricalType();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->ToString(),
+            "record-of(name:string,participants:set-of(person),"
+            "subproject:project)");
+  const Type* s = project->StaticType();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->ToString(),
+            "record-of(objective:string,workplan:set-of(task))");
+}
+
+TEST_F(PaperExampleTest, Example51ObjectState) {
+  const Object* obj = db_.GetObject(i1_);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->lifespan().start(), 20);
+  EXPECT_TRUE(obj->lifespan().is_ongoing());
+  EXPECT_TRUE(obj->IsHistorical());
+  EXPECT_EQ(obj->CurrentClass().value(), "project");
+  // The subproject history matches the paper's shape.
+  const Value* sub = obj->Attribute("subproject");
+  ASSERT_NE(sub, nullptr);
+  ASSERT_EQ(sub->kind(), ValueKind::kTemporal);
+  const auto& segs = sub->AsTemporal().segments();
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].interval, Interval(20, 45));
+  EXPECT_EQ(segs[0].value, Value::OfOid(sub4_));
+  EXPECT_EQ(segs[1].interval, Interval::FromUntilNow(46));
+  EXPECT_EQ(segs[1].value, Value::OfOid(sub9_));
+}
+
+TEST_F(PaperExampleTest, Example52States) {
+  // s_state(i1) = (objective:'Implementation', workplan:{i7}).
+  Value s_state = db_.SStateOf(i1_).value();
+  EXPECT_EQ(*s_state.FieldValue("objective"),
+            Value::String("Implementation"));
+  EXPECT_EQ(*s_state.FieldValue("workplan"),
+            Value::Set({Value::OfOid(t7_)}));
+  // h_state(i1, 50) = (name:'IDEA', subproject:i9,
+  // participants:{i2,i3}).
+  Value h_state = db_.HStateOf(i1_, 50).value();
+  EXPECT_EQ(*h_state.FieldValue("name"), Value::String("IDEA"));
+  EXPECT_EQ(*h_state.FieldValue("subproject"), Value::OfOid(sub9_));
+  EXPECT_EQ(*h_state.FieldValue("participants"),
+            Value::Set({Value::OfOid(p2_), Value::OfOid(p3_)}));
+}
+
+TEST_F(PaperExampleTest, Example53Consistency) {
+  // The database satisfies every consistency notion and invariant.
+  Status s = CheckDatabaseConsistency(db_);
+  EXPECT_TRUE(s.ok()) << s;
+  // And object i1 specifically is a consistent instance of project.
+  EXPECT_TRUE(CheckObjectConsistency(db_, i1_).ok());
+}
+
+TEST_F(PaperExampleTest, Section53Snapshot) {
+  // snapshot(i1, now) is defined and projects every attribute...
+  Value snap = db_.SnapshotOf(i1_, kNow).value();
+  EXPECT_EQ(*snap.FieldValue("name"), Value::String("IDEA"));
+  EXPECT_EQ(*snap.FieldValue("objective"), Value::String("Implementation"));
+  EXPECT_EQ(*snap.FieldValue("subproject"), Value::OfOid(sub9_));
+  EXPECT_EQ(*snap.FieldValue("participants"),
+            Value::Set({Value::OfOid(p2_), Value::OfOid(p3_),
+                        Value::OfOid(p8_)}));
+  // ...but snapshot(i1, t) for t != now is undefined, because i1 has
+  // static attributes (Section 5.3).
+  Result<Value> past = db_.SnapshotOf(i1_, 50);
+  EXPECT_FALSE(past.ok());
+  EXPECT_EQ(past.status().code(), StatusCode::kTemporalError);
+}
+
+TEST_F(PaperExampleTest, Table3Functions) {
+  // pi(project, 30) = {i4, i1} (both projects existed at 30).
+  std::vector<Oid> extent = db_.Pi("project", 30);
+  EXPECT_EQ(extent.size(), 2u);
+  // o_lifespan / m_lifespan.
+  EXPECT_EQ(db_.OLifespan(i1_).value(), Interval::FromUntilNow(20));
+  IntervalSet member = db_.MLifespan(i1_, "project").value();
+  EXPECT_TRUE(member.Contains(20));
+  EXPECT_TRUE(member.Contains(db_.now()));
+  EXPECT_FALSE(member.Contains(19));
+  // ref(i1, 30): workplan task, subproject i4, participants p2 p3.
+  std::vector<Oid> refs = db_.Ref(i1_, 30).value();
+  EXPECT_EQ(refs.size(), 4u);
+  // ref(i1, now): subproject switched to i9 and p8 joined.
+  refs = db_.Ref(i1_, kNow).value();
+  EXPECT_EQ(refs.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tchimera

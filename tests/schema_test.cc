@@ -1,0 +1,313 @@
+// Tests for classes (Definition 4.1): derived types, history records,
+// extent maintenance, metaclasses, and Rule 6.1 refinement at class
+// definition time.
+#include <gtest/gtest.h>
+
+#include "core/db/database.h"
+#include "core/schema/refinement.h"
+#include "core/types/type_registry.h"
+
+namespace tchimera {
+namespace {
+
+const Type* TInt() { return types::Integer(); }
+const Type* TStr() { return types::String(); }
+const Type* TTemp(const Type* t) { return types::Temporal(t).value(); }
+
+TEST(ClassDefTest, KindFollowsCAttributes) {
+  // Definition 4.1: a class is historical iff it has a temporal
+  // c-attribute — instance attributes do not matter.
+  ClassDef static_cls("a", 0, {}, {{"x", TTemp(TInt())}}, {},
+                      {{"count", TInt()}}, {});
+  EXPECT_EQ(static_cls.kind(), ClassKind::kStatic);
+  ClassDef historical_cls("b", 0, {}, {{"x", TInt()}}, {},
+                          {{"count", TTemp(TInt())}}, {});
+  EXPECT_EQ(historical_cls.kind(), ClassKind::kHistorical);
+}
+
+TEST(ClassDefTest, DerivedTypes) {
+  ClassDef cls("c", 0, {},
+               {{"name", TTemp(TStr())},
+                {"objective", TStr()},
+                {"score", TTemp(TInt())}},
+               {}, {}, {});
+  EXPECT_EQ(cls.StructuralType()->ToString(),
+            "record-of(name:temporal(string),objective:string,"
+            "score:temporal(integer))");
+  EXPECT_EQ(cls.HistoricalType()->ToString(),
+            "record-of(name:string,score:integer)");
+  EXPECT_EQ(cls.StaticType()->ToString(), "record-of(objective:string)");
+}
+
+TEST(ClassDefTest, DerivedTypesNullWhenEmpty) {
+  // h_type is null for all-static classes, s_type for all-temporal ones
+  // (footnote 5 of the paper).
+  ClassDef all_static("s", 0, {}, {{"x", TInt()}}, {}, {}, {});
+  EXPECT_EQ(all_static.HistoricalType(), nullptr);
+  EXPECT_NE(all_static.StaticType(), nullptr);
+  ClassDef all_temporal("t", 0, {}, {{"x", TTemp(TInt())}}, {}, {}, {});
+  EXPECT_EQ(all_temporal.StaticType(), nullptr);
+  EXPECT_NE(all_temporal.HistoricalType(), nullptr);
+  ClassDef empty("e", 0, {}, {}, {}, {}, {});
+  EXPECT_EQ(empty.StructuralType(), nullptr);
+}
+
+TEST(ClassDefTest, ExtentMaintenance) {
+  ClassDef cls("c", 0, {}, {}, {}, {}, {});
+  ASSERT_TRUE(cls.AddMember(Oid{1}, 5).ok());
+  ASSERT_TRUE(cls.AddMember(Oid{2}, 10).ok());
+  EXPECT_FALSE(cls.InExtentAt(Oid{1}, 4));
+  EXPECT_TRUE(cls.InExtentAt(Oid{1}, 5));
+  EXPECT_TRUE(cls.InExtentAt(Oid{1}, 100));
+  EXPECT_FALSE(cls.InExtentAt(Oid{2}, 9));
+  EXPECT_TRUE(cls.InExtentAt(Oid{2}, 10));
+  ASSERT_TRUE(cls.RemoveMember(Oid{1}, 20).ok());
+  EXPECT_TRUE(cls.InExtentAt(Oid{1}, 19));
+  EXPECT_FALSE(cls.InExtentAt(Oid{1}, 20));
+  // Member intervals reflect the whole story.
+  EXPECT_EQ(cls.MemberIntervals(Oid{1}, 100).ToString(), "{[5,19]}");
+  EXPECT_EQ(cls.RawMemberIntervals(Oid{2}).ToString(), "{[10,now]}");
+  // Re-adding later gives a non-contiguous membership (fire/rehire).
+  ASSERT_TRUE(cls.AddMember(Oid{1}, 30).ok());
+  EXPECT_EQ(cls.MemberIntervals(Oid{1}, 100).ToString(), "{[5,19],[30,100]}");
+}
+
+TEST(ClassDefTest, RetroactiveMembershipPreservesLaterHistory) {
+  ClassDef cls("c", 0, {}, {}, {}, {}, {});
+  ASSERT_TRUE(cls.AddMember(Oid{1}, 10).ok());
+  ASSERT_TRUE(cls.RemoveMember(Oid{1}, 20).ok());
+  // Retroactively add a different member from t=5: must not clobber the
+  // removal of Oid{1} at 20.
+  ASSERT_TRUE(cls.AddMember(Oid{2}, 5).ok());
+  EXPECT_TRUE(cls.InExtentAt(Oid{2}, 5));
+  EXPECT_TRUE(cls.InExtentAt(Oid{2}, 50));
+  EXPECT_TRUE(cls.InExtentAt(Oid{1}, 15));
+  EXPECT_FALSE(cls.InExtentAt(Oid{1}, 25));
+}
+
+TEST(ClassDefTest, HistoryRecordShape) {
+  ClassDef cls("c", 7, {}, {}, {}, {{"avg", TInt()}}, {});
+  ASSERT_TRUE(cls.SetCAttribute("avg", Value::Integer(20), 7).ok());
+  ASSERT_TRUE(cls.AddMember(Oid{1}, 7).ok());
+  ASSERT_TRUE(cls.AddInstance(Oid{1}, 7).ok());
+  Value history = cls.History();
+  EXPECT_EQ(*history.FieldValue("avg"), Value::Integer(20));
+  EXPECT_EQ(history.FieldValue("ext")->kind(), ValueKind::kTemporal);
+  EXPECT_EQ(history.FieldValue("proper-ext")->kind(), ValueKind::kTemporal);
+  // PE(t) subset of E(t) by construction.
+  EXPECT_TRUE(cls.InExtentAt(Oid{1}, 7));
+  EXPECT_TRUE(cls.InProperExtentAt(Oid{1}, 7));
+}
+
+TEST(ClassDefTest, TemporalCAttributeKeepsHistory) {
+  ClassDef cls("c", 0, {}, {}, {}, {{"avg", TTemp(TInt())}}, {});
+  ASSERT_TRUE(cls.SetCAttribute("avg", Value::Integer(10), 5).ok());
+  ASSERT_TRUE(cls.SetCAttribute("avg", Value::Integer(30), 9).ok());
+  Value v = cls.CAttributeValue("avg").value();
+  ASSERT_EQ(v.kind(), ValueKind::kTemporal);
+  EXPECT_EQ(*v.AsTemporal().At(6), Value::Integer(10));
+  EXPECT_EQ(*v.AsTemporal().At(9), Value::Integer(30));
+  EXPECT_FALSE(cls.CAttributeValue("nope").ok());
+}
+
+TEST(ClassDefTest, CloseLifespan) {
+  ClassDef cls("c", 3, {}, {}, {}, {}, {});
+  ASSERT_TRUE(cls.AddMember(Oid{1}, 5).ok());
+  EXPECT_TRUE(cls.alive());
+  ASSERT_TRUE(cls.CloseLifespan(9).ok());
+  EXPECT_FALSE(cls.alive());
+  EXPECT_EQ(cls.lifespan(), Interval(3, 9));
+  // Extents are clipped with it.
+  EXPECT_TRUE(cls.InExtentAt(Oid{1}, 9));
+  EXPECT_FALSE(cls.InExtentAt(Oid{1}, 10));
+  // Classes are never recreated (Section 4).
+  EXPECT_FALSE(cls.CloseLifespan(12).ok());
+}
+
+// --- Rule 6.1 refinement matrix ------------------------------------------------
+
+class RefinementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(isa_.AddClass("person", {}).ok());
+    ASSERT_TRUE(isa_.AddClass("employee", {"person"}).ok());
+  }
+  Status Check(const Type* inherited, const Type* refined) {
+    return CheckAttributeRefinement({"a", inherited}, {"a", refined}, isa_);
+  }
+  IsaGraph isa_;
+};
+
+TEST_F(RefinementTest, IdentityAndSpecialization) {
+  EXPECT_TRUE(Check(TInt(), TInt()).ok());
+  EXPECT_TRUE(
+      Check(types::Object("person"), types::Object("employee")).ok());
+  EXPECT_FALSE(
+      Check(types::Object("employee"), types::Object("person")).ok());
+}
+
+TEST_F(RefinementTest, NonTemporalMayBecomeTemporal) {
+  // Rule 6.1 clause 2, the [6]-inspired direction.
+  EXPECT_TRUE(Check(TInt(), TTemp(TInt())).ok());
+  EXPECT_TRUE(Check(types::Object("person"),
+                    TTemp(types::Object("employee")))
+                  .ok());
+  // ...but never the reverse.
+  Status s = Check(TTemp(TInt()), TInt());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(RefinementTest, TemporalToTemporalSpecializes) {
+  EXPECT_TRUE(Check(TTemp(types::Object("person")),
+                    TTemp(types::Object("employee")))
+                  .ok());
+  EXPECT_FALSE(Check(TTemp(types::Object("employee")),
+                     TTemp(types::Object("person")))
+                   .ok());
+}
+
+TEST_F(RefinementTest, MethodVariance) {
+  // Covariant result, contravariant inputs.
+  MethodDef inherited{"m",
+                      {types::Object("employee")},
+                      types::Object("person")};
+  MethodDef good{"m", {types::Object("person")},
+                 types::Object("employee")};
+  EXPECT_TRUE(CheckMethodRefinement(inherited, good, isa_).ok());
+  MethodDef bad_input{"m", {types::Object("employee")},
+                      types::Object("person")};
+  bad_input.inputs = {types::Object("employee")};
+  EXPECT_TRUE(CheckMethodRefinement(inherited, bad_input, isa_).ok());
+  // Narrowing an input violates contravariance... build a real violation:
+  MethodDef narrow{"m", {types::Object("employee")},
+                   types::Object("person")};
+  MethodDef from_person{"m", {types::Object("person")},
+                        types::Object("person")};
+  EXPECT_FALSE(CheckMethodRefinement(from_person, narrow, isa_).ok());
+  // Generalizing the result violates covariance.
+  MethodDef widen{"m", {types::Object("employee")},
+                  types::Object("person")};
+  MethodDef returns_employee{"m",
+                             {types::Object("employee")},
+                             types::Object("employee")};
+  EXPECT_FALSE(
+      CheckMethodRefinement(returns_employee, widen, isa_).ok());
+  // Arity must match.
+  MethodDef nullary{"m", {}, types::Object("person")};
+  EXPECT_FALSE(CheckMethodRefinement(inherited, nullary, isa_).ok());
+}
+
+TEST(DatabaseSchemaTest, InheritedMembersAreMerged) {
+  Database db;
+  ClassSpec person;
+  person.name = "person";
+  person.attributes = {{"name", TTemp(TStr())}, {"birthyear", TInt()}};
+  person.methods = {{"greet", {}, TStr()}};
+  ASSERT_TRUE(db.DefineClass(person).ok());
+  ClassSpec employee;
+  employee.name = "employee";
+  employee.superclasses = {"person"};
+  employee.attributes = {{"salary", TTemp(TInt())}};
+  ASSERT_TRUE(db.DefineClass(employee).ok());
+  const ClassDef* cls = db.GetClass("employee");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->attributes().size(), 3u);  // name, birthyear, salary
+  EXPECT_NE(cls->FindAttribute("name"), nullptr);
+  EXPECT_NE(cls->FindMethod("greet"), nullptr);
+  EXPECT_EQ(cls->metaclass(), "m-employee");
+}
+
+TEST(DatabaseSchemaTest, RefinementValidatedAtDefineTime) {
+  Database db;
+  ClassSpec person;
+  person.name = "person";
+  person.attributes = {{"score", TTemp(TInt())}};
+  ASSERT_TRUE(db.DefineClass(person).ok());
+  // Attempting to make an inherited temporal attribute static fails.
+  ClassSpec bad;
+  bad.name = "employee";
+  bad.superclasses = {"person"};
+  bad.attributes = {{"score", TInt()}};
+  Status s = db.DefineClass(bad);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  // The failed definition left no trace.
+  EXPECT_EQ(db.GetClass("employee"), nullptr);
+  EXPECT_FALSE(db.isa().Contains("employee"));
+}
+
+TEST(DatabaseSchemaTest, MultipleInheritanceConflictsMustBeResolved) {
+  Database db;
+  ClassSpec a;
+  a.name = "a";
+  a.attributes = {{"x", TInt()}};
+  ASSERT_TRUE(db.DefineClass(a).ok());
+  ClassSpec b;
+  b.name = "b";
+  b.attributes = {{"x", TStr()}};
+  ASSERT_TRUE(db.DefineClass(b).ok());
+  ClassSpec both;
+  both.name = "both";
+  both.superclasses = {"a", "b"};
+  EXPECT_FALSE(db.DefineClass(both).ok());
+  // Redeclaring the conflicting member would need a common subtype of
+  // integer and string — impossible here, so only agreeing supers work.
+  ClassSpec c;
+  c.name = "c";
+  c.attributes = {{"x", TInt()}};
+  c.superclasses = {"a"};
+  EXPECT_TRUE(db.DefineClass(c).ok());
+}
+
+TEST(DatabaseSchemaTest, SpecValidation) {
+  Database db;
+  ClassSpec bad_name;
+  bad_name.name = "9bad";
+  EXPECT_FALSE(db.DefineClass(bad_name).ok());
+  ClassSpec reserved;
+  reserved.name = "c";
+  reserved.c_attributes = {{"ext", TInt()}};
+  EXPECT_FALSE(db.DefineClass(reserved).ok());
+  ClassSpec any_attr;
+  any_attr.name = "c";
+  any_attr.attributes = {{"x", types::SetOf(types::Any())}};
+  Status s = db.DefineClass(any_attr);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  ClassSpec dangling;
+  dangling.name = "c";
+  dangling.superclasses = {"ghost"};
+  EXPECT_FALSE(db.DefineClass(dangling).ok());
+  ClassSpec dup;
+  dup.name = "c";
+  ASSERT_TRUE(db.DefineClass(dup).ok());
+  EXPECT_FALSE(db.DefineClass(dup).ok());
+}
+
+TEST(DatabaseSchemaTest, DropClassRules) {
+  Database db;
+  ClassSpec person;
+  person.name = "person";
+  ASSERT_TRUE(db.DefineClass(person).ok());
+  ClassSpec employee;
+  employee.name = "employee";
+  employee.superclasses = {"person"};
+  ASSERT_TRUE(db.DefineClass(employee).ok());
+  // A class with a live subclass cannot be dropped.
+  EXPECT_FALSE(db.DropClass("person").ok());
+  // A class with members cannot be dropped.
+  Oid e = db.CreateObject("employee").value();
+  EXPECT_FALSE(db.DropClass("employee").ok());
+  db.Tick();
+  ASSERT_TRUE(db.DeleteObject(e).ok());
+  db.Tick();
+  EXPECT_TRUE(db.DropClass("employee").ok());
+  EXPECT_FALSE(db.GetClass("employee")->alive());
+  EXPECT_FALSE(db.DropClass("employee").ok());  // already deleted
+  EXPECT_TRUE(db.DropClass("person").ok());
+  EXPECT_FALSE(db.DropClass("ghost").ok());
+}
+
+}  // namespace
+}  // namespace tchimera

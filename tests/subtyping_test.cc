@@ -1,0 +1,219 @@
+// Tests for the subtype relation <=_T (Definition 6.1) and the least
+// upper bound used by the set typing rule of Definition 3.6.
+#include <gtest/gtest.h>
+
+#include "core/schema/isa_graph.h"
+#include "core/types/subtyping.h"
+#include "core/types/type_registry.h"
+
+namespace tchimera {
+namespace {
+
+// A small hierarchy:  person <- employee <- manager ; person <- student ;
+// separate hierarchy: vehicle <- car.
+class SubtypingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(isa_.AddClass("person", {}).ok());
+    ASSERT_TRUE(isa_.AddClass("employee", {"person"}).ok());
+    ASSERT_TRUE(isa_.AddClass("manager", {"employee"}).ok());
+    ASSERT_TRUE(isa_.AddClass("student", {"person"}).ok());
+    ASSERT_TRUE(isa_.AddClass("vehicle", {}).ok());
+    ASSERT_TRUE(isa_.AddClass("car", {"vehicle"}).ok());
+  }
+
+  const Type* T(const char* name) { return types::Object(name); }
+
+  IsaGraph isa_;
+};
+
+TEST_F(SubtypingTest, Reflexivity) {
+  for (const Type* t :
+       {types::Integer(), types::String(), T("person"),
+        types::SetOf(T("manager")),
+        types::Temporal(types::Integer()).value()}) {
+    EXPECT_TRUE(IsSubtype(t, t, isa_)) << t->ToString();
+  }
+}
+
+TEST_F(SubtypingTest, ObjectTypesFollowIsa) {
+  EXPECT_TRUE(IsSubtype(T("manager"), T("employee"), isa_));
+  EXPECT_TRUE(IsSubtype(T("manager"), T("person"), isa_));  // transitive
+  EXPECT_TRUE(IsSubtype(T("student"), T("person"), isa_));
+  EXPECT_FALSE(IsSubtype(T("person"), T("manager"), isa_));
+  EXPECT_FALSE(IsSubtype(T("student"), T("employee"), isa_));
+  EXPECT_FALSE(IsSubtype(T("car"), T("person"), isa_));
+}
+
+TEST_F(SubtypingTest, DistinctBasicTypesUnrelated) {
+  EXPECT_FALSE(IsSubtype(types::Integer(), types::Real(), isa_));
+  EXPECT_FALSE(IsSubtype(types::Time(), types::Integer(), isa_));
+  EXPECT_FALSE(IsSubtype(types::Char(), types::String(), isa_));
+}
+
+TEST_F(SubtypingTest, AnyIsBottom) {
+  for (const Type* t :
+       {types::Integer(), T("person"), types::SetOf(types::String()),
+        types::Temporal(T("car")).value()}) {
+    EXPECT_TRUE(IsSubtype(types::Any(), t, isa_)) << t->ToString();
+    EXPECT_FALSE(IsSubtype(t, types::Any(), isa_)) << t->ToString();
+  }
+}
+
+TEST_F(SubtypingTest, CollectionsAreCovariant) {
+  EXPECT_TRUE(
+      IsSubtype(types::SetOf(T("manager")), types::SetOf(T("person")),
+                isa_));
+  EXPECT_TRUE(
+      IsSubtype(types::ListOf(T("manager")), types::ListOf(T("person")),
+                isa_));
+  EXPECT_FALSE(
+      IsSubtype(types::SetOf(T("person")), types::SetOf(T("manager")),
+                isa_));
+  // set-of and list-of are unrelated constructors.
+  EXPECT_FALSE(
+      IsSubtype(types::SetOf(T("manager")), types::ListOf(T("person")),
+                isa_));
+}
+
+TEST_F(SubtypingTest, TemporalIsCovariant) {
+  const Type* tm = types::Temporal(T("manager")).value();
+  const Type* tp = types::Temporal(T("person")).value();
+  EXPECT_TRUE(IsSubtype(tm, tp, isa_));
+  EXPECT_FALSE(IsSubtype(tp, tm, isa_));
+  // Definition 6.1 relates temporal with temporal only; the coercion from
+  // temporal(T) to T is a separate mechanism (Section 6.1).
+  EXPECT_FALSE(IsSubtype(tm, T("manager"), isa_));
+  EXPECT_FALSE(IsSubtype(T("manager"), tm, isa_));
+}
+
+TEST_F(SubtypingTest, RecordsSameFieldsCovariant) {
+  const Type* sub = types::RecordOf({{"who", T("manager")},
+                                     {"when", types::Time()}})
+                        .value();
+  const Type* super = types::RecordOf({{"who", T("person")},
+                                       {"when", types::Time()}})
+                          .value();
+  EXPECT_TRUE(IsSubtype(sub, super, isa_));
+  EXPECT_FALSE(IsSubtype(super, sub, isa_));
+  // Different field sets are unrelated (no width subtyping in the paper).
+  const Type* wider = types::RecordOf({{"who", T("manager")},
+                                       {"when", types::Time()},
+                                       {"extra", types::Bool()}})
+                          .value();
+  EXPECT_FALSE(IsSubtype(wider, super, isa_));
+  EXPECT_FALSE(IsSubtype(super, wider, isa_));
+}
+
+TEST_F(SubtypingTest, TransitivityOnSamples) {
+  const Type* a = types::SetOf(T("manager"));
+  const Type* b = types::SetOf(T("employee"));
+  const Type* c = types::SetOf(T("person"));
+  EXPECT_TRUE(IsSubtype(a, b, isa_));
+  EXPECT_TRUE(IsSubtype(b, c, isa_));
+  EXPECT_TRUE(IsSubtype(a, c, isa_));
+}
+
+TEST_F(SubtypingTest, LubBasics) {
+  EXPECT_EQ(LeastUpperBound(types::Integer(), types::Integer(), isa_)
+                .value(),
+            types::Integer());
+  EXPECT_EQ(LeastUpperBound(types::Any(), T("car"), isa_).value(),
+            T("car"));
+  EXPECT_EQ(LeastUpperBound(T("manager"), T("student"), isa_).value(),
+            T("person"));
+  EXPECT_EQ(LeastUpperBound(T("manager"), T("employee"), isa_).value(),
+            T("employee"));
+}
+
+TEST_F(SubtypingTest, LubFailures) {
+  EXPECT_FALSE(LeastUpperBound(types::Integer(), types::String(), isa_)
+                   .ok());
+  // Unrelated hierarchies: no common superclass.
+  EXPECT_FALSE(LeastUpperBound(T("person"), T("car"), isa_).ok());
+}
+
+TEST_F(SubtypingTest, LubRecursesThroughConstructors) {
+  EXPECT_EQ(LeastUpperBound(types::SetOf(T("manager")),
+                            types::SetOf(T("student")), isa_)
+                .value(),
+            types::SetOf(T("person")));
+  EXPECT_EQ(LeastUpperBound(types::Temporal(T("manager")).value(),
+                            types::Temporal(T("student")).value(), isa_)
+                .value(),
+            types::Temporal(T("person")).value());
+  const Type* ra = types::RecordOf({{"x", T("manager")}}).value();
+  const Type* rb = types::RecordOf({{"x", T("student")}}).value();
+  EXPECT_EQ(LeastUpperBound(ra, rb, isa_).value(),
+            types::RecordOf({{"x", T("person")}}).value());
+}
+
+TEST_F(SubtypingTest, LubIsUpperBound) {
+  // lub(a,b) is above both arguments whenever it exists.
+  std::vector<const Type*> samples = {
+      T("person"), T("employee"), T("manager"), T("student"),
+      types::SetOf(T("manager")), types::SetOf(T("student")),
+      types::Integer(), types::Any()};
+  for (const Type* a : samples) {
+    for (const Type* b : samples) {
+      Result<const Type*> lub = LeastUpperBound(a, b, isa_);
+      if (!lub.ok()) continue;
+      EXPECT_TRUE(IsSubtype(a, *lub, isa_))
+          << a->ToString() << " vs " << (*lub)->ToString();
+      EXPECT_TRUE(IsSubtype(b, *lub, isa_))
+          << b->ToString() << " vs " << (*lub)->ToString();
+      // Symmetric.
+      EXPECT_EQ(LeastUpperBound(b, a, isa_).value(), *lub);
+    }
+  }
+}
+
+TEST(IsaGraphTest, DiamondLcs) {
+  // Diamond: base <- left, right <- join.
+  IsaGraph isa;
+  ASSERT_TRUE(isa.AddClass("base", {}).ok());
+  ASSERT_TRUE(isa.AddClass("left", {"base"}).ok());
+  ASSERT_TRUE(isa.AddClass("right", {"base"}).ok());
+  ASSERT_TRUE(isa.AddClass("join", {"left", "right"}).ok());
+  EXPECT_EQ(isa.LeastCommonSuperclass("left", "right").value(), "base");
+  EXPECT_EQ(isa.LeastCommonSuperclass("join", "left").value(), "left");
+  EXPECT_TRUE(isa.IsSubclassOf("join", "base"));
+  // Incomparable minimal superclasses: siblings under two roots.
+  IsaGraph isa2;
+  ASSERT_TRUE(isa2.AddClass("r1", {}).ok());
+  ASSERT_TRUE(isa2.AddClass("r2", {}).ok());
+  ASSERT_TRUE(isa2.AddClass("x", {"r1", "r2"}).ok());
+  ASSERT_TRUE(isa2.AddClass("y", {"r1", "r2"}).ok());
+  EXPECT_FALSE(isa2.LeastCommonSuperclass("x", "y").has_value());
+}
+
+TEST(IsaGraphTest, HierarchiesAndRoots) {
+  IsaGraph isa;
+  ASSERT_TRUE(isa.AddClass("person", {}).ok());
+  ASSERT_TRUE(isa.AddClass("employee", {"person"}).ok());
+  ASSERT_TRUE(isa.AddClass("vehicle", {}).ok());
+  EXPECT_EQ(isa.HierarchyId("employee").value(),
+            isa.HierarchyId("person").value());
+  EXPECT_NE(isa.HierarchyId("vehicle").value(),
+            isa.HierarchyId("person").value());
+  EXPECT_EQ(isa.Roots().size(), 2u);
+  // Unknown classes are errors.
+  EXPECT_FALSE(isa.HierarchyId("ghost").ok());
+  // Duplicate registration / dangling superclass are rejected.
+  EXPECT_FALSE(isa.AddClass("person", {}).ok());
+  EXPECT_FALSE(isa.AddClass("robot", {"ghost"}).ok());
+}
+
+TEST(IsaGraphTest, MergingHierarchies) {
+  IsaGraph isa;
+  ASSERT_TRUE(isa.AddClass("a", {}).ok());
+  ASSERT_TRUE(isa.AddClass("b", {}).ok());
+  EXPECT_NE(isa.HierarchyId("a").value(), isa.HierarchyId("b").value());
+  // A class under both connects the components.
+  ASSERT_TRUE(isa.AddClass("ab", {"a", "b"}).ok());
+  EXPECT_EQ(isa.HierarchyId("a").value(), isa.HierarchyId("b").value());
+  EXPECT_EQ(isa.HierarchyId("ab").value(), isa.HierarchyId("a").value());
+}
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,141 @@
+// Tests for database timeslicing: the whole-database snapshot coercion.
+#include <gtest/gtest.h>
+
+#include "core/db/consistency.h"
+#include "core/db/timeslice.h"
+#include "core/types/type_registry.h"
+#include "storage/serializer.h"
+#include "workload/generator.h"
+#include "workload/project_schema.h"
+
+namespace tchimera {
+namespace {
+
+Value I(int64_t v) { return Value::Integer(v); }
+
+class TimeSliceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallProjectSchema(&db_).ok());
+    ann_ = db_.CreateObject("employee",
+                            {{"name", Value::String("Ann")},
+                             {"birthyear", I(1970)},
+                             {"salary", I(100)},
+                             {"office", Value::String("A1")}})
+               .value();
+    ASSERT_TRUE(db_.AdvanceTo(30).ok());
+    ASSERT_TRUE(db_.Migrate(ann_, "manager",
+                            {{"dependents", I(2)},
+                             {"officialcar", Value::String("car")}})
+                    .ok());
+    ASSERT_TRUE(db_.AdvanceTo(50).ok());
+    ASSERT_TRUE(db_.UpdateAttribute(ann_, "salary", I(200)).ok());
+    ASSERT_TRUE(db_.AdvanceTo(80).ok());
+  }
+
+  Database db_;
+  Oid ann_;
+};
+
+TEST_F(TimeSliceTest, CurrentSliceCoercesEverything) {
+  auto slice = TimeSlice(db_, kNow).value();
+  // The slice pretends `now` is the present.
+  EXPECT_EQ(slice->now(), 80);
+  // Schema coerced: salary is a plain integer now.
+  const ClassDef* employee = slice->GetClass("employee");
+  ASSERT_NE(employee, nullptr);
+  EXPECT_EQ(employee->FindAttribute("salary")->type, types::Integer());
+  EXPECT_FALSE(employee->HasTemporalAttributes());
+  // Ann appears with projected values, as a manager.
+  const Object* ann = slice->GetObject(ann_);
+  ASSERT_NE(ann, nullptr);
+  EXPECT_EQ(ann->CurrentClass().value(), "manager");
+  EXPECT_EQ(*ann->Attribute("salary"), I(200));
+  EXPECT_EQ(ann->Attribute("office")->AsString(), "A1");
+  EXPECT_FALSE(ann->IsHistorical());
+  // The slice is a fully consistent (non-temporal) database.
+  Status s = CheckDatabaseConsistency(*slice);
+  EXPECT_TRUE(s.ok()) << s;
+}
+
+TEST_F(TimeSliceTest, PastSliceKeepsOnlyTemporalAttributes) {
+  auto slice = TimeSlice(db_, 40).value();
+  EXPECT_EQ(slice->now(), 40);
+  // At a past instant, static attributes are unavailable (Section 5.3):
+  // the sliced schema is the coerced historical type.
+  const ClassDef* employee = slice->GetClass("employee");
+  EXPECT_EQ(employee->FindAttribute("salary")->type, types::Integer());
+  EXPECT_EQ(employee->FindAttribute("office"), nullptr);
+  const Object* ann = slice->GetObject(ann_);
+  ASSERT_NE(ann, nullptr);
+  EXPECT_EQ(ann->CurrentClass().value(), "manager");  // class at 40
+  EXPECT_EQ(*ann->Attribute("salary"), I(100));       // value before raise
+  EXPECT_EQ(*ann->Attribute("dependents"), I(2));
+  EXPECT_EQ(ann->Attribute("office"), nullptr);
+  Status s = CheckDatabaseConsistency(*slice);
+  EXPECT_TRUE(s.ok()) << s;
+}
+
+TEST_F(TimeSliceTest, SliceBeforePromotionShowsEmployee) {
+  auto slice = TimeSlice(db_, 10).value();
+  const Object* ann = slice->GetObject(ann_);
+  ASSERT_NE(ann, nullptr);
+  EXPECT_EQ(ann->CurrentClass().value(), "employee");
+  EXPECT_EQ(ann->Attribute("dependents"), nullptr);
+  // Extents frozen at t=10: a manager extent exists but is empty.
+  EXPECT_TRUE(slice->Pi("manager", kNow).empty());
+  EXPECT_EQ(slice->Pi("employee", kNow).size(), 1u);
+}
+
+TEST_F(TimeSliceTest, ObjectsOutsideLifespanAreExcluded) {
+  Oid late = db_.CreateObject("person").value();
+  auto slice = TimeSlice(db_, 10).value();
+  EXPECT_EQ(slice->GetObject(late), nullptr);
+  // ...but they are in the current slice.
+  auto current = TimeSlice(db_, kNow).value();
+  EXPECT_NE(current->GetObject(late), nullptr);
+  // Oid allocation continues past the sliced population.
+  Result<Oid> fresh = current->CreateObject("person");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->id, late.id);
+}
+
+TEST_F(TimeSliceTest, SliceEvolvesIndependently) {
+  auto slice = TimeSlice(db_, kNow).value();
+  slice->Tick();
+  ASSERT_TRUE(slice->UpdateAttribute(ann_, "salary", I(999)).ok());
+  // The original database is untouched.
+  EXPECT_EQ(db_.HStateOf(ann_, 80).value().FieldValue("salary")->AsInteger(),
+            200);
+  EXPECT_TRUE(CheckDatabaseConsistency(*slice).ok());
+  EXPECT_TRUE(CheckDatabaseConsistency(db_).ok());
+}
+
+TEST_F(TimeSliceTest, InvalidInstantsAreRejected) {
+  EXPECT_FALSE(TimeSlice(db_, 81).ok());   // the future
+  EXPECT_FALSE(TimeSlice(db_, -1).ok());   // before the beginning
+  EXPECT_TRUE(TimeSlice(db_, 0).ok());
+  EXPECT_TRUE(TimeSlice(db_, 80).ok());
+}
+
+TEST_F(TimeSliceTest, PopulatedDatabaseSlicesConsistently) {
+  Database db;
+  PopulationConfig config;
+  config.persons = 20;
+  config.projects = 5;
+  config.timesteps = 20;
+  config.updates_per_step = 8;
+  config.migration_rate = 0.4;
+  ASSERT_TRUE(PopulateDatabase(&db, config).ok());
+  for (TimePoint t : {0, 7, 13, 20}) {
+    Result<std::unique_ptr<Database>> slice = TimeSlice(db, t);
+    ASSERT_TRUE(slice.ok()) << "t=" << t << ": " << slice.status();
+    Status s = CheckDatabaseConsistency(**slice);
+    EXPECT_TRUE(s.ok()) << "t=" << t << ": " << s;
+    // A slice serializes like any database.
+    EXPECT_TRUE(SaveDatabaseToString(**slice).ok());
+  }
+}
+
+}  // namespace
+}  // namespace tchimera

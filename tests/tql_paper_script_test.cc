@@ -1,0 +1,112 @@
+// The paper's running example, expressed entirely in TQL: the textual
+// language is expressive enough to reproduce every state of Examples 4.1,
+// 5.1, 5.2, 5.3 and the Section 5.3 snapshot — the counterpart of
+// paper_examples_test.cc, which drives the same scenario through the C++
+// API.
+#include <gtest/gtest.h>
+
+#include "core/db/database.h"
+#include "query/interpreter.h"
+
+namespace tchimera {
+namespace {
+
+class TqlPaperScriptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    interp_ = std::make_unique<Interpreter>(&db_);
+    // t = 10: the schema of Example 4.1, verbatim in TQL.
+    Must("advance to 10");
+    Must("define class person end");
+    Must("define class task end");
+    Must(
+        "define class project "
+        "attributes name: temporal(string), objective: string, "
+        "workplan: set-of(task), subproject: temporal(project), "
+        "participants: temporal(set-of(person)) "
+        "methods add-participant(person): project "
+        "c-attributes average-participants: integer "
+        "end");
+    // t = 20: the objects of Example 5.1. Oids are assigned sequentially:
+    // i1,i2 persons; i3 task; i4 subproject; i5 the IDEA project.
+    Must("advance to 20");
+    Must("create person");   // i1
+    Must("create person");   // i2
+    Must("create task");     // i3
+    Must("create project (name: 'SUB-A')");  // i4
+    Must(
+        "create project (name: 'IDEA', objective: 'Implementation', "
+        "workplan: {i3}, subproject: i4, participants: {i1, i2})");  // i5
+    // t = 46: the subproject changes.
+    Must("advance to 46");
+    Must("create project (name: 'SUB-B')");  // i6
+    Must("update i5 set subproject = i6");
+    // t = 81: a participant joins.
+    Must("advance to 81");
+    Must("create person");  // i7
+    Must("update i5 set participants = {i1, i2, i7}");
+    Must("advance to 100");
+  }
+
+  std::string Must(const std::string& stmt) {
+    Result<std::string> out = interp_->Execute(stmt);
+    EXPECT_TRUE(out.ok()) << stmt << ": " << out.status();
+    return out.value_or("");
+  }
+
+  Database db_;
+  std::unique_ptr<Interpreter> interp_;
+};
+
+TEST_F(TqlPaperScriptTest, Example51Histories) {
+  EXPECT_EQ(Must("history i5.subproject"),
+            "{<[20,45],i4>,<[46,now],i6>}");
+  EXPECT_EQ(Must("history i5.participants"),
+            "{<[20,80],{i1,i2}>,<[81,now],{i1,i2,i7}>}");
+  EXPECT_EQ(Must("history i5.name"), "{<[20,now],'IDEA'>}");
+}
+
+TEST_F(TqlPaperScriptTest, Example52StatesThroughQueries) {
+  // h_state(i5, 50) components, via AT-queries.
+  EXPECT_EQ(Must("select x.name, x.subproject, x.participants "
+                 "from x in project at 50 where videntical(x, i5)"),
+            "'IDEA' | i6 | {i1,i2}");
+  // s_state components are instant-independent.
+  EXPECT_EQ(Must("select x.objective, x.workplan from x in project "
+                 "where videntical(x, i5)"),
+            "'Implementation' | {i3}");
+}
+
+TEST_F(TqlPaperScriptTest, Section53Snapshot) {
+  EXPECT_EQ(Must("snapshot i5"),
+            "(name:'IDEA',objective:'Implementation',"
+            "participants:{i1,i2,i7},subproject:i6,workplan:{i3})");
+  // The past snapshot is undefined (static attributes, Section 5.3).
+  EXPECT_FALSE(interp_->Execute("snapshot i5 at 50").ok());
+}
+
+TEST_F(TqlPaperScriptTest, Example53ConsistencyViaCheck) {
+  EXPECT_EQ(Must("check"), "consistent");
+}
+
+TEST_F(TqlPaperScriptTest, TemporalQuestions) {
+  // Which project did i1 participate in at t=30?
+  EXPECT_EQ(Must("select x from x in project at 30 where "
+                 "i1 in x.participants"),
+            "i5");
+  // When was i4 the subproject of i5?
+  EXPECT_EQ(Must("when videntical(i5.subproject, i4)"), "{[20,45]}");
+  // When was i7 on the project?
+  EXPECT_EQ(Must("when i7 in i5.participants"), "{[81,100]}");
+}
+
+TEST_F(TqlPaperScriptTest, ExtentsOverTime) {
+  // pi(project, t): 1 project at 20- (SUB-A created just before IDEA),
+  // 3 projects from 46.
+  EXPECT_EQ(Must("select x from x in project at 30"), "i4\ni5");
+  EXPECT_EQ(Must("select x from x in project at 46"), "i4\ni5\ni6");
+  EXPECT_EQ(Must("select x from x in project at 19"), "(no results)");
+}
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,124 @@
+// Unit tests for the T_Chimera type system (Section 3.1): interning,
+// Definition 3.3's restriction on temporal(), T^-, and the type parser.
+#include <gtest/gtest.h>
+
+#include "core/types/type_parser.h"
+#include "core/types/type_registry.h"
+
+namespace tchimera {
+namespace {
+
+TEST(TypeTest, InterningGivesPointerEquality) {
+  EXPECT_EQ(types::Integer(), types::Integer());
+  EXPECT_EQ(types::Object("person"), types::Object("person"));
+  EXPECT_NE(types::Object("person"), types::Object("employee"));
+  EXPECT_EQ(types::SetOf(types::Integer()), types::SetOf(types::Integer()));
+  EXPECT_NE(types::SetOf(types::Integer()), types::ListOf(types::Integer()));
+  EXPECT_EQ(types::Temporal(types::Real()).value(),
+            types::Temporal(types::Real()).value());
+}
+
+TEST(TypeTest, BasicValueTypeClassification) {
+  for (const Type* t : {types::Integer(), types::Real(), types::Bool(),
+                        types::Char(), types::String(), types::Time()}) {
+    EXPECT_TRUE(t->IsBasicValueType()) << t->ToString();
+    EXPECT_TRUE(t->IsChimeraType()) << t->ToString();
+  }
+  EXPECT_FALSE(types::Any()->IsBasicValueType());
+  EXPECT_FALSE(types::Any()->IsChimeraType());
+  EXPECT_FALSE(types::Object("c")->IsBasicValueType());
+  EXPECT_TRUE(types::Object("c")->IsChimeraType());
+}
+
+TEST(TypeTest, RecordCanonicalizesFieldOrder) {
+  const Type* a =
+      types::RecordOf({{"b", types::Integer()}, {"a", types::String()}})
+          .value();
+  const Type* b =
+      types::RecordOf({{"a", types::String()}, {"b", types::Integer()}})
+          .value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->ToString(), "record-of(a:string,b:integer)");
+  EXPECT_EQ(a->FieldType("a"), types::String());
+  EXPECT_EQ(a->FieldType("b"), types::Integer());
+  EXPECT_EQ(a->FieldType("zzz"), nullptr);
+}
+
+TEST(TypeTest, RecordRejectsDuplicatesAndBadNames) {
+  EXPECT_FALSE(
+      types::RecordOf({{"a", types::Integer()}, {"a", types::Real()}})
+          .ok());
+  EXPECT_FALSE(types::RecordOf({{"9bad", types::Integer()}}).ok());
+  EXPECT_FALSE(types::RecordOf({{"a", nullptr}}).ok());
+}
+
+TEST(TypeTest, TemporalRejectsNestedTemporal) {
+  // Definition 3.3: temporal() applies to Chimera types only.
+  const Type* t_int = types::Temporal(types::Integer()).value();
+  EXPECT_FALSE(types::Temporal(t_int).ok());
+  EXPECT_FALSE(types::Temporal(types::SetOf(t_int)).ok());
+  const Type* rec = types::RecordOf({{"x", t_int}}).value();
+  EXPECT_FALSE(types::Temporal(rec).ok());
+  // But T_Chimera types may nest temporal under other constructors
+  // (Definition 3.4).
+  EXPECT_FALSE(types::SetOf(t_int)->IsChimeraType());
+  EXPECT_TRUE(types::SetOf(t_int)->ContainsTemporal());
+}
+
+TEST(TypeTest, TemporalOfTimeIsLegal) {
+  // `time` joined BVT in T_Chimera, so temporal(time) is well-formed.
+  EXPECT_TRUE(types::Temporal(types::Time()).ok());
+}
+
+TEST(TypeTest, TMinus) {
+  const Type* t = types::Temporal(types::SetOf(types::Object("project")))
+                      .value();
+  EXPECT_EQ(types::TMinus(t).value(),
+            types::SetOf(types::Object("project")));
+  // T^- is only defined on temporal types.
+  Result<const Type*> bad = types::TMinus(types::Integer());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+class TypeParserRoundTripTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TypeParserRoundTripTest, RoundTrips) {
+  Result<const Type*> t = ParseType(GetParam());
+  ASSERT_TRUE(t.ok()) << GetParam() << ": " << t.status();
+  Result<const Type*> again = ParseType((*t)->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *t) << "canonical form: " << (*t)->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, TypeParserRoundTripTest,
+    ::testing::Values(
+        "integer", "real", "bool", "char", "string", "time", "person",
+        "set-of(integer)", "list-of(person)", "temporal(integer)",
+        "temporal(set-of(project))",
+        "record-of(task:temporal(project),startbudget:real,endbudget:real)",
+        "set-of(temporal(record-of(a:integer,b:set-of(person))))",
+        "record-of(x:record-of(y:record-of(z:integer)))",
+        "  record-of( a : integer , b : string )  ",
+        "list-of(list-of(list-of(bool)))"));
+
+TEST(TypeParserTest, RejectsMalformedTypes) {
+  EXPECT_FALSE(ParseType("").ok());
+  EXPECT_FALSE(ParseType("set-of(").ok());
+  EXPECT_FALSE(ParseType("set-of()").ok());
+  EXPECT_FALSE(ParseType("record-of(a integer)").ok());
+  EXPECT_FALSE(ParseType("record-of(a:integer,a:real)").ok());
+  EXPECT_FALSE(ParseType("integer garbage").ok());
+  EXPECT_FALSE(ParseType("temporal(temporal(integer))").ok());
+  EXPECT_FALSE(ParseType("123").ok());
+}
+
+TEST(TypeParserTest, BooleanAndCharacterAliases) {
+  EXPECT_EQ(ParseType("boolean").value(), types::Bool());
+  EXPECT_EQ(ParseType("character").value(), types::Char());
+}
+
+}  // namespace
+}  // namespace tchimera

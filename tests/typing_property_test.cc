@@ -1,0 +1,339 @@
+// Property suites for the three formal results of the type system:
+//
+//   Theorem 3.1 (soundness):    InferType(v) = T  ==>  v in [[T]]_now
+//   Theorem 3.2 (completeness): v in [[T]]_t      ==>  InferType(v) <=_T T
+//   Theorem 6.1 (extensions):   T1 <=_T T2        ==>  [[T1]]_t subset of
+//                                                      [[T2]]_t
+//
+// Values and types are generated randomly over a database with the ISA
+// chain person <- employee <- manager and a pool of live objects, so the
+// object-type rules (extent membership, most specific classes) are
+// exercised, not just the value-type fragment.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "core/db/database.h"
+#include "core/types/type_registry.h"
+#include "core/values/temporal_function.h"
+#include "core/values/typing.h"
+
+namespace tchimera {
+namespace {
+
+constexpr TimePoint kNowTime = 100;
+
+class TypingPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ClassSpec person;
+    person.name = "person";
+    ASSERT_TRUE(db_.DefineClass(person).ok());
+    ClassSpec employee;
+    employee.name = "employee";
+    employee.superclasses = {"person"};
+    ASSERT_TRUE(db_.DefineClass(employee).ok());
+    ClassSpec manager;
+    manager.name = "manager";
+    manager.superclasses = {"employee"};
+    ASSERT_TRUE(db_.DefineClass(manager).ok());
+    for (int i = 0; i < 4; ++i) {
+      persons_.push_back(db_.CreateObject("person").value());
+      employees_.push_back(db_.CreateObject("employee").value());
+      managers_.push_back(db_.CreateObject("manager").value());
+    }
+    ASSERT_TRUE(db_.AdvanceTo(kNowTime).ok());
+    rng_.seed(GetParam());
+  }
+
+  TypingContext Ctx() { return db_.typing_context(); }
+
+  int Rand(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  Oid RandomOidOfClass(const std::string& cls) {
+    const std::vector<Oid>& pool = cls == "person"
+                                       ? persons_
+                                       : (cls == "employee" ? employees_
+                                                            : managers_);
+    return pool[static_cast<size_t>(Rand(0, static_cast<int>(pool.size()) -
+                                                1))];
+  }
+
+  // Any live oid (used by the unconstrained value generator).
+  Oid RandomOid() {
+    switch (Rand(0, 2)) {
+      case 0:
+        return RandomOidOfClass("person");
+      case 1:
+        return RandomOidOfClass("employee");
+      default:
+        return RandomOidOfClass("manager");
+    }
+  }
+
+  // --- random values (for soundness) -------------------------------------
+
+  Value RandomValue(int depth) {
+    int pick = Rand(0, depth > 0 ? 10 : 6);
+    switch (pick) {
+      case 0:
+        return Value::Integer(Rand(-100, 100));
+      case 1:
+        return Value::Real(Rand(-100, 100) / 4.0);
+      case 2:
+        return Value::Bool(Rand(0, 1) == 1);
+      case 3:
+        return Value::Char(static_cast<char>('a' + Rand(0, 25)));
+      case 4:
+        return Value::String(std::string(
+            static_cast<size_t>(Rand(0, 5)), 'z'));
+      case 5:
+        return Value::Time(Rand(0, kNowTime));
+      case 6:
+        return Value::OfOid(RandomOid());
+      case 7: {
+        std::vector<Value> elems;
+        // Homogeneous-ish sets: mix oids of related classes or integers.
+        bool oids = Rand(0, 1) == 1;
+        for (int i = 0, n = Rand(0, 3); i < n; ++i) {
+          elems.push_back(oids ? Value::OfOid(RandomOid())
+                               : Value::Integer(Rand(0, 9)));
+        }
+        return Rand(0, 1) == 1 ? Value::Set(std::move(elems))
+                               : Value::List(std::move(elems));
+      }
+      case 8: {
+        std::vector<Value::Field> fields;
+        int n = Rand(1, 3);
+        for (int i = 0; i < n; ++i) {
+          fields.emplace_back("f" + std::to_string(i),
+                              RandomValue(depth - 1));
+        }
+        return Value::Record(std::move(fields)).value();
+      }
+      default: {
+        TemporalFunction f;
+        TimePoint cursor = static_cast<TimePoint>(Rand(0, 20));
+        bool oids = Rand(0, 1) == 1;
+        for (int i = 0, n = Rand(1, 3); i < n && cursor < kNowTime; ++i) {
+          TimePoint end = cursor + Rand(0, 15);
+          Value v = oids ? Value::OfOid(RandomOid())
+                         : Value::Integer(Rand(0, 9));
+          EXPECT_TRUE(f.Define(Interval(cursor, end), std::move(v)).ok());
+          cursor = end + Rand(1, 5);
+        }
+        return Value::Temporal(std::move(f));
+      }
+    }
+  }
+
+  // --- random types and witnesses (for completeness / Thm 6.1) -----------
+
+  const Type* RandomType(int depth, bool chimera_only) {
+    int hi = depth > 0 ? (chimera_only ? 9 : 10) : 6;
+    switch (Rand(0, hi)) {
+      case 0:
+        return types::Integer();
+      case 1:
+        return types::Real();
+      case 2:
+        return types::Bool();
+      case 3:
+        return types::Char();
+      case 4:
+        return types::String();
+      case 5:
+        return types::Time();
+      case 6: {
+        const char* classes[] = {"person", "employee", "manager"};
+        return types::Object(classes[Rand(0, 2)]);
+      }
+      case 7:
+        return types::SetOf(RandomType(depth - 1, chimera_only));
+      case 8:
+        return types::ListOf(RandomType(depth - 1, chimera_only));
+      case 9: {
+        std::vector<RecordField> fields;
+        int n = Rand(1, 3);
+        for (int i = 0; i < n; ++i) {
+          fields.push_back({"f" + std::to_string(i),
+                            RandomType(depth - 1, chimera_only)});
+        }
+        return types::RecordOf(std::move(fields)).value();
+      }
+      default:
+        return types::Temporal(RandomType(depth - 1, /*chimera_only=*/true))
+            .value();
+    }
+  }
+
+  // A value in [[type]]_t, constructed by rule (Definition 3.5).
+  Value LegalValueFor(const Type* type, int depth) {
+    if (Rand(0, 9) == 0) return Value::Null();  // null : T for all T
+    switch (type->kind()) {
+      case TypeKind::kInteger:
+        return Value::Integer(Rand(-50, 50));
+      case TypeKind::kReal:
+        return Value::Real(Rand(-50, 50) / 2.0);
+      case TypeKind::kBool:
+        return Value::Bool(Rand(0, 1) == 1);
+      case TypeKind::kChar:
+        return Value::Char(static_cast<char>('a' + Rand(0, 25)));
+      case TypeKind::kString:
+        return Value::String(std::string(
+            static_cast<size_t>(Rand(0, 4)), 'q'));
+      case TypeKind::kTime:
+        return Value::Time(Rand(0, kNowTime));
+      case TypeKind::kObject: {
+        // Any member works: instances of subclasses included.
+        const std::string& c = type->class_name();
+        if (c == "person") {
+          const char* choices[] = {"person", "employee", "manager"};
+          return Value::OfOid(RandomOidOfClass(choices[Rand(0, 2)]));
+        }
+        if (c == "employee") {
+          const char* choices[] = {"employee", "manager"};
+          return Value::OfOid(RandomOidOfClass(choices[Rand(0, 1)]));
+        }
+        return Value::OfOid(RandomOidOfClass("manager"));
+      }
+      case TypeKind::kSet: {
+        std::vector<Value> elems;
+        for (int i = 0, n = Rand(0, 3); i < n; ++i) {
+          elems.push_back(LegalValueFor(type->element(), depth - 1));
+        }
+        return Value::Set(std::move(elems));
+      }
+      case TypeKind::kList: {
+        std::vector<Value> elems;
+        for (int i = 0, n = Rand(0, 3); i < n; ++i) {
+          elems.push_back(LegalValueFor(type->element(), depth - 1));
+        }
+        return Value::List(std::move(elems));
+      }
+      case TypeKind::kRecord: {
+        std::vector<Value::Field> fields;
+        for (const RecordField& f : type->fields()) {
+          fields.emplace_back(f.name, LegalValueFor(f.type, depth - 1));
+        }
+        return Value::Record(std::move(fields)).value();
+      }
+      case TypeKind::kTemporal: {
+        TemporalFunction f;
+        TimePoint cursor = static_cast<TimePoint>(Rand(0, 20));
+        for (int i = 0, n = Rand(0, 3); i < n && cursor < kNowTime; ++i) {
+          TimePoint end = cursor + Rand(0, 15);
+          EXPECT_TRUE(f.Define(Interval(cursor, end),
+                               LegalValueFor(type->element(), depth - 1))
+                          .ok());
+          cursor = end + Rand(1, 5);
+        }
+        return Value::Temporal(std::move(f));
+      }
+      case TypeKind::kAny:
+        return Value::Null();
+    }
+    return Value::Null();
+  }
+
+  // A random subtype of `type` (possibly `type` itself): specializes
+  // object types down the ISA chain, recurses through constructors.
+  const Type* RandomSubtype(const Type* type) {
+    switch (type->kind()) {
+      case TypeKind::kObject: {
+        const std::string& c = type->class_name();
+        if (c == "person") {
+          const char* choices[] = {"person", "employee", "manager"};
+          return types::Object(choices[Rand(0, 2)]);
+        }
+        if (c == "employee") {
+          const char* choices[] = {"employee", "manager"};
+          return types::Object(choices[Rand(0, 1)]);
+        }
+        return type;
+      }
+      case TypeKind::kSet:
+        return types::SetOf(RandomSubtype(type->element()));
+      case TypeKind::kList:
+        return types::ListOf(RandomSubtype(type->element()));
+      case TypeKind::kTemporal:
+        return types::Temporal(RandomSubtype(type->element())).value();
+      case TypeKind::kRecord: {
+        std::vector<RecordField> fields;
+        for (const RecordField& f : type->fields()) {
+          fields.push_back({f.name, RandomSubtype(f.type)});
+        }
+        return types::RecordOf(std::move(fields)).value();
+      }
+      default:
+        return type;
+    }
+  }
+
+  Database db_;
+  std::vector<Oid> persons_, employees_, managers_;
+  std::mt19937_64 rng_;
+};
+
+TEST_P(TypingPropertyTest, Theorem31Soundness) {
+  int deduced = 0;
+  for (int round = 0; round < 300; ++round) {
+    Value v = RandomValue(3);
+    Result<const Type*> inferred = InferType(v, kNowTime, Ctx());
+    if (!inferred.ok()) continue;  // no deduction, theorem vacuous
+    ++deduced;
+    Status legal = CheckLegalValue(v, *inferred, kNowTime, Ctx());
+    EXPECT_TRUE(legal.ok())
+        << "value " << v.ToString() << " inferred "
+        << (*inferred)->ToString() << " but " << legal.ToString();
+  }
+  // The generator must produce plenty of typeable values for the run to
+  // mean anything.
+  EXPECT_GT(deduced, 200);
+}
+
+TEST_P(TypingPropertyTest, Theorem32Completeness) {
+  for (int round = 0; round < 300; ++round) {
+    const Type* type = RandomType(3, /*chimera_only=*/false);
+    Value v = LegalValueFor(type, 3);
+    // Sanity: the constructed witness really is legal.
+    Status legal = CheckLegalValue(v, type, kNowTime, Ctx());
+    ASSERT_TRUE(legal.ok()) << "witness " << v.ToString() << " for "
+                            << type->ToString() << ": " << legal.ToString();
+    // Completeness: the deduced type is at most `type`.
+    Result<const Type*> inferred = InferType(v, kNowTime, Ctx());
+    ASSERT_TRUE(inferred.ok())
+        << v.ToString() << " for " << type->ToString();
+    EXPECT_TRUE(IsSubtype(*inferred, type, db_.isa()))
+        << "value " << v.ToString() << ": inferred "
+        << (*inferred)->ToString() << " not a subtype of "
+        << type->ToString();
+  }
+}
+
+TEST_P(TypingPropertyTest, Theorem61ExtensionInclusion) {
+  for (int round = 0; round < 300; ++round) {
+    const Type* super = RandomType(3, /*chimera_only=*/false);
+    const Type* sub = RandomSubtype(super);
+    ASSERT_TRUE(IsSubtype(sub, super, db_.isa()))
+        << sub->ToString() << " vs " << super->ToString();
+    Value v = LegalValueFor(sub, 3);
+    ASSERT_TRUE(IsLegalValue(v, sub, kNowTime, Ctx()));
+    // [[sub]]_t subset of [[super]]_t.
+    Status in_super = CheckLegalValue(v, super, kNowTime, Ctx());
+    EXPECT_TRUE(in_super.ok())
+        << "value " << v.ToString() << " in [[" << sub->ToString()
+        << "]] but not in [[" << super->ToString()
+        << "]]: " << in_super.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypingPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,181 @@
+// Unit tests for Definition 3.5 (legal values / type extensions) and
+// Definition 3.6 (type inference), including the object-type rules that
+// depend on class extents.
+#include <gtest/gtest.h>
+
+#include "core/db/database.h"
+#include "core/types/type_registry.h"
+#include "core/values/temporal_function.h"
+#include "core/values/typing.h"
+
+namespace tchimera {
+namespace {
+
+class TypingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClassSpec person;
+    person.name = "person";
+    ASSERT_TRUE(db_.DefineClass(person).ok());
+    ClassSpec employee;
+    employee.name = "employee";
+    employee.superclasses = {"person"};
+    ASSERT_TRUE(db_.DefineClass(employee).ok());
+    // One person and one employee, both alive from t=0.
+    p_ = db_.CreateObject("person").value();
+    e_ = db_.CreateObject("employee").value();
+    ASSERT_TRUE(db_.AdvanceTo(100).ok());
+  }
+
+  TypingContext Ctx() { return db_.typing_context(); }
+
+  Database db_;
+  Oid p_, e_;
+};
+
+TEST_F(TypingTest, NullIsLegalForEveryType) {
+  for (const Type* t :
+       {types::Integer(), types::String(), types::Object("person"),
+        types::SetOf(types::Integer()),
+        types::Temporal(types::Integer()).value()}) {
+    EXPECT_TRUE(IsLegalValue(Value::Null(), t, 50, Ctx())) << t->ToString();
+  }
+}
+
+TEST_F(TypingTest, BasicTypesMatchTheirDomains) {
+  EXPECT_TRUE(IsLegalValue(Value::Integer(3), types::Integer(), 0, Ctx()));
+  EXPECT_FALSE(IsLegalValue(Value::Integer(3), types::Real(), 0, Ctx()));
+  EXPECT_TRUE(IsLegalValue(Value::Real(3.5), types::Real(), 0, Ctx()));
+  EXPECT_TRUE(IsLegalValue(Value::Time(7), types::Time(), 0, Ctx()));
+  EXPECT_FALSE(IsLegalValue(Value::Integer(7), types::Time(), 0, Ctx()));
+  EXPECT_TRUE(
+      IsLegalValue(Value::String("x"), types::String(), 0, Ctx()));
+}
+
+TEST_F(TypingTest, ObjectTypesUseExtents) {
+  // [[c]]_t = pi(c, t): membership includes subclass instances.
+  EXPECT_TRUE(IsLegalValue(Value::OfOid(e_), types::Object("employee"), 50,
+                           Ctx()));
+  EXPECT_TRUE(IsLegalValue(Value::OfOid(e_), types::Object("person"), 50,
+                           Ctx()));
+  EXPECT_TRUE(IsLegalValue(Value::OfOid(p_), types::Object("person"), 50,
+                           Ctx()));
+  EXPECT_FALSE(IsLegalValue(Value::OfOid(p_), types::Object("employee"),
+                            50, Ctx()));
+  // Unknown oid: in no extent.
+  EXPECT_FALSE(IsLegalValue(Value::OfOid(Oid{999}),
+                            types::Object("person"), 50, Ctx()));
+}
+
+TEST_F(TypingTest, ExtentMembershipIsTimeDependent) {
+  // Object e_ was created at t=0; at a later time the database clock has
+  // moved but membership holds throughout [0, now]. Delete it and the
+  // extension shrinks from now+1.
+  ASSERT_TRUE(db_.DeleteObject(e_).ok());
+  EXPECT_TRUE(IsLegalValue(Value::OfOid(e_), types::Object("employee"),
+                           100, Ctx()));  // still alive *at* now
+  db_.Tick();
+  EXPECT_FALSE(IsLegalValue(Value::OfOid(e_), types::Object("employee"),
+                            101, Ctx()));
+  EXPECT_TRUE(IsLegalValue(Value::OfOid(e_), types::Object("employee"), 50,
+                           Ctx()));  // history preserved
+}
+
+TEST_F(TypingTest, CollectionsCheckElements) {
+  const Type* set_person = types::SetOf(types::Object("person"));
+  EXPECT_TRUE(IsLegalValue(
+      Value::Set({Value::OfOid(p_), Value::OfOid(e_)}), set_person, 50,
+      Ctx()));
+  EXPECT_FALSE(IsLegalValue(
+      Value::Set({Value::OfOid(p_), Value::Integer(3)}), set_person, 50,
+      Ctx()));
+  // Sets are not lists.
+  EXPECT_FALSE(IsLegalValue(Value::List({Value::OfOid(p_)}), set_person,
+                            50, Ctx()));
+  // Empty collections inhabit every collection type.
+  EXPECT_TRUE(IsLegalValue(Value::EmptySet(), set_person, 50, Ctx()));
+}
+
+TEST_F(TypingTest, RecordsRequireExactComponents) {
+  const Type* t = types::RecordOf({{"name", types::String()},
+                                   {"age", types::Integer()}})
+                      .value();
+  EXPECT_TRUE(IsLegalValue(Value::Record({{"name", Value::String("Bob")},
+                                          {"age", Value::Integer(4)}})
+                               .value(),
+                           t, 0, Ctx()));
+  // Null components are fine (null : T).
+  EXPECT_TRUE(IsLegalValue(Value::Record({{"name", Value::Null()},
+                                          {"age", Value::Integer(4)}})
+                               .value(),
+                           t, 0, Ctx()));
+  // Missing or extra components violate Definition 3.5.
+  EXPECT_FALSE(IsLegalValue(
+      Value::Record({{"name", Value::String("Bob")}}).value(), t, 0,
+      Ctx()));
+  EXPECT_FALSE(IsLegalValue(Value::Record({{"name", Value::String("B")},
+                                           {"age", Value::Integer(4)},
+                                           {"x", Value::Bool(true)}})
+                                .value(),
+                            t, 0, Ctx()));
+}
+
+TEST_F(TypingTest, TemporalValuesCheckSegmentsOverIntervals) {
+  const Type* t = types::Temporal(types::Object("person")).value();
+  TemporalFunction f;
+  ASSERT_TRUE(f.Define(Interval(10, 60), Value::OfOid(p_)).ok());
+  EXPECT_TRUE(IsLegalValue(Value::Temporal(f), t, 100, Ctx()));
+  // A segment asserting membership over an interval where the object did
+  // not exist is illegal (Example 5.3's conditions).
+  TemporalFunction g;
+  ASSERT_TRUE(
+      g.Define(Interval(10, 60), Value::OfOid(Oid{999})).ok());
+  EXPECT_FALSE(IsLegalValue(Value::Temporal(g), t, 100, Ctx()));
+  // Type errors inside segments are detected too.
+  const Type* ti = types::Temporal(types::Integer()).value();
+  TemporalFunction h;
+  ASSERT_TRUE(h.Define(Interval(1, 5), Value::String("oops")).ok());
+  EXPECT_FALSE(IsLegalValue(Value::Temporal(h), ti, 100, Ctx()));
+}
+
+TEST_F(TypingTest, InferenceOfScalars) {
+  EXPECT_EQ(InferType(Value::Integer(1), 0, Ctx()).value(),
+            types::Integer());
+  EXPECT_EQ(InferType(Value::Real(1.0), 0, Ctx()).value(), types::Real());
+  EXPECT_EQ(InferType(Value::Bool(true), 0, Ctx()).value(), types::Bool());
+  EXPECT_EQ(InferType(Value::Char('a'), 0, Ctx()).value(), types::Char());
+  EXPECT_EQ(InferType(Value::String("s"), 0, Ctx()).value(),
+            types::String());
+  EXPECT_EQ(InferType(Value::Time(3), 0, Ctx()).value(), types::Time());
+  EXPECT_EQ(InferType(Value::Null(), 0, Ctx()).value(), types::Any());
+}
+
+TEST_F(TypingTest, InferenceOfOidsUsesMostSpecificClass) {
+  EXPECT_EQ(InferType(Value::OfOid(e_), 50, Ctx()).value(),
+            types::Object("employee"));
+  EXPECT_EQ(InferType(Value::OfOid(p_), 50, Ctx()).value(),
+            types::Object("person"));
+  EXPECT_FALSE(InferType(Value::OfOid(Oid{999}), 50, Ctx()).ok());
+}
+
+TEST_F(TypingTest, InferenceOfSetsUsesLub) {
+  Value mixed = Value::Set({Value::OfOid(p_), Value::OfOid(e_)});
+  EXPECT_EQ(InferType(mixed, 50, Ctx()).value(),
+            types::SetOf(types::Object("person")));
+  EXPECT_EQ(InferType(Value::EmptySet(), 50, Ctx()).value(),
+            types::SetOf(types::Any()));
+  // No lub: integer and string in one set.
+  Value bad = Value::Set({Value::Integer(1), Value::String("x")});
+  EXPECT_FALSE(InferType(bad, 50, Ctx()).ok());
+}
+
+TEST_F(TypingTest, InferenceOfTemporalValues) {
+  TemporalFunction f;
+  ASSERT_TRUE(f.Define(Interval(1, 10), Value::OfOid(p_)).ok());
+  ASSERT_TRUE(f.Define(Interval(11, 20), Value::OfOid(e_)).ok());
+  EXPECT_EQ(InferType(Value::Temporal(f), 50, Ctx()).value(),
+            types::Temporal(types::Object("person")).value());
+}
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,111 @@
+// Tests for the workload generators: determinism, schema installation,
+// and model-consistency of generated populations.
+#include <gtest/gtest.h>
+
+#include "core/db/consistency.h"
+#include "storage/serializer.h"
+#include "workload/generator.h"
+#include "workload/project_schema.h"
+
+namespace tchimera {
+namespace {
+
+TEST(ProjectSchemaTest, InstallsTheRunningExampleClasses) {
+  Database db;
+  ASSERT_TRUE(InstallProjectSchema(&db).ok());
+  for (const char* name :
+       {"person", "employee", "manager", "task", "project"}) {
+    EXPECT_NE(db.GetClass(name), nullptr) << name;
+  }
+  EXPECT_TRUE(db.isa().IsSubclassOf("manager", "person"));
+  EXPECT_FALSE(db.isa().IsSubclassOf("task", "person"));
+  // Installing twice fails cleanly (classes already exist).
+  EXPECT_FALSE(InstallProjectSchema(&db).ok());
+}
+
+TEST(GeneratorTest, PopulationIsDeterministic) {
+  PopulationConfig config;
+  config.seed = 99;
+  config.persons = 10;
+  config.projects = 3;
+  config.timesteps = 8;
+  config.updates_per_step = 5;
+  config.migration_rate = 0.5;
+  Database db1, db2;
+  ASSERT_TRUE(PopulateDatabase(&db1, config).ok());
+  ASSERT_TRUE(PopulateDatabase(&db2, config).ok());
+  // Bit-identical serialized states.
+  EXPECT_EQ(SaveDatabaseToString(db1).value(),
+            SaveDatabaseToString(db2).value());
+  // A different seed diverges.
+  Database db3;
+  config.seed = 100;
+  ASSERT_TRUE(PopulateDatabase(&db3, config).ok());
+  EXPECT_NE(SaveDatabaseToString(db1).value(),
+            SaveDatabaseToString(db3).value());
+}
+
+TEST(GeneratorTest, PopulationCountsMatchConfig) {
+  PopulationConfig config;
+  config.persons = 12;
+  config.projects = 4;
+  config.tasks_per_project = 2;
+  config.timesteps = 6;
+  config.updates_per_step = 3;
+  Database db;
+  Population pop = PopulateDatabase(&db, config).value();
+  EXPECT_EQ(pop.persons.size(), 12u);
+  EXPECT_EQ(pop.projects.size(), 4u);
+  EXPECT_EQ(pop.tasks.size(), 8u);
+  EXPECT_EQ(pop.updates_applied, 18u);
+  EXPECT_EQ(db.now(), 6);
+  EXPECT_EQ(db.object_count(), 24u);
+}
+
+TEST(GeneratorTest, StoreOpsAreDeterministicAndOrdered) {
+  StoreWorkloadConfig config;
+  config.objects = 5;
+  config.attributes = 4;
+  config.updates_per_object = 10;
+  std::vector<StoreOp> a = GenerateStoreOps(config);
+  std::vector<StoreOp> b = GenerateStoreOps(config);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), 5u + 50u);
+  TimePoint last = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].object_index, b[i].object_index);
+    EXPECT_EQ(a[i].attr, b[i].attr);
+    EXPECT_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].t, b[i].t);
+    EXPECT_GE(a[i].t, last);  // timestamps never go backwards
+    last = a[i].t;
+  }
+}
+
+TEST(GeneratorTest, StaticAttributeNamesKeepHotAttributeTemporal) {
+  StoreWorkloadConfig config;
+  config.attributes = 8;
+  config.static_attr_fraction = 0.5;
+  std::set<std::string> statics = StoreStaticAttributeNames(config);
+  EXPECT_EQ(statics.size(), 4u);
+  EXPECT_EQ(statics.count("a0"), 0u);
+  EXPECT_EQ(statics.count("a7"), 1u);
+}
+
+TEST(GeneratorTest, RngHelpersAreDeterministic) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Uniform(0, 100), b.Uniform(0, 100));
+  }
+  Rng c(5);
+  EXPECT_EQ(Rng(5).Name(8), c.Name(8));
+  int heads = 0;
+  Rng d(123);
+  for (int i = 0; i < 1000; ++i) heads += d.Chance(0.5);
+  EXPECT_GT(heads, 400);
+  EXPECT_LT(heads, 600);
+}
+
+}  // namespace
+}  // namespace tchimera
