@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_attribute_kinds.dir/bench_table2_attribute_kinds.cc.o"
+  "CMakeFiles/bench_table2_attribute_kinds.dir/bench_table2_attribute_kinds.cc.o.d"
+  "bench_table2_attribute_kinds"
+  "bench_table2_attribute_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_attribute_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_class_histories.dir/bench_table2_class_histories.cc.o"
+  "CMakeFiles/bench_table2_class_histories.dir/bench_table2_class_histories.cc.o.d"
+  "bench_table2_class_histories"
+  "bench_table2_class_histories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_class_histories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_timestamping.dir/bench_table2_timestamping.cc.o"
+  "CMakeFiles/bench_table2_timestamping.dir/bench_table2_timestamping.cc.o.d"
+  "bench_table2_timestamping"
+  "bench_table2_timestamping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_timestamping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typing.dir/bench_typing.cc.o"
+  "CMakeFiles/bench_typing.dir/bench_typing.cc.o.d"
+  "bench_typing"
+  "bench_typing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

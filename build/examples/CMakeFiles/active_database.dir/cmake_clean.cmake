@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_database.dir/active_database.cpp.o"
+  "CMakeFiles/active_database.dir/active_database.cpp.o.d"
+  "active_database"
+  "active_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_migration.dir/employee_migration.cpp.o"
+  "CMakeFiles/employee_migration.dir/employee_migration.cpp.o.d"
+  "employee_migration"
+  "employee_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

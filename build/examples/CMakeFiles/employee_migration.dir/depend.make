@@ -1,0 +1,2 @@
+# Empty dependencies file for employee_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_repl.dir/temporal_repl.cpp.o"
+  "CMakeFiles/temporal_repl.dir/temporal_repl.cpp.o.d"
+  "temporal_repl"
+  "temporal_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/attribute_store.cc" "src/CMakeFiles/tchimera.dir/baselines/attribute_store.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/baselines/attribute_store.cc.o.d"
+  "/root/repo/src/baselines/dense_temporal_value.cc" "src/CMakeFiles/tchimera.dir/baselines/dense_temporal_value.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/baselines/dense_temporal_value.cc.o.d"
+  "/root/repo/src/baselines/object_version_store.cc" "src/CMakeFiles/tchimera.dir/baselines/object_version_store.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/baselines/object_version_store.cc.o.d"
+  "/root/repo/src/baselines/snapshot_store.cc" "src/CMakeFiles/tchimera.dir/baselines/snapshot_store.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/baselines/snapshot_store.cc.o.d"
+  "/root/repo/src/baselines/temporal_store.cc" "src/CMakeFiles/tchimera.dir/baselines/temporal_store.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/baselines/temporal_store.cc.o.d"
+  "/root/repo/src/baselines/triple_store.cc" "src/CMakeFiles/tchimera.dir/baselines/triple_store.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/baselines/triple_store.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tchimera.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/tchimera.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/common/string_util.cc.o.d"
+  "/root/repo/src/constraints/constraint.cc" "src/CMakeFiles/tchimera.dir/constraints/constraint.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/constraints/constraint.cc.o.d"
+  "/root/repo/src/core/db/consistency.cc" "src/CMakeFiles/tchimera.dir/core/db/consistency.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/db/consistency.cc.o.d"
+  "/root/repo/src/core/db/database.cc" "src/CMakeFiles/tchimera.dir/core/db/database.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/db/database.cc.o.d"
+  "/root/repo/src/core/db/equality.cc" "src/CMakeFiles/tchimera.dir/core/db/equality.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/db/equality.cc.o.d"
+  "/root/repo/src/core/db/timeslice.cc" "src/CMakeFiles/tchimera.dir/core/db/timeslice.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/db/timeslice.cc.o.d"
+  "/root/repo/src/core/object/object.cc" "src/CMakeFiles/tchimera.dir/core/object/object.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/object/object.cc.o.d"
+  "/root/repo/src/core/schema/class_def.cc" "src/CMakeFiles/tchimera.dir/core/schema/class_def.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/schema/class_def.cc.o.d"
+  "/root/repo/src/core/schema/isa_graph.cc" "src/CMakeFiles/tchimera.dir/core/schema/isa_graph.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/schema/isa_graph.cc.o.d"
+  "/root/repo/src/core/schema/refinement.cc" "src/CMakeFiles/tchimera.dir/core/schema/refinement.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/schema/refinement.cc.o.d"
+  "/root/repo/src/core/temporal/clock.cc" "src/CMakeFiles/tchimera.dir/core/temporal/clock.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/temporal/clock.cc.o.d"
+  "/root/repo/src/core/temporal/interval.cc" "src/CMakeFiles/tchimera.dir/core/temporal/interval.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/temporal/interval.cc.o.d"
+  "/root/repo/src/core/temporal/interval_set.cc" "src/CMakeFiles/tchimera.dir/core/temporal/interval_set.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/temporal/interval_set.cc.o.d"
+  "/root/repo/src/core/types/subtyping.cc" "src/CMakeFiles/tchimera.dir/core/types/subtyping.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/types/subtyping.cc.o.d"
+  "/root/repo/src/core/types/type.cc" "src/CMakeFiles/tchimera.dir/core/types/type.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/types/type.cc.o.d"
+  "/root/repo/src/core/types/type_parser.cc" "src/CMakeFiles/tchimera.dir/core/types/type_parser.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/types/type_parser.cc.o.d"
+  "/root/repo/src/core/types/type_registry.cc" "src/CMakeFiles/tchimera.dir/core/types/type_registry.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/types/type_registry.cc.o.d"
+  "/root/repo/src/core/values/temporal_function.cc" "src/CMakeFiles/tchimera.dir/core/values/temporal_function.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/values/temporal_function.cc.o.d"
+  "/root/repo/src/core/values/typing.cc" "src/CMakeFiles/tchimera.dir/core/values/typing.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/values/typing.cc.o.d"
+  "/root/repo/src/core/values/value.cc" "src/CMakeFiles/tchimera.dir/core/values/value.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/values/value.cc.o.d"
+  "/root/repo/src/core/values/value_parser.cc" "src/CMakeFiles/tchimera.dir/core/values/value_parser.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/values/value_parser.cc.o.d"
+  "/root/repo/src/core/values/value_printer.cc" "src/CMakeFiles/tchimera.dir/core/values/value_printer.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/core/values/value_printer.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/tchimera.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/tchimera.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/interpreter.cc" "src/CMakeFiles/tchimera.dir/query/interpreter.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/query/interpreter.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/tchimera.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/tchimera.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/token.cc" "src/CMakeFiles/tchimera.dir/query/token.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/query/token.cc.o.d"
+  "/root/repo/src/query/type_checker.cc" "src/CMakeFiles/tchimera.dir/query/type_checker.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/query/type_checker.cc.o.d"
+  "/root/repo/src/storage/deserializer.cc" "src/CMakeFiles/tchimera.dir/storage/deserializer.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/storage/deserializer.cc.o.d"
+  "/root/repo/src/storage/journal.cc" "src/CMakeFiles/tchimera.dir/storage/journal.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/storage/journal.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/CMakeFiles/tchimera.dir/storage/serializer.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/storage/serializer.cc.o.d"
+  "/root/repo/src/triggers/trigger.cc" "src/CMakeFiles/tchimera.dir/triggers/trigger.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/triggers/trigger.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/tchimera.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/project_schema.cc" "src/CMakeFiles/tchimera.dir/workload/project_schema.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/workload/project_schema.cc.o.d"
+  "/root/repo/src/workload/random.cc" "src/CMakeFiles/tchimera.dir/workload/random.cc.o" "gcc" "src/CMakeFiles/tchimera.dir/workload/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

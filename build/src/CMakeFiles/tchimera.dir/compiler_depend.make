@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tchimera.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_equality_test.dir/deep_equality_test.cc.o"
+  "CMakeFiles/deep_equality_test.dir/deep_equality_test.cc.o.d"
+  "deep_equality_test"
+  "deep_equality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_equality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaclass_test.dir/metaclass_test.cc.o"
+  "CMakeFiles/metaclass_test.dir/metaclass_test.cc.o.d"
+  "metaclass_test"
+  "metaclass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaclass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtyping_test.dir/subtyping_test.cc.o"
+  "CMakeFiles/subtyping_test.dir/subtyping_test.cc.o.d"
+  "subtyping_test"
+  "subtyping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtyping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

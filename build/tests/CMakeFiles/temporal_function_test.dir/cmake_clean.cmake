@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_function_test.dir/temporal_function_test.cc.o"
+  "CMakeFiles/temporal_function_test.dir/temporal_function_test.cc.o.d"
+  "temporal_function_test"
+  "temporal_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

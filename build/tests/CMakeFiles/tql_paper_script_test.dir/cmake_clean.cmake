@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tql_paper_script_test.dir/tql_paper_script_test.cc.o"
+  "CMakeFiles/tql_paper_script_test.dir/tql_paper_script_test.cc.o.d"
+  "tql_paper_script_test"
+  "tql_paper_script_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tql_paper_script_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txtime_test.dir/txtime_test.cc.o"
+  "CMakeFiles/txtime_test.dir/txtime_test.cc.o.d"
+  "txtime_test"
+  "txtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

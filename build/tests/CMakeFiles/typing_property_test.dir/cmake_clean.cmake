@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typing_property_test.dir/typing_property_test.cc.o"
+  "CMakeFiles/typing_property_test.dir/typing_property_test.cc.o.d"
+  "typing_property_test"
+  "typing_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typing_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

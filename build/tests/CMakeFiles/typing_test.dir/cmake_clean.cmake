@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typing_test.dir/typing_test.cc.o"
+  "CMakeFiles/typing_test.dir/typing_test.cc.o.d"
+  "typing_test"
+  "typing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
