@@ -1,0 +1,420 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tchimera {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<Severity> SeverityFromName(std::string_view name) {
+  if (name == "note") return Severity::kNote;
+  if (name == "warning") return Severity::kWarning;
+  if (name == "error") return Severity::kError;
+  return Status::InvalidArgument("unknown severity '" + std::string(name) +
+                                 "'");
+}
+
+}  // namespace
+
+const std::vector<DiagnosticInfo>& AllDiagnosticInfos() {
+  // Appending new codes is fine; never renumber (codes are stable API, the
+  // CI greps for them). Kept in code order; documented in docs/LINT.md.
+  static const std::vector<DiagnosticInfo> kInfos = {
+      // --- TC0xx: schema analysis ---------------------------------------
+      {"TC001", "isa-cycle", Severity::kError, "Section 6 (<=_ISA order)"},
+      {"TC002", "unknown-superclass", Severity::kError,
+       "Definition 4.1 (schema well-formedness)"},
+      {"TC003", "illegal-refinement", Severity::kError, "Rule 6.1"},
+      {"TC004", "temporal-demotion", Severity::kError,
+       "Rule 6.1 / Invariants 6.1-6.2"},
+      {"TC005", "inheritance-conflict", Severity::kError,
+       "Rule 6.1 (multiple inheritance)"},
+      {"TC006", "dangling-domain", Severity::kError,
+       "Definition 3.1 (object types name classes)"},
+      {"TC007", "duplicate-attribute", Severity::kWarning,
+       "Definition 4.1 (attr is a function)"},
+      {"TC008", "duplicate-class", Severity::kWarning,
+       "Definition 4.1 (class identifiers are unique)"},
+      {"TC009", "illegal-method-refinement", Severity::kError,
+       "Section 6.1 (co/contravariance)"},
+      {"TC010", "parse-error", Severity::kError, "TQL grammar"},
+      {"TC011", "file-error", Severity::kError, "driver"},
+      // --- TC1xx: query (TQL) analysis ----------------------------------
+      {"TC101", "unused-binder", Severity::kWarning,
+       "Section 6.1 (query semantics)"},
+      {"TC102", "projection-outside-lifespan", Severity::kWarning,
+       "Invariant 5.1 / Section 5.2 (histories within lifespans)"},
+      {"TC103", "redundant-projection", Severity::kNote,
+       "Section 6.1 (snapshot coercion)"},
+      {"TC104", "unsatisfiable-predicate", Severity::kWarning,
+       "Definition 3.6 / <=_T (no satisfying assignment)"},
+      {"TC105", "trivial-predicate", Severity::kWarning,
+       "Definition 3.6 (constant under every assignment)"},
+      {"TC110", "query-type-error", Severity::kError,
+       "Definition 3.6 (typing rules)"},
+      {"TC111", "statement-failed", Severity::kError, "runtime check"},
+  };
+  return kInfos;
+}
+
+const DiagnosticInfo* FindDiagnosticInfo(std::string_view code) {
+  for (const DiagnosticInfo& info : AllDiagnosticInfos()) {
+    if (code == info.code) return &info;
+  }
+  return nullptr;
+}
+
+void DiagnosticEngine::Report(std::string_view code, size_t offset,
+                              std::string message, std::string note) {
+  const DiagnosticInfo* info = FindDiagnosticInfo(code);
+  Diagnostic d;
+  d.code = std::string(code);
+  d.severity = info != nullptr ? info->default_severity : Severity::kWarning;
+  d.message = std::move(message);
+  d.location.offset = offset;
+  d.note = std::move(note);
+  Add(std::move(d));
+}
+
+void DiagnosticEngine::Add(Diagnostic d) {
+  diagnostics_.push_back(std::move(d));
+}
+
+size_t DiagnosticEngine::CountAtLeast(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity >= s) ++n;
+  }
+  return n;
+}
+
+void DiagnosticEngine::ResolveLocations(std::string_view file,
+                                        std::string_view source) {
+  for (Diagnostic& d : diagnostics_) {
+    d.location.file = std::string(file);
+    if (!d.location.has_offset()) continue;
+    size_t offset = std::min(d.location.offset, source.size());
+    size_t line = 1;
+    size_t column = 1;
+    for (size_t i = 0; i < offset; ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    d.location.line = line;
+    d.location.column = column;
+  }
+}
+
+void DiagnosticEngine::SortByLocation() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.location.file != b.location.file) {
+                       return a.location.file < b.location.file;
+                     }
+                     // kNoOffset sorts last (it is the max size_t).
+                     if (a.location.offset != b.location.offset) {
+                       return a.location.offset < b.location.offset;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+std::string RenderHuman(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!d.location.file.empty()) {
+      out += d.location.file;
+      out += ":";
+    }
+    if (d.location.line > 0) {
+      out += std::to_string(d.location.line) + ":" +
+             std::to_string(d.location.column) + ":";
+    } else if (d.location.has_offset()) {
+      out += "+" + std::to_string(d.location.offset) + ":";
+    }
+    if (!out.empty() && out.back() == ':') out += " ";
+    out += SeverityName(d.severity);
+    out += ": ";
+    out += d.message;
+    out += " [" + d.code + "]\n";
+    if (!d.note.empty()) {
+      out += "    note: " + d.note + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(c >> 4) & 0xF]);
+          out->push_back(kHex[c & 0xF]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// A recursive-descent parser for exactly the JSON subset RenderJson
+// emits: objects, arrays, strings with the escapes above, and unsigned
+// integers.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (Consume(c)) return Status::OK();
+    return Error(std::string("expected '") + c + "'");
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("diagnostics JSON: " + what +
+                                   " at offset " + std::to_string(pos_));
+  }
+
+  Result<std::string> ParseString() {
+    TCH_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              v += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          if (v > 0xFF) return Error("non-latin \\u escape unsupported");
+          out.push_back(static_cast<char>(v));
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    TCH_RETURN_IF_ERROR(Expect('"'));
+    return out;
+  }
+
+  Result<size_t> ParseUnsigned() {
+    SkipSpace();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected a number");
+    }
+    size_t v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<size_t>(text_[pos_++] - '0');
+    }
+    return v;
+  }
+
+  // Skips any value (used for ignorable keys such as the summary counts).
+  Status SkipValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("truncated value");
+    char c = text_[pos_];
+    if (c == '"') return ParseString().status();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseUnsigned().status();
+    }
+    return Error("unsupported value");
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<Diagnostic> ParseOneDiagnostic(JsonCursor* c) {
+  TCH_RETURN_IF_ERROR(c->Expect('{'));
+  Diagnostic d;
+  bool first = true;
+  while (!c->Consume('}')) {
+    if (!first) TCH_RETURN_IF_ERROR(c->Expect(','));
+    first = false;
+    TCH_ASSIGN_OR_RETURN(std::string key, c->ParseString());
+    TCH_RETURN_IF_ERROR(c->Expect(':'));
+    if (key == "code") {
+      TCH_ASSIGN_OR_RETURN(d.code, c->ParseString());
+    } else if (key == "severity") {
+      TCH_ASSIGN_OR_RETURN(std::string name, c->ParseString());
+      TCH_ASSIGN_OR_RETURN(d.severity, SeverityFromName(name));
+    } else if (key == "message") {
+      TCH_ASSIGN_OR_RETURN(d.message, c->ParseString());
+    } else if (key == "note") {
+      TCH_ASSIGN_OR_RETURN(d.note, c->ParseString());
+    } else if (key == "file") {
+      TCH_ASSIGN_OR_RETURN(d.location.file, c->ParseString());
+    } else if (key == "offset") {
+      TCH_ASSIGN_OR_RETURN(d.location.offset, c->ParseUnsigned());
+    } else if (key == "line") {
+      TCH_ASSIGN_OR_RETURN(d.location.line, c->ParseUnsigned());
+    } else if (key == "column") {
+      TCH_ASSIGN_OR_RETURN(d.location.column, c->ParseUnsigned());
+    } else {
+      TCH_RETURN_IF_ERROR(c->SkipValue());
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "{\"diagnostics\":[";
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+    if (i > 0) out += ",";
+    out += "{\"code\":";
+    AppendJsonString(&out, d.code);
+    out += ",\"severity\":";
+    AppendJsonString(&out, SeverityName(d.severity));
+    out += ",\"message\":";
+    AppendJsonString(&out, d.message);
+    if (!d.location.file.empty()) {
+      out += ",\"file\":";
+      AppendJsonString(&out, d.location.file);
+    }
+    if (d.location.has_offset()) {
+      out += ",\"offset\":" + std::to_string(d.location.offset);
+    }
+    if (d.location.line > 0) {
+      out += ",\"line\":" + std::to_string(d.location.line);
+      out += ",\"column\":" + std::to_string(d.location.column);
+    }
+    if (!d.note.empty()) {
+      out += ",\"note\":";
+      AppendJsonString(&out, d.note);
+    }
+    out += "}";
+  }
+  out += "],\"errors\":" + std::to_string(errors) +
+         ",\"warnings\":" + std::to_string(warnings) + "}";
+  return out;
+}
+
+Result<std::vector<Diagnostic>> ParseDiagnosticsJson(std::string_view json) {
+  JsonCursor c(json);
+  TCH_RETURN_IF_ERROR(c.Expect('{'));
+  std::vector<Diagnostic> out;
+  bool first = true;
+  while (!c.Consume('}')) {
+    if (!first) TCH_RETURN_IF_ERROR(c.Expect(','));
+    first = false;
+    TCH_ASSIGN_OR_RETURN(std::string key, c.ParseString());
+    TCH_RETURN_IF_ERROR(c.Expect(':'));
+    if (key == "diagnostics") {
+      TCH_RETURN_IF_ERROR(c.Expect('['));
+      while (!c.Consume(']')) {
+        if (!out.empty()) TCH_RETURN_IF_ERROR(c.Expect(','));
+        TCH_ASSIGN_OR_RETURN(Diagnostic d, ParseOneDiagnostic(&c));
+        out.push_back(std::move(d));
+      }
+    } else {
+      TCH_RETURN_IF_ERROR(c.SkipValue());
+    }
+  }
+  if (!c.AtEnd()) return Status::InvalidArgument("diagnostics JSON: trailing input");
+  return out;
+}
+
+}  // namespace tchimera

@@ -1,0 +1,111 @@
+// The diagnostics engine shared by every static-analysis pass
+// (tchimera-lint). A Diagnostic is a finding with a stable code, a
+// severity, a source location and a human-readable message; the engine
+// collects findings and renders them for humans or as JSON (the format the
+// CI tooling consumes).
+//
+// Code ranges are stable and documented in docs/LINT.md:
+//   TC0xx  schema analysis (ISA graph, Rule 6.1, Invariants 5.1-6.2)
+//   TC1xx  query (TQL) analysis (dead predicates, no-op coercions, ...)
+#ifndef TCHIMERA_ANALYSIS_DIAGNOSTIC_H_
+#define TCHIMERA_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tchimera {
+
+enum class Severity {
+  kNote,     // stylistic / informational
+  kWarning,  // almost certainly unintended, but executable
+  kError,    // the schema / query is broken; lint exits non-zero
+};
+
+const char* SeverityName(Severity s);
+
+// Where a finding points. Analyzers know only byte offsets (the lexer's
+// token positions); the CLI driver resolves offsets to file / line /
+// column once it knows the source text. kNoOffset marks a finding with no
+// usable position (e.g. a whole-script parse failure).
+struct SourceLocation {
+  static constexpr size_t kNoOffset = static_cast<size_t>(-1);
+
+  std::string file;           // empty when linting an in-memory string
+  size_t offset = kNoOffset;  // byte offset into the source text
+  size_t line = 0;            // 1-based; 0 = unresolved
+  size_t column = 0;          // 1-based; 0 = unresolved
+
+  bool has_offset() const { return offset != kNoOffset; }
+};
+
+struct Diagnostic {
+  std::string code;  // "TC001"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  SourceLocation location;
+  std::string note;  // optional elaboration (paper reference, fix hint)
+};
+
+// Static metadata for one diagnostic code: a short kebab-case title and
+// the paper definition the check enforces. docs/LINT.md is generated from
+// the same table by tests (kept in sync by analysis_test).
+struct DiagnosticInfo {
+  const char* code;
+  const char* title;
+  Severity default_severity;
+  const char* paper_ref;  // e.g. "Rule 6.1"
+};
+
+// All registered codes, ordered by code.
+const std::vector<DiagnosticInfo>& AllDiagnosticInfos();
+// Metadata for `code`, or nullptr for an unknown code.
+const DiagnosticInfo* FindDiagnosticInfo(std::string_view code);
+
+// Collects diagnostics emitted by the analyzers. Not thread-safe; one
+// engine per lint run.
+class DiagnosticEngine {
+ public:
+  // Reports a registered code (severity taken from the registry).
+  void Report(std::string_view code, size_t offset, std::string message,
+              std::string note = "");
+  // Full control (used for driver-level findings such as parse errors).
+  void Add(Diagnostic d);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t CountAtLeast(Severity s) const;
+  size_t error_count() const { return CountAtLeast(Severity::kError); }
+  bool has_errors() const { return error_count() > 0; }
+  void clear() { diagnostics_.clear(); }
+
+  // Stamps every collected diagnostic with `file` and resolves offsets to
+  // 1-based line / column positions within `source`.
+  void ResolveLocations(std::string_view file, std::string_view source);
+
+  // Stable sort by (file, offset, code).
+  void SortByLocation();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// "file:3:7: warning: message [TC101]" followed by an indented note line
+// when present; one block per diagnostic.
+std::string RenderHuman(const std::vector<Diagnostic>& diagnostics);
+
+// A stable machine-readable rendering:
+//   {"diagnostics":[{"code":...,"severity":...,...}],"errors":N,"warnings":N}
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics);
+
+// Parses the output of RenderJson back into diagnostics (used by the
+// golden round-trip test and by tools consuming lint output). Accepts
+// exactly the subset of JSON that RenderJson emits.
+Result<std::vector<Diagnostic>> ParseDiagnosticsJson(std::string_view json);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_ANALYSIS_DIAGNOSTIC_H_

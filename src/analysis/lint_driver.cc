@@ -1,0 +1,87 @@
+#include "analysis/lint_driver.h"
+
+#include <string>
+#include <vector>
+
+#include "analysis/query_analyzer.h"
+#include "analysis/schema_analyzer.h"
+#include "core/db/database.h"
+#include "query/interpreter.h"
+#include "query/parser.h"
+
+namespace tchimera {
+namespace {
+
+// Parse errors carry their position only inside the message text
+// ("... at position N ..."); recover it so the finding points somewhere
+// useful.
+size_t ExtractPosition(const std::string& message) {
+  const std::string kMarker = "position ";
+  size_t at = message.rfind(kMarker);
+  if (at == std::string::npos) return SourceLocation::kNoOffset;
+  size_t pos = 0;
+  bool any = false;
+  for (size_t i = at + kMarker.size(); i < message.size(); ++i) {
+    char c = message[i];
+    if (c < '0' || c > '9') break;
+    pos = pos * 10 + static_cast<size_t>(c - '0');
+    any = true;
+  }
+  return any ? pos : SourceLocation::kNoOffset;
+}
+
+// True if the analyzer reported a TC110 (type error) among the
+// diagnostics appended after index `from`.
+bool ReportedTypeError(const DiagnosticEngine& diags, size_t from) {
+  for (size_t i = from; i < diags.diagnostics().size(); ++i) {
+    if (diags.diagnostics()[i].code == "TC110") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void LintTqlScript(std::string_view source, const LintOptions& options,
+                   DiagnosticEngine* diags) {
+  Result<std::vector<Statement>> parsed = ParseScript(source);
+  if (!parsed.ok()) {
+    diags->Report("TC010", ExtractPosition(parsed.status().message()),
+                  parsed.status().message());
+    return;
+  }
+  std::vector<Statement>& stmts = *parsed;
+
+  // Pass 1: the whole schema at once.
+  std::vector<SchemaDecl> decls;
+  for (const Statement& s : stmts) {
+    if (s.kind == Statement::Kind::kDefineClass) {
+      decls.push_back({&s.define_class->spec, s.position});
+    }
+  }
+  AnalyzeSchema(decls, nullptr, diags);
+  if (options.schema_only) return;
+
+  // Pass 2: replay, linting queries in context. Statements after a failed
+  // one still run — best effort, like a compiler after its first error.
+  Database db;
+  Interpreter interp(&db);
+  for (Statement& s : stmts) {
+    size_t before = diags->diagnostics().size();
+    if (s.kind == Statement::Kind::kSelect) {
+      AnalyzeSelect(&*s.select, db, diags);
+    } else if (s.kind == Statement::Kind::kWhen) {
+      AnalyzeWhen(&*s.when, db, diags);
+    }
+    if (ReportedTypeError(*diags, before)) {
+      continue;  // already reported; execution would fail the same way
+    }
+    if (Result<std::string> r = interp.ExecuteStatement(&s); !r.ok()) {
+      diags->Report("TC111", s.position,
+                    "statement failed to execute: " + r.status().ToString(),
+                    "the dynamic layer rejected the statement during the "
+                    "lint replay");
+    }
+  }
+}
+
+}  // namespace tchimera

@@ -1,0 +1,33 @@
+// The end-to-end lint pipeline over one TQL script, shared by the
+// tchimera_lint CLI and the tests:
+//
+//   1. parse the script (failures become TC010);
+//   2. analyze every DEFINE CLASS declaration as one schema, forward
+//      references allowed (TC0xx);
+//   3. unless `schema_only`, replay the script against a scratch
+//      in-memory database — so the clock, classes and objects are exactly
+//      what they would be at runtime — linting each SELECT / WHEN
+//      statement in context (TC1xx) and reporting statements the dynamic
+//      layer rejects (TC111).
+#ifndef TCHIMERA_ANALYSIS_LINT_DRIVER_H_
+#define TCHIMERA_ANALYSIS_LINT_DRIVER_H_
+
+#include <string_view>
+
+#include "analysis/diagnostic.h"
+
+namespace tchimera {
+
+struct LintOptions {
+  bool schema_only = false;
+};
+
+// Lints `source` (a whole TQL script), appending findings to `diags`.
+// Offsets in the findings are byte offsets into `source`; callers resolve
+// them to line/column with DiagnosticEngine::ResolveLocations.
+void LintTqlScript(std::string_view source, const LintOptions& options,
+                   DiagnosticEngine* diags);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_ANALYSIS_LINT_DRIVER_H_

@@ -1,0 +1,41 @@
+// Static analysis (lint) of TQL queries. Runs the Definition 3.6 type
+// checker first — reusing its inferred per-node annotations — then flags
+// statically-detectable problems that the type system alone admits:
+//
+//   TC101  a FROM binder never referenced by the projections or WHERE
+//          (it still multiplies the cartesian product — rarely intended)
+//   TC102  an `@ t` projection at an instant outside the class lifespan:
+//          no instance can have a value there, the access is always null
+//   TC103  a redundant `@` projection: the explicit instant equals the
+//          query's evaluation instant, so the implicit snapshot coercion
+//          (Section 6.1) already produces the same value
+//   TC104  a predicate that is statically unsatisfiable (constant-folds
+//          to false, compares against the null literal, or tests
+//          membership in an empty collection): the query returns no rows
+//   TC105  a predicate or conjunct that is statically true: redundant
+//   TC110  the statement fails static type checking (Definition 3.6)
+#ifndef TCHIMERA_ANALYSIS_QUERY_ANALYZER_H_
+#define TCHIMERA_ANALYSIS_QUERY_ANALYZER_H_
+
+#include "analysis/diagnostic.h"
+#include "core/db/database.h"
+#include "query/ast.h"
+
+namespace tchimera {
+
+// Lints one SELECT statement against the database schema. Type-checks the
+// statement (annotating `inferred` on every expression node) and reports
+// findings; a type error is reported as TC110 and stops further query
+// lint. Does not evaluate the query.
+void AnalyzeSelect(SelectStmt* stmt, const Database& db,
+                   DiagnosticEngine* diags);
+
+// Lints a WHEN statement's closed condition (the binder-free temporal
+// selection). The projection-instant checks that depend on a single
+// evaluation instant (TC103) do not apply: WHEN quantifies over all
+// instants.
+void AnalyzeWhen(WhenStmt* stmt, const Database& db, DiagnosticEngine* diags);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_ANALYSIS_QUERY_ANALYZER_H_

@@ -1,0 +1,52 @@
+// Static analysis of a T_Chimera schema *before* it is loaded into a
+// database. The dynamic layer (Database::DefineClass) validates each class
+// at definition time and stops at the first problem; the analyzer instead
+// takes the whole set of declarations at once — forward references
+// allowed — and reports every finding, so a schema document can be linted
+// offline (deploy-time, in CI) rather than discovered broken at runtime.
+//
+// Checks (codes in docs/LINT.md):
+//   TC001  ISA cycle: <=_ISA must be a partial order (Section 6)
+//   TC002  superclass not defined anywhere (schema or base database)
+//   TC003  Rule 6.1 violation: redeclared domain is not a refinement
+//   TC004  temporal attribute redeclared non-temporal: the subclass could
+//          not carry the histories Invariants 6.1/6.2 require
+//   TC005  conflicting domains inherited through multiple superclasses
+//          (diamond ISA) without a redeclaration
+//   TC006  class-typed attribute domain names an undefined class
+//   TC007  attribute declared twice in one class
+//   TC008  class defined twice in one schema
+//   TC009  method redefinition violating co/contravariance (Section 6.1)
+#ifndef TCHIMERA_ANALYSIS_SCHEMA_ANALYZER_H_
+#define TCHIMERA_ANALYSIS_SCHEMA_ANALYZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/db/database.h"
+#include "core/schema/class_def.h"
+
+namespace tchimera {
+
+// One class declaration plus the byte offset of its DEFINE CLASS statement
+// in the source (for diagnostics).
+struct SchemaDecl {
+  const ClassSpec* spec = nullptr;
+  size_t position = SourceLocation::kNoOffset;
+};
+
+// Analyzes `decls` (in declaration order) against an optional base
+// database whose classes are treated as an already-valid prefix of the
+// schema (the interpreter's opt-in lint passes the live database; the CLI
+// passes nullptr). Appends findings to `diags`.
+void AnalyzeSchema(const std::vector<SchemaDecl>& decls, const Database* base,
+                   DiagnosticEngine* diags);
+
+// Convenience for a single declaration (interpreter wiring).
+void AnalyzeClassSpec(const ClassSpec& spec, size_t position,
+                      const Database* base, DiagnosticEngine* diags);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_ANALYSIS_SCHEMA_ANALYZER_H_

@@ -111,6 +111,7 @@ struct DeleteStmt {
 struct SelectBinder {
   std::string var;
   std::string class_name;
+  size_t position = 0;  // byte offset of the binder, for diagnostics
 };
 
 struct SelectStmt {
@@ -176,6 +177,9 @@ struct Statement {
     kShow,
   };
   Kind kind = Kind::kCheck;
+  // Byte offset of the statement's first token in the parsed input (for
+  // script-level diagnostics; offsets are absolute within the script).
+  size_t position = 0;
 
   // Exactly the member matching `kind` is populated (kept flat rather than
   // a variant for readable accessors).

@@ -1,5 +1,7 @@
 #include "query/interpreter.h"
 
+#include "analysis/query_analyzer.h"
+#include "analysis/schema_analyzer.h"
 #include "core/db/consistency.h"
 #include "query/evaluator.h"
 #include "query/parser.h"
@@ -36,6 +38,22 @@ Result<std::string> Interpreter::ExecuteScript(std::string_view script) {
 }
 
 Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
+  if (lint_ != nullptr) {
+    switch (stmt->kind) {
+      case Statement::Kind::kDefineClass:
+        AnalyzeClassSpec(stmt->define_class->spec, stmt->position, db_,
+                         lint_);
+        break;
+      case Statement::Kind::kSelect:
+        AnalyzeSelect(&*stmt->select, *db_, lint_);
+        break;
+      case Statement::Kind::kWhen:
+        AnalyzeWhen(&*stmt->when, *db_, lint_);
+        break;
+      default:
+        break;
+    }
+  }
   switch (stmt->kind) {
     case Statement::Kind::kDefineClass: {
       TCH_RETURN_IF_ERROR(db_->DefineClass(stmt->define_class->spec));

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "analysis/diagnostic.h"
 #include "common/result.h"
 #include "core/db/database.h"
 #include "query/ast.h"
@@ -17,6 +18,13 @@ class Interpreter {
  public:
   // Does not take ownership; `db` must outlive the interpreter.
   explicit Interpreter(Database* db) : db_(db) {}
+
+  // Opt-in static analysis: when a sink is set, DEFINE CLASS, SELECT and
+  // WHEN statements are linted before execution and the findings are
+  // appended to `diags` (see src/analysis/). Lint never blocks execution;
+  // callers decide what to do with the findings. Pass nullptr to disable.
+  void set_lint(DiagnosticEngine* diags) { lint_ = diags; }
+  DiagnosticEngine* lint() const { return lint_; }
 
   // Parses and executes one statement; returns its printable outcome
   // (e.g. "i7" for CREATE, a table for SELECT, "ok" for updates).
@@ -31,6 +39,7 @@ class Interpreter {
 
  private:
   Database* db_;
+  DiagnosticEngine* lint_ = nullptr;
 };
 
 }  // namespace tchimera

@@ -14,7 +14,9 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<Statement> ParseOneStatement() {
+    size_t start = Peek().position;
     TCH_ASSIGN_OR_RETURN(Statement stmt, ParseStmt());
+    stmt.position = start;
     Accept(TokenKind::kSemicolon);
     if (!AtEnd()) {
       return ErrorHere("unexpected input after statement: " +
@@ -26,7 +28,9 @@ class Parser {
   Result<std::vector<Statement>> ParseAll() {
     std::vector<Statement> out;
     while (!AtEnd()) {
+      size_t start = Peek().position;
       TCH_ASSIGN_OR_RETURN(Statement stmt, ParseStmt());
+      stmt.position = start;
       out.push_back(std::move(stmt));
       while (Accept(TokenKind::kSemicolon)) {
       }
@@ -334,6 +338,7 @@ class Parser {
     TCH_RETURN_IF_ERROR(ExpectKeyword("from"));
     while (true) {
       SelectBinder binder;
+      binder.position = Peek().position;
       TCH_ASSIGN_OR_RETURN(binder.var, ParseName());
       TCH_RETURN_IF_ERROR(ExpectKeyword("in"));
       TCH_ASSIGN_OR_RETURN(binder.class_name, ParseName());

@@ -1,0 +1,683 @@
+// Tests for the static-analysis subsystem (src/analysis/): the
+// diagnostics engine and its JSON round-trip, the schema analyzer (TC0xx)
+// and the query analyzer (TC1xx). Every diagnostic code has at least one
+// positive fixture (the code fires) and a negative counterpart (the clean
+// variant stays clean).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostic.h"
+#include "analysis/lint_driver.h"
+#include "analysis/query_analyzer.h"
+#include "analysis/schema_analyzer.h"
+#include "core/db/database.h"
+#include "core/types/type_parser.h"
+#include "query/interpreter.h"
+#include "query/parser.h"
+
+namespace tchimera {
+namespace {
+
+// Runs the full lint pipeline (schema pass + replay with query lint) the
+// same way the tchimera_lint CLI does.
+std::vector<Diagnostic> Lint(const std::string& script) {
+  DiagnosticEngine diags;
+  LintTqlScript(script, LintOptions{}, &diags);
+  return diags.diagnostics();
+}
+
+// Schema-only variant (no replay: no TC11x executions).
+std::vector<Diagnostic> LintSchema(const std::string& script) {
+  DiagnosticEngine diags;
+  LintOptions options;
+  options.schema_only = true;
+  LintTqlScript(script, options, &diags);
+  return diags.diagnostics();
+}
+
+size_t Count(const std::vector<Diagnostic>& ds, std::string_view code) {
+  size_t n = 0;
+  for (const Diagnostic& d : ds) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+bool Has(const std::vector<Diagnostic>& ds, std::string_view code) {
+  return Count(ds, code) > 0;
+}
+
+std::string Messages(const std::vector<Diagnostic>& ds) {
+  std::string out;
+  for (const Diagnostic& d : ds) {
+    out += d.code + ": " + d.message + "\n";
+  }
+  return out;
+}
+
+#define EXPECT_CODE(ds, code) \
+  EXPECT_TRUE(Has(ds, code)) << "expected " code " in:\n" << Messages(ds)
+#define EXPECT_NO_CODE(ds, code) \
+  EXPECT_FALSE(Has(ds, code)) << "unexpected " code " in:\n" << Messages(ds)
+
+#define EXPECT_CLEAN(ds) \
+  EXPECT_TRUE((ds).empty()) << "expected no findings, got:\n" << Messages(ds)
+
+// --- TC001: ISA cycles ----------------------------------------------------
+
+TEST(SchemaAnalyzer, IsaCycleDetected) {
+  auto ds = LintSchema(
+      "define class a under b end;"
+      "define class b under a end");
+  EXPECT_CODE(ds, "TC001");
+}
+
+TEST(SchemaAnalyzer, SelfCycleDetected) {
+  auto ds = LintSchema("define class a under a end");
+  EXPECT_CODE(ds, "TC001");
+}
+
+TEST(SchemaAnalyzer, LinearHierarchyHasNoCycle) {
+  auto ds = LintSchema(
+      "define class a end;"
+      "define class b under a end;"
+      "define class c under b end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC002: unknown superclass --------------------------------------------
+
+TEST(SchemaAnalyzer, UnknownSuperclassReported) {
+  auto ds = LintSchema("define class a under ghost end");
+  EXPECT_CODE(ds, "TC002");
+}
+
+TEST(SchemaAnalyzer, ForwardReferencedSuperclassIsFine) {
+  // The dynamic layer would reject this ordering; the static analyzer
+  // sees the whole schema document at once.
+  auto ds = LintSchema(
+      "define class a under b end;"
+      "define class b end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC003: Rule 6.1 domain refinement ------------------------------------
+
+TEST(SchemaAnalyzer, IllegalRefinementReported) {
+  auto ds = LintSchema(
+      "define class person attributes name: string end;"
+      "define class employee under person attributes name: integer end");
+  EXPECT_CODE(ds, "TC003");
+}
+
+TEST(SchemaAnalyzer, SubtypeRefinementIsLegal) {
+  auto ds = LintSchema(
+      "define class animal end;"
+      "define class dog under animal end;"
+      "define class owner attributes pet: animal end;"
+      "define class dogowner under owner attributes pet: dog end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC004: temporal demotion ---------------------------------------------
+
+TEST(SchemaAnalyzer, TemporalDemotionReported) {
+  auto ds = LintSchema(
+      "define class person attributes score: temporal(integer) end;"
+      "define class student under person attributes score: integer end");
+  EXPECT_CODE(ds, "TC004");
+  EXPECT_NO_CODE(ds, "TC003");  // the specialized code wins
+}
+
+TEST(SchemaAnalyzer, TemporalPromotionIsLegal) {
+  // Rule 6.1 clause 2: a non-temporal domain may become temporal.
+  auto ds = LintSchema(
+      "define class person attributes score: integer end;"
+      "define class student under person "
+      "attributes score: temporal(integer) end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC005: diamond-inheritance conflicts ---------------------------------
+
+TEST(SchemaAnalyzer, DiamondConflictReported) {
+  auto ds = LintSchema(
+      "define class a attributes x: integer end;"
+      "define class b attributes x: string end;"
+      "define class c under a, b end");
+  EXPECT_CODE(ds, "TC005");
+}
+
+TEST(SchemaAnalyzer, DiamondKindMismatchMentionsTemporal) {
+  auto ds = LintSchema(
+      "define class a attributes x: temporal(integer) end;"
+      "define class b attributes x: integer end;"
+      "define class c under a, b end");
+  ASSERT_TRUE(Has(ds, "TC005")) << Messages(ds);
+  bool mentioned = false;
+  for (const Diagnostic& d : ds) {
+    if (d.code == "TC005" &&
+        d.message.find("temporal vs non-temporal") != std::string::npos) {
+      mentioned = true;
+    }
+  }
+  EXPECT_TRUE(mentioned) << Messages(ds);
+}
+
+TEST(SchemaAnalyzer, DiamondWithAgreeingDomainsIsFine) {
+  auto ds = LintSchema(
+      "define class a attributes x: integer end;"
+      "define class b attributes x: integer end;"
+      "define class c under a, b end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC006: dangling class-typed domains ----------------------------------
+
+TEST(SchemaAnalyzer, DanglingDomainReported) {
+  auto ds = LintSchema(
+      "define class owner attributes pet: dog end");
+  EXPECT_CODE(ds, "TC006");
+}
+
+TEST(SchemaAnalyzer, DanglingDomainInsideConstructorReported) {
+  auto ds = LintSchema(
+      "define class owner attributes pets: temporal(set-of(dog)) end");
+  EXPECT_CODE(ds, "TC006");
+}
+
+TEST(SchemaAnalyzer, DomainDefinedLaterInScriptIsFine) {
+  auto ds = LintSchema(
+      "define class owner attributes pet: dog end;"
+      "define class dog end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC007: duplicate attribute -------------------------------------------
+
+TEST(SchemaAnalyzer, DuplicateAttributeReported) {
+  auto ds = LintSchema(
+      "define class a attributes x: integer, x: integer end");
+  EXPECT_CODE(ds, "TC007");
+}
+
+TEST(SchemaAnalyzer, DistinctAttributesAreFine) {
+  auto ds = LintSchema(
+      "define class a attributes x: integer, y: integer end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC008: duplicate class -----------------------------------------------
+
+TEST(SchemaAnalyzer, DuplicateClassReported) {
+  auto ds = LintSchema(
+      "define class a end;"
+      "define class a attributes x: integer end");
+  EXPECT_CODE(ds, "TC008");
+}
+
+TEST(SchemaAnalyzer, DistinctClassesAreFine) {
+  auto ds = LintSchema(
+      "define class a end;"
+      "define class b end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC009: method refinement ---------------------------------------------
+
+TEST(SchemaAnalyzer, CovarianceViolationReported) {
+  // Inherited result type dog; redefined to the *super*type animal.
+  auto ds = LintSchema(
+      "define class animal end;"
+      "define class dog under animal end;"
+      "define class owner methods pick(): dog end;"
+      "define class sub under owner methods pick(): animal end");
+  EXPECT_CODE(ds, "TC009");
+}
+
+TEST(SchemaAnalyzer, ContravarianceViolationReported) {
+  // Inherited input type animal; redefined to the narrower dog.
+  auto ds = LintSchema(
+      "define class animal end;"
+      "define class dog under animal end;"
+      "define class owner methods feed(animal): bool end;"
+      "define class sub under owner methods feed(dog): bool end");
+  EXPECT_CODE(ds, "TC009");
+}
+
+TEST(SchemaAnalyzer, LegalMethodRefinementIsFine) {
+  // Covariant result, contravariant input.
+  auto ds = LintSchema(
+      "define class animal end;"
+      "define class dog under animal end;"
+      "define class owner methods pick(dog): animal end;"
+      "define class sub under owner methods pick(animal): dog end");
+  EXPECT_CLEAN(ds);
+}
+
+// --- incremental mode (interpreter wiring) --------------------------------
+
+TEST(SchemaAnalyzer, AnalyzesSpecAgainstLiveDatabase) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(
+      interp.Execute("define class person attributes name: string end").ok());
+
+  ClassSpec spec;
+  spec.name = "employee";
+  spec.superclasses = {"person"};
+  Result<const Type*> bad = ParseType("integer");
+  ASSERT_TRUE(bad.ok());
+  spec.attributes = {{"name", *bad}};
+  DiagnosticEngine diags;
+  AnalyzeClassSpec(spec, 0, &db, &diags);
+  EXPECT_CODE(diags.diagnostics(), "TC003");
+}
+
+// --- TC010 / TC111: driver-level findings ---------------------------------
+
+TEST(LintDriver, ParseErrorReported) {
+  auto ds = Lint("selec x from x in a");
+  EXPECT_CODE(ds, "TC010");
+}
+
+TEST(LintDriver, ParsableScriptHasNoParseError) {
+  auto ds = Lint("define class a end");
+  EXPECT_NO_CODE(ds, "TC010");
+}
+
+TEST(LintDriver, FailedStatementReported) {
+  auto ds = Lint("update i99 set x = 1");
+  EXPECT_CODE(ds, "TC111");
+}
+
+TEST(LintDriver, CleanScriptStaysClean) {
+  auto ds = Lint(
+      "define class employee attributes salary: temporal(integer) end;"
+      "create employee (salary: 48000);"
+      "tick 5;"
+      "select x from x in employee where x.salary > 40000;"
+      "when i1.salary > 40000;"
+      "check");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC101: unused binder -------------------------------------------------
+
+TEST(QueryAnalyzer, UnusedBinderReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select 1 from x in a");
+  EXPECT_CODE(ds, "TC101");
+}
+
+TEST(QueryAnalyzer, UnusedSecondBinderReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a, y in a");
+  EXPECT_EQ(Count(ds, "TC101"), 1u) << Messages(ds);
+}
+
+TEST(QueryAnalyzer, UsedBindersAreFine) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a, y in a where x.v < y.v");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC102: projection outside the class lifespan -------------------------
+
+TEST(QueryAnalyzer, ProjectionBeforeClassExistsReported) {
+  auto ds = Lint(
+      "tick 5;"
+      "define class a attributes v: temporal(integer) end;"
+      "select x.v @ 2 from x in a");
+  EXPECT_CODE(ds, "TC102");
+}
+
+TEST(QueryAnalyzer, ProjectionWithinLifespanIsFine) {
+  auto ds = Lint(
+      "tick 5;"
+      "define class a attributes v: temporal(integer) end;"
+      "tick 5;"
+      "select x.v @ 7 from x in a");
+  EXPECT_NO_CODE(ds, "TC102");
+}
+
+// --- TC103: redundant projection ------------------------------------------
+
+TEST(QueryAnalyzer, ExplicitAtNowIsRedundant) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "select x.v @ now from x in a");
+  EXPECT_CODE(ds, "TC103");
+}
+
+TEST(QueryAnalyzer, AtMatchingQueryInstantIsRedundant) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 20;"
+      "select x.v @ 15 from x in a at 15");
+  EXPECT_CODE(ds, "TC103");
+}
+
+TEST(QueryAnalyzer, AtOnStaticAttributeIsNoOp) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x.v @ now from x in a");
+  EXPECT_CODE(ds, "TC103");
+}
+
+TEST(QueryAnalyzer, DistinctProjectionInstantIsMeaningful) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 20;"
+      "select x.v @ 10 from x in a at 15");
+  EXPECT_NO_CODE(ds, "TC103");
+}
+
+// --- TC104: statically unsatisfiable predicates ---------------------------
+
+TEST(QueryAnalyzer, ConstantFalseWhereReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where 1 > 2");
+  EXPECT_CODE(ds, "TC104");
+}
+
+TEST(QueryAnalyzer, NullComparisonReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where x.v = null");
+  EXPECT_CODE(ds, "TC104");
+}
+
+TEST(QueryAnalyzer, EmptyMembershipReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where x.v in {}");
+  EXPECT_CODE(ds, "TC104");
+}
+
+TEST(QueryAnalyzer, FalseConjunctReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where x.v > 0 and 2 < 1");
+  EXPECT_CODE(ds, "TC104");
+}
+
+TEST(QueryAnalyzer, SatisfiablePredicateIsFine) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where x.v > 0");
+  EXPECT_CLEAN(ds);
+}
+
+TEST(QueryAnalyzer, WhenConditionNeverHoldsReported) {
+  auto ds = Lint("when 1 > 2");
+  EXPECT_CODE(ds, "TC104");
+}
+
+// --- TC105: statically true predicates ------------------------------------
+
+TEST(QueryAnalyzer, ConstantTrueWhereReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where 1 < 2");
+  EXPECT_CODE(ds, "TC105");
+}
+
+TEST(QueryAnalyzer, TrueConjunctReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where x.v > 0 and 1 < 2");
+  EXPECT_CODE(ds, "TC105");
+}
+
+TEST(QueryAnalyzer, TrueDisjunctReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where x.v > 0 or 1 < 2");
+  EXPECT_CODE(ds, "TC105");
+}
+
+TEST(QueryAnalyzer, NonTrivialPredicateIsFine) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x from x in a where x.v > 0 or x.v < -10");
+  EXPECT_CLEAN(ds);
+}
+
+// --- TC110: type errors ---------------------------------------------------
+
+TEST(QueryAnalyzer, TypeErrorReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x.nope from x in a");
+  EXPECT_CODE(ds, "TC110");
+}
+
+TEST(QueryAnalyzer, WellTypedQueryHasNoTypeError) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "select x.v from x in a");
+  EXPECT_NO_CODE(ds, "TC110");
+}
+
+// --- interpreter wiring ---------------------------------------------------
+
+TEST(InterpreterLint, OptInLintCollectsFindings) {
+  Database db;
+  Interpreter interp(&db);
+  DiagnosticEngine diags;
+  interp.set_lint(&diags);
+  ASSERT_TRUE(
+      interp.Execute("define class a attributes v: integer end").ok());
+  Result<std::string> r = interp.Execute("select 1 from x in a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_CODE(diags.diagnostics(), "TC101");
+}
+
+TEST(InterpreterLint, LintNeverBlocksExecution) {
+  Database db;
+  Interpreter interp(&db);
+  DiagnosticEngine diags;
+  interp.set_lint(&diags);
+  ASSERT_TRUE(
+      interp.Execute("define class a attributes v: integer end").ok());
+  Result<std::string> r = interp.Execute("select x from x in a where 1 > 2");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "(no results)");
+  EXPECT_CODE(diags.diagnostics(), "TC104");
+}
+
+TEST(InterpreterLint, DisabledByDefault) {
+  Database db;
+  Interpreter interp(&db);
+  EXPECT_EQ(interp.lint(), nullptr);
+  ASSERT_TRUE(
+      interp.Execute("define class a attributes v: integer end").ok());
+  ASSERT_TRUE(interp.Execute("select 1 from x in a").ok());
+}
+
+// --- the diagnostics engine -----------------------------------------------
+
+TEST(DiagnosticEngine, RegistryHasStableMetadata) {
+  const std::vector<DiagnosticInfo>& infos = AllDiagnosticInfos();
+  ASSERT_FALSE(infos.empty());
+  for (size_t i = 1; i < infos.size(); ++i) {
+    EXPECT_LT(std::string(infos[i - 1].code), std::string(infos[i].code))
+        << "codes must stay sorted";
+  }
+  for (const DiagnosticInfo& info : infos) {
+    EXPECT_NE(std::string(info.title), "");
+    EXPECT_NE(std::string(info.paper_ref), "");
+    EXPECT_EQ(FindDiagnosticInfo(info.code), &info);
+  }
+  EXPECT_EQ(FindDiagnosticInfo("TC999"), nullptr);
+}
+
+TEST(DiagnosticEngine, ReportUsesRegistrySeverity) {
+  DiagnosticEngine diags;
+  diags.Report("TC001", 0, "cycle");
+  diags.Report("TC101", 1, "unused");
+  diags.Report("TC103", 2, "redundant");
+  ASSERT_EQ(diags.diagnostics().size(), 3u);
+  EXPECT_EQ(diags.diagnostics()[0].severity, Severity::kError);
+  EXPECT_EQ(diags.diagnostics()[1].severity, Severity::kWarning);
+  EXPECT_EQ(diags.diagnostics()[2].severity, Severity::kNote);
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(DiagnosticEngine, ResolveLocationsComputesLineAndColumn) {
+  DiagnosticEngine diags;
+  diags.Report("TC101", 0, "first line");
+  diags.Report("TC101", 10, "second line");  // offset of 'c' in "second"
+  diags.Report("TC010", SourceLocation::kNoOffset, "no position");
+  diags.ResolveLocations("test.tql", "line one\nse_cond line\n");
+  const std::vector<Diagnostic>& ds = diags.diagnostics();
+  EXPECT_EQ(ds[0].location.file, "test.tql");
+  EXPECT_EQ(ds[0].location.line, 1u);
+  EXPECT_EQ(ds[0].location.column, 1u);
+  EXPECT_EQ(ds[1].location.line, 2u);
+  EXPECT_EQ(ds[1].location.column, 2u);
+  EXPECT_EQ(ds[2].location.line, 0u) << "no offset: line stays unresolved";
+}
+
+TEST(DiagnosticEngine, SortByLocationOrdersByFileThenOffset) {
+  DiagnosticEngine diags;
+  Diagnostic a;
+  a.code = "TC104";
+  a.location.file = "b.tql";
+  a.location.offset = 1;
+  Diagnostic b;
+  b.code = "TC101";
+  b.location.file = "a.tql";
+  b.location.offset = 9;
+  Diagnostic c;
+  c.code = "TC102";
+  c.location.file = "a.tql";
+  c.location.offset = 2;
+  diags.Add(a);
+  diags.Add(b);
+  diags.Add(c);
+  diags.SortByLocation();
+  EXPECT_EQ(diags.diagnostics()[0].code, "TC102");
+  EXPECT_EQ(diags.diagnostics()[1].code, "TC101");
+  EXPECT_EQ(diags.diagnostics()[2].code, "TC104");
+}
+
+TEST(DiagnosticRender, HumanFormat) {
+  Diagnostic d;
+  d.code = "TC003";
+  d.severity = Severity::kError;
+  d.message = "bad refinement";
+  d.location.file = "schema.tql";
+  d.location.offset = 12;
+  d.location.line = 2;
+  d.location.column = 3;
+  d.note = "see Rule 6.1";
+  std::string out = RenderHuman({d});
+  EXPECT_EQ(out,
+            "schema.tql:2:3: error: bad refinement [TC003]\n"
+            "    note: see Rule 6.1\n");
+}
+
+// The golden test: the JSON rendering is byte-stable, and parsing it back
+// reproduces the same diagnostics (round-trip).
+TEST(DiagnosticRender, JsonGoldenRoundTrip) {
+  Diagnostic a;
+  a.code = "TC001";
+  a.severity = Severity::kError;
+  a.message = "ISA cycle: a -> b -> a";
+  a.location.file = "schema.tql";
+  a.location.offset = 17;
+  a.location.line = 2;
+  a.location.column = 5;
+  a.note = "cycle members are skipped";
+  Diagnostic b;
+  b.code = "TC104";
+  b.severity = Severity::kWarning;
+  b.message = "condition with \"quotes\"\nand a newline";
+  // No file / offset / note: optional keys must be omitted.
+  std::vector<Diagnostic> input = {a, b};
+
+  const std::string kGolden =
+      "{\"diagnostics\":["
+      "{\"code\":\"TC001\",\"severity\":\"error\","
+      "\"message\":\"ISA cycle: a -> b -> a\","
+      "\"file\":\"schema.tql\",\"offset\":17,\"line\":2,\"column\":5,"
+      "\"note\":\"cycle members are skipped\"},"
+      "{\"code\":\"TC104\",\"severity\":\"warning\","
+      "\"message\":\"condition with \\\"quotes\\\"\\nand a newline\"}"
+      "],\"errors\":1,\"warnings\":1}";
+  EXPECT_EQ(RenderJson(input), kGolden);
+
+  Result<std::vector<Diagnostic>> parsed = ParseDiagnosticsJson(kGolden);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].code, "TC001");
+  EXPECT_EQ((*parsed)[0].severity, Severity::kError);
+  EXPECT_EQ((*parsed)[0].message, "ISA cycle: a -> b -> a");
+  EXPECT_EQ((*parsed)[0].location.file, "schema.tql");
+  EXPECT_EQ((*parsed)[0].location.offset, 17u);
+  EXPECT_EQ((*parsed)[0].location.line, 2u);
+  EXPECT_EQ((*parsed)[0].location.column, 5u);
+  EXPECT_EQ((*parsed)[0].note, "cycle members are skipped");
+  EXPECT_EQ((*parsed)[1].code, "TC104");
+  EXPECT_EQ((*parsed)[1].message, "condition with \"quotes\"\nand a newline");
+  EXPECT_FALSE((*parsed)[1].location.has_offset());
+
+  // Re-rendering the parsed diagnostics reproduces the bytes exactly.
+  EXPECT_EQ(RenderJson(*parsed), kGolden);
+}
+
+TEST(DiagnosticRender, EmptyJson) {
+  EXPECT_EQ(RenderJson({}), "{\"diagnostics\":[],\"errors\":0,\"warnings\":0}");
+  Result<std::vector<Diagnostic>> parsed =
+      ParseDiagnosticsJson("{\"diagnostics\":[],\"errors\":0,\"warnings\":0}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(DiagnosticRender, ParseRejectsMalformedJson) {
+  EXPECT_FALSE(ParseDiagnosticsJson("").ok());
+  EXPECT_FALSE(ParseDiagnosticsJson("{\"diagnostics\":[").ok());
+  EXPECT_FALSE(ParseDiagnosticsJson("{\"diagnostics\":[]} trailing").ok());
+}
+
+// Every code the analyzers can emit is registered with metadata, so
+// docs/LINT.md and the JSON consumers always have something to link to.
+TEST(DiagnosticRender, EmittedCodesAreRegistered) {
+  auto ds = Lint(
+      "tick 3;"
+      "define class a under a attributes x: integer, x: integer end;"
+      "define class b under ghost end;"
+      "define class p attributes s: temporal(integer), pet: dog end;"
+      "define class q under p attributes s: integer end;"
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "select 1 from x in t where x.v = null;"
+      "select 1 from z in t;"
+      "select x.v @ now from x in t where 1 < 2;"
+      "select x.v @ 1 from x in t;"
+      "select x.nope from x in t;"
+      "update i99 set v = 1");
+  for (const Diagnostic& d : ds) {
+    EXPECT_NE(FindDiagnosticInfo(d.code), nullptr)
+        << "unregistered code " << d.code;
+  }
+  // The fixture above is designed to light up a wide spread of codes.
+  for (const char* code :
+       {"TC001", "TC002", "TC004", "TC006", "TC007", "TC101", "TC102",
+        "TC103", "TC104", "TC105", "TC110", "TC111"}) {
+    EXPECT_TRUE(Has(ds, code)) << "expected " << code << " in:\n"
+                               << Messages(ds);
+  }
+}
+
+}  // namespace
+}  // namespace tchimera

@@ -1,0 +1,111 @@
+// tchimera-lint: static analysis for T_Chimera schema / TQL script files.
+//
+//   tchimera_lint [--json] [--schema-only] [--werror] file.tql...
+//
+// Pipeline per file:
+//   1. parse the whole script (parse failures are TC010);
+//   2. run the schema analyzer over every DEFINE CLASS in the script at
+//      once (forward references allowed, all findings reported);
+//   3. unless --schema-only, replay the script against a scratch
+//      in-memory database so the clock, classes and objects are what they
+//      would be at runtime, linting every SELECT / WHEN statement just
+//      before its turn (TC1xx) and reporting statements that fail to
+//      execute (TC111).
+//
+// Exit status: 1 if any error-severity finding was produced (or any
+// finding at all under --werror), 0 otherwise — so the binary can gate CI.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/lint_driver.h"
+
+namespace tchimera {
+namespace {
+
+struct Options {
+  bool json = false;
+  bool schema_only = false;
+  bool werror = false;
+  std::vector<std::string> files;
+};
+
+int Run(const Options& opts) {
+  std::vector<Diagnostic> all;
+  for (const std::string& file : opts.files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      Diagnostic d;
+      d.code = "TC011";
+      d.severity = Severity::kError;
+      d.message = "cannot open file";
+      d.location.file = file;
+      all.push_back(std::move(d));
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string source = buf.str();
+
+    DiagnosticEngine diags;
+    LintOptions lint_opts;
+    lint_opts.schema_only = opts.schema_only;
+    LintTqlScript(source, lint_opts, &diags);
+    diags.ResolveLocations(file, source);
+    diags.SortByLocation();
+    for (const Diagnostic& d : diags.diagnostics()) all.push_back(d);
+  }
+
+  size_t errors = 0;
+  for (const Diagnostic& d : all) {
+    if (d.severity == Severity::kError) ++errors;
+  }
+  if (opts.json) {
+    std::fputs(RenderJson(all).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(RenderHuman(all).c_str(), stdout);
+    std::fprintf(stdout, "%zu file(s), %zu finding(s), %zu error(s)\n",
+                 opts.files.size(), all.size(), errors);
+  }
+  if (errors > 0) return 1;
+  if (opts.werror && !all.empty()) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tchimera
+
+int main(int argc, char** argv) {
+  tchimera::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--schema-only") {
+      opts.schema_only = true;
+    } else if (arg == "--werror") {
+      opts.werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stdout,
+                   "usage: tchimera_lint [--json] [--schema-only] "
+                   "[--werror] file.tql...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else {
+      opts.files.push_back(std::move(arg));
+    }
+  }
+  if (opts.files.empty()) {
+    std::fprintf(stderr,
+                 "usage: tchimera_lint [--json] [--schema-only] [--werror] "
+                 "file.tql...\n");
+    return 2;
+  }
+  return tchimera::Run(opts);
+}
