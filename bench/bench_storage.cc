@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <map>
 
 #include "core/db/timeslice.h"
@@ -67,12 +68,31 @@ void BM_Deserialize(benchmark::State& state) {
 BENCHMARK(BM_Deserialize)->Arg(20)->Arg(100)->Arg(400);
 
 void BM_JournalAppend(benchmark::State& state) {
+  // The price of durability: Arg selects the sync policy, so the three
+  // rows show what each fdatasync discipline costs per record.
+  JournalOptions options;
+  std::string label;
+  switch (state.range(0)) {
+    case 0:
+      options.sync = SyncPolicy::kNone;
+      label = "sync=none";
+      break;
+    case 1:
+      options.sync = SyncPolicy::kBatched;
+      options.batch_size = 32;
+      label = "sync=batched(32)";
+      break;
+    default:
+      options.sync = SyncPolicy::kEveryAppend;
+      label = "sync=every-append";
+      break;
+  }
   std::string path = (std::filesystem::temp_directory_path() /
                       "tchimera_bench_journal.tql")
                          .string();
   std::remove(path.c_str());
   Journal journal;
-  if (!journal.Open(path).ok()) {
+  if (!journal.Open(path, options).ok()) {
     state.SkipWithError("cannot open journal");
     return;
   }
@@ -81,9 +101,10 @@ void BM_JournalAppend(benchmark::State& state) {
     if (!s.ok()) state.SkipWithError("append failed");
   }
   journal.Close();
+  state.SetLabel(label);
   std::remove(path.c_str());
 }
-BENCHMARK(BM_JournalAppend);
+BENCHMARK(BM_JournalAppend)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_JournalReplay(benchmark::State& state) {
   // Recovery time for a journal of `n` statements.

@@ -2,26 +2,30 @@
 //
 //   ./build/examples/temporal_repl [db-directory]
 //
-// On startup the shell loads `snapshot.tchdb` (if present) from the
-// database directory and replays `journal.tql` on top; every mutating
-// statement is journaled before execution; `.checkpoint` writes a fresh
-// snapshot and truncates the journal. Without a directory argument the
-// session is in-memory only.
+// On startup the shell runs crash recovery over the database directory
+// (snapshot load, journal replay in epoch order with torn-tail salvage,
+// consistency audit — see storage/recovery.h); every successfully
+// executed mutating statement is then journaled before the prompt
+// returns, and `.checkpoint` runs the safe rotate-snapshot-delete
+// protocol. Without a directory argument the session is in-memory only.
+//
+// The journal replay goes through the ActiveDatabase facade so journaled
+// `trigger` and `constraint` definitions are restored too. (Those
+// definitions live only in the journal: a checkpoint folds the journal
+// into a snapshot, which does not carry them — a known gap.)
 //
 // Meta commands: .help .checkpoint .quit — everything else is TQL
 // (see src/query/parser.h for the grammar).
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
-
-#include <fstream>
 
 #include "common/string_util.h"
 #include "core/db/database.h"
-#include "storage/deserializer.h"
 #include "storage/journal.h"
-#include "storage/serializer.h"
+#include "storage/recovery.h"
 #include "triggers/trigger.h"
 
 namespace {
@@ -44,6 +48,14 @@ meta commands:
   .help  .checkpoint  .quit
 )";
 
+// The statements worth journaling: the interpreter's mutating verbs plus
+// the REPL-level trigger / constraint definitions.
+bool ShouldJournal(std::string_view statement) {
+  if (tchimera::IsMutatingStatement(statement)) return true;
+  std::string token = tchimera::FirstTokenLower(statement);
+  return token == "trigger" || token == "constraint";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,56 +65,60 @@ int main(int argc, char** argv) {
   using tchimera::Result;
   using tchimera::Status;
 
-  std::unique_ptr<Database> db = std::make_unique<Database>();
-  Journal journal;
   std::string snapshot_path, journal_path;
-
   if (argc > 1) {
     std::filesystem::path dir(argv[1]);
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     snapshot_path = (dir / "snapshot.tchdb").string();
     journal_path = (dir / "journal.tql").string();
-    if (std::filesystem::exists(snapshot_path)) {
-      Result<std::unique_ptr<Database>> loaded =
-          tchimera::LoadDatabaseFromFile(snapshot_path);
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "cannot load %s: %s\n", snapshot_path.c_str(),
-                     loaded.status().ToString().c_str());
-        return 1;
-      }
-      db = std::move(loaded).value();
-      std::printf("loaded snapshot (%zu objects, now = %lld)\n",
-                  db->object_count(), static_cast<long long>(db->now()));
-    }
-    Status opened = Status::OK();
-    (void)opened;
   } else {
     std::printf("(in-memory session; pass a directory to persist)\n");
   }
 
-  ActiveDatabase active(db.get());
+  tchimera::RecoveryManager recovery(snapshot_path, journal_path);
+  tchimera::RecoveryStats stats;
+  std::unique_ptr<Database> db = std::make_unique<Database>();
   if (!journal_path.empty()) {
-    // Replay the journal tail through the active facade so trigger and
-    // constraint definitions are restored too.
-    if (std::filesystem::exists(journal_path)) {
-      std::ifstream in(journal_path);
-      std::string replay_line;
-      size_t applied = 0;
-      while (std::getline(in, replay_line)) {
-        if (tchimera::StripWhitespace(replay_line).empty()) continue;
-        Result<std::string> r = active.Execute(replay_line);
-        if (!r.ok()) {
-          std::fprintf(stderr, "journal replay failed at '%s': %s\n",
-                       replay_line.c_str(),
-                       r.status().ToString().c_str());
-          return 1;
-        }
-        ++applied;
-      }
-      std::printf("replayed %zu journaled statements\n", applied);
+    Result<std::unique_ptr<Database>> loaded = recovery.LoadSnapshot(&stats);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", snapshot_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
     }
-    Status opened = journal.Open(journal_path);
+    db = std::move(loaded).value();
+  }
+
+  ActiveDatabase active(db.get());
+  Journal journal;
+  if (!journal_path.empty()) {
+    Status replayed = recovery.ReplayJournals(
+        [&active](const std::string& statement) {
+          return active.Execute(statement).status();
+        },
+        &stats);
+    for (const std::string& note : stats.notes) {
+      std::fprintf(stderr, "recovery: %s\n", note.c_str());
+    }
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "journal replay failed: %s\n",
+                   replayed.ToString().c_str());
+      return 1;
+    }
+    Status audit = tchimera::RecoveryManager::Audit(
+        db.get(), tchimera::AuditMode::kFail, &stats);
+    if (!audit.ok()) {
+      std::fprintf(stderr, "post-recovery audit failed: %s\n",
+                   audit.ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered: %zu objects, now = %lld "
+                "(%zu statement(s) replayed)\n",
+                db->object_count(), static_cast<long long>(db->now()),
+                stats.statements_applied);
+    tchimera::JournalOptions options;
+    options.epoch = stats.next_epoch;
+    Status opened = journal.Open(journal_path, options);
     if (!opened.ok()) {
       std::fprintf(stderr, "%s\n", opened.ToString().c_str());
       return 1;
@@ -126,34 +142,24 @@ int main(int argc, char** argv) {
         std::printf("no database directory; nothing to checkpoint\n");
         continue;
       }
-      Status s = tchimera::SaveDatabaseToFile(*db, snapshot_path);
-      if (s.ok()) s = journal.Truncate();
+      Status s = tchimera::RecoveryManager::Checkpoint(*db, &journal,
+                                                       snapshot_path);
       std::printf("%s\n", s.ok() ? "checkpointed" : s.ToString().c_str());
       continue;
     }
-    // Journal mutating statements before executing (write-ahead).
-    if (journal.is_open()) {
-      std::string head;
-      for (char c : trimmed.substr(0, 8)) {
-        head.push_back(static_cast<char>(std::tolower(
-            static_cast<unsigned char>(c))));
-      }
-      for (std::string_view kw : {"define", "drop", "create", "update",
-                                  "migrate", "delete", "tick", "advance",
-                                  "trigger", "constraint"}) {
-        if (tchimera::StartsWith(head, kw)) {
-          Status s = journal.Append(trimmed);
-          if (!s.ok()) std::printf("journal: %s\n", s.ToString().c_str());
-          break;
-        }
-      }
-    }
     Result<std::string> out = active.Execute(trimmed);
-    if (out.ok()) {
-      std::printf("%s\n", out->c_str());
-    } else {
+    if (!out.ok()) {
       std::printf("error: %s\n", out.status().ToString().c_str());
+      continue;
     }
+    // Journal after the statement applied cleanly, so replay failures are
+    // always corruption; the append (synced per policy) completes before
+    // the prompt acknowledges the statement.
+    if (journal.is_open() && ShouldJournal(trimmed)) {
+      Status s = journal.Append(trimmed);
+      if (!s.ok()) std::printf("journal: %s\n", s.ToString().c_str());
+    }
+    std::printf("%s\n", out->c_str());
   }
   std::printf("\nbye\n");
   return 0;

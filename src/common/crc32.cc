@@ -1,0 +1,62 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace tchimera {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;  // reflected IEEE 802.3
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (c >> 1) ^ kPolynomial : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (unsigned char byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+std::string Crc32Hex(uint32_t crc) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool ParseCrc32Hex(std::string_view text, uint32_t* out) {
+  if (text.size() != 8) return false;
+  uint32_t value = 0;
+  for (char c : text) {
+    uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace tchimera

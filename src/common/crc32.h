@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/ethernet one) for record
+// framing in the persistence layer. CRC32 detects every single-bit error
+// and every burst up to 32 bits, which is exactly the failure model of a
+// torn or bit-flipped journal record / snapshot body.
+#ifndef TCHIMERA_COMMON_CRC32_H_
+#define TCHIMERA_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tchimera {
+
+// Incremental: Crc32(b, Crc32(a)) == Crc32(ab). Pass the previous return
+// value as `seed` to extend a running checksum.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+// Fixed-width lowercase hex rendering ("00000000".."ffffffff") so checksum
+// fields have a stable textual width in the on-disk formats.
+std::string Crc32Hex(uint32_t crc);
+
+// Parses the 8-hex-digit form; returns false on malformed input.
+bool ParseCrc32Hex(std::string_view text, uint32_t* out);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_COMMON_CRC32_H_

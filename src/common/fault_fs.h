@@ -1,0 +1,144 @@
+// The I/O seam of the persistence layer.
+//
+// Journal, Serializer and RecoveryManager perform every durable side
+// effect (append, fsync, rename, truncate, unlink) through the FileSystem
+// interface below. The default implementation is thin POSIX (real
+// fdatasync/fsync, durable renames that fsync the parent directory). The
+// FaultInjectionFileSystem wraps any FileSystem and fires a planned fault
+// at the Nth mutating operation:
+//
+//   kFailOp — that one operation returns IoError and the process carries
+//             on (an EIO-style transient failure);
+//   kCrash  — the process "dies": unsynced bytes of every open file are
+//             dropped (optionally keeping a partial prefix of the torn
+//             write, modelling a sector-aligned torn tail), the operation
+//             reports IoError, and every later operation fails until the
+//             plan is cleared.
+//
+// Crash-point enumeration (tests/recovery_test.cc) runs a workload once
+// per possible crash point and asserts recovery always restores a
+// committed prefix — the proof obligation behind the journal's durability
+// contract.
+#ifndef TCHIMERA_COMMON_FAULT_FS_H_
+#define TCHIMERA_COMMON_FAULT_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tchimera {
+
+// A sequential append-only file handle. Append hands bytes to the OS;
+// only Sync (fdatasync) makes them durable.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // Opens `path` for writing: truncated, or in append mode (creating the
+  // file either way).
+  virtual Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) = 0;
+
+  // Durable rename: renames and fsyncs the parent directory of `to`.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  // Unlinks `path` and fsyncs its parent directory.
+  virtual Status RemoveFile(const std::string& path) = 0;
+  // Truncates `path` to exactly `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  // fsyncs a directory (making renames/creates/unlinks in it durable).
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  // Reads (not fault-injected; recovery reads whatever survived).
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  // The plain-file names in directory `path` (no "."/"..", unsorted).
+  virtual Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) = 0;
+
+  // The process-wide POSIX filesystem.
+  static FileSystem* Default();
+};
+
+// What fault to inject, and when. Operations are counted across every
+// mutating call (OpenWritable, Append, Sync, Rename, Remove, Truncate,
+// SyncDir) made through the FaultInjectionFileSystem since SetPlan.
+struct FaultPlan {
+  enum class Mode { kNone, kFailOp, kCrash };
+  Mode mode = Mode::kNone;
+  // 0-based index of the operation at which the fault fires.
+  uint64_t at_op = 0;
+  // kCrash only: how many bytes of the crashed file's unsynced tail
+  // (including the in-flight append) survive — the torn-write prefix.
+  uint64_t surviving_tail_bytes = 0;
+};
+
+class FaultWritableFile;
+
+// Wraps `base`, counting mutating operations and firing the planned
+// fault. On crash, every file opened through this wrapper is truncated
+// back to its last synced size (the crashed file keeps
+// `surviving_tail_bytes` extra), so the on-disk state is exactly what a
+// power loss would have left.
+class FaultInjectionFileSystem final : public FileSystem {
+ public:
+  explicit FaultInjectionFileSystem(FileSystem* base);
+  ~FaultInjectionFileSystem() override;
+
+  // Installs a plan and resets the operation counter and crashed flag.
+  void SetPlan(const FaultPlan& plan);
+  void ClearPlan() { SetPlan(FaultPlan{}); }
+
+  // Operations counted since the last SetPlan (for enumerating crash
+  // points: run once fault-free, read ops_seen, then crash at 0..n-1).
+  uint64_t ops_seen() const { return ops_seen_; }
+  bool crashed() const { return crashed_; }
+
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  enum class OpFate { kProceed, kFailOnce, kCrash };
+  // Accounts for one mutating operation and reports its fate. After a
+  // crash every operation is doomed (kCrash without re-truncating).
+  OpFate NextOp();
+  // Truncates every registered file to its synced size; `torn` (may be
+  // null) keeps `surviving_tail_bytes` of its unsynced tail.
+  void CrashNow(FaultWritableFile* torn);
+  void Register(FaultWritableFile* file);
+  void Unregister(FaultWritableFile* file);
+
+  FileSystem* base_;
+  FaultPlan plan_;
+  uint64_t ops_seen_ = 0;
+  bool crashed_ = false;
+  std::vector<FaultWritableFile*> open_files_;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_COMMON_FAULT_FS_H_

@@ -502,6 +502,16 @@ Status Database::DeleteObjectUnchecked(Oid oid) {
   return Status::OK();
 }
 
+Status Database::QuarantineObject(Oid oid) {
+  auto it = objects_.find(oid.id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + oid.ToString() + " does not exist");
+  }
+  objects_.erase(it);
+  for (auto& [name, cls] : classes_) cls->ScrubFromExtents(oid);
+  return Status::OK();
+}
+
 const Object* Database::GetObject(Oid oid) const {
   auto it = objects_.find(oid.id);
   return it == objects_.end() ? nullptr : it->second.get();

@@ -130,6 +130,13 @@ class Database final : public ExtentProvider {
   Status DeleteObject(Oid oid);
   // Deletes unconditionally (used by failure-injection tests).
   Status DeleteObjectUnchecked(Oid oid);
+  // Erases `oid` outright and scrubs it from every class extent, at all
+  // instants — no lifespan bookkeeping, no referential-integrity check.
+  // Not a model operation: recovery-only surgery for quarantining objects
+  // that fail the post-recovery audit (see storage/recovery.h). Callers
+  // must re-audit afterwards, since references *to* the quarantined
+  // object may now dangle.
+  Status QuarantineObject(Oid oid);
 
   const Object* GetObject(Oid oid) const;
   Object* GetMutableObject(Oid oid);

@@ -319,6 +319,40 @@ Status ClassDef::RestoreState(const Interval& lifespan, TemporalFunction ext,
   return Status::OK();
 }
 
+namespace {
+
+// Rebuilds `f` with `oid` removed from every set-valued segment.
+TemporalFunction WithoutOid(const TemporalFunction& f, Oid oid) {
+  const Value target = Value::OfOid(oid);
+  std::vector<TemporalFunction::Segment> segments;
+  segments.reserve(f.segment_count());
+  for (const TemporalFunction::Segment& seg : f.segments()) {
+    if (seg.value.kind() != ValueKind::kSet) {
+      segments.push_back(seg);
+      continue;
+    }
+    std::vector<Value> kept;
+    kept.reserve(seg.value.Elements().size());
+    for (const Value& e : seg.value.Elements()) {
+      if (!(e == target)) kept.push_back(e);
+    }
+    if (kept.empty()) continue;  // empty pieces leave the domain entirely
+    segments.push_back({seg.interval, Value::Set(std::move(kept))});
+  }
+  // The segments came from a valid function, so they stay disjoint and
+  // Make cannot fail; fall back to the original defensively.
+  Result<TemporalFunction> rebuilt =
+      TemporalFunction::Make(std::move(segments));
+  return rebuilt.ok() ? *std::move(rebuilt) : f;
+}
+
+}  // namespace
+
+void ClassDef::ScrubFromExtents(Oid oid) {
+  ext_ = WithoutOid(ext_, oid);
+  proper_ext_ = WithoutOid(proper_ext_, oid);
+}
+
 Status ClassDef::CloseLifespan(TimePoint t) {
   if (!lifespan_.is_ongoing()) {
     return Status::FailedPrecondition("class " + name_ +

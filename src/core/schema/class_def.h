@@ -174,6 +174,12 @@ class ClassDef {
                       TemporalFunction proper_ext,
                       std::vector<Value> c_attr_values);
 
+  // Removes every trace of `oid` from ext / proper-ext, at all instants
+  // (segments whose member set becomes empty are dropped). Not a model
+  // operation: recovery-only surgery used when quarantining an object
+  // that failed the post-recovery audit (see storage/recovery.h).
+  void ScrubFromExtents(Oid oid);
+
  private:
   std::string name_;
   Interval lifespan_;

@@ -1,10 +1,10 @@
 #include "storage/deserializer.h"
 
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
 #include "core/types/type_parser.h"
 #include "core/types/type_registry.h"
@@ -21,27 +21,46 @@ Status Corrupt(size_t line_no, const std::string& what) {
 
 class SnapshotReader {
  public:
-  explicit SnapshotReader(std::istream* in) : in_(in) {}
+  SnapshotReader(std::istream* in, int version)
+      : in_(in), version_(version) {}
 
   Result<std::unique_ptr<Database>> Load() {
     auto db = std::make_unique<Database>();
     TCH_ASSIGN_OR_RETURN(std::string header, NextLine());
-    if (header != "TCHIMERA-SNAPSHOT 1") {
+    if (header != "TCHIMERA-SNAPSHOT " + std::to_string(version_)) {
       return Corrupt(line_no_, "bad header '" + header + "'");
     }
     TimePoint now = 0;
     uint64_t next_oid = 1;
+    size_t records = 0;
     while (true) {
       TCH_ASSIGN_OR_RETURN(std::string line, NextLine());
-      if (line == "EOF") break;
+      if (line == "EOF" && version_ == 1) break;
       auto [tag, rest] = SplitTag(line);
+      if (tag == "CHECKSUM" && version_ == 2) {
+        // Already verified by the caller; the record count is
+        // cross-checked as a parser self-test.
+        size_t footer_records = std::strtoull(rest.c_str(), nullptr, 10);
+        if (footer_records != records) {
+          return Corrupt(line_no_, "record count mismatch");
+        }
+        TCH_ASSIGN_OR_RETURN(std::string eof_line, NextLine());
+        if (eof_line != "EOF") {
+          return Corrupt(line_no_, "missing EOF terminator");
+        }
+        break;
+      }
       if (tag == "NOW") {
         now = std::strtoll(rest.c_str(), nullptr, 10);
+      } else if (tag == "EPOCH") {
+        // Checkpoint ordering metadata; see ProbeSnapshot / recovery.h.
       } else if (tag == "NEXT-OID") {
         next_oid = std::strtoull(rest.c_str(), nullptr, 10);
       } else if (tag == "CLASS") {
+        ++records;
         TCH_RETURN_IF_ERROR(LoadClass(rest, db.get()));
       } else if (tag == "OBJECT") {
+        ++records;
         TCH_RETURN_IF_ERROR(LoadObject(rest, db.get()));
       } else {
         return Corrupt(line_no_, "unexpected record '" + tag + "'");
@@ -233,28 +252,126 @@ class SnapshotReader {
   }
 
   std::istream* in_;
+  int version_;
   size_t line_no_ = 0;
 };
 
+// Returns the first line of `text` (without the newline).
+std::string FirstLine(const std::string& text) {
+  size_t eol = text.find('\n');
+  return eol == std::string::npos ? text : text.substr(0, eol);
+}
+
 }  // namespace
 
+Result<SnapshotInfo> ProbeSnapshot(const std::string& text) {
+  SnapshotInfo info;
+  info.byte_size = text.size();
+  info.integrity = Status::OK();
+  const std::string kMagic = "TCHIMERA-SNAPSHOT ";
+  std::string header = FirstLine(text);
+  if (header.rfind(kMagic, 0) != 0) {
+    info.integrity =
+        Status::Corruption("bad snapshot header '" + header + "'");
+    return info;
+  }
+  std::string version_text = header.substr(kMagic.size());
+  if (version_text == "1") {
+    info.version = 1;
+  } else if (version_text == "2") {
+    info.version = 2;
+  } else {
+    info.integrity = Status::Corruption("unsupported snapshot version '" +
+                                        version_text + "'");
+    return info;
+  }
+  const std::string kEof = "EOF\n";
+  if (text.size() < header.size() + 1 + kEof.size() ||
+      text.compare(text.size() - kEof.size(), kEof.size(), kEof) != 0) {
+    info.integrity =
+        Status::Corruption("snapshot is truncated (missing EOF terminator)");
+    return info;
+  }
+  if (info.version == 1) return info;  // v1 has no checksum to verify.
+
+  // v2 footer: "...body...\nCHECKSUM <records> <crc32>\nEOF\n". The CRC
+  // covers every byte of the body, newline included.
+  size_t footer_nl = text.rfind("\nCHECKSUM ");
+  if (footer_nl == std::string::npos) {
+    info.integrity = Status::Corruption("snapshot has no CHECKSUM footer");
+    return info;
+  }
+  size_t footer_start = footer_nl + 1;
+  size_t footer_end = text.find('\n', footer_start);
+  if (footer_end == std::string::npos ||
+      text.substr(footer_end + 1) != kEof) {
+    info.integrity =
+        Status::Corruption("snapshot footer is not followed by EOF");
+    return info;
+  }
+  std::istringstream footer(
+      text.substr(footer_start, footer_end - footer_start));
+  std::string tag, records_text, crc_text;
+  footer >> tag >> records_text >> crc_text;
+  uint32_t want_crc = 0;
+  char* end = nullptr;
+  unsigned long long records =
+      std::strtoull(records_text.c_str(), &end, 10);
+  if (records_text.empty() || end == nullptr || *end != '\0' ||
+      !ParseCrc32Hex(crc_text, &want_crc)) {
+    info.integrity = Status::Corruption("malformed CHECKSUM footer");
+    return info;
+  }
+  info.records = static_cast<size_t>(records);
+  uint32_t got_crc = Crc32(std::string_view(text).substr(0, footer_start));
+  if (got_crc != want_crc) {
+    info.integrity = Status::Corruption(
+        "snapshot checksum mismatch: footer says " + crc_text +
+        ", body hashes to " + Crc32Hex(got_crc));
+    return info;
+  }
+  // The body is now known intact, so the EPOCH line (if present) is
+  // exactly as written.
+  size_t second = header.size() + 1;
+  std::string line2 = FirstLine(text.substr(second));
+  const std::string kEpoch = "EPOCH ";
+  if (line2.rfind(kEpoch, 0) == 0) {
+    info.epoch = std::strtoull(line2.c_str() + kEpoch.size(), nullptr, 10);
+  }
+  return info;
+}
+
+Result<SnapshotInfo> ProbeSnapshotFile(const std::string& path,
+                                       FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  TCH_ASSIGN_OR_RETURN(std::string text, fs->ReadFileToString(path));
+  return ProbeSnapshot(text);
+}
+
 Result<std::unique_ptr<Database>> LoadDatabase(std::istream* in) {
-  return SnapshotReader(in).Load();
+  std::ostringstream buf;
+  buf << in->rdbuf();
+  if (!in->good() && !in->eof()) {
+    return Status::IoError("failed to read snapshot stream");
+  }
+  return LoadDatabaseFromString(buf.str());
 }
 
 Result<std::unique_ptr<Database>> LoadDatabaseFromFile(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::IoError("cannot open " + path + " for reading");
-  }
-  return LoadDatabase(&in);
+  TCH_ASSIGN_OR_RETURN(std::string text,
+                       FileSystem::Default()->ReadFileToString(path));
+  return LoadDatabaseFromString(text);
 }
 
 Result<std::unique_ptr<Database>> LoadDatabaseFromString(
     const std::string& text) {
+  TCH_ASSIGN_OR_RETURN(SnapshotInfo info, ProbeSnapshot(text));
+  // Integrity failures (bad header, truncation, checksum mismatch) are
+  // surfaced before any database state is built.
+  TCH_RETURN_IF_ERROR(info.integrity);
   std::istringstream in(text);
-  return LoadDatabase(&in);
+  return SnapshotReader(&in, info.version).Load();
 }
 
 }  // namespace tchimera

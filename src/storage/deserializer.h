@@ -2,16 +2,39 @@
 #ifndef TCHIMERA_STORAGE_DESERIALIZER_H_
 #define TCHIMERA_STORAGE_DESERIALIZER_H_
 
+#include <cstdint>
 #include <istream>
 #include <memory>
 #include <string>
 
+#include "common/fault_fs.h"
 #include "common/result.h"
 #include "core/db/database.h"
 
 namespace tchimera {
 
-// Parses a snapshot; fails with Corruption on any malformed record.
+// Structural metadata of a snapshot, read without parsing any record.
+struct SnapshotInfo {
+  int version = 0;      // 1 or 2
+  uint64_t epoch = 0;   // v2 only; v1 snapshots are epoch 0
+  size_t records = 0;   // CLASS+OBJECT count from the v2 footer
+  uint64_t byte_size = 0;
+  // OK when the snapshot is structurally sound. For v2 this means the
+  // footer is present and the CRC32 over the body matches — a truncated
+  // or bit-flipped snapshot fails here, before any record is parsed. v1
+  // has no checksum; only the header and terminator are checked.
+  Status integrity;
+};
+
+// Inspects snapshot text / a snapshot file. Fails only when the input
+// cannot be read at all; corruption is reported via `integrity`.
+Result<SnapshotInfo> ProbeSnapshot(const std::string& text);
+Result<SnapshotInfo> ProbeSnapshotFile(const std::string& path,
+                                       FileSystem* fs = nullptr);
+
+// Parses a snapshot; fails with Corruption on any malformed record. A v2
+// snapshot is checksum-verified up front, so corruption is rejected
+// before any state is built.
 Result<std::unique_ptr<Database>> LoadDatabase(std::istream* in);
 Result<std::unique_ptr<Database>> LoadDatabaseFromFile(
     const std::string& path);

@@ -1,71 +1,341 @@
 #include "storage/journal.h"
 
 #include <cctype>
-#include <cstdio>
 #include <limits>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
 
 namespace tchimera {
 namespace {
 
-// Statements that change database state and therefore must be journaled.
-bool IsMutatingStatement(std::string_view statement) {
-  std::string_view s = StripWhitespace(statement);
-  std::string head;
-  for (char c : s) {
-    if (head.size() >= 8) break;
-    head.push_back(
-        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+constexpr std::string_view kJournalMagic = "TCHIMERA-JOURNAL";
+
+// Strict all-digits parse (no sign, no trailing junk).
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
   }
-  for (std::string_view kw :
-       {"define", "drop", "create", "update", "migrate", "delete", "tick",
-        "advance"}) {
-    if (StartsWith(head, kw)) return true;
+  *out = value;
+  return true;
+}
+
+// Consumes the next space-delimited token of `line` starting at `pos`.
+bool NextToken(std::string_view line, size_t* pos, std::string_view* token) {
+  size_t start = *pos;
+  size_t space = line.find(' ', start);
+  if (space == std::string_view::npos) return false;
+  *token = line.substr(start, space - start);
+  *pos = space + 1;
+  return true;
+}
+
+std::string RecordPayload(uint64_t seq, std::string_view statement) {
+  std::string payload = std::to_string(seq);
+  payload.push_back(' ');
+  payload.append(statement);
+  return payload;
+}
+
+// Parses the v2 records of `content` starting at `offset` into `scan`.
+void ScanV2Records(std::string_view content, size_t offset,
+                   JournalScan* scan) {
+  scan->valid_bytes = offset;
+  uint64_t expected_seq = 1;
+  while (offset < content.size()) {
+    size_t newline = content.find('\n', offset);
+    if (newline == std::string_view::npos) {
+      scan->tail_error = Status::Corruption("torn record (no newline)");
+      break;
+    }
+    std::string_view line = content.substr(offset, newline - offset);
+    size_t pos = 0;
+    std::string_view tag, seq_text, len_text, crc_text;
+    uint64_t seq = 0, len = 0;
+    uint32_t crc = 0;
+    if (!NextToken(line, &pos, &tag) || tag != "R" ||
+        !NextToken(line, &pos, &seq_text) || !ParseU64(seq_text, &seq) ||
+        !NextToken(line, &pos, &len_text) || !ParseU64(len_text, &len) ||
+        !NextToken(line, &pos, &crc_text) || !ParseCrc32Hex(crc_text, &crc)) {
+      scan->tail_error = Status::Corruption("malformed record framing");
+      break;
+    }
+    std::string_view statement = line.substr(pos);
+    if (statement.size() != len) {
+      scan->tail_error = Status::Corruption(
+          "record length mismatch (framed " + std::to_string(len) +
+          ", actual " + std::to_string(statement.size()) + ")");
+      break;
+    }
+    if (seq != expected_seq) {
+      scan->tail_error = Status::Corruption(
+          "sequence gap (expected " + std::to_string(expected_seq) +
+          ", found " + std::to_string(seq) + ")");
+      break;
+    }
+    if (Crc32(RecordPayload(seq, statement)) != crc) {
+      scan->tail_error = Status::Corruption(
+          "checksum mismatch at record " + std::to_string(seq));
+      break;
+    }
+    scan->statements.emplace_back(statement);
+    scan->last_seq = seq;
+    ++expected_seq;
+    offset = newline + 1;
+    scan->valid_bytes = offset;
   }
-  return false;
+  scan->dropped_bytes = content.size() - scan->valid_bytes;
 }
 
 }  // namespace
 
-Status Journal::Open(const std::string& path) {
-  if (out_.is_open()) return Status::FailedPrecondition("journal is open");
-  out_.open(path, std::ios::app);
-  if (!out_.is_open()) {
-    return Status::IoError("cannot open journal " + path);
+std::string FirstTokenLower(std::string_view statement) {
+  std::string_view s = StripWhitespace(statement);
+  size_t end = 0;
+  while (end < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[end])) == 0) {
+    ++end;
   }
+  std::string token;
+  token.reserve(end);
+  for (char c : s.substr(0, end)) {
+    token.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return token;
+}
+
+bool IsMutatingStatement(std::string_view statement) {
+  std::string token = FirstTokenLower(statement);
+  for (std::string_view kw : {"define", "drop", "create", "update",
+                              "migrate", "delete", "tick", "advance"}) {
+    if (token == kw) return true;
+  }
+  return false;
+}
+
+Result<JournalScan> ScanJournal(const std::string& path, FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  TCH_ASSIGN_OR_RETURN(std::string content, fs->ReadFileToString(path));
+  JournalScan scan;
+  if (content.empty()) return scan;  // format 0: a fresh, empty journal
+
+  // v2 files start with the magic; a file whose bytes are a proper prefix
+  // of the magic is a v2 header torn at creation time.
+  size_t probe = std::min(content.size(), kJournalMagic.size());
+  if (std::string_view(content).substr(0, probe) !=
+      kJournalMagic.substr(0, probe)) {
+    // v1: bare statements, one per line, nothing to verify.
+    scan.format = 1;
+    size_t offset = 0;
+    while (offset < content.size()) {
+      size_t newline = content.find('\n', offset);
+      size_t end = newline == std::string::npos ? content.size() : newline;
+      std::string_view line =
+          std::string_view(content).substr(offset, end - offset);
+      if (!StripWhitespace(line).empty()) scan.statements.emplace_back(line);
+      offset = newline == std::string::npos ? content.size() : newline + 1;
+    }
+    scan.valid_bytes = content.size();
+    return scan;
+  }
+
+  scan.format = 2;
+  size_t header_end = content.find('\n');
+  if (header_end == std::string::npos) {
+    scan.tail_error = Status::Corruption("torn journal header");
+    scan.dropped_bytes = content.size();
+    return scan;
+  }
+  std::string_view header = std::string_view(content).substr(0, header_end);
+  size_t pos = 0;
+  std::string_view magic, version_text;
+  uint64_t version = 0;
+  if (!NextToken(header, &pos, &magic) || magic != kJournalMagic ||
+      !NextToken(header, &pos, &version_text) ||
+      !ParseU64(version_text, &version)) {
+    scan.tail_error = Status::Corruption("malformed journal header");
+    scan.dropped_bytes = content.size();
+    return scan;
+  }
+  if (version != 2) {
+    return Status::Corruption("unsupported journal version " +
+                              std::to_string(version) + " in " + path);
+  }
+  if (!ParseU64(header.substr(pos), &scan.epoch)) {
+    scan.tail_error = Status::Corruption("malformed journal epoch");
+    scan.dropped_bytes = content.size();
+    return scan;
+  }
+  ScanV2Records(content, header_end + 1, &scan);
+  return scan;
+}
+
+Result<JournalScan> SalvageJournal(const std::string& path, FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  TCH_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(path, fs));
+  if (scan.format != 2 || scan.tail_error.ok() || scan.dropped_bytes == 0) {
+    return scan;
+  }
+  TCH_ASSIGN_OR_RETURN(std::string content, fs->ReadFileToString(path));
+  std::string_view tail =
+      std::string_view(content).substr(scan.valid_bytes);
+  {
+    TCH_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> corrupt,
+        fs->OpenWritable(path + ".corrupt", /*truncate=*/false));
+    TCH_RETURN_IF_ERROR(corrupt->Append(tail));
+    TCH_RETURN_IF_ERROR(corrupt->Sync());
+    TCH_RETURN_IF_ERROR(corrupt->Close());
+  }
+  TCH_RETURN_IF_ERROR(fs->TruncateFile(path, scan.valid_bytes));
+  return scan;
+}
+
+FileSystem* Journal::fs() const {
+  return options_.fs == nullptr ? FileSystem::Default() : options_.fs;
+}
+
+Status Journal::WriteHeader() {
+  std::string header(kJournalMagic);
+  header += " 2 " + std::to_string(epoch_) + "\n";
+  TCH_RETURN_IF_ERROR(file_->Append(header));
+  // The header (and the file's existence) must be durable before any
+  // record: a record without its header would replay as v1 garbage.
+  TCH_RETURN_IF_ERROR(file_->Sync());
+  size_t slash = path_.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path_.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  return fs()->SyncDir(dir);
+}
+
+Status Journal::Open(const std::string& path, const JournalOptions& options) {
+  if (file_ != nullptr) return Status::FailedPrecondition("journal is open");
+  options_ = options;
   path_ = path;
+  format_ = 2;
+  epoch_ = options.epoch;
+  next_seq_ = 1;
+  appended_ = 0;
+  unsynced_ = 0;
+
+  bool needs_header = true;
+  if (fs()->FileExists(path)) {
+    // Never append after corrupt bytes: quarantine a torn tail first.
+    TCH_ASSIGN_OR_RETURN(JournalScan scan, SalvageJournal(path, fs()));
+    if (scan.format == 1) {
+      format_ = 1;
+      epoch_ = 0;
+      needs_header = false;
+    } else if (scan.format == 2) {
+      epoch_ = scan.epoch;
+      next_seq_ = scan.last_seq + 1;
+      needs_header = false;
+    }
+  }
+  TCH_ASSIGN_OR_RETURN(file_, fs()->OpenWritable(path, /*truncate=*/false));
+  if (needs_header) {
+    Status s = WriteHeader();
+    if (!s.ok()) {
+      file_.reset();
+      return s;
+    }
+  }
   return Status::OK();
 }
 
 Status Journal::Append(std::string_view statement) {
-  if (!out_.is_open()) {
+  if (file_ == nullptr) {
     return Status::FailedPrecondition("journal is not open");
   }
-  // One statement per line; statements cannot contain raw newlines
-  // (string literals escape them), so the framing is unambiguous.
-  out_ << statement << "\n";
-  out_.flush();
-  if (!out_.good()) return Status::IoError("journal append failed");
+  if (statement.find('\n') != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "journaled statements cannot contain raw newlines");
+  }
+  std::string line;
+  if (format_ == 1) {
+    line.assign(statement);
+    line.push_back('\n');
+  } else {
+    uint64_t seq = next_seq_;
+    uint32_t crc = Crc32(RecordPayload(seq, statement));
+    line = "R " + std::to_string(seq) + " " +
+           std::to_string(statement.size()) + " " + Crc32Hex(crc) + " ";
+    line.append(statement);
+    line.push_back('\n');
+  }
+  TCH_RETURN_IF_ERROR(file_->Append(line));
+  if (format_ == 2) ++next_seq_;
   ++appended_;
+  ++unsynced_;
+  switch (options_.sync) {
+    case SyncPolicy::kEveryAppend:
+      return Sync();
+    case SyncPolicy::kBatched:
+      if (unsynced_ >= options_.batch_size) return Sync();
+      return Status::OK();
+    case SyncPolicy::kNone:
+      return Status::OK();
+  }
   return Status::OK();
+}
+
+Status Journal::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  TCH_RETURN_IF_ERROR(file_->Sync());
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+std::string Journal::RotatedPath(const std::string& path, uint64_t epoch) {
+  return path + ".e" + std::to_string(epoch);
+}
+
+Result<std::string> Journal::Rotate() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  // The rotated file must carry everything appended so far, whatever the
+  // sync policy.
+  TCH_RETURN_IF_ERROR(file_->Sync());
+  TCH_RETURN_IF_ERROR(file_->Close());
+  file_.reset();
+  std::string rotated = RotatedPath(path_, epoch_);
+  TCH_RETURN_IF_ERROR(fs()->RenameFile(path_, rotated));
+  ++epoch_;
+  format_ = 2;
+  next_seq_ = 1;
+  unsynced_ = 0;
+  TCH_ASSIGN_OR_RETURN(file_, fs()->OpenWritable(path_, /*truncate=*/false));
+  TCH_RETURN_IF_ERROR(WriteHeader());
+  return rotated;
 }
 
 Status Journal::Truncate() {
-  if (!out_.is_open()) {
+  if (file_ == nullptr) {
     return Status::FailedPrecondition("journal is not open");
   }
-  out_.close();
-  out_.open(path_, std::ios::trunc);
-  if (!out_.is_open()) {
-    return Status::IoError("cannot truncate journal " + path_);
-  }
+  TCH_RETURN_IF_ERROR(file_->Close());
+  file_.reset();
+  TCH_ASSIGN_OR_RETURN(file_, fs()->OpenWritable(path_, /*truncate=*/true));
+  format_ = 2;
+  next_seq_ = 1;
   appended_ = 0;
-  return Status::OK();
+  unsynced_ = 0;
+  return WriteHeader();
 }
 
 void Journal::Close() {
-  if (out_.is_open()) out_.close();
+  if (file_ != nullptr) {
+    (void)file_->Sync();
+    (void)file_->Close();
+    file_.reset();
+  }
 }
 
 Result<size_t> Journal::Replay(const std::string& path, Interpreter* interp) {
@@ -75,38 +345,45 @@ Result<size_t> Journal::Replay(const std::string& path, Interpreter* interp) {
 Result<size_t> Journal::ReplayPrefix(const std::string& path,
                                      Interpreter* interp,
                                      size_t max_statements) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::IoError("cannot open journal " + path);
-  }
+  TCH_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(path));
   size_t applied = 0;
-  std::string line;
-  size_t line_no = 0;
-  while (applied < max_statements && std::getline(in, line)) {
-    ++line_no;
-    if (StripWhitespace(line).empty()) continue;
-    Result<std::string> r = interp->Execute(line);
+  for (const std::string& statement : scan.statements) {
+    if (applied >= max_statements) break;
+    Result<std::string> r = interp->Execute(statement);
     if (!r.ok()) {
-      return Status::Corruption("journal " + path + " line " +
-                                std::to_string(line_no) +
-                                " failed to replay: " + r.status().ToString());
+      return Status::Corruption(
+          "journal " + path + " statement " + std::to_string(applied + 1) +
+          " failed to replay: " + r.status().ToString());
     }
     ++applied;
+  }
+  // Strict semantics: a torn tail is an error here — but only if the
+  // requested prefix actually reaches into it.
+  if (!scan.tail_error.ok() && applied < max_statements) {
+    return Status::Corruption("journal " + path + " has a corrupt tail: " +
+                              scan.tail_error.message());
   }
   return applied;
 }
 
-JournaledDatabase::JournaledDatabase(const std::string& journal_path)
+JournaledDatabase::JournaledDatabase(const std::string& journal_path,
+                                     const JournalOptions& options)
     : interp_(&db_) {
-  status_ = journal_.Open(journal_path);
+  status_ = journal_.Open(journal_path, options);
 }
 
 Result<std::string> JournaledDatabase::Execute(std::string_view statement) {
   TCH_RETURN_IF_ERROR(status_);
-  if (IsMutatingStatement(statement)) {
-    TCH_RETURN_IF_ERROR(journal_.Append(statement));
-  }
-  return interp_.Execute(statement);
+  if (!IsMutatingStatement(statement)) return interp_.Execute(statement);
+  // Execute first, journal on success: the journal then contains exactly
+  // the statements that applied cleanly, so strict replay can treat any
+  // replay failure as corruption. Durability is not weakened — callers
+  // are acknowledged only after Append (and its sync policy) returns, so
+  // an acknowledged statement is always on disk; a crash between
+  // execution and append loses only a statement nobody was told about.
+  TCH_ASSIGN_OR_RETURN(std::string result, interp_.Execute(statement));
+  TCH_RETURN_IF_ERROR(journal_.Append(statement));
+  return result;
 }
 
 }  // namespace tchimera

@@ -1,51 +1,156 @@
-// A write-ahead journal of TQL statements. Every mutating statement is
-// appended (one per line) before execution; recovery is deterministic
-// replay through the interpreter — oids are assigned sequentially, so a
-// replayed journal reproduces the exact database state.
+// A durable journal of TQL statements. Every successfully executed
+// mutating statement is appended (and synced per policy) before the
+// caller is acknowledged; recovery is deterministic replay through the
+// interpreter — oids are assigned sequentially, so a replayed journal
+// reproduces the exact database state.
 //
-// Together with snapshots (serializer.h) this gives the classic
-// checkpoint+log persistence scheme: snapshot periodically, truncate the
-// journal, replay the tail on recovery.
+// On-disk formats:
+//
+//   v1 (legacy, still replayable): one bare statement per line, no
+//   framing. A torn tail is undetectable; replay is fail-fast.
+//
+//   v2 (written by this version): a header line followed by framed,
+//   checksummed records —
+//
+//     TCHIMERA-JOURNAL 2 <epoch>
+//     R <seq> <len> <crc32> <statement>
+//
+//   <seq> is 1-based and contiguous, <len> the statement's byte length,
+//   <crc32> eight hex digits over "<seq> <statement>". Any torn or
+//   bit-flipped record invalidates exactly the tail from that record on;
+//   ScanJournal finds the longest valid prefix and SalvageJournal
+//   quarantines the rest to `<journal>.corrupt`.
+//
+//   <epoch> orders a journal against snapshots: a snapshot written with
+//   epoch E contains the effects of every journal with epoch < E, so
+//   recovery replays only journals with epoch >= E (see recovery.h for
+//   the full checkpoint protocol).
+//
+// Durability is governed by SyncPolicy: kEveryAppend issues a real
+// fdatasync per record (Append returning OK means the record survives a
+// crash), kBatched amortizes the sync over n records, kNone leaves
+// flushing to the OS.
 #ifndef TCHIMERA_STORAGE_JOURNAL_H_
 #define TCHIMERA_STORAGE_JOURNAL_H_
 
-#include <fstream>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/fault_fs.h"
 #include "common/result.h"
 #include "query/interpreter.h"
 
 namespace tchimera {
+
+// True when the statement's first whitespace-delimited token is exactly
+// one of the mutating TQL verbs (define, drop, create, update, migrate,
+// delete, tick, advance) — the statements a write-ahead journal must
+// capture. Matching is token-exact: `deletion_report ...` or `ticket ...`
+// are not mutations.
+bool IsMutatingStatement(std::string_view statement);
+
+// The first whitespace-delimited token of `statement`, lowercased
+// (callers with extra journaled verbs — the REPL journals `trigger` and
+// `constraint` definitions — compare against it directly).
+std::string FirstTokenLower(std::string_view statement);
+
+enum class SyncPolicy {
+  kEveryAppend,  // fdatasync per record: Append OK == durable
+  kBatched,      // fdatasync every batch_size records
+  kNone,         // never sync; the OS decides
+};
+
+struct JournalOptions {
+  SyncPolicy sync = SyncPolicy::kEveryAppend;
+  size_t batch_size = 32;     // for kBatched
+  uint64_t epoch = 0;         // epoch stamped on a newly created journal
+  FileSystem* fs = nullptr;   // nullptr = FileSystem::Default()
+};
+
+// The parse of one journal file: everything up to (not including) the
+// first invalid byte.
+struct JournalScan {
+  int format = 0;        // 0 = empty file, 1 or 2
+  uint64_t epoch = 0;    // v2 only; 0 for v1
+  uint64_t last_seq = 0;  // v2 only
+  std::vector<std::string> statements;
+  uint64_t valid_bytes = 0;    // byte length of the valid prefix
+  uint64_t dropped_bytes = 0;  // byte length of the corrupt tail (v2)
+  Status tail_error;  // OK when the whole file parsed; else why it stopped
+};
+
+// Parses a journal file without executing anything. IoError if the file
+// cannot be read; a corrupt v2 tail is reported via `tail_error` /
+// `dropped_bytes`, not as a failure. v1 files cannot self-detect
+// corruption: every non-blank line is taken as a statement.
+Result<JournalScan> ScanJournal(const std::string& path,
+                                FileSystem* fs = nullptr);
+
+// Moves the corrupt tail of a v2 journal (if any) to `<path>.corrupt`
+// (appending, so repeated salvages accumulate evidence) and truncates the
+// journal to its longest valid prefix. Returns the scan describing what
+// was kept. No-op beyond the scan for clean files and v1 files.
+Result<JournalScan> SalvageJournal(const std::string& path,
+                                   FileSystem* fs = nullptr);
 
 class Journal {
  public:
   Journal() = default;
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
+  ~Journal() { Close(); }
 
-  // Opens (creating or appending to) the journal file.
-  Status Open(const std::string& path);
-  bool is_open() const { return out_.is_open(); }
+  // Opens (creating or appending to) the journal file. An existing v2
+  // file with a torn tail is salvaged first (tail quarantined to
+  // `<path>.corrupt`) so new records are never appended after corrupt
+  // bytes; an existing v1 file is continued in v1 format; a new or empty
+  // file starts a v2 journal stamped with options.epoch.
+  Status Open(const std::string& path, const JournalOptions& options = {});
+  bool is_open() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
+  int format() const { return format_; }
+  uint64_t epoch() const { return epoch_; }
 
-  // Appends one statement and flushes (write-ahead: call before applying
-  // the statement to the database).
+  // Appends one statement (write-ahead: call before applying the
+  // statement to the database) and syncs per the configured SyncPolicy.
+  // Statements cannot contain raw newlines (string literals escape them),
+  // so the framing is unambiguous.
   Status Append(std::string_view statement);
+
+  // Forces an fdatasync of everything appended so far (used by kBatched /
+  // kNone callers at commit points).
+  Status Sync();
 
   // Number of statements appended through this handle.
   size_t appended() const { return appended_; }
 
-  // Truncates the journal (after a successful snapshot).
+  // Renames the live journal aside to RotatedPath(path, epoch) and starts
+  // a fresh journal at `path` with epoch+1. The rotated file is the
+  // durable record of this epoch until a snapshot covering it lands; see
+  // RecoveryManager::Checkpoint for the protocol. Returns the rotated
+  // path.
+  Result<std::string> Rotate();
+
+  // Where Rotate parks the journal of `epoch`.
+  static std::string RotatedPath(const std::string& path, uint64_t epoch);
+
+  // DEPRECATED: truncating the journal while the latest snapshot may not
+  // be durable loses every statement since the previous snapshot. Use
+  // RecoveryManager::Checkpoint (rotate, snapshot, then delete) instead.
+  // Kept for legacy callers; rewrites the v2 header with the same epoch.
   Status Truncate();
 
   void Close();
 
   // Replays a journal file into `interp`, statement by statement. Returns
-  // the number of statements applied. Fails fast on the first statement
-  // the interpreter rejects.
-  static Result<size_t> Replay(const std::string& path,
-                               Interpreter* interp);
+  // the number of statements applied. Fails fast (Corruption) on the
+  // first statement the interpreter rejects, and on a torn v2 tail —
+  // strict semantics for callers that need an exact transaction count;
+  // recovery goes through RecoveryManager, which salvages instead.
+  static Result<size_t> Replay(const std::string& path, Interpreter* interp);
 
   // Replays at most the first `max_statements` statements. Since the
   // journal totally orders all transactions, a prefix replay reconstructs
@@ -57,20 +162,34 @@ class Journal {
                                      size_t max_statements);
 
  private:
+  Status WriteHeader();
+  FileSystem* fs() const;
+
   std::string path_;
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> file_;
+  JournalOptions options_;
+  int format_ = 2;
+  uint64_t epoch_ = 0;
+  uint64_t next_seq_ = 1;
   size_t appended_ = 0;
+  size_t unsynced_ = 0;
 };
 
 // A convenience facade bundling a database, an interpreter and a journal:
-// Execute() journals mutating statements before applying them.
+// Execute() applies a mutating statement and journals it on success, so
+// the log contains exactly the statements that applied cleanly (replay
+// failures are then always corruption). Callers are acknowledged only
+// after the append returns, so an acknowledged statement is durable per
+// the journal's sync policy.
 class JournaledDatabase {
  public:
-  explicit JournaledDatabase(const std::string& journal_path);
+  explicit JournaledDatabase(const std::string& journal_path,
+                             const JournalOptions& options = {});
 
   Status status() const { return status_; }
   Database& db() { return db_; }
   const Database& db() const { return db_; }
+  Journal& journal() { return journal_; }
 
   // Journals (if mutating) then executes.
   Result<std::string> Execute(std::string_view statement);

@@ -1,0 +1,282 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/db/consistency.h"
+#include "storage/deserializer.h"
+#include "storage/serializer.h"
+
+namespace tchimera {
+namespace {
+
+std::pair<std::string, std::string> SplitPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return {".", path};
+  if (slash == 0) return {"/", path.substr(1)};
+  return {path.substr(0, slash), path.substr(slash + 1)};
+}
+
+// Parses the epoch out of a rotated-journal file name
+// ("<base>.e<digits>"); false for everything else.
+bool ParseRotatedName(const std::string& name, const std::string& base,
+                      uint64_t* epoch) {
+  const std::string prefix = base + ".e";
+  if (name.size() <= prefix.size() || name.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+void Note(RecoveryStats* stats, std::string message) {
+  if (stats != nullptr) stats->notes.push_back(std::move(message));
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(std::string snapshot_path,
+                                 std::string journal_path,
+                                 RecoveryOptions options)
+    : snapshot_path_(std::move(snapshot_path)),
+      journal_path_(std::move(journal_path)),
+      options_(options) {}
+
+FileSystem* RecoveryManager::fs() const {
+  return options_.fs == nullptr ? FileSystem::Default() : options_.fs;
+}
+
+Result<std::unique_ptr<Database>> RecoveryManager::LoadSnapshot(
+    RecoveryStats* stats) {
+  snapshot_epoch_ = 0;
+  // A leftover tmp file is a checkpoint that died before its rename; the
+  // real snapshot is intact, the tmp is garbage.
+  std::string tmp = snapshot_path_ + ".tmp";
+  if (fs()->FileExists(tmp)) {
+    TCH_RETURN_IF_ERROR(fs()->RemoveFile(tmp));
+    if (stats != nullptr) ++stats->stale_files_removed;
+    Note(stats, "removed interrupted snapshot " + tmp);
+  }
+  if (!fs()->FileExists(snapshot_path_)) {
+    Note(stats, "no snapshot; recovering from the journals alone");
+    return std::make_unique<Database>();
+  }
+  TCH_ASSIGN_OR_RETURN(std::string text,
+                       fs()->ReadFileToString(snapshot_path_));
+  TCH_ASSIGN_OR_RETURN(SnapshotInfo info, ProbeSnapshot(text));
+  // Snapshot writes are atomic, so a failed integrity check is bit rot,
+  // not a crash artifact — refuse to build any state from it.
+  TCH_RETURN_IF_ERROR(info.integrity);
+  TCH_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                       LoadDatabaseFromString(text));
+  snapshot_epoch_ = info.epoch;
+  if (stats != nullptr) {
+    stats->snapshot_loaded = true;
+    stats->snapshot_epoch = info.epoch;
+  }
+  Note(stats, "loaded v" + std::to_string(info.version) +
+                  " snapshot at epoch " + std::to_string(info.epoch));
+  return db;
+}
+
+Status RecoveryManager::ReplayJournals(const StatementExecutor& exec,
+                                       RecoveryStats* stats) {
+  const uint64_t snapshot_epoch = snapshot_epoch_;
+  auto [dir, base] = SplitPath(journal_path_);
+
+  // Discover the rotated journals next to the live one.
+  TCH_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                       fs()->ListDirectory(dir));
+  std::vector<uint64_t> rotated;
+  for (const std::string& name : names) {
+    uint64_t epoch = 0;
+    if (!ParseRotatedName(name, base, &epoch)) continue;
+    if (epoch < snapshot_epoch) {
+      // Fully contained in the snapshot: stale leftover of a checkpoint
+      // that crashed between writing the snapshot and deleting these.
+      TCH_RETURN_IF_ERROR(
+          fs()->RemoveFile(Journal::RotatedPath(journal_path_, epoch)));
+      if (stats != nullptr) ++stats->stale_files_removed;
+      Note(stats, "removed stale journal " + name + " (epoch " +
+                      std::to_string(epoch) + " < snapshot epoch " +
+                      std::to_string(snapshot_epoch) + ")");
+    } else {
+      rotated.push_back(epoch);
+    }
+  }
+  std::sort(rotated.begin(), rotated.end());
+
+  // The live journal, if present and carrying a readable header, bounds
+  // the epoch sequence from above. A live journal with no valid header
+  // (empty, or a header torn by a crash during Rotate/Open before the
+  // sync) carries no epoch information: it has no statements either, so
+  // it is sequenced like a missing live journal and merely salvaged.
+  bool live_exists = fs()->FileExists(journal_path_);
+  uint64_t live_epoch = 0;
+  bool live_has_header = false;
+  if (live_exists) {
+    TCH_ASSIGN_OR_RETURN(JournalScan scan,
+                         ScanJournal(journal_path_, fs()));
+    live_epoch = scan.epoch;  // 0 for v1
+    live_has_header =
+        scan.format == 1 || (scan.format == 2 && scan.valid_bytes > 0);
+    if (live_has_header && live_epoch < snapshot_epoch) {
+      // The checkpoint protocol always leaves the live journal at an
+      // epoch >= the snapshot's; an older live journal means files from
+      // different histories were mixed together, and its statements are
+      // already (differently) reflected in the snapshot.
+      return Status::Corruption(
+          "live journal epoch " + std::to_string(live_epoch) +
+          " predates snapshot epoch " + std::to_string(snapshot_epoch));
+    }
+    if (!live_has_header) {
+      Note(stats, "live journal has no readable header (crash during "
+                  "rotation); sequencing from the rotated journals");
+    }
+  }
+
+  // Every epoch in [snapshot_epoch, live_epoch) must be present as a
+  // rotated file, exactly once, and nothing above the live epoch may
+  // exist — any other shape means journals were lost or mixed up, and
+  // replaying around the hole would silently drop transactions.
+  std::vector<uint64_t> expected;
+  if (live_exists && live_has_header) {
+    for (uint64_t e = snapshot_epoch; e < live_epoch; ++e) {
+      expected.push_back(e);
+    }
+    if (rotated != expected) {
+      return Status::Corruption(
+          "journal epochs are not contiguous: snapshot epoch " +
+          std::to_string(snapshot_epoch) + ", live journal epoch " +
+          std::to_string(live_epoch) + ", " +
+          std::to_string(rotated.size()) + " rotated file(s)");
+    }
+  } else if (!rotated.empty()) {
+    // No live epoch to anchor on (missing live journal, or one with no
+    // readable header): the rotated files themselves must be gapless.
+    for (uint64_t e = rotated.front(); e <= rotated.back(); ++e) {
+      expected.push_back(e);
+    }
+    if (rotated != expected || rotated.front() != snapshot_epoch) {
+      return Status::Corruption(
+          "rotated journals do not start at snapshot epoch " +
+          std::to_string(snapshot_epoch) + " or have gaps");
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->next_epoch = (live_exists && live_has_header)
+                            ? live_epoch
+                            : (rotated.empty() ? snapshot_epoch
+                                               : rotated.back() + 1);
+  }
+
+  // Replay: rotated files in epoch order, then the live journal. Torn v2
+  // tails are salvaged first, so replay sees the longest valid prefix and
+  // the corrupt bytes are preserved in `<file>.corrupt`.
+  std::vector<std::string> files;
+  for (uint64_t epoch : rotated) {
+    files.push_back(Journal::RotatedPath(journal_path_, epoch));
+  }
+  if (live_exists) files.push_back(journal_path_);
+  for (const std::string& file : files) {
+    TCH_ASSIGN_OR_RETURN(JournalScan scan, SalvageJournal(file, fs()));
+    if (scan.dropped_bytes > 0) {
+      if (stats != nullptr) stats->salvaged_bytes += scan.dropped_bytes;
+      Note(stats, "salvaged " + file + ": dropped " +
+                      std::to_string(scan.dropped_bytes) +
+                      " corrupt tail byte(s) (" +
+                      scan.tail_error.message() + ")");
+    }
+    size_t replayed = 0;
+    for (const std::string& statement : scan.statements) {
+      Status s = exec(statement);
+      if (!s.ok()) {
+        return Status::Corruption(
+            "journal " + file + " statement " +
+            std::to_string(replayed + 1) +
+            " failed to replay: " + s.ToString());
+      }
+      ++replayed;
+      if (stats != nullptr) ++stats->statements_applied;
+    }
+    if (stats != nullptr) ++stats->journals_replayed;
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::Audit(Database* db, AuditMode mode,
+                              RecoveryStats* stats) {
+  if (mode == AuditMode::kOff) return Status::OK();
+  Status st = CheckDatabaseConsistency(*db);
+  if (st.ok() || mode == AuditMode::kFail) return st;
+
+  // kQuarantine: evict every object that fails its own consistency check
+  // and retry. Evictions can orphan references *to* the evicted objects
+  // (their extents are scrubbed, so referencing values become illegal),
+  // which the next round catches — the loop is bounded by the object
+  // count since every round removes at least one object.
+  while (!st.ok()) {
+    bool removed = false;
+    for (Oid oid : db->AllOids()) {
+      if (CheckObjectConsistency(*db, oid).ok()) continue;
+      TCH_RETURN_IF_ERROR(db->QuarantineObject(oid));
+      if (stats != nullptr) ++stats->quarantined_objects;
+      Note(stats, "quarantined inconsistent object " + oid.ToString());
+      removed = true;
+    }
+    if (!removed) {
+      // The inconsistency is not attributable to any single object
+      // (e.g. a schema-level invariant violation): not healable here.
+      return st;
+    }
+    st = CheckDatabaseConsistency(*db);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> RecoveryManager::Recover(
+    RecoveryStats* stats) {
+  TCH_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, LoadSnapshot(stats));
+  Interpreter interp(db.get());
+  TCH_RETURN_IF_ERROR(ReplayJournals(
+      [&interp](const std::string& statement) {
+        return interp.Execute(statement).status();
+      },
+      stats));
+  TCH_RETURN_IF_ERROR(Audit(db.get(), options_.audit, stats));
+  return db;
+}
+
+Status RecoveryManager::Checkpoint(const Database& db, Journal* journal,
+                                   const std::string& snapshot_path,
+                                   FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  if (journal == nullptr || !journal->is_open()) {
+    return Status::FailedPrecondition("checkpoint requires an open journal");
+  }
+  // Step 1: park the live journal under its epoch; appends now go to a
+  // fresh journal with the next epoch. Nothing is lost if we crash here —
+  // recovery replays the rotated file like any other epoch.
+  TCH_ASSIGN_OR_RETURN(std::string rotated, journal->Rotate());
+  (void)rotated;
+  // Step 2: the snapshot, stamped with the new epoch, lands atomically.
+  uint64_t epoch = journal->epoch();
+  TCH_RETURN_IF_ERROR(SaveDatabaseToFile(db, snapshot_path, epoch, fs));
+  // Step 3: only now are the older journals redundant. Oldest first, so a
+  // crash mid-loop leaves a contiguous (stale) tail for recovery to
+  // finish deleting.
+  for (uint64_t e = 0; e < epoch; ++e) {
+    std::string path = Journal::RotatedPath(journal->path(), e);
+    if (fs->FileExists(path)) TCH_RETURN_IF_ERROR(fs->RemoveFile(path));
+  }
+  return Status::OK();
+}
+
+}  // namespace tchimera

@@ -1,11 +1,10 @@
 #include "storage/serializer.h"
 
-#include <cstdio>
-#include <fstream>
 #include <set>
 #include <sstream>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
 #include "core/values/temporal_function.h"
 
@@ -69,10 +68,12 @@ void WriteObject(const Object& obj, std::ostream* out) {
   *out << "END\n";
 }
 
-}  // namespace
-
-Status SaveDatabase(const Database& db, std::ostream* out) {
-  *out << "TCHIMERA-SNAPSHOT 1\n";
+// Writes header through NEXT-OID (everything the footer checksums) and
+// reports the CLASS+OBJECT record count.
+Status SaveDatabaseBody(const Database& db, std::ostream* out,
+                        uint64_t epoch, size_t* records) {
+  *out << "TCHIMERA-SNAPSHOT 2\n";
+  *out << "EPOCH " << epoch << "\n";
   *out << "NOW " << db.now() << "\n";
   // Emit classes in an ISA-respecting order: repeatedly flush classes
   // whose superclasses were already written.
@@ -112,31 +113,47 @@ Status SaveDatabase(const Database& db, std::ostream* out) {
   }
   // NEXT-OID last so restore can clamp upward regardless of object order.
   *out << "NEXT-OID " << db.next_oid() << "\n";
-  *out << "EOF\n";
+  if (!out->good()) return Status::IoError("write failed");
+  *records = ordered.size() + db.object_count();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, std::ostream* out, uint64_t epoch) {
+  // The footer checksums every byte above it, so the body is staged in
+  // memory first (snapshots are line-oriented text; the whole database
+  // already round-trips through strings in tests and benches).
+  std::ostringstream body;
+  size_t records = 0;
+  TCH_RETURN_IF_ERROR(SaveDatabaseBody(db, &body, epoch, &records));
+  std::string text = body.str();
+  *out << text << "CHECKSUM " << records << " " << Crc32Hex(Crc32(text))
+       << "\nEOF\n";
   if (!out->good()) return Status::IoError("write failed");
   return Status::OK();
 }
 
-Status SaveDatabaseToFile(const Database& db, const std::string& path) {
+Status SaveDatabaseToFile(const Database& db, const std::string& path,
+                          uint64_t epoch, FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  TCH_ASSIGN_OR_RETURN(std::string text, SaveDatabaseToString(db, epoch));
   std::string tmp = path + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out.is_open()) {
-      return Status::IoError("cannot open " + tmp + " for writing");
-    }
-    TCH_RETURN_IF_ERROR(SaveDatabase(db, &out));
-    out.flush();
-    if (!out.good()) return Status::IoError("flush of " + tmp + " failed");
+    TCH_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                         fs->OpenWritable(tmp, /*truncate=*/true));
+    TCH_RETURN_IF_ERROR(out->Append(text));
+    TCH_RETURN_IF_ERROR(out->Sync());
+    TCH_RETURN_IF_ERROR(out->Close());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("rename " + tmp + " -> " + path + " failed");
-  }
-  return Status::OK();
+  // Durable rename: the snapshot becomes visible atomically, and the
+  // parent directory is fsynced so the rename itself survives a crash.
+  return fs->RenameFile(tmp, path);
 }
 
-Result<std::string> SaveDatabaseToString(const Database& db) {
+Result<std::string> SaveDatabaseToString(const Database& db, uint64_t epoch) {
   std::ostringstream out;
-  TCH_RETURN_IF_ERROR(SaveDatabase(db, &out));
+  TCH_RETURN_IF_ERROR(SaveDatabase(db, &out, epoch));
   return out.str();
 }
 

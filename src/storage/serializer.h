@@ -6,9 +6,9 @@
 // Format sketch (one record per line; values/types in their canonical
 // textual syntax, which never contains newlines):
 //
-//   TCHIMERA-SNAPSHOT 1
+//   TCHIMERA-SNAPSHOT 2
+//   EPOCH <e>
 //   NOW <t>
-//   NEXT-OID <n>
 //   CLASS <name>
 //   SUPERS <name>,<name> | SUPERS -
 //   LIFESPAN [a,b]
@@ -24,26 +24,44 @@
 //   CLASSHIST <temporal-value>
 //   ATTRVAL <name> <value>
 //   END
+//   NEXT-OID <n>
+//   CHECKSUM <records> <crc32>
+//   EOF
+//
+// The v2 footer carries the CLASS+OBJECT record count and a CRC32 over
+// every byte above it, so a truncated or bit-flipped snapshot is rejected
+// before a single record is parsed (v1 snapshots — no EPOCH, no CHECKSUM,
+// header version 1 — still load). EPOCH orders the snapshot against
+// journals: it contains the effects of every journal with epoch < e (see
+// storage/recovery.h).
 //
 // Classes are emitted in topological (ISA) order so restore never sees a
 // dangling superclass.
 #ifndef TCHIMERA_STORAGE_SERIALIZER_H_
 #define TCHIMERA_STORAGE_SERIALIZER_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 
+#include "common/fault_fs.h"
 #include "common/status.h"
 #include "core/db/database.h"
 
 namespace tchimera {
 
-// Writes a full snapshot of `db`.
-Status SaveDatabase(const Database& db, std::ostream* out);
-// Convenience: snapshot to a file (atomically via rename of a temp file).
-Status SaveDatabaseToFile(const Database& db, const std::string& path);
+// Writes a full v2 snapshot of `db` (footer included).
+Status SaveDatabase(const Database& db, std::ostream* out,
+                    uint64_t epoch = 0);
+// Convenience: snapshot to a file, atomically and durably — the bytes are
+// written to `<path>.tmp`, fsynced, renamed over `path`, and the parent
+// directory fsynced; a crash at any point leaves either the old snapshot
+// or the new one, never a torn file.
+Status SaveDatabaseToFile(const Database& db, const std::string& path,
+                          uint64_t epoch = 0, FileSystem* fs = nullptr);
 // Snapshot into a string (tests, benchmarks).
-Result<std::string> SaveDatabaseToString(const Database& db);
+Result<std::string> SaveDatabaseToString(const Database& db,
+                                         uint64_t epoch = 0);
 
 }  // namespace tchimera
 

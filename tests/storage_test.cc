@@ -4,11 +4,13 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "core/db/consistency.h"
 #include "core/db/equality.h"
 #include "storage/deserializer.h"
 #include "storage/journal.h"
+#include "storage/recovery.h"
 #include "storage/serializer.h"
 #include "workload/generator.h"
 
@@ -161,45 +163,131 @@ TEST(JournalTest, ReplayReproducesState) {
 TEST(JournalTest, CheckpointPlusLogRecovery) {
   std::string snap_path = TempPath("ckpt.tchdb");
   std::string journal_path = TempPath("tail.tql");
+  std::remove(snap_path.c_str());
   std::remove(journal_path.c_str());
-  // Phase 1: base state, checkpoint, truncate the journal.
-  Database db;
-  Interpreter interp(&db);
-  Journal journal;
-  ASSERT_TRUE(journal.Open(journal_path).ok());
-  auto exec = [&](const std::string& stmt) {
-    ASSERT_TRUE(journal.Append(stmt).ok());
-    Result<std::string> r = interp.Execute(stmt);
-    ASSERT_TRUE(r.ok()) << stmt << ": " << r.status();
-  };
-  exec("define class task attributes description: string, "
-       "effort: temporal(integer) end");
-  exec("create task (description: 'build', effort: 10)");
-  ASSERT_TRUE(SaveDatabaseToFile(db, snap_path).ok());
-  ASSERT_TRUE(journal.Truncate().ok());
-  // Phase 2: more work lands in the journal tail only.
-  exec("tick 10");
-  exec("update i1 set effort = 20");
-  journal.Close();
-  // Recovery: load the checkpoint, replay the tail.
-  auto recovered = LoadDatabaseFromFile(snap_path).value();
-  Interpreter rinterp(recovered.get());
-  Result<size_t> applied = Journal::Replay(journal_path, &rinterp);
-  ASSERT_TRUE(applied.ok()) << applied.status();
-  EXPECT_EQ(*applied, 2u);
-  EXPECT_EQ(recovered->now(), 10);
-  EXPECT_EQ(recovered->HStateOf(Oid{1}, 10)
+  std::remove(Journal::RotatedPath(journal_path, 0).c_str());
+  // Phase 1: base state, then a safe checkpoint (rotate + snapshot +
+  // delete, see storage/recovery.h).
+  {
+    JournaledDatabase jdb(journal_path);
+    ASSERT_TRUE(jdb.status().ok()) << jdb.status();
+    for (const char* stmt :
+         {"define class task attributes description: string, "
+          "effort: temporal(integer) end",
+          "create task (description: 'build', effort: 10)"}) {
+      Result<std::string> r = jdb.Execute(stmt);
+      ASSERT_TRUE(r.ok()) << stmt << ": " << r.status();
+    }
+    Status ckpt =
+        RecoveryManager::Checkpoint(jdb.db(), &jdb.journal(), snap_path);
+    ASSERT_TRUE(ckpt.ok()) << ckpt;
+    // The rotated pre-checkpoint journal was deleted once the snapshot
+    // became durable.
+    EXPECT_FALSE(
+        std::filesystem::exists(Journal::RotatedPath(journal_path, 0)));
+    // Phase 2: more work lands in the fresh journal tail only.
+    ASSERT_TRUE(jdb.Execute("tick 10").ok());
+    ASSERT_TRUE(jdb.Execute("update i1 set effort = 20").ok());
+  }
+  // Recovery: snapshot, then the journal tail on top.
+  RecoveryManager manager(snap_path, journal_path);
+  RecoveryStats stats;
+  Result<std::unique_ptr<Database>> recovered = manager.Recover(&stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_EQ(stats.snapshot_epoch, 1u);
+  EXPECT_EQ(stats.statements_applied, 2u);
+  EXPECT_EQ((*recovered)->now(), 10);
+  EXPECT_EQ((*recovered)
+                ->HStateOf(Oid{1}, 10)
                 .value()
                 .FieldValue("effort")
                 ->AsInteger(),
             20);
-  EXPECT_EQ(recovered->HStateOf(Oid{1}, 5)
+  EXPECT_EQ((*recovered)
+                ->HStateOf(Oid{1}, 5)
                 .value()
                 .FieldValue("effort")
                 ->AsInteger(),
             10);
   std::remove(snap_path.c_str());
   std::remove(journal_path.c_str());
+}
+
+TEST(JournalTest, ReplayPrefixBoundaries) {
+  std::string path = TempPath("prefix.tql");
+  std::remove(path.c_str());
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.Open(path).ok());
+    ASSERT_TRUE(journal.Append("tick 1").ok());
+    ASSERT_TRUE(journal.Append("tick 2").ok());
+    ASSERT_TRUE(journal.Append("tick 3").ok());
+  }
+  auto replay_prefix = [&](size_t max) {
+    Database db;
+    Interpreter interp(&db);
+    Result<size_t> applied = Journal::ReplayPrefix(path, &interp, max);
+    EXPECT_TRUE(applied.ok()) << applied.status();
+    return std::make_pair(applied.ok() ? *applied : 0, db.now());
+  };
+  EXPECT_EQ(replay_prefix(0), std::make_pair(size_t{0}, TimePoint{0}));
+  EXPECT_EQ(replay_prefix(2), std::make_pair(size_t{2}, TimePoint{3}));
+  // Exactly the journal length, and past the end: both apply everything.
+  EXPECT_EQ(replay_prefix(3), std::make_pair(size_t{3}, TimePoint{6}));
+  EXPECT_EQ(replay_prefix(100), std::make_pair(size_t{3}, TimePoint{6}));
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, ReplaySkipsBlankLinesInV1Journals) {
+  std::string path = TempPath("blank.tql");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "tick 1\n\n\ntick 2\n   \n";
+  }
+  Database db;
+  Interpreter interp(&db);
+  Result<size_t> applied = Journal::Replay(path, &interp);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_EQ(*applied, 2u);
+  EXPECT_EQ(db.now(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OperationsOnClosedJournalFail) {
+  Journal never_opened;
+  EXPECT_EQ(never_opened.Append("tick").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(never_opened.Truncate().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(never_opened.Sync().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(never_opened.Rotate().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  std::string path = TempPath("closed.tql");
+  std::remove(path.c_str());
+  Journal journal;
+  ASSERT_TRUE(journal.Open(path).ok());
+  ASSERT_TRUE(journal.Append("tick").ok());
+  journal.Close();
+  EXPECT_EQ(journal.Append("tick").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(journal.Truncate().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MutatingStatementMatchesWholeTokenOnly) {
+  EXPECT_TRUE(IsMutatingStatement("delete i1"));
+  EXPECT_TRUE(IsMutatingStatement("  Update i1 set a = 1"));
+  EXPECT_TRUE(IsMutatingStatement("tick"));
+  // Prefix look-alikes are queries, not mutations.
+  EXPECT_FALSE(IsMutatingStatement("deletion_report from x in c"));
+  EXPECT_FALSE(IsMutatingStatement("ticket from x in c"));
+  EXPECT_FALSE(IsMutatingStatement("updates from x in c"));
+  EXPECT_FALSE(IsMutatingStatement("created from x in c"));
+  EXPECT_FALSE(IsMutatingStatement(""));
+  EXPECT_FALSE(IsMutatingStatement("   "));
+  EXPECT_EQ(FirstTokenLower("  TRIGGER t on create do tick"), "trigger");
 }
 
 TEST(JournalTest, ReplayFailsFastOnBadStatement) {

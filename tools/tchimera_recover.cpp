@@ -1,0 +1,196 @@
+// tchimera-recover: offline inspection and repair for a T_Chimera
+// database directory (the snapshot.tchdb / journal.tql pair the REPL and
+// embedders write).
+//
+//   tchimera_recover inspect <dir>   report snapshot + journal health
+//   tchimera_recover verify  <dir>   dry-run full recovery with audit;
+//                                    exit 1 if the directory cannot be
+//                                    recovered to a consistent database
+//   tchimera_recover salvage <dir>   quarantine torn v2 journal tails to
+//                                    <journal>.corrupt (what recovery
+//                                    would do, without replaying)
+//
+// Nothing here ever mutates the snapshot; `salvage` only moves corrupt
+// journal bytes aside, which is information-preserving.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fault_fs.h"
+#include "storage/deserializer.h"
+#include "storage/journal.h"
+#include "storage/recovery.h"
+#include "triggers/trigger.h"
+
+namespace tchimera {
+namespace {
+
+constexpr const char* kSnapshotName = "snapshot.tchdb";
+constexpr const char* kJournalName = "journal.tql";
+
+// The journal files of `dir` in replay order: rotated epochs ascending,
+// then the live journal.
+std::vector<std::string> JournalFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  auto names = FileSystem::Default()->ListDirectory(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      const std::string prefix = std::string(kJournalName) + ".e";
+      if (name.size() > prefix.size() && name.rfind(prefix, 0) == 0 &&
+          name.find_first_not_of("0123456789", prefix.size()) ==
+              std::string::npos) {
+        files.push_back(dir + "/" + name);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const std::string& a, const std::string& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  std::string live = dir + "/" + kJournalName;
+  if (FileSystem::Default()->FileExists(live)) files.push_back(live);
+  return files;
+}
+
+void PrintScan(const std::string& path, const JournalScan& scan) {
+  std::printf("journal  %s\n", path.c_str());
+  std::printf("  format v%d  epoch %llu  statements %zu  valid bytes %llu\n",
+              scan.format, static_cast<unsigned long long>(scan.epoch),
+              scan.statements.size(),
+              static_cast<unsigned long long>(scan.valid_bytes));
+  if (!scan.tail_error.ok()) {
+    std::printf("  CORRUPT TAIL: %llu byte(s) — %s\n",
+                static_cast<unsigned long long>(scan.dropped_bytes),
+                scan.tail_error.message().c_str());
+  }
+}
+
+int Inspect(const std::string& dir) {
+  int corrupt = 0;
+  std::string snapshot = dir + "/" + kSnapshotName;
+  if (FileSystem::Default()->FileExists(snapshot)) {
+    auto info = ProbeSnapshotFile(snapshot);
+    if (!info.ok()) {
+      std::printf("snapshot %s: unreadable: %s\n", snapshot.c_str(),
+                  info.status().ToString().c_str());
+      ++corrupt;
+    } else {
+      std::printf("snapshot %s\n", snapshot.c_str());
+      std::printf("  format v%d  epoch %llu  records %zu  bytes %llu\n",
+                  info->version,
+                  static_cast<unsigned long long>(info->epoch),
+                  info->records,
+                  static_cast<unsigned long long>(info->byte_size));
+      if (!info->integrity.ok()) {
+        std::printf("  CORRUPT: %s\n", info->integrity.message().c_str());
+        ++corrupt;
+      }
+    }
+  } else {
+    std::printf("snapshot %s: absent\n", snapshot.c_str());
+  }
+  if (FileSystem::Default()->FileExists(snapshot + ".tmp")) {
+    std::printf("snapshot %s.tmp: leftover of an interrupted checkpoint "
+                "(recovery deletes it)\n",
+                snapshot.c_str());
+  }
+  for (const std::string& file : JournalFiles(dir)) {
+    auto scan = ScanJournal(file);
+    if (!scan.ok()) {
+      std::printf("journal  %s: unreadable: %s\n", file.c_str(),
+                  scan.status().ToString().c_str());
+      ++corrupt;
+      continue;
+    }
+    PrintScan(file, *scan);
+    if (!scan->tail_error.ok()) ++corrupt;
+  }
+  return corrupt == 0 ? 0 : 1;
+}
+
+int Verify(const std::string& dir) {
+  // The phase API with an ActiveDatabase executor, mirroring the REPL:
+  // journals written by it contain `trigger` / `constraint` definitions
+  // a plain Interpreter would reject.
+  RecoveryManager manager(dir + "/" + kSnapshotName,
+                          dir + "/" + kJournalName);
+  RecoveryStats stats;
+  Status failure = Status::OK();
+  std::unique_ptr<Database> db;
+  auto loaded = manager.LoadSnapshot(&stats);
+  if (!loaded.ok()) {
+    failure = loaded.status();
+  } else {
+    db = std::move(loaded).value();
+    ActiveDatabase active(db.get());
+    failure = manager.ReplayJournals(
+        [&active](const std::string& statement) {
+          return active.Execute(statement).status();
+        },
+        &stats);
+    if (failure.ok()) {
+      failure = RecoveryManager::Audit(db.get(), AuditMode::kFail, &stats);
+    }
+  }
+  for (const std::string& note : stats.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  std::printf("snapshot %s (epoch %llu), %zu journal file(s), "
+              "%zu statement(s) replayed\n",
+              stats.snapshot_loaded ? "loaded" : "absent",
+              static_cast<unsigned long long>(stats.snapshot_epoch),
+              stats.journals_replayed, stats.statements_applied);
+  if (!failure.ok()) {
+    std::printf("NOT RECOVERABLE: %s\n", failure.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: recovers to a consistent database "
+              "(%zu objects, now = %lld)\n",
+              db->object_count(), static_cast<long long>(db->now()));
+  return 0;
+}
+
+int Salvage(const std::string& dir) {
+  int failures = 0;
+  for (const std::string& file : JournalFiles(dir)) {
+    auto scan = SalvageJournal(file);
+    if (!scan.ok()) {
+      std::printf("%s: %s\n", file.c_str(),
+                  scan.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (scan->dropped_bytes > 0) {
+      std::printf("%s: quarantined %llu corrupt tail byte(s) to "
+                  "%s.corrupt (%s)\n",
+                  file.c_str(),
+                  static_cast<unsigned long long>(scan->dropped_bytes),
+                  file.c_str(), scan->tail_error.message().c_str());
+    } else {
+      std::printf("%s: clean (%zu statement(s))\n", file.c_str(),
+                  scan->statements.size());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tchimera
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s inspect|verify|salvage <db-directory>\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string command = argv[1];
+  std::string dir = argv[2];
+  if (command == "inspect") return tchimera::Inspect(dir);
+  if (command == "verify") return tchimera::Verify(dir);
+  if (command == "salvage") return tchimera::Salvage(dir);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}
