@@ -1,0 +1,207 @@
+// Experiment CC: the session/transaction engine — snapshot-read
+// scaling across threads (the Table 3 functions are pure reads, so
+// snapshot isolation should scale them near-linearly) and group commit
+// vs per-statement fdatasync (the sync count is the durability cost a
+// batch amortizes).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/session.h"
+#include "storage/group_commit.h"
+#include "storage/journal.h"
+#include "workload/generator.h"
+
+namespace tchimera {
+namespace {
+
+// One shared engine across all benchmark threads (that is the point:
+// concurrent sessions on one engine).
+Engine& SharedEngine() {
+  static Engine& engine = *[] {
+    auto db = std::make_unique<Database>();
+    PopulationConfig config;
+    config.persons = 100;
+    config.projects = 20;
+    config.timesteps = 24;
+    config.updates_per_step = 8;
+    config.migration_rate = 0.2;
+    (void)PopulateDatabase(db.get(), config);
+    return new Engine(std::move(db));
+  }();
+  return engine;
+}
+
+std::string ScratchDir(const std::string& name) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("tchimera_bench_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// --- read scaling: N threads, each with its own Session, running the
+// same TQL query against pinned snapshots. Scaling past 1 thread is the
+// acceptance bar for the snapshot-isolated read path.
+
+void BM_SnapshotReads(benchmark::State& state) {
+  Engine& engine = SharedEngine();
+  Session session = engine.OpenSession();
+  for (auto _ : state) {
+    Result<std::string> rows =
+        session.Execute("select x.name from x in person");
+    if (!rows.ok()) state.SkipWithError("read failed");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotReads)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// A cheaper read (single-object snapshot) to show the scaling is not an
+// artifact of one expensive query dominating.
+void BM_SnapshotPointReads(benchmark::State& state) {
+  Engine& engine = SharedEngine();
+  Session session = engine.OpenSession();
+  for (auto _ : state) {
+    Result<std::string> v = session.Execute("snapshot i1");
+    if (!v.ok()) state.SkipWithError("read failed");
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotPointReads)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// --- durability: group commit vs one fdatasync per statement. The
+// baseline sink syncs inside Enqueue (the pre-refactor behavior: every
+// acknowledged statement pays a full fdatasync); GroupCommitJournal
+// batches concurrent commits into one sync. `syncs` is the counter the
+// batch amortizes — fewer syncs per committed statement is the win.
+
+class PerStatementSink final : public CommitSink {
+ public:
+  Status Open(const std::string& path) {
+    JournalOptions options;
+    options.sync = SyncPolicy::kEveryAppend;
+    return journal_.Open(path, options);
+  }
+  Ticket Enqueue(std::string_view statement) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    // kEveryAppend: the append itself fsyncs before returning.
+    last_ = journal_.Append(statement);
+    return Ticket{++seq_};
+  }
+  Status Await(Ticket) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_;
+  }
+  size_t sync_count() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return journal_.sync_count();
+  }
+
+ private:
+  std::mutex mu_;
+  Journal journal_;
+  uint64_t seq_ = 0;
+  Status last_;
+};
+
+// Shared state for a multi-threaded commit benchmark: thread 0 sets up
+// the engine + sink, every thread hammers writes, thread 0 reports.
+struct CommitBench {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<GroupCommitJournal> group;
+  std::unique_ptr<PerStatementSink> per_statement;
+};
+CommitBench g_commit;
+// Threads other than 0 spin on this before touching g_commit: benchmark
+// only synchronizes threads at the state loop, not before it.
+std::atomic<bool> g_commit_ready{false};
+
+void SetUpCommitBench(bool grouped, const std::string& dir) {
+  g_commit.engine = std::make_unique<Engine>();
+  Session setup = g_commit.engine->OpenSession();
+  (void)setup.Execute("define class emp attributes v: integer end");
+  if (grouped) {
+    g_commit.group = std::make_unique<GroupCommitJournal>();
+    (void)g_commit.group->Open(dir + "/journal.tchl");
+    g_commit.engine->set_commit_sink(g_commit.group.get());
+  } else {
+    g_commit.per_statement = std::make_unique<PerStatementSink>();
+    (void)g_commit.per_statement->Open(dir + "/journal.tchl");
+    g_commit.engine->set_commit_sink(g_commit.per_statement.get());
+  }
+}
+
+void RunCommitLoop(benchmark::State& state) {
+  while (!g_commit_ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  Session session = g_commit.engine->OpenSession();
+  for (auto _ : state) {
+    Result<std::string> out = session.Execute("create emp (v: 1)");
+    if (!out.ok()) state.SkipWithError("write failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CommitGrouped(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    SetUpCommitBench(/*grouped=*/true, ScratchDir("grouped"));
+    g_commit_ready.store(true, std::memory_order_release);
+  }
+  RunCommitLoop(state);
+  if (state.thread_index() == 0) {
+    state.counters["syncs"] =
+        static_cast<double>(g_commit.group->batches());
+    state.counters["commits"] =
+        static_cast<double>(g_commit.group->durable());
+    g_commit.group->Close();
+    g_commit_ready.store(false, std::memory_order_release);
+    g_commit = CommitBench{};
+  }
+}
+BENCHMARK(BM_CommitGrouped)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_CommitPerStatement(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    SetUpCommitBench(/*grouped=*/false, ScratchDir("per_statement"));
+    g_commit_ready.store(true, std::memory_order_release);
+  }
+  RunCommitLoop(state);
+  if (state.thread_index() == 0) {
+    state.counters["syncs"] =
+        static_cast<double>(g_commit.per_statement->sync_count());
+    g_commit_ready.store(false, std::memory_order_release);
+    g_commit = CommitBench{};
+  }
+}
+BENCHMARK(BM_CommitPerStatement)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace tchimera
+
+BENCHMARK_MAIN();

@@ -4,15 +4,18 @@
 //
 // On startup the shell runs crash recovery over the database directory
 // (snapshot load, journal replay in epoch order with torn-tail salvage,
-// consistency audit — see storage/recovery.h); every successfully
-// executed mutating statement is then journaled before the prompt
-// returns, and `.checkpoint` runs the safe rotate-snapshot-delete
-// protocol. Without a directory argument the session is in-memory only.
+// consistency audit — see storage/recovery.h). Statements then run
+// through a query Session over the concurrent Engine (query/session.h):
+// mutating statements are serialized, journaled through the group-commit
+// sink (storage/group_commit.h) and acknowledged only once durable;
+// `.checkpoint` runs the safe rotate-snapshot-delete protocol with the
+// sink quiesced. Without a directory argument the session is in-memory
+// only.
 //
 // The journal replay goes through the ActiveDatabase facade so journaled
-// `trigger` and `constraint` definitions are restored too. (Those
-// definitions live only in the journal: a checkpoint folds the journal
-// into a snapshot, which does not carry them — a known gap.)
+// `trigger` and `constraint` definitions are restored too; a checkpoint
+// persists them as the snapshot's DEFINE records (snapshot v3), which
+// recovery replays back through the facade.
 //
 // Meta commands: .help .checkpoint .quit — everything else is TQL
 // (see src/query/parser.h for the grammar).
@@ -24,7 +27,8 @@
 
 #include "common/string_util.h"
 #include "core/db/database.h"
-#include "storage/journal.h"
+#include "query/session.h"
+#include "storage/group_commit.h"
 #include "storage/recovery.h"
 #include "triggers/trigger.h"
 
@@ -48,21 +52,14 @@ meta commands:
   .help  .checkpoint  .quit
 )";
 
-// The statements worth journaling: the interpreter's mutating verbs plus
-// the REPL-level trigger / constraint definitions.
-bool ShouldJournal(std::string_view statement) {
-  if (tchimera::IsMutatingStatement(statement)) return true;
-  std::string token = tchimera::FirstTokenLower(statement);
-  return token == "trigger" || token == "constraint";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  using tchimera::ActiveDatabase;
   using tchimera::Database;
-  using tchimera::Journal;
+  using tchimera::Engine;
+  using tchimera::GroupCommitJournal;
   using tchimera::Result;
+  using tchimera::Session;
   using tchimera::Status;
 
   std::string snapshot_path, journal_path;
@@ -89,14 +86,25 @@ int main(int argc, char** argv) {
     db = std::move(loaded).value();
   }
 
-  ActiveDatabase active(db.get());
-  Journal journal;
+  // The engine owns the database from here on; recovery replay runs
+  // through a session before the commit sink is installed, so replayed
+  // statements are not re-journaled.
+  Engine engine(std::move(db));
+  Session session = engine.OpenSession();
+  GroupCommitJournal sink;
   if (!journal_path.empty()) {
-    Status replayed = recovery.ReplayJournals(
-        [&active](const std::string& statement) {
-          return active.Execute(statement).status();
-        },
-        &stats);
+    Status replayed = Status::OK();
+    for (const std::string& definition : recovery.snapshot_definitions()) {
+      replayed = session.Execute(definition).status();
+      if (!replayed.ok()) break;
+    }
+    if (replayed.ok()) {
+      replayed = recovery.ReplayJournals(
+          [&session](const std::string& statement) {
+            return session.Execute(statement).status();
+          },
+          &stats);
+    }
     for (const std::string& note : stats.notes) {
       std::fprintf(stderr, "recovery: %s\n", note.c_str());
     }
@@ -106,7 +114,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     Status audit = tchimera::RecoveryManager::Audit(
-        db.get(), tchimera::AuditMode::kFail, &stats);
+        &engine.writer_db(), tchimera::AuditMode::kFail, &stats);
     if (!audit.ok()) {
       std::fprintf(stderr, "post-recovery audit failed: %s\n",
                    audit.ToString().c_str());
@@ -114,15 +122,17 @@ int main(int argc, char** argv) {
     }
     std::printf("recovered: %zu objects, now = %lld "
                 "(%zu statement(s) replayed)\n",
-                db->object_count(), static_cast<long long>(db->now()),
+                engine.writer_db().object_count(),
+                static_cast<long long>(engine.writer_db().now()),
                 stats.statements_applied);
     tchimera::JournalOptions options;
     options.epoch = stats.next_epoch;
-    Status opened = journal.Open(journal_path, options);
+    Status opened = sink.Open(journal_path, options);
     if (!opened.ok()) {
       std::fprintf(stderr, "%s\n", opened.ToString().c_str());
       return 1;
     }
+    engine.set_commit_sink(&sink);
   }
   std::printf("T_Chimera temporal shell — .help for help\n");
   std::string line;
@@ -142,22 +152,28 @@ int main(int argc, char** argv) {
         std::printf("no database directory; nothing to checkpoint\n");
         continue;
       }
-      Status s = tchimera::RecoveryManager::Checkpoint(*db, &journal,
-                                                       snapshot_path);
+      // Exclusive over the engine, quiesced over the sink: the snapshot
+      // sees a committed state and the journal rotates at a batch
+      // boundary. Lock order (writer lock, then sink mutex) matches the
+      // write path.
+      Status s = engine.WithExclusive(
+          [&](Database& live, tchimera::ActiveDatabase& active) {
+            return sink.WithQuiesced([&](tchimera::Journal& journal) {
+              return tchimera::RecoveryManager::Checkpoint(
+                  live, &journal, snapshot_path, nullptr,
+                  active.DefinitionStatements());
+            });
+          });
       std::printf("%s\n", s.ok() ? "checkpointed" : s.ToString().c_str());
       continue;
     }
-    Result<std::string> out = active.Execute(trimmed);
+    // Session::Execute routes reads to a snapshot and mutations through
+    // the serialized write path; a mutating statement is journaled and
+    // fdatasynced (group commit) before the prompt acknowledges it.
+    Result<std::string> out = session.Execute(trimmed);
     if (!out.ok()) {
       std::printf("error: %s\n", out.status().ToString().c_str());
       continue;
-    }
-    // Journal after the statement applied cleanly, so replay failures are
-    // always corruption; the append (synced per policy) completes before
-    // the prompt acknowledges the statement.
-    if (journal.is_open() && ShouldJournal(trimmed)) {
-      Status s = journal.Append(trimmed);
-      if (!s.ok()) std::printf("journal: %s\n", s.ToString().c_str());
     }
     std::printf("%s\n", out->c_str());
   }

@@ -63,6 +63,12 @@ const std::vector<DiagnosticInfo>& AllDiagnosticInfos() {
        "Definition 3.6 / <=_T (no satisfying assignment)"},
       {"TC105", "trivial-predicate", Severity::kWarning,
        "Definition 3.6 (constant under every assignment)"},
+      {"TC106", "empty-update-window", Severity::kWarning,
+       "Section 3.2 (null interval) / Section 6.2 (update semantics)"},
+      {"TC107", "snapshot-outside-lifespan", Severity::kWarning,
+       "Definition 5.3 / Section 5.2 (states within lifespans)"},
+      {"TC108", "history-of-non-temporal", Severity::kNote,
+       "Section 5.2 (temporal vs immediate attributes)"},
       {"TC110", "query-type-error", Severity::kError,
        "Definition 3.6 (typing rules)"},
       {"TC111", "statement-failed", Severity::kError, "runtime check"},

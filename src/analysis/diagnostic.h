@@ -66,7 +66,10 @@ const std::vector<DiagnosticInfo>& AllDiagnosticInfos();
 const DiagnosticInfo* FindDiagnosticInfo(std::string_view code);
 
 // Collects diagnostics emitted by the analyzers. Not thread-safe; one
-// engine per lint run.
+// engine per lint run. Concurrent callers get isolation structurally,
+// not with locks: every query Session owns a private DiagnosticEngine
+// (query/session.h), and the lint CLI builds one per pass — no engine is
+// ever shared across threads, so the class stays lock-free by design.
 class DiagnosticEngine {
  public:
   // Reports a registered code (severity taken from the registry).

@@ -71,6 +71,12 @@ void LintTqlScript(std::string_view source, const LintOptions& options,
       AnalyzeSelect(&*s.select, db, diags);
     } else if (s.kind == Statement::Kind::kWhen) {
       AnalyzeWhen(&*s.when, db, diags);
+    } else if (s.kind == Statement::Kind::kUpdate) {
+      AnalyzeUpdate(*s.update, s.position, db, diags);
+    } else if (s.kind == Statement::Kind::kSnapshot) {
+      AnalyzeSnapshot(*s.snapshot, s.position, db, diags);
+    } else if (s.kind == Statement::Kind::kHistory) {
+      AnalyzeHistory(*s.history, s.position, db, diags);
     }
     if (ReportedTypeError(*diags, before)) {
       continue;  // already reported; execution would fail the same way

@@ -328,6 +328,65 @@ void AnalyzeSelect(SelectStmt* stmt, const Database& db,
   }
 }
 
+void AnalyzeUpdate(const UpdateStmt& stmt, size_t position,
+                   const Database& db, DiagnosticEngine* diags) {
+  (void)db;
+  if (!stmt.during.has_value()) return;
+  const Interval& window = *stmt.during;
+  // A symbolic `now` endpoint depends on the clock at execution time;
+  // only a fully concrete inverted literal is statically empty.
+  if (IsNow(window.start()) || IsNow(window.end())) return;
+  if (window.end() < window.start()) {
+    // ToString() renders every empty interval as "[]"; echo the literal
+    // endpoints so the finding points at what was written.
+    diags->Report(
+        "TC106", position,
+        "update window [" + InstantToString(window.start()) + "," +
+            InstantToString(window.end()) +
+            "] is statically empty: " + InstantToString(window.end()) +
+            " precedes " + InstantToString(window.start()),
+        "an interval [a,b] with b < a denotes the null interval "
+        "(Section 3.2); the update asserts a value over no instants — "
+        "swap the endpoints or drop the 'during' clause");
+  }
+}
+
+void AnalyzeSnapshot(const SnapshotStmt& stmt, size_t position,
+                     const Database& db, DiagnosticEngine* diags) {
+  if (!stmt.at.has_value() || IsNow(*stmt.at)) return;
+  const Object* obj = db.GetObject(stmt.oid);
+  if (obj == nullptr) return;  // the runtime reports the missing object
+  const Interval& lifespan = obj->lifespan();
+  if (lifespan.empty()) return;
+  TimePoint t = *stmt.at;
+  bool before = t < lifespan.start();
+  bool after = !lifespan.is_ongoing() && t > lifespan.end();
+  if (!before && !after) return;
+  diags->Report(
+      "TC107", position,
+      "snapshot of " + stmt.oid.ToString() + " at instant " +
+          InstantToString(t) + " is statically null: the object's "
+          "lifespan is " + lifespan.ToString() +
+          (before ? " (instant precedes it)" : " (instant follows it)"),
+      "an object's state is defined only within its lifespan "
+      "(Definition 5.3 / Section 5.2)");
+}
+
+void AnalyzeHistory(const HistoryStmt& stmt, size_t position,
+                    const Database& db, DiagnosticEngine* diags) {
+  const Object* obj = db.GetObject(stmt.oid);
+  if (obj == nullptr) return;  // the runtime reports the missing object
+  const Value* v = obj->Attribute(stmt.attr);
+  if (v == nullptr) return;  // the runtime reports the missing attribute
+  if (v->kind() == ValueKind::kTemporal) return;
+  diags->Report(
+      "TC108", position,
+      "'" + stmt.attr + "' on " + stmt.oid.ToString() +
+          " is a non-temporal attribute: there is no history to show",
+      "only temporal attributes record per-instant values (Section 5.2); "
+      "the statement prints the single current value");
+}
+
 void AnalyzeWhen(WhenStmt* stmt, const Database& db,
                  DiagnosticEngine* diags) {
   Result<const Type*> r = TypeCheckExpr(stmt->condition.get(), db, TypeEnv{});

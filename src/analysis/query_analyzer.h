@@ -13,6 +13,13 @@
 //          to false, compares against the null literal, or tests
 //          membership in an empty collection): the query returns no rows
 //   TC105  a predicate or conjunct that is statically true: redundant
+//   TC106  an UPDATE whose `during` interval literal is statically empty
+//          (both endpoints concrete and inverted): the update asserts a
+//          value over no instants
+//   TC107  a SNAPSHOT at a concrete instant outside the object's
+//          lifespan: the state is statically null
+//   TC108  HISTORY of a non-temporal attribute: there is no recorded
+//          history, only the single current value
 //   TC110  the statement fails static type checking (Definition 3.6)
 #ifndef TCHIMERA_ANALYSIS_QUERY_ANALYZER_H_
 #define TCHIMERA_ANALYSIS_QUERY_ANALYZER_H_
@@ -35,6 +42,22 @@ void AnalyzeSelect(SelectStmt* stmt, const Database& db,
 // evaluation instant (TC103) do not apply: WHEN quantifies over all
 // instants.
 void AnalyzeWhen(WhenStmt* stmt, const Database& db, DiagnosticEngine* diags);
+
+// Lints the temporal sub-statements against the current database state.
+// `position` is the statement's byte offset (Statement::position); these
+// forms carry no per-node positions of their own.
+//
+// AnalyzeUpdate flags a statically empty `during` window (TC106);
+// AnalyzeSnapshot flags a concrete `at` instant outside the target
+// object's lifespan (TC107); AnalyzeHistory flags history of an
+// attribute that keeps no history (TC108). Objects or attributes that do
+// not exist are left to the runtime (NotFound), not double-reported.
+void AnalyzeUpdate(const UpdateStmt& stmt, size_t position,
+                   const Database& db, DiagnosticEngine* diags);
+void AnalyzeSnapshot(const SnapshotStmt& stmt, size_t position,
+                     const Database& db, DiagnosticEngine* diags);
+void AnalyzeHistory(const HistoryStmt& stmt, size_t position,
+                    const Database& db, DiagnosticEngine* diags);
 
 }  // namespace tchimera
 

@@ -1,0 +1,27 @@
+#include "core/db/versioned_db.h"
+
+namespace tchimera {
+
+uint64_t WriteGuard::Commit() {
+  // release ordering pairs with the acquire load in version(): a reader
+  // that observes version N also observes every write published by the
+  // guard that bumped to N (the shared_mutex handoff already guarantees
+  // this for snapshot holders; the counter is also read lock-free).
+  return version_->fetch_add(1, std::memory_order_release) + 1;
+}
+
+ReadSnapshot VersionedDatabase::OpenSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Read the version under the shared lock: no writer can be between
+  // mutation and bump while we hold it (Commit happens before the unique
+  // lock is released).
+  return ReadSnapshot(std::move(lock), db_.get(),
+                      version_.load(std::memory_order_acquire));
+}
+
+WriteGuard VersionedDatabase::BeginWrite() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return WriteGuard(std::move(lock), db_.get(), &version_);
+}
+
+}  // namespace tchimera

@@ -1,0 +1,132 @@
+// Snapshot-isolated concurrent access to a Database.
+//
+// The model is inherently read-heavy: every Table 3 function (pi,
+// h_state, s_state, snapshot, ref, ...) is a pure read over immutable
+// history, and Database exposes them all as const members with no
+// mutable caches. VersionedDatabase turns that property into a
+// concurrency protocol:
+//
+//   - any number of readers hold a ReadSnapshot concurrently; a snapshot
+//     pins the database (shared lock) for its lifetime and carries the
+//     version it observed, so a reader sees one committed state for as
+//     long as it keeps the snapshot — epoch-pinned snapshot isolation;
+//   - exactly one writer at a time holds a WriteGuard (unique lock),
+//     mutates the database through it, and publishes the mutation with
+//     Commit(), which bumps the version counter. A guard dropped without
+//     Commit() publishes nothing version-wise (the statement failed; the
+//     model's mutation path rejects bad statements before touching
+//     state, so failed statements leave the database unchanged).
+//
+// The version counter is monotone: two snapshots with equal versions saw
+// the identical state, and a reader re-opening snapshots observes a
+// non-decreasing sequence (readers never travel back in time). Writers
+// are fully serialized — the writer-serialization guarantee the query
+// Engine (query/session.h) builds group commit on: the order in which
+// WriteGuards commit is the order statements reach the journal.
+//
+// See docs/CONCURRENCY.md for the full protocol.
+#ifndef TCHIMERA_CORE_DB_VERSIONED_DB_H_
+#define TCHIMERA_CORE_DB_VERSIONED_DB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "core/db/database.h"
+
+namespace tchimera {
+
+class VersionedDatabase;
+
+// A pinned, immutable view of the database. Movable, not copyable; the
+// shared lock is held until destruction, so keep snapshots short-lived
+// on hot paths (a live snapshot blocks writers).
+class ReadSnapshot {
+ public:
+  ReadSnapshot() = default;
+  ReadSnapshot(ReadSnapshot&&) = default;
+  ReadSnapshot& operator=(ReadSnapshot&&) = default;
+  ReadSnapshot(const ReadSnapshot&) = delete;
+  ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+  bool valid() const { return db_ != nullptr; }
+  const Database& db() const { return *db_; }
+  // The commit version this snapshot observes.
+  uint64_t version() const { return version_; }
+
+ private:
+  friend class VersionedDatabase;
+  ReadSnapshot(std::shared_lock<std::shared_mutex> lock, const Database* db,
+               uint64_t version)
+      : lock_(std::move(lock)), db_(db), version_(version) {}
+
+  std::shared_lock<std::shared_mutex> lock_;
+  const Database* db_ = nullptr;
+  uint64_t version_ = 0;
+};
+
+// Exclusive mutable access. Mutate through db(), then Commit() to
+// publish; destruction releases the lock either way.
+class WriteGuard {
+ public:
+  WriteGuard(WriteGuard&&) = default;
+  WriteGuard& operator=(WriteGuard&&) = default;
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+  Database& db() { return *db_; }
+  // Publishes the mutation: bumps the version counter. Returns the new
+  // version. Call at most once, only after the mutation succeeded.
+  uint64_t Commit();
+  // Releases the lock early (before awaiting durability, say).
+  void Release() { lock_.unlock(); }
+
+ private:
+  friend class VersionedDatabase;
+  WriteGuard(std::unique_lock<std::shared_mutex> lock, Database* db,
+             std::atomic<uint64_t>* version)
+      : lock_(std::move(lock)), db_(db), version_(version) {}
+
+  std::unique_lock<std::shared_mutex> lock_;
+  Database* db_ = nullptr;
+  std::atomic<uint64_t>* version_ = nullptr;
+};
+
+class VersionedDatabase {
+ public:
+  VersionedDatabase() : db_(std::make_unique<Database>()) {}
+  // Wraps an existing database (e.g. one recovery just rebuilt).
+  explicit VersionedDatabase(std::unique_ptr<Database> db)
+      : db_(db != nullptr ? std::move(db) : std::make_unique<Database>()) {}
+
+  VersionedDatabase(const VersionedDatabase&) = delete;
+  VersionedDatabase& operator=(const VersionedDatabase&) = delete;
+
+  // Blocks while a writer is active; never blocks other readers.
+  ReadSnapshot OpenSnapshot() const;
+  // Blocks until every snapshot is released and no other writer is
+  // active.
+  WriteGuard BeginWrite();
+
+  // The latest committed version (0 for a freshly wrapped database).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  // The underlying database, bypassing the lock. Strictly for
+  // single-threaded phases (construction-time wiring, recovery replay
+  // before any reader exists) and for callers already inside a
+  // WriteGuard-derived exclusive section.
+  Database& writer_db() { return *db_; }
+  const Database& writer_db() const { return *db_; }
+
+ private:
+  std::unique_ptr<Database> db_;
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_DB_VERSIONED_DB_H_

@@ -1,6 +1,7 @@
 #include "core/types/type_registry.h"
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,13 +14,26 @@ namespace tchimera {
 // The registry maps a canonical key (the printed form) to the interned
 // node. Leaked on purpose: types have static-storage-duration semantics,
 // and leaking guarantees pointer stability with a trivial shutdown.
+//
+// The registry is process-global mutable state reached from const read
+// paths (type-checking a query interns composite types), so with the
+// concurrent reader engine (core/db/versioned_db.h) it is guarded by a
+// mutex. Interning is rare after warm-up — every distinct type is built
+// once and the returned pointers are immutable — so the lock is not a
+// contention point.
 struct TypeFactory {
+  static std::mutex& Mutex() {
+    static auto& mu = *new std::mutex();
+    return mu;
+  }
+
   static std::unordered_map<std::string, const Type*>& Map() {
     static auto& m = *new std::unordered_map<std::string, const Type*>();
     return m;
   }
 
   static const Type* Intern(Type&& proto) {
+    std::lock_guard<std::mutex> lock(Mutex());
     auto& map = Map();
     auto it = map.find(proto.printed_);
     if (it != map.end()) return it->second;
@@ -175,6 +189,9 @@ Result<const Type*> TMinus(const Type* t) {
   return t->element();
 }
 
-size_t InternedTypeCount() { return TypeFactory::Map().size(); }
+size_t InternedTypeCount() {
+  std::lock_guard<std::mutex> lock(TypeFactory::Mutex());
+  return TypeFactory::Map().size();
+}
 
 }  // namespace tchimera::types

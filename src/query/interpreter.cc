@@ -50,6 +50,15 @@ Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
       case Statement::Kind::kWhen:
         AnalyzeWhen(&*stmt->when, *db_, lint_);
         break;
+      case Statement::Kind::kUpdate:
+        AnalyzeUpdate(*stmt->update, stmt->position, *db_, lint_);
+        break;
+      case Statement::Kind::kSnapshot:
+        AnalyzeSnapshot(*stmt->snapshot, stmt->position, *db_, lint_);
+        break;
+      case Statement::Kind::kHistory:
+        AnalyzeHistory(*stmt->history, stmt->position, *db_, lint_);
+        break;
       default:
         break;
     }

@@ -1,0 +1,110 @@
+#include "query/session.h"
+
+#include <utility>
+
+#include "query/interpreter.h"
+#include "query/parser.h"
+#include "storage/journal.h"
+
+namespace tchimera {
+namespace {
+
+// The read-only TQL verbs. The parser dispatches on the first keyword,
+// so first-token classification agrees exactly with Statement::Kind; and
+// these kinds touch only const Database members, which is what makes the
+// lock-free-for-writers snapshot read path sound.
+bool IsReadStatement(std::string_view statement) {
+  std::string token = FirstTokenLower(statement);
+  for (std::string_view kw : {"select", "snapshot", "history", "when",
+                              "show"}) {
+    if (token == kw) return true;
+  }
+  return false;
+}
+
+bool IsReadKind(Statement::Kind kind) {
+  switch (kind) {
+    case Statement::Kind::kSelect:
+    case Statement::Kind::kSnapshot:
+    case Statement::Kind::kHistory:
+    case Statement::Kind::kWhen:
+    case Statement::Kind::kShow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool IsDurableStatement(std::string_view statement) {
+  if (IsMutatingStatement(statement)) return true;
+  std::string token = FirstTokenLower(statement);
+  return token == "trigger" || token == "constraint";
+}
+
+Engine::Engine(std::unique_ptr<Database> db, size_t max_cascade_depth)
+    : vdb_(std::move(db)),
+      active_(&vdb_.writer_db(), max_cascade_depth) {}
+
+Session Engine::OpenSession() { return Session(this); }
+
+Status Engine::WithExclusive(
+    const std::function<Status(Database&, ActiveDatabase&)>& fn) {
+  WriteGuard guard = vdb_.BeginWrite();
+  return fn(guard.db(), active_);
+}
+
+Result<std::string> Engine::ExecuteWrite(std::string_view statement,
+                                         DiagnosticEngine* lint) {
+  WriteGuard guard = vdb_.BeginWrite();
+  active_.set_lint(lint);
+  Result<std::string> result = active_.Execute(statement);
+  active_.set_lint(nullptr);
+  if (!result.ok()) return result;  // nothing mutated, nothing to publish
+  // Enqueue before releasing the lock: writers are serialized, so the
+  // sink receives statements in exactly commit order — replaying the
+  // journal reproduces the database (oids and all). The enqueue is a
+  // buffer append; the expensive part (fdatasync) happens in Await,
+  // outside the lock, where commits from concurrent sessions batch.
+  CommitSink::Ticket ticket;
+  if (sink_ != nullptr && IsDurableStatement(statement)) {
+    ticket = sink_->Enqueue(statement);
+  }
+  guard.Commit();
+  guard.Release();
+  // Lock released: await durability. On failure the statement *is*
+  // applied in memory but was never acknowledged as durable — the caller
+  // must treat the error as "not committed" (the journal is poisoned and
+  // every later write fails too, so no acknowledged statement can ever
+  // depend on a lost one).
+  if (sink_ != nullptr && ticket.seq != 0) {
+    TCH_RETURN_IF_ERROR(sink_->Await(ticket));
+  }
+  return result;
+}
+
+Result<std::string> Session::Execute(std::string_view statement) {
+  if (!IsReadStatement(statement)) {
+    return engine_->ExecuteWrite(statement,
+                                 lint_enabled_ ? diags_.get() : nullptr);
+  }
+  // Read path: pin a snapshot and evaluate on this thread, concurrently
+  // with other readers. The const_cast is sound: the interpreter's read
+  // kinds (guarded by IsReadKind below) call only const Database members,
+  // and Database has no mutable caches.
+  ReadSnapshot snap = engine_->OpenSnapshot();
+  TCH_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  if (!IsReadKind(stmt.kind)) {
+    // Unreachable by construction (the parser keys on the first token);
+    // defend anyway rather than mutate shared state under a shared lock.
+    snap = ReadSnapshot();
+    return engine_->ExecuteWrite(statement,
+                                 lint_enabled_ ? diags_.get() : nullptr);
+  }
+  Interpreter interp(const_cast<Database*>(&snap.db()));
+  if (lint_enabled_) interp.set_lint(diags_.get());
+  return interp.ExecuteStatement(&stmt);
+}
+
+}  // namespace tchimera

@@ -1,0 +1,153 @@
+// The concurrent execution engine: Sessions over a shared Engine.
+//
+// Layering (top to bottom):
+//
+//   Session   — one per client (thread). Classifies each statement:
+//               read-only TQL (select / snapshot / history / when /
+//               show) runs against a ReadSnapshot, concurrently with
+//               every other reader; everything else is routed to the
+//               Engine's serialized write path. Owns its own
+//               DiagnosticEngine, so the "one engine per lint run"
+//               contract (analysis/diagnostic.h) holds without locks.
+//   Engine    — wraps the database in a VersionedDatabase and owns the
+//               ActiveDatabase facade (triggers, constraints, `check`).
+//               Writes take the writer lock, execute through the facade,
+//               enqueue the statement with the CommitSink *while still
+//               holding the lock* (so journal order == commit order),
+//               bump the version, release the lock, and only then await
+//               durability — the group-commit window: many sessions can
+//               be between enqueue and durable at once, and one fdatasync
+//               acknowledges them all.
+//   CommitSink — the durability boundary. storage/group_commit.h is the
+//               real implementation (cross-session group commit); a null
+//               sink (in-memory engines) acknowledges immediately.
+//
+// A Session is NOT thread-safe — it is the per-client handle. The Engine
+// is: any number of sessions on any threads may execute concurrently.
+//
+// See docs/CONCURRENCY.md for the full protocol and tuning knobs.
+#ifndef TCHIMERA_QUERY_SESSION_H_
+#define TCHIMERA_QUERY_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "analysis/diagnostic.h"
+#include "common/result.h"
+#include "core/db/versioned_db.h"
+#include "triggers/trigger.h"
+
+namespace tchimera {
+
+// True for the statements the engine must hand to its CommitSink: the
+// journaled verbs (IsMutatingStatement) plus the trigger / constraint
+// definition forms the ActiveDatabase facade accepts.
+bool IsDurableStatement(std::string_view statement);
+
+// Where committed statements go to become durable. Enqueue is called by
+// the engine while it still holds the writer lock (cheap: buffer the
+// statement, assign a ticket); Await is called after the lock is
+// released and may block (this is where group commit batches form).
+// Implementations must be thread-safe.
+class CommitSink {
+ public:
+  struct Ticket {
+    uint64_t seq = 0;  // 0 = nothing enqueued (Await returns OK)
+  };
+
+  virtual ~CommitSink() = default;
+  virtual Ticket Enqueue(std::string_view statement) = 0;
+  virtual Status Await(Ticket ticket) = 0;
+};
+
+class Session;
+
+class Engine {
+ public:
+  // Wraps `db` (nullptr = a fresh database).
+  explicit Engine(std::unique_ptr<Database> db = nullptr,
+                  size_t max_cascade_depth = 16);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Installs the durability sink (nullptr = in-memory: commits are
+  // acknowledged immediately). Call during single-threaded setup, before
+  // concurrent sessions run — typically after recovery replay, so the
+  // replay itself is not re-journaled.
+  void set_commit_sink(CommitSink* sink) { sink_ = sink; }
+
+  // A new session bound to this engine. Sessions are movable, cheap, and
+  // single-threaded; the engine must outlive them.
+  Session OpenSession();
+
+  // A pinned read view (see core/db/versioned_db.h). Safe from any
+  // thread; blocks only while a writer holds the lock.
+  ReadSnapshot OpenSnapshot() const { return vdb_.OpenSnapshot(); }
+
+  // The latest committed version.
+  uint64_t version() const { return vdb_.version(); }
+
+  // Runs `fn` with every reader and writer excluded — the checkpoint
+  // path (quiesce the sink, snapshot the database + definitions). The
+  // ActiveDatabase gives access to DefinitionStatements().
+  Status WithExclusive(
+      const std::function<Status(Database&, ActiveDatabase&)>& fn);
+
+  // The underlying database / facade, bypassing all locking. Strictly
+  // for single-threaded phases: recovery replay before sessions exist,
+  // test setup, teardown inspection.
+  Database& writer_db() { return vdb_.writer_db(); }
+  ActiveDatabase& active() { return active_; }
+
+ private:
+  friend class Session;
+
+  // The serialized write path (see file comment for the locking dance).
+  Result<std::string> ExecuteWrite(std::string_view statement,
+                                   DiagnosticEngine* lint);
+
+  VersionedDatabase vdb_;
+  ActiveDatabase active_;
+  CommitSink* sink_ = nullptr;
+};
+
+// One client's handle. Execute() is the single entry point: reads run
+// concurrently on a snapshot, writes serialize through the engine and
+// return only once durable (per the engine's sink).
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Result<std::string> Execute(std::string_view statement);
+
+  // Opt-in lint: findings accumulate in diags() (this session's private
+  // engine; never shared across threads).
+  void set_lint_enabled(bool enabled) { lint_enabled_ = enabled; }
+  DiagnosticEngine& diags() { return *diags_; }
+
+  // A pinned read view for direct (C++ API) reads.
+  ReadSnapshot snapshot() const { return engine_->OpenSnapshot(); }
+
+ private:
+  friend class Engine;
+  explicit Session(Engine* engine)
+      : engine_(engine), diags_(std::make_unique<DiagnosticEngine>()) {}
+
+  Engine* engine_;
+  // unique_ptr so Session stays movable with a stable address to hand to
+  // the interpreter during a statement.
+  std::unique_ptr<DiagnosticEngine> diags_;
+  bool lint_enabled_ = false;
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_QUERY_SESSION_H_

@@ -37,7 +37,7 @@ class SnapshotReader {
       TCH_ASSIGN_OR_RETURN(std::string line, NextLine());
       if (line == "EOF" && version_ == 1) break;
       auto [tag, rest] = SplitTag(line);
-      if (tag == "CHECKSUM" && version_ == 2) {
+      if (tag == "CHECKSUM" && version_ >= 2) {
         // Already verified by the caller; the record count is
         // cross-checked as a parser self-test.
         size_t footer_records = std::strtoull(rest.c_str(), nullptr, 10);
@@ -62,6 +62,10 @@ class SnapshotReader {
       } else if (tag == "OBJECT") {
         ++records;
         TCH_RETURN_IF_ERROR(LoadObject(rest, db.get()));
+      } else if (tag == "DEFINE" && version_ >= 3) {
+        // Carried, not applied: trigger/constraint statements address the
+        // execution facade, which the reader has no access to.
+        definitions_.push_back(rest);
       } else {
         return Corrupt(line_no_, "unexpected record '" + tag + "'");
       }
@@ -69,6 +73,10 @@ class SnapshotReader {
     db->RestoreClock(now);
     db->RestoreNextOid(next_oid);
     return db;
+  }
+
+  std::vector<std::string> take_definitions() {
+    return std::move(definitions_);
   }
 
  private:
@@ -254,6 +262,7 @@ class SnapshotReader {
   std::istream* in_;
   int version_;
   size_t line_no_ = 0;
+  std::vector<std::string> definitions_;
 };
 
 // Returns the first line of `text` (without the newline).
@@ -280,6 +289,8 @@ Result<SnapshotInfo> ProbeSnapshot(const std::string& text) {
     info.version = 1;
   } else if (version_text == "2") {
     info.version = 2;
+  } else if (version_text == "3") {
+    info.version = 3;
   } else {
     info.integrity = Status::Corruption("unsupported snapshot version '" +
                                         version_text + "'");
@@ -294,7 +305,7 @@ Result<SnapshotInfo> ProbeSnapshot(const std::string& text) {
   }
   if (info.version == 1) return info;  // v1 has no checksum to verify.
 
-  // v2 footer: "...body...\nCHECKSUM <records> <crc32>\nEOF\n". The CRC
+  // v2+ footer: "...body...\nCHECKSUM <records> <crc32>\nEOF\n". The CRC
   // covers every byte of the body, newline included.
   size_t footer_nl = text.rfind("\nCHECKSUM ");
   if (footer_nl == std::string::npos) {
@@ -366,12 +377,21 @@ Result<std::unique_ptr<Database>> LoadDatabaseFromFile(
 
 Result<std::unique_ptr<Database>> LoadDatabaseFromString(
     const std::string& text) {
+  TCH_ASSIGN_OR_RETURN(LoadedSnapshot loaded, LoadSnapshotFromString(text));
+  return std::move(loaded.db);
+}
+
+Result<LoadedSnapshot> LoadSnapshotFromString(const std::string& text) {
   TCH_ASSIGN_OR_RETURN(SnapshotInfo info, ProbeSnapshot(text));
   // Integrity failures (bad header, truncation, checksum mismatch) are
   // surfaced before any database state is built.
   TCH_RETURN_IF_ERROR(info.integrity);
   std::istringstream in(text);
-  return SnapshotReader(&in, info.version).Load();
+  SnapshotReader reader(&in, info.version);
+  LoadedSnapshot loaded;
+  TCH_ASSIGN_OR_RETURN(loaded.db, reader.Load());
+  loaded.definitions = reader.take_definitions();
+  return loaded;
 }
 
 }  // namespace tchimera

@@ -1,0 +1,145 @@
+#include "storage/group_commit.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace tchimera {
+
+Status GroupCommitJournal::Open(const std::string& path,
+                                const JournalOptions& journal_options,
+                                const GroupCommitOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_.is_open()) {
+    return Status::FailedPrecondition("group-commit journal is open");
+  }
+  JournalOptions opts = journal_options;
+  opts.sync = SyncPolicy::kNone;  // the sink owns every sync point
+  TCH_RETURN_IF_ERROR(journal_.Open(path, opts));
+  options_ = options;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  pending_.clear();
+  enqueued_ = taken_ = durable_ = batches_ = 0;
+  leader_active_ = false;
+  sticky_ = Status::OK();
+  return Status::OK();
+}
+
+bool GroupCommitJournal::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_.is_open();
+}
+
+void GroupCommitJournal::Close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Best effort: drain what we can (Close is a shutdown path; errors are
+  // already sticky for anyone still awaiting).
+  while (sticky_.ok() && durable_ < enqueued_) {
+    if (leader_active_) {
+      cv_.wait(lock);
+    } else {
+      LeadBatch(lock);
+    }
+  }
+  journal_.Close();
+}
+
+CommitSink::Ticket GroupCommitJournal::Enqueue(std::string_view statement) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.emplace_back(statement);
+  ++enqueued_;
+  return Ticket{enqueued_};
+}
+
+Status GroupCommitJournal::Await(Ticket ticket) {
+  if (ticket.seq == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (durable_ >= ticket.seq) return Status::OK();
+    if (!sticky_.ok()) return sticky_;
+    if (!leader_active_ && taken_ < enqueued_) {
+      // Elect ourselves leader for the next batch (it necessarily covers
+      // the oldest pending statement; ours is pending, so repeating this
+      // loop eventually flushes it or poisons the sink).
+      LeadBatch(lock);
+      continue;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void GroupCommitJournal::LeadBatch(std::unique_lock<std::mutex>& lock) {
+  leader_active_ = true;
+  if (options_.max_delay.count() > 0 && pending_.size() < options_.max_batch) {
+    // Linger for followers. cv_.wait_for releases the lock, so Enqueue
+    // can add to the batch while we wait; spurious wakeups just shorten
+    // the linger, which is harmless.
+    cv_.wait_for(lock, options_.max_delay);
+  }
+  std::vector<std::string> batch;
+  batch.reserve(std::min(pending_.size(), options_.max_batch));
+  while (!pending_.empty() && batch.size() < options_.max_batch) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  const uint64_t batch_high = taken_ + batch.size();
+  taken_ = batch_high;
+
+  lock.unlock();
+  // The expensive part, off the lock: concurrent sessions keep enqueueing
+  // (they hold the writer lock, not ours) and will ride the next batch.
+  Status result;
+  for (const std::string& statement : batch) {
+    result = journal_.Append(statement);
+    if (!result.ok()) break;
+  }
+  if (result.ok()) result = journal_.Sync();
+  lock.lock();
+
+  if (result.ok()) {
+    durable_ = batch_high;
+    ++batches_;
+  } else if (sticky_.ok()) {
+    // Poison: some prefix of this batch may or may not be on disk; no
+    // later append may be acknowledged over that uncertainty.
+    sticky_ = result;
+  }
+  leader_active_ = false;
+  cv_.notify_all();
+}
+
+Status GroupCommitJournal::WithQuiesced(
+    const std::function<Status(Journal&)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!journal_.is_open()) {
+    return Status::FailedPrecondition("group-commit journal is not open");
+  }
+  while (durable_ < enqueued_) {
+    if (!sticky_.ok()) return sticky_;
+    if (leader_active_) {
+      cv_.wait(lock);
+    } else {
+      LeadBatch(lock);
+    }
+  }
+  // Everything enqueued is durable and we hold the mutex, so no leader
+  // can be flushing: the journal is exclusively ours for `fn`.
+  return fn(journal_);
+}
+
+uint64_t GroupCommitJournal::enqueued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueued_;
+}
+
+uint64_t GroupCommitJournal::durable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_;
+}
+
+uint64_t GroupCommitJournal::batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+}  // namespace tchimera

@@ -289,6 +289,7 @@ Status Journal::Sync() {
   }
   TCH_RETURN_IF_ERROR(file_->Sync());
   unsynced_ = 0;
+  ++sync_count_;
   return Status::OK();
 }
 

@@ -127,6 +127,11 @@ class Journal {
   // Number of statements appended through this handle.
   size_t appended() const { return appended_; }
 
+  // Number of fdatasyncs issued through Sync() on this handle (including
+  // the per-record syncs of kEveryAppend) — the denominator group commit
+  // optimizes; benchmarks report it as a counter.
+  size_t sync_count() const { return sync_count_; }
+
   // Renames the live journal aside to RotatedPath(path, epoch) and starts
   // a fresh journal at `path` with epoch+1. The rotated file is the
   // durable record of this epoch until a snapshot covering it lands; see
@@ -173,6 +178,7 @@ class Journal {
   uint64_t next_seq_ = 1;
   size_t appended_ = 0;
   size_t unsynced_ = 0;
+  size_t sync_count_ = 0;
 };
 
 // A convenience facade bundling a database, an interpreter and a journal:

@@ -95,19 +95,33 @@ class RecoveryManager {
 
   // Phase API for embedders that replay through their own facade (the
   // REPL uses ActiveDatabase so journaled trigger/constraint definitions
-  // are restored too). Call in order: LoadSnapshot, ReplayJournals with
-  // an executor bound to the returned database, then Audit.
+  // are restored too). Call in order: LoadSnapshot, replay
+  // snapshot_definitions() through the facade, ReplayJournals with an
+  // executor bound to the returned database, then Audit.
   Result<std::unique_ptr<Database>> LoadSnapshot(RecoveryStats* stats);
   Status ReplayJournals(const StatementExecutor& exec, RecoveryStats* stats);
   static Status Audit(Database* db, AuditMode mode, RecoveryStats* stats);
 
+  // The v3 snapshot's DEFINE statements (trigger / constraint
+  // declarations), in snapshot order; filled by LoadSnapshot, empty for
+  // v1/v2 snapshots. They address the execution facade, so LoadSnapshot
+  // cannot apply them itself — phase-API callers replay them through
+  // their ActiveDatabase before ReplayJournals; Recover() (which has no
+  // facade) notes and skips them.
+  const std::vector<std::string>& snapshot_definitions() const {
+    return snapshot_definitions_;
+  }
+
   // The checkpoint protocol above. `fs` must be the same filesystem the
   // journal writes through (nullptr = FileSystem::Default()). On failure
   // the disk remains recoverable: rotated journals are deleted only after
-  // the new snapshot is durable.
+  // the new snapshot is durable. `definitions` (typically
+  // ActiveDatabase::DefinitionStatements()) are persisted as the
+  // snapshot's DEFINE records.
   static Status Checkpoint(const Database& db, Journal* journal,
                            const std::string& snapshot_path,
-                           FileSystem* fs = nullptr);
+                           FileSystem* fs = nullptr,
+                           const std::vector<std::string>& definitions = {});
 
  private:
   FileSystem* fs() const;
@@ -116,6 +130,7 @@ class RecoveryManager {
   std::string journal_path_;
   RecoveryOptions options_;
   uint64_t snapshot_epoch_ = 0;  // set by LoadSnapshot
+  std::vector<std::string> snapshot_definitions_;  // set by LoadSnapshot
 };
 
 }  // namespace tchimera

@@ -71,8 +71,10 @@ void WriteObject(const Object& obj, std::ostream* out) {
 // Writes header through NEXT-OID (everything the footer checksums) and
 // reports the CLASS+OBJECT record count.
 Status SaveDatabaseBody(const Database& db, std::ostream* out,
-                        uint64_t epoch, size_t* records) {
-  *out << "TCHIMERA-SNAPSHOT 2\n";
+                        uint64_t epoch,
+                        const std::vector<std::string>& definitions,
+                        size_t* records) {
+  *out << "TCHIMERA-SNAPSHOT 3\n";
   *out << "EPOCH " << epoch << "\n";
   *out << "NOW " << db.now() << "\n";
   // Emit classes in an ISA-respecting order: repeatedly flush classes
@@ -111,6 +113,16 @@ Status SaveDatabaseBody(const Database& db, std::ostream* out,
   for (Oid oid : db.AllOids()) {
     WriteObject(*db.GetObject(oid), out);
   }
+  // DEFINE records after all schema/objects (a trigger or constraint may
+  // reference any class), inside the checksummed body; excluded from the
+  // footer's record count, which stays CLASS+OBJECT for v2 parity.
+  for (const std::string& stmt : definitions) {
+    if (stmt.find('\n') != std::string::npos) {
+      return Status::InvalidArgument(
+          "definition statement contains a newline");
+    }
+    *out << "DEFINE " << stmt << "\n";
+  }
   // NEXT-OID last so restore can clamp upward regardless of object order.
   *out << "NEXT-OID " << db.next_oid() << "\n";
   if (!out->good()) return Status::IoError("write failed");
@@ -120,13 +132,15 @@ Status SaveDatabaseBody(const Database& db, std::ostream* out,
 
 }  // namespace
 
-Status SaveDatabase(const Database& db, std::ostream* out, uint64_t epoch) {
+Status SaveDatabase(const Database& db, std::ostream* out, uint64_t epoch,
+                    const std::vector<std::string>& definitions) {
   // The footer checksums every byte above it, so the body is staged in
   // memory first (snapshots are line-oriented text; the whole database
   // already round-trips through strings in tests and benches).
   std::ostringstream body;
   size_t records = 0;
-  TCH_RETURN_IF_ERROR(SaveDatabaseBody(db, &body, epoch, &records));
+  TCH_RETURN_IF_ERROR(
+      SaveDatabaseBody(db, &body, epoch, definitions, &records));
   std::string text = body.str();
   *out << text << "CHECKSUM " << records << " " << Crc32Hex(Crc32(text))
        << "\nEOF\n";
@@ -135,9 +149,11 @@ Status SaveDatabase(const Database& db, std::ostream* out, uint64_t epoch) {
 }
 
 Status SaveDatabaseToFile(const Database& db, const std::string& path,
-                          uint64_t epoch, FileSystem* fs) {
+                          uint64_t epoch, FileSystem* fs,
+                          const std::vector<std::string>& definitions) {
   if (fs == nullptr) fs = FileSystem::Default();
-  TCH_ASSIGN_OR_RETURN(std::string text, SaveDatabaseToString(db, epoch));
+  TCH_ASSIGN_OR_RETURN(std::string text,
+                       SaveDatabaseToString(db, epoch, definitions));
   std::string tmp = path + ".tmp";
   {
     TCH_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
@@ -151,9 +167,11 @@ Status SaveDatabaseToFile(const Database& db, const std::string& path,
   return fs->RenameFile(tmp, path);
 }
 
-Result<std::string> SaveDatabaseToString(const Database& db, uint64_t epoch) {
+Result<std::string> SaveDatabaseToString(
+    const Database& db, uint64_t epoch,
+    const std::vector<std::string>& definitions) {
   std::ostringstream out;
-  TCH_RETURN_IF_ERROR(SaveDatabase(db, &out, epoch));
+  TCH_RETURN_IF_ERROR(SaveDatabase(db, &out, epoch, definitions));
   return out.str();
 }
 

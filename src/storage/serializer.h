@@ -6,7 +6,7 @@
 // Format sketch (one record per line; values/types in their canonical
 // textual syntax, which never contains newlines):
 //
-//   TCHIMERA-SNAPSHOT 2
+//   TCHIMERA-SNAPSHOT 3
 //   EPOCH <e>
 //   NOW <t>
 //   CLASS <name>
@@ -24,16 +24,23 @@
 //   CLASSHIST <temporal-value>
 //   ATTRVAL <name> <value>
 //   END
+//   DEFINE <statement>
 //   NEXT-OID <n>
 //   CHECKSUM <records> <crc32>
 //   EOF
 //
-// The v2 footer carries the CLASS+OBJECT record count and a CRC32 over
+// The v2+ footer carries the CLASS+OBJECT record count and a CRC32 over
 // every byte above it, so a truncated or bit-flipped snapshot is rejected
 // before a single record is parsed (v1 snapshots — no EPOCH, no CHECKSUM,
-// header version 1 — still load). EPOCH orders the snapshot against
-// journals: it contains the effects of every journal with epoch < e (see
-// storage/recovery.h).
+// header version 1 — still load; v2 snapshots — no DEFINE records — also
+// still load). EPOCH orders the snapshot against journals: it contains
+// the effects of every journal with epoch < e (see storage/recovery.h).
+//
+// v3 adds DEFINE records: caller-supplied definition statements (the
+// ActiveDatabase's `trigger` / `constraint` declarations, which live
+// outside the Database proper) carried verbatim, one per line, inside the
+// checksummed body. They are replayed through the execution facade on
+// restore; the record count in the footer stays CLASS+OBJECT only.
 //
 // Classes are emitted in topological (ISA) order so restore never sees a
 // dangling superclass.
@@ -43,6 +50,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/fault_fs.h"
 #include "common/status.h"
@@ -50,18 +58,24 @@
 
 namespace tchimera {
 
-// Writes a full v2 snapshot of `db` (footer included).
+// Writes a full v3 snapshot of `db` (footer included). `definitions` are
+// extra statements (trigger / constraint declarations) emitted as DEFINE
+// records; each must be newline-free (statements always are — string
+// literals escape newlines) or InvalidArgument is returned.
 Status SaveDatabase(const Database& db, std::ostream* out,
-                    uint64_t epoch = 0);
+                    uint64_t epoch = 0,
+                    const std::vector<std::string>& definitions = {});
 // Convenience: snapshot to a file, atomically and durably — the bytes are
 // written to `<path>.tmp`, fsynced, renamed over `path`, and the parent
 // directory fsynced; a crash at any point leaves either the old snapshot
 // or the new one, never a torn file.
 Status SaveDatabaseToFile(const Database& db, const std::string& path,
-                          uint64_t epoch = 0, FileSystem* fs = nullptr);
+                          uint64_t epoch = 0, FileSystem* fs = nullptr,
+                          const std::vector<std::string>& definitions = {});
 // Snapshot into a string (tests, benchmarks).
-Result<std::string> SaveDatabaseToString(const Database& db,
-                                         uint64_t epoch = 0);
+Result<std::string> SaveDatabaseToString(
+    const Database& db, uint64_t epoch = 0,
+    const std::vector<std::string>& definitions = {});
 
 }  // namespace tchimera
 

@@ -143,6 +143,16 @@ std::vector<std::string> ActiveDatabase::TriggerNames() const {
   return out;
 }
 
+std::vector<std::string> ActiveDatabase::DefinitionStatements() const {
+  std::vector<std::string> out;
+  out.reserve(triggers_.size() + constraints_.size());
+  for (const Trigger& t : triggers_) out.push_back(t.ToString());
+  for (const std::string& name : constraints_.Names()) {
+    out.push_back(constraints_.Find(name)->ToString());
+  }
+  return out;
+}
+
 bool ActiveDatabase::Matches(const Trigger& trigger,
                              const Event& event) const {
   if (trigger.event != event.kind) return false;

@@ -67,6 +67,17 @@ class ActiveDatabase {
   ConstraintRegistry& constraints() { return constraints_; }
   const ConstraintRegistry& constraints() const { return constraints_; }
 
+  // Opt-in static analysis for statements executed through this facade
+  // (forwarded to the internal interpreter; see Interpreter::set_lint).
+  void set_lint(DiagnosticEngine* diags) { interp_.set_lint(diags); }
+
+  // The textual definition of every registered trigger, then every
+  // constraint, each in the exact re-parseable form Execute accepts.
+  // This is what a checkpoint persists (snapshot v3 DEFINE records, see
+  // docs/PERSISTENCE.md) so definitions survive the journal being folded
+  // into a snapshot.
+  std::vector<std::string> DefinitionStatements() const;
+
   // Executes a statement; on a successful mutation, fires matching
   // triggers (and their cascades). Returns the statement's own output.
   //

@@ -450,6 +450,88 @@ TEST(QueryAnalyzer, NonTrivialPredicateIsFine) {
   EXPECT_CLEAN(ds);
 }
 
+// --- TC106: statically empty update windows -------------------------------
+
+TEST(QueryAnalyzer, InvertedUpdateWindowReported) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 9;"
+      "create a at 0 (v: 1);"
+      "update i1 set v = 2 during [7,3]");
+  EXPECT_CODE(ds, "TC106");
+}
+
+TEST(QueryAnalyzer, ProperUpdateWindowIsFine) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 9;"
+      "create a at 0 (v: 1);"
+      "update i1 set v = 2 during [3,7];"
+      "update i1 set v = 3 during [8,8]");
+  EXPECT_NO_CODE(ds, "TC106");
+}
+
+TEST(QueryAnalyzer, NowBoundedWindowNotFlagged) {
+  // [5,now] is empty only if the clock is behind 5 — not statically known.
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 9;"
+      "create a at 0 (v: 1);"
+      "update i1 set v = 2 during [5,now]");
+  EXPECT_NO_CODE(ds, "TC106");
+}
+
+// --- TC107: snapshot outside the object lifespan --------------------------
+
+TEST(QueryAnalyzer, SnapshotBeforeObjectLifespanReported) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 5;"
+      "create a (v: 1);"
+      "snapshot i1 at 2");
+  EXPECT_CODE(ds, "TC107");
+}
+
+TEST(QueryAnalyzer, SnapshotAfterDeletedObjectReported) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "create a (v: 1);"
+      "tick 5;"
+      "delete i1;"
+      "tick 5;"
+      "snapshot i1 at 9");
+  EXPECT_CODE(ds, "TC107");
+}
+
+TEST(QueryAnalyzer, SnapshotWithinLifespanIsFine) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 5;"
+      "create a (v: 1);"
+      "tick 5;"
+      "snapshot i1 at 7;"
+      "snapshot i1");
+  EXPECT_NO_CODE(ds, "TC107");
+}
+
+// --- TC108: history of a non-temporal attribute ---------------------------
+
+TEST(QueryAnalyzer, HistoryOfNonTemporalAttributeReported) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "create a (v: 1);"
+      "history i1.v");
+  EXPECT_CODE(ds, "TC108");
+}
+
+TEST(QueryAnalyzer, HistoryOfTemporalAttributeIsFine) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "create a (v: 1);"
+      "history i1.v");
+  EXPECT_NO_CODE(ds, "TC108");
+}
+
 // --- TC110: type errors ---------------------------------------------------
 
 TEST(QueryAnalyzer, TypeErrorReported) {
@@ -665,6 +747,11 @@ TEST(DiagnosticRender, EmittedCodesAreRegistered) {
       "select x.v @ now from x in t where 1 < 2;"
       "select x.v @ 1 from x in t;"
       "select x.nope from x in t;"
+      "update i1 set v = 2 during [3,1];"
+      "snapshot i1 at 1;"
+      "define class u attributes w: integer end;"
+      "create u (w: 1);"
+      "history i2.w;"
       "update i99 set v = 1");
   for (const Diagnostic& d : ds) {
     EXPECT_NE(FindDiagnosticInfo(d.code), nullptr)
@@ -673,7 +760,8 @@ TEST(DiagnosticRender, EmittedCodesAreRegistered) {
   // The fixture above is designed to light up a wide spread of codes.
   for (const char* code :
        {"TC001", "TC002", "TC004", "TC006", "TC007", "TC101", "TC102",
-        "TC103", "TC104", "TC105", "TC110", "TC111"}) {
+        "TC103", "TC104", "TC105", "TC106", "TC107", "TC108", "TC110",
+        "TC111"}) {
     EXPECT_TRUE(Has(ds, code)) << "expected " << code << " in:\n"
                                << Messages(ds);
   }

@@ -125,11 +125,20 @@ int Verify(const std::string& dir) {
   } else {
     db = std::move(loaded).value();
     ActiveDatabase active(db.get());
-    failure = manager.ReplayJournals(
-        [&active](const std::string& statement) {
-          return active.Execute(statement).status();
-        },
-        &stats);
+    // A v3 snapshot carries trigger/constraint definitions; restore them
+    // before replay so journaled statements see the same active rules
+    // they were originally executed under.
+    for (const std::string& definition : manager.snapshot_definitions()) {
+      failure = active.Execute(definition).status();
+      if (!failure.ok()) break;
+    }
+    if (failure.ok()) {
+      failure = manager.ReplayJournals(
+          [&active](const std::string& statement) {
+            return active.Execute(statement).status();
+          },
+          &stats);
+    }
     if (failure.ok()) {
       failure = RecoveryManager::Audit(db.get(), AuditMode::kFail, &stats);
     }
