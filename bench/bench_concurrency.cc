@@ -1,17 +1,25 @@
 // Experiment CC: the session/transaction engine — snapshot-read
 // scaling across threads (the Table 3 functions are pure reads, so
-// snapshot isolation should scale them near-linearly) and group commit
-// vs per-statement fdatasync (the sync count is the durability cost a
-// batch amortizes).
+// snapshot isolation should scale them near-linearly), MVCC interference
+// (writer throughput must not degrade while a reader pins a snapshot,
+// and commit cost must track touched objects, not database size) and
+// group commit vs per-statement fdatasync (the sync count is the
+// durability cost a batch amortizes).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/db/database.h"
+#include "core/db/versioned_db.h"
+#include "core/values/value.h"
+#include "query/interpreter.h"
 #include "query/session.h"
 #include "storage/group_commit.h"
 #include "storage/journal.h"
@@ -85,6 +93,122 @@ BENCHMARK(BM_SnapshotPointReads)
     ->Threads(4)
     ->Threads(8)
     ->UseRealTime();
+
+// --- MVCC interference: writer commit throughput with (Arg 1) and
+// without (Arg 0) a reader snapshot pinned across the entire run. The
+// two arms must be indistinguishable — a pinned snapshot only keeps its
+// own version alive, it never gates the writer. (Under the pre-MVCC
+// shared_mutex protocol the Arg(1) arm would simply hang on the first
+// commit.)
+
+void BM_WriterCommitsUnderPinnedSnapshot(benchmark::State& state) {
+  const bool pin = state.range(0) != 0;
+  Engine engine;
+  Session setup = engine.OpenSession();
+  (void)setup.Execute("define class emp attributes v: integer end");
+  Session reader = engine.OpenSession();
+  ReadSnapshot pinned;
+  if (pin) pinned = reader.snapshot();  // held until the run ends
+  Session writer = engine.OpenSession();
+  for (auto _ : state) {
+    Result<std::string> out = writer.Execute("create emp (v: 1)");
+    if (!out.ok()) state.SkipWithError("write failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pinned"] = pin ? 1.0 : 0.0;
+}
+BENCHMARK(BM_WriterCommitsUnderPinnedSnapshot)->Arg(0)->Arg(1);
+
+// --- MVCC commit cost vs touched objects: a commit publishes a
+// copy-on-write Database — the copy shares every class and object shard
+// with the previous version, and the next writes re-clone only what they
+// touch. Time per touched object should therefore be flat as the touch
+// count grows, on a database whose total size (4096 objects) never
+// changes.
+
+void BM_CommitCostVsTouchedObjects(benchmark::State& state) {
+  constexpr int kDbObjects = 4096;
+  const int touched = static_cast<int>(state.range(0));
+  VersionedDatabase vdb;
+  std::vector<Oid> oids;
+  {
+    WriteGuard guard = vdb.BeginWrite();
+    Interpreter interp(&guard.db());
+    if (!interp.Execute("define class emp attributes v: integer end").ok()) {
+      state.SkipWithError("schema failed");
+      return;
+    }
+    oids.reserve(kDbObjects);
+    for (int i = 0; i < kDbObjects; ++i) {
+      Result<Oid> oid =
+          guard.db().CreateObject("emp", {{"v", Value::Integer(0)}});
+      if (!oid.ok()) {
+        state.SkipWithError("populate failed");
+        return;
+      }
+      oids.push_back(*oid);
+    }
+    guard.Commit();
+  }
+  int64_t next = 0;
+  for (auto _ : state) {
+    WriteGuard guard = vdb.BeginWrite();
+    for (int k = 0; k < touched; ++k) {
+      Oid oid = oids[static_cast<size_t>(next) % oids.size()];
+      ++next;
+      if (!guard.db().UpdateAttribute(oid, "v", Value::Integer(next)).ok()) {
+        state.SkipWithError("update failed");
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(guard.Commit());
+  }
+  state.SetItemsProcessed(state.iterations() * touched);
+  state.counters["touched"] = static_cast<double>(touched);
+  state.counters["db_objects"] = kDbObjects;
+}
+BENCHMARK(BM_CommitCostVsTouchedObjects)->Arg(1)->Arg(16)->Arg(256)->Arg(1024);
+
+// --- single-writer latency under a linger window: with max_delay set, a
+// lone committer's Await must NOT pay the linger — its pending statement
+// is the whole non-durable backlog, so the leader flushes immediately.
+// The bench measures the full Enqueue+Await round trip and fails
+// (SkipWithError) if the average latency reaches max_delay, which is
+// what the pre-fix dead linger cost on every single-writer commit.
+
+void BM_SingleWriterLatencyWithLinger(benchmark::State& state) {
+  std::string dir = ScratchDir("linger");
+  GroupCommitOptions gopts;
+  gopts.max_delay = std::chrono::microseconds(20000);  // 20ms window
+  GroupCommitJournal sink;
+  if (!sink.Open(dir + "/journal.tchl", JournalOptions{}, gopts).ok()) {
+    state.SkipWithError("journal open failed");
+    return;
+  }
+  std::chrono::nanoseconds in_commit{0};
+  for (auto _ : state) {
+    auto begin = std::chrono::steady_clock::now();
+    CommitSink::Ticket ticket = sink.Enqueue("tick 1");
+    Status durable = sink.Await(ticket);
+    in_commit += std::chrono::steady_clock::now() - begin;
+    if (!durable.ok()) {
+      state.SkipWithError("await failed");
+      break;
+    }
+  }
+  const int64_t iterations = std::max<int64_t>(1, state.iterations());
+  const auto avg = in_commit / iterations;
+  state.counters["avg_commit_us"] =
+      std::chrono::duration<double, std::micro>(avg).count();
+  if (avg >= gopts.max_delay) {
+    state.SkipWithError(
+        "single-writer commit latency >= max_delay: lone-committer "
+        "linger skip regressed");
+  }
+  sink.Close();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleWriterLatencyWithLinger)->UseRealTime();
 
 // --- durability: group commit vs one fdatasync per statement. The
 // baseline sink syncs inside Enqueue (the pre-refactor behavior: every

@@ -52,6 +52,9 @@ const std::vector<DiagnosticInfo>& AllDiagnosticInfos() {
        "Section 6.1 (co/contravariance)"},
       {"TC010", "parse-error", Severity::kError, "TQL grammar"},
       {"TC011", "file-error", Severity::kError, "driver"},
+      {"TC012", "extent-outside-superclass-lifespan", Severity::kError,
+       "Invariant 5.1 / Invariant 6.1 (extents within superclass "
+       "lifespans)"},
       // --- TC1xx: query (TQL) analysis ----------------------------------
       {"TC101", "unused-binder", Severity::kWarning,
        "Section 6.1 (query semantics)"},

@@ -117,6 +117,7 @@ class SchemaAnalysis {
       CheckDeclaredMembers(entries_.find(name)->second);
     }
     MergeInTopoOrder();
+    CheckExtentLifespans();
   }
 
  private:
@@ -442,6 +443,73 @@ class SchemaAnalysis {
               second_src + "') and does not redeclare it",
           "multiple-inheritance conflicts must be resolved by an explicit "
           "redeclaration in the subclass");
+    }
+  }
+
+  // --- extent / lifespan audit (TC012) -------------------------------------
+  //
+  // Invariant 5.1 confines ext(c) to lifespan(c); membership propagation
+  // (every instance of c is a member of every superclass, Invariant 6.1)
+  // lifts that to superclass lifespans: an interval during which c had
+  // members but a superclass did not exist is unsatisfiable. Declarations
+  // cannot carry extents, so the interval checks apply to base-database
+  // classes; for declarations the analyzable shadow of the same invariant
+  // is a dead base superclass — every future member of the declared class
+  // would land outside that superclass's closed lifespan.
+
+  void CheckExtentLifespans() {
+    if (base_ == nullptr) return;
+    const TimePoint now = base_->now();
+    for (const std::string& name : base_->ClassNames()) {
+      const ClassDef* def = base_->GetClass(name);
+      CheckExtentWithin(name, "ext", def->ext().Domain(now), name,
+                        def->lifespan(), now);
+      CheckExtentWithin(name, "proper-ext", def->proper_ext().Domain(now),
+                        name, def->lifespan(), now);
+      for (const std::string& super : def->direct_superclasses()) {
+        const ClassDef* sdef = base_->GetClass(super);
+        if (sdef == nullptr) continue;
+        CheckExtentWithin(name, "ext", def->ext().Domain(now), super,
+                          sdef->lifespan(), now);
+      }
+    }
+    for (const std::string& name : decl_order_) {
+      const ClassEntry& e = entries_.find(name)->second;
+      for (const std::string& super : e.supers) {
+        if (!entries_.find(super)->second.from_base) continue;
+        const ClassDef* sdef = base_->GetClass(super);
+        if (sdef == nullptr || sdef->alive()) continue;
+        diags_->Report(
+            "TC012", e.position,
+            "class '" + name + "': superclass '" + super +
+                "' has a closed lifespan " + sdef->lifespan().ToString() +
+                "; every future member of '" + name +
+                "' would fall outside it",
+            "ext(c) is confined to lifespan(c) (Invariant 5.1), and every "
+            "member of a class is a member of its superclasses "
+            "(Invariant 6.1), so a class cannot acquire members after a "
+            "superclass's lifespan ended");
+      }
+    }
+  }
+
+  void CheckExtentWithin(const std::string& cls, const char* which,
+                         const IntervalSet& extent_domain,
+                         const std::string& owner, const Interval& lifespan,
+                         TimePoint now) {
+    for (const Interval& iv : extent_domain.intervals()) {
+      if (lifespan.Covers(iv, now)) continue;
+      const bool self = owner == cls;
+      diags_->Report(
+          "TC012", SourceLocation::kNoOffset,
+          "class '" + cls + "': " + which + " interval " + iv.ToString() +
+              " lies outside the lifespan " + lifespan.ToString() +
+              (self ? "" : " of superclass '" + owner + "'"),
+          self ? "ext(c) is confined to lifespan(c) (Invariant 5.1)"
+               : "every member of a class is a member of its superclasses "
+                 "(Invariant 6.1), and their extents are confined to their "
+                 "lifespans (Invariant 5.1)");
+      break;  // one finding per (class, owner) pair is enough
     }
   }
 

@@ -17,6 +17,10 @@
 //   TC007  attribute declared twice in one class
 //   TC008  class defined twice in one schema
 //   TC009  method redefinition violating co/contravariance (Section 6.1)
+//   TC012  extent outside a (superclass) lifespan: Invariant 5.1 confines
+//          ext(c) to lifespan(c), and Invariant 6.1 lifts it to every
+//          superclass; also flags declarations under a dead base
+//          superclass (their future members could never satisfy it)
 #ifndef TCHIMERA_ANALYSIS_SCHEMA_ANALYZER_H_
 #define TCHIMERA_ANALYSIS_SCHEMA_ANALYZER_H_
 

@@ -10,6 +10,18 @@
 namespace tchimera {
 namespace {
 
+// COW epochs are process-global and strictly increasing, so no two
+// Database copies ever share an epoch (see the ClassSlot comment in
+// database.h). Relaxed is enough: epochs only need uniqueness, and the
+// copies themselves are handed across threads with proper publication
+// (VersionedDatabase's atomic version pointer).
+uint64_t NextCowEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::atomic<int64_t> g_live_databases{0};
+
 // Attribute names reserved for the class history record (Definition 4.1).
 bool IsReservedName(std::string_view name) {
   return name == "ext" || name == "proper-ext";
@@ -31,6 +43,88 @@ Status ValidateMemberType(const std::string& owner, const char* kind,
 
 }  // namespace
 
+// --- construction / COW machinery -------------------------------------------
+
+Database::Database()
+    : isa_(std::make_shared<IsaGraph>()),
+      classes_(std::make_shared<ClassTable>()) {
+  const uint64_t epoch = NextCowEpoch();
+  cow_epoch_.store(epoch, std::memory_order_relaxed);
+  isa_epoch_ = epoch;
+  classes_->epoch = epoch;
+  g_live_databases.fetch_add(1, std::memory_order_relaxed);
+}
+
+Database::Database(const Database& other)
+    : clock_(other.clock_),
+      isa_(other.isa_),
+      isa_epoch_(other.isa_epoch_),
+      classes_(other.classes_),
+      objects_(other.objects_),
+      next_oid_(other.next_oid_) {
+  // Both sides get fresh epochs: every structure the two copies now share
+  // carries an epoch neither side owns, so whichever side mutates first
+  // clones before writing. Epochs are strictly increasing, so a stale
+  // slot can never collide with a fresh epoch.
+  cow_epoch_.store(NextCowEpoch(), std::memory_order_relaxed);
+  other.cow_epoch_.store(NextCowEpoch(), std::memory_order_relaxed);
+  g_live_databases.fetch_add(1, std::memory_order_relaxed);
+}
+
+Database::~Database() {
+  g_live_databases.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int64_t Database::live_instance_count() {
+  return g_live_databases.load(std::memory_order_relaxed);
+}
+
+Database::ClassTable& Database::MutableClassTable() {
+  const uint64_t epoch = cow_epoch_.load(std::memory_order_relaxed);
+  if (classes_->epoch != epoch) {
+    auto clone = std::make_shared<ClassTable>(*classes_);
+    clone->epoch = epoch;
+    classes_ = std::move(clone);
+  }
+  return *classes_;
+}
+
+Database::ObjectShard& Database::MutableShard(uint64_t id) {
+  const uint64_t epoch = cow_epoch_.load(std::memory_order_relaxed);
+  std::shared_ptr<ObjectShard>& shard = objects_[ShardIndex(id)];
+  if (shard == nullptr) {
+    shard = std::make_shared<ObjectShard>();
+    shard->epoch = epoch;
+  } else if (shard->epoch != epoch) {
+    auto clone = std::make_shared<ObjectShard>(*shard);
+    clone->epoch = epoch;
+    shard = std::move(clone);
+  }
+  return *shard;
+}
+
+IsaGraph& Database::MutableIsa() {
+  const uint64_t epoch = cow_epoch_.load(std::memory_order_relaxed);
+  if (isa_epoch_ != epoch) {
+    isa_ = std::make_shared<IsaGraph>(*isa_);
+    isa_epoch_ = epoch;
+  }
+  return *isa_;
+}
+
+ClassDef* Database::GetMutableClass(std::string_view name) {
+  // Miss-check against the shared table first so NotFound paths do not
+  // clone the spine.
+  if (classes_->map.find(name) == classes_->map.end()) return nullptr;
+  const uint64_t epoch = cow_epoch_.load(std::memory_order_relaxed);
+  ClassSlot& slot = MutableClassTable().map.find(name)->second;
+  if (slot.epoch != epoch) {
+    slot.def = std::make_shared<ClassDef>(*slot.def);
+    slot.epoch = epoch;
+  }
+  return slot.def.get();
+}
+
 // --- schema ------------------------------------------------------------------
 
 Status Database::DefineClass(const ClassSpec& spec) {
@@ -38,7 +132,7 @@ Status Database::DefineClass(const ClassSpec& spec) {
     return Status::InvalidArgument("class name '" + spec.name +
                                    "' is not a valid identifier");
   }
-  if (classes_.count(spec.name) != 0) {
+  if (classes_->map.count(spec.name) != 0) {
     return Status::AlreadyExists("class " + spec.name + " already exists");
   }
   std::vector<const ClassDef*> supers;
@@ -89,15 +183,17 @@ Status Database::DefineClass(const ClassSpec& spec) {
   }
   // Rule 6.1 / method variance checks + member merge.
   TCH_ASSIGN_OR_RETURN(MergedMembers merged,
-                       MergeClassMembers(spec, supers, isa_));
-  TCH_RETURN_IF_ERROR(isa_.AddClass(spec.name, spec.superclasses));
-  classes_.emplace(
+                       MergeClassMembers(spec, supers, *isa_));
+  TCH_RETURN_IF_ERROR(MutableIsa().AddClass(spec.name, spec.superclasses));
+  MutableClassTable().map.emplace(
       spec.name,
-      std::make_unique<ClassDef>(spec.name, now(), spec.superclasses,
-                                 std::move(merged.attributes),
-                                 std::move(merged.methods),
-                                 std::move(merged.c_attributes),
-                                 std::move(merged.c_methods)));
+      ClassSlot{std::make_shared<ClassDef>(spec.name, now(),
+                                           spec.superclasses,
+                                           std::move(merged.attributes),
+                                           std::move(merged.methods),
+                                           std::move(merged.c_attributes),
+                                           std::move(merged.c_methods)),
+                cow_epoch_.load(std::memory_order_relaxed)});
   return Status::OK();
 }
 
@@ -114,7 +210,7 @@ Status Database::DropClass(std::string_view name) {
     return Status::FailedPrecondition("class " + std::string(name) +
                                       " still has members");
   }
-  for (const std::string& sub : isa_.Subclasses(name)) {
+  for (const std::string& sub : isa_->Subclasses(name)) {
     const ClassDef* c = GetClass(sub);
     if (c != nullptr && c->alive()) {
       return Status::FailedPrecondition("class " + std::string(name) +
@@ -125,13 +221,8 @@ Status Database::DropClass(std::string_view name) {
 }
 
 const ClassDef* Database::GetClass(std::string_view name) const {
-  auto it = classes_.find(name);
-  return it == classes_.end() ? nullptr : it->second.get();
-}
-
-ClassDef* Database::GetMutableClass(std::string_view name) {
-  auto it = classes_.find(name);
-  return it == classes_.end() ? nullptr : it->second.get();
+  auto it = classes_->map.find(name);
+  return it == classes_->map.end() ? nullptr : it->second.def.get();
 }
 
 Result<const ClassDef*> Database::FindClass(std::string_view name) const {
@@ -144,8 +235,8 @@ Result<const ClassDef*> Database::FindClass(std::string_view name) const {
 
 std::vector<std::string> Database::ClassNames() const {
   std::vector<std::string> out;
-  out.reserve(classes_.size());
-  for (const auto& [name, unused] : classes_) out.push_back(name);
+  out.reserve(classes_->map.size());
+  for (const auto& [name, unused] : classes_->map) out.push_back(name);
   return out;
 }
 
@@ -266,7 +357,7 @@ Result<Oid> Database::CreateObjectAt(std::string_view class_name,
         " is outside the lifespan of class " + std::string(class_name));
   }
   Oid oid{next_oid_};
-  auto obj = std::make_unique<Object>(oid, std::string(class_name), start);
+  auto obj = std::make_shared<Object>(oid, std::string(class_name), start);
 
   // Initial values: every attribute of the class gets a slot. Explicit
   // inits are validated; missing attributes default to null (asserted from
@@ -298,7 +389,9 @@ Result<Oid> Database::CreateObjectAt(std::string_view class_name,
     TCH_RETURN_IF_ERROR(c->AddMember(oid, start));
   }
   ++next_oid_;
-  objects_.emplace(oid.id, std::move(obj));
+  MutableShard(oid.id).slots.emplace(
+      oid.id,
+      ObjectSlot{std::move(obj), cow_epoch_.load(std::memory_order_relaxed)});
   return oid;
 }
 
@@ -379,8 +472,8 @@ Status Database::Migrate(Oid oid, std::string_view new_class,
                                       " has been deleted");
   }
   // Invariant 6.2: objects never migrate across hierarchies.
-  TCH_ASSIGN_OR_RETURN(std::string old_h, isa_.HierarchyId(*old_name));
-  TCH_ASSIGN_OR_RETURN(std::string new_h, isa_.HierarchyId(new_class));
+  TCH_ASSIGN_OR_RETURN(std::string old_h, isa_->HierarchyId(*old_name));
+  TCH_ASSIGN_OR_RETURN(std::string new_h, isa_->HierarchyId(new_class));
   if (old_h != new_h) {
     return Status::FailedPrecondition(
         "cannot migrate " + oid.ToString() + " from class " + *old_name +
@@ -442,12 +535,12 @@ Status Database::Migrate(Oid oid, std::string_view new_class,
   TCH_RETURN_IF_ERROR(GetMutableClass(new_class)->AddInstance(oid, t));
   std::set<std::string> new_membership;
   new_membership.insert(std::string(new_class));
-  for (const std::string& s : isa_.Superclasses(new_class)) {
+  for (const std::string& s : isa_->Superclasses(new_class)) {
     new_membership.insert(s);
   }
   std::set<std::string> old_membership;
   old_membership.insert(*old_name);
-  for (const std::string& s : isa_.Superclasses(*old_name)) {
+  for (const std::string& s : isa_->Superclasses(*old_name)) {
     old_membership.insert(s);
   }
   for (const std::string& cls : old_membership) {
@@ -471,14 +564,18 @@ Status Database::DeleteObject(Oid oid) {
   }
   // Referential integrity: no *live* object may still reference oid at
   // the current time.
-  for (const auto& [other_id, other] : objects_) {
-    if (other_id == oid.id || !other->alive()) continue;
-    std::vector<Oid> refs = other->ReferencedOids(now());
-    if (std::binary_search(refs.begin(), refs.end(), oid)) {
-      return Status::ConsistencyViolation(
-          "cannot delete " + oid.ToString() + ": object " +
-          other->id().ToString() + " still references it at time " +
-          InstantToString(now()));
+  for (const auto& shard : objects_) {
+    if (shard == nullptr) continue;
+    for (const auto& [other_id, slot] : shard->slots) {
+      const Object* other = slot.obj.get();
+      if (other_id == oid.id || !other->alive()) continue;
+      std::vector<Oid> refs = other->ReferencedOids(now());
+      if (std::binary_search(refs.begin(), refs.end(), oid)) {
+        return Status::ConsistencyViolation(
+            "cannot delete " + oid.ToString() + ": object " +
+            other->id().ToString() + " still references it at time " +
+            InstantToString(now()));
+      }
     }
   }
   return DeleteObjectUnchecked(oid);
@@ -503,23 +600,34 @@ Status Database::DeleteObjectUnchecked(Oid oid) {
 }
 
 Status Database::QuarantineObject(Oid oid) {
-  auto it = objects_.find(oid.id);
-  if (it == objects_.end()) {
+  if (GetObject(oid) == nullptr) {
     return Status::NotFound("object " + oid.ToString() + " does not exist");
   }
-  objects_.erase(it);
-  for (auto& [name, cls] : classes_) cls->ScrubFromExtents(oid);
+  MutableShard(oid.id).slots.erase(oid.id);
+  for (const std::string& name : ClassNames()) {
+    GetMutableClass(name)->ScrubFromExtents(oid);
+  }
   return Status::OK();
 }
 
 const Object* Database::GetObject(Oid oid) const {
-  auto it = objects_.find(oid.id);
-  return it == objects_.end() ? nullptr : it->second.get();
+  const ObjectShard* shard = objects_[ShardIndex(oid.id)].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->slots.find(oid.id);
+  return it == shard->slots.end() ? nullptr : it->second.obj.get();
 }
 
 Object* Database::GetMutableObject(Oid oid) {
-  auto it = objects_.find(oid.id);
-  return it == objects_.end() ? nullptr : it->second.get();
+  // Miss-check against the shared shard first so NotFound paths do not
+  // clone it.
+  if (GetObject(oid) == nullptr) return nullptr;
+  const uint64_t epoch = cow_epoch_.load(std::memory_order_relaxed);
+  ObjectSlot& slot = MutableShard(oid.id).slots.find(oid.id)->second;
+  if (slot.epoch != epoch) {
+    slot.obj = std::make_shared<Object>(*slot.obj);
+    slot.epoch = epoch;
+  }
+  return slot.obj.get();
 }
 
 Result<const Object*> Database::FindObject(Oid oid) const {
@@ -532,10 +640,21 @@ Result<const Object*> Database::FindObject(Oid oid) const {
 
 std::vector<Oid> Database::AllOids() const {
   std::vector<Oid> out;
-  out.reserve(objects_.size());
-  for (const auto& [id, unused] : objects_) out.push_back(Oid{id});
+  out.reserve(object_count());
+  for (const auto& shard : objects_) {
+    if (shard == nullptr) continue;
+    for (const auto& [id, unused] : shard->slots) out.push_back(Oid{id});
+  }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+size_t Database::object_count() const {
+  size_t n = 0;
+  for (const auto& shard : objects_) {
+    if (shard != nullptr) n += shard->slots.size();
+  }
+  return n;
 }
 
 // --- Table 3 functions ------------------------------------------------------
@@ -625,7 +744,7 @@ std::vector<ClassDef*> Database::SelfAndSuperclasses(std::string_view name) {
   ClassDef* self = GetMutableClass(name);
   if (self == nullptr) return out;
   out.push_back(self);
-  for (const std::string& super : isa_.Superclasses(name)) {
+  for (const std::string& super : isa_->Superclasses(name)) {
     ClassDef* c = GetMutableClass(super);
     if (c != nullptr) out.push_back(c);
   }
@@ -636,13 +755,14 @@ Status Database::RestoreClass(const ClassSpec& effective_spec,
                               const Interval& lifespan, TemporalFunction ext,
                               TemporalFunction proper_ext,
                               std::vector<Value::Field> c_attr_values) {
-  if (classes_.count(effective_spec.name) != 0) {
+  if (classes_->map.count(effective_spec.name) != 0) {
     return Status::AlreadyExists("class " + effective_spec.name +
                                  " already exists");
   }
   TCH_RETURN_IF_ERROR(
-      isa_.AddClass(effective_spec.name, effective_spec.superclasses));
-  auto cls = std::make_unique<ClassDef>(
+      MutableIsa().AddClass(effective_spec.name,
+                            effective_spec.superclasses));
+  auto cls = std::make_shared<ClassDef>(
       effective_spec.name, lifespan.start(), effective_spec.superclasses,
       effective_spec.attributes, effective_spec.methods,
       effective_spec.c_attributes, effective_spec.c_methods);
@@ -665,30 +785,40 @@ Status Database::RestoreClass(const ClassSpec& effective_spec,
   TCH_RETURN_IF_ERROR(cls->RestoreState(lifespan, std::move(ext),
                                         std::move(proper_ext),
                                         std::move(values)));
-  classes_.emplace(effective_spec.name, std::move(cls));
+  MutableClassTable().map.emplace(
+      effective_spec.name,
+      ClassSlot{std::move(cls),
+                cow_epoch_.load(std::memory_order_relaxed)});
   return Status::OK();
 }
 
 Status Database::RestoreObject(Oid oid, const Interval& lifespan,
                                TemporalFunction class_history,
                                std::vector<Value::Field> attributes) {
-  if (objects_.count(oid.id) != 0) {
+  if (GetObject(oid) != nullptr) {
     return Status::AlreadyExists("object " + oid.ToString() +
                                  " already exists");
   }
-  auto obj = std::make_unique<Object>(oid, "", lifespan.start());
+  auto obj = std::make_shared<Object>(oid, "", lifespan.start());
   obj->RestoreState(lifespan, std::move(class_history));
   for (auto& [name, v] : attributes) {
     obj->SetAttribute(name, std::move(v));
   }
-  objects_.emplace(oid.id, std::move(obj));
+  MutableShard(oid.id).slots.emplace(
+      oid.id,
+      ObjectSlot{std::move(obj), cow_epoch_.load(std::memory_order_relaxed)});
   if (oid.id >= next_oid_) next_oid_ = oid.id + 1;
   return Status::OK();
 }
 
 size_t Database::ApproxObjectBytes() const {
   size_t bytes = 0;
-  for (const auto& [unused, obj] : objects_) bytes += obj->ApproxBytes();
+  for (const auto& shard : objects_) {
+    if (shard == nullptr) continue;
+    for (const auto& [unused, slot] : shard->slots) {
+      bytes += slot.obj->ApproxBytes();
+    }
+  }
   return bytes;
 }
 

@@ -24,6 +24,9 @@
 #ifndef TCHIMERA_CORE_DB_DATABASE_H_
 #define TCHIMERA_CORE_DB_DATABASE_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -40,12 +43,31 @@
 
 namespace tchimera {
 
+// Database is copy-on-write: the copy constructor is O(1)-ish — it shares
+// every class, object and object-map shard with the source via shared_ptr
+// and gives BOTH sides fresh COW epochs, so whichever side mutates first
+// clones exactly the entities it touches (structural sharing of the
+// rest). This is what makes MVCC publication cheap: VersionedDatabase
+// publishes a committed version by copying the writer's database, and
+// the writer's next statement clones only what it writes.
+//
+// The sharing protocol is single-writer: concurrent READS of two copies
+// are always safe (shared entities are never mutated in place once a
+// copy exists — the epoch check forces a clone first), but each copy
+// must only be MUTATED by one thread at a time. VersionedDatabase
+// enforces this with its writer lock.
 class Database final : public ExtentProvider {
  public:
-  Database() = default;
+  Database();
+  // The COW copy: shares all entities, refreshes both sides' epochs.
+  Database(const Database& other);
+  ~Database() override;
 
-  Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // Live Database instances in the process (tests: version retirement —
+  // a retired MVCC version must actually free its Database).
+  static int64_t live_instance_count();
 
   // --- time ---------------------------------------------------------------
 
@@ -66,8 +88,8 @@ class Database final : public ExtentProvider {
   const ClassDef* GetClass(std::string_view name) const;
   Result<const ClassDef*> FindClass(std::string_view name) const;
   std::vector<std::string> ClassNames() const;
-  size_t class_count() const { return classes_.size(); }
-  const IsaGraph& isa() const { return isa_; }
+  size_t class_count() const { return classes_->map.size(); }
+  const IsaGraph& isa() const { return *isa_; }
 
   // Sets a c-attribute of a class (type-checked; temporal c-attributes are
   // asserted from now).
@@ -142,7 +164,7 @@ class Database final : public ExtentProvider {
   Object* GetMutableObject(Oid oid);
   Result<const Object*> FindObject(Oid oid) const;
   std::vector<Oid> AllOids() const;
-  size_t object_count() const { return objects_.size(); }
+  size_t object_count() const;
   // The next oid the database will assign (serialized with snapshots).
   uint64_t next_oid() const { return next_oid_; }
 
@@ -163,7 +185,7 @@ class Database final : public ExtentProvider {
 
   // --- typing ----------------------------------------------------------------
 
-  TypingContext typing_context() const { return {*this, isa_}; }
+  TypingContext typing_context() const { return {*this, *isa_}; }
 
   // ExtentProvider:
   bool InExtent(std::string_view class_name, Oid oid,
@@ -196,7 +218,41 @@ class Database final : public ExtentProvider {
                        std::vector<Value::Field> attributes);
 
  private:
+  // --- COW storage ---------------------------------------------------------
+  //
+  // Classes and objects live behind shared_ptr so copies of the Database
+  // share them structurally. Every slot (and every map spine / shard)
+  // carries the COW epoch of the Database that created it; a mutable
+  // accessor clones the slot's entity iff its epoch differs from ours —
+  // i.e. exactly when the entity may be shared with another copy. Epochs
+  // come from a process-global counter, so two copies can never
+  // accidentally agree on an epoch and mutate a shared structure.
+  struct ClassSlot {
+    std::shared_ptr<ClassDef> def;
+    uint64_t epoch = 0;
+  };
+  struct ClassTable {
+    uint64_t epoch = 0;
+    std::map<std::string, ClassSlot, std::less<>> map;
+  };
+  struct ObjectSlot {
+    std::shared_ptr<Object> obj;
+    uint64_t epoch = 0;
+  };
+  struct ObjectShard {
+    uint64_t epoch = 0;
+    std::unordered_map<uint64_t, ObjectSlot> slots;
+  };
+  static constexpr size_t kObjectShardCount = 64;
+
+  static size_t ShardIndex(uint64_t id) { return id % kObjectShardCount; }
+  // Spine-level COW: a private, mutable class table / shard (cloned from
+  // the shared one on first touch per epoch).
+  ClassTable& MutableClassTable();
+  ObjectShard& MutableShard(uint64_t id);
+
   ClassDef* GetMutableClass(std::string_view name);
+  IsaGraph& MutableIsa();
   // The class and its transitive superclasses.
   std::vector<ClassDef*> SelfAndSuperclasses(std::string_view name);
   // Validates one creation/migration init value and installs it.
@@ -204,10 +260,16 @@ class Database final : public ExtentProvider {
                              Value v, TimePoint start);
 
   Clock clock_;
-  IsaGraph isa_;
-  std::map<std::string, std::unique_ptr<ClassDef>, std::less<>> classes_;
-  std::unordered_map<uint64_t, std::unique_ptr<Object>> objects_;
+  std::shared_ptr<IsaGraph> isa_;
+  uint64_t isa_epoch_ = 0;
+  std::shared_ptr<ClassTable> classes_;
+  std::array<std::shared_ptr<ObjectShard>, kObjectShardCount> objects_;
   uint64_t next_oid_ = 1;
+  // This copy's COW epoch (see ClassSlot). Atomic only because the copy
+  // constructor refreshes the SOURCE's epoch too (both sides must re-COW
+  // after a copy), and published MVCC versions may be copied while other
+  // threads read them.
+  mutable std::atomic<uint64_t> cow_epoch_{0};
 };
 
 }  // namespace tchimera

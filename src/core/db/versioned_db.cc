@@ -1,27 +1,71 @@
 #include "core/db/versioned_db.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace tchimera {
+namespace {
+
+std::shared_ptr<const DbVersion> MakeVersion(const Database& tip,
+                                             uint64_t version) {
+  // The Database copy here is the COW copy: it shares every untouched
+  // class/object/shard with the tip, so publication cost tracks what the
+  // writer touched, not database size.
+  return std::make_shared<const DbVersion>(
+      DbVersion{std::make_shared<const Database>(tip), version});
+}
+
+}  // namespace
 
 uint64_t WriteGuard::Commit() {
-  // release ordering pairs with the acquire load in version(): a reader
-  // that observes version N also observes every write published by the
-  // guard that bumped to N (the shared_mutex handoff already guarantees
-  // this for snapshot holders; the counter is also read lock-free).
-  return version_->fetch_add(1, std::memory_order_release) + 1;
+  if (owner_ == nullptr || !lock_.owns_lock()) {
+    // Publishing without the writer lock is exactly the out-of-order
+    // publish bug this guard exists to prevent — fail loudly instead of
+    // corrupting the version order.
+    std::fprintf(stderr,
+                 "fatal: WriteGuard::Commit() on a guard that no longer "
+                 "holds the writer lock (double commit or moved-from "
+                 "guard)\n");
+    std::abort();
+  }
+  const uint64_t v = owner_->PublishLocked();
+  owner_ = nullptr;
+  tip_ = nullptr;
+  lock_.unlock();
+  return v;
+}
+
+VersionedDatabase::VersionedDatabase()
+    : VersionedDatabase(std::make_unique<Database>()) {}
+
+VersionedDatabase::VersionedDatabase(std::unique_ptr<Database> db)
+    : tip_(db != nullptr ? std::move(db) : std::make_unique<Database>()) {
+  published_.store(MakeVersion(*tip_, 0), std::memory_order_release);
 }
 
 ReadSnapshot VersionedDatabase::OpenSnapshot() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  // Read the version under the shared lock: no writer can be between
-  // mutation and bump while we hold it (Commit happens before the unique
-  // lock is released).
-  return ReadSnapshot(std::move(lock), db_.get(),
-                      version_.load(std::memory_order_acquire));
+  // acquire pairs with the release store in PublishLocked: a snapshot
+  // that observes version N observes every write commit N published.
+  return ReadSnapshot(published_.load(std::memory_order_acquire));
 }
 
 WriteGuard VersionedDatabase::BeginWrite() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return WriteGuard(std::move(lock), db_.get(), &version_);
+  std::unique_lock<std::mutex> lock(writer_mu_);
+  return WriteGuard(std::move(lock), tip_.get(), this);
+}
+
+uint64_t VersionedDatabase::PublishWriterState() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return PublishLocked();
+}
+
+uint64_t VersionedDatabase::PublishLocked() {
+  // Only the writer lock holder publishes, so the relaxed read of the
+  // previous head cannot race another publication.
+  const uint64_t next =
+      published_.load(std::memory_order_relaxed)->version + 1;
+  published_.store(MakeVersion(*tip_, next), std::memory_order_release);
+  return next;
 }
 
 }  // namespace tchimera

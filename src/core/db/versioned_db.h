@@ -1,28 +1,36 @@
-// Snapshot-isolated concurrent access to a Database.
+// MVCC access to a Database: lock-free snapshots, one writer at a time.
 //
 // The model is inherently read-heavy: every Table 3 function (pi,
 // h_state, s_state, snapshot, ref, ...) is a pure read over immutable
 // history, and Database exposes them all as const members with no
 // mutable caches. VersionedDatabase turns that property into a
-// concurrency protocol:
+// multi-version concurrency protocol:
 //
-//   - any number of readers hold a ReadSnapshot concurrently; a snapshot
-//     pins the database (shared lock) for its lifetime and carries the
-//     version it observed, so a reader sees one committed state for as
-//     long as it keeps the snapshot — epoch-pinned snapshot isolation;
-//   - exactly one writer at a time holds a WriteGuard (unique lock),
-//     mutates the database through it, and publishes the mutation with
-//     Commit(), which bumps the version counter. A guard dropped without
-//     Commit() publishes nothing version-wise (the statement failed; the
-//     model's mutation path rejects bad statements before touching
-//     state, so failed statements leave the database unchanged).
+//   - the committed state is an immutable, shared_ptr-published version.
+//     OpenSnapshot() is a single atomic load — no lock is held for the
+//     snapshot's lifetime, so a snapshot may live arbitrarily long
+//     without ever blocking writers (or anyone else);
+//   - exactly one writer at a time holds a WriteGuard (the writer
+//     mutex), mutates the *tip* database through it, and publishes with
+//     Commit(): the tip is copied copy-on-write (Database's copy
+//     constructor shares every untouched class/object/shard — see
+//     database.h) into a new immutable version, whose cost is
+//     proportional to what the writer touched, not to database size.
+//     A guard dropped without Commit() publishes nothing.
 //
-// The version counter is monotone: two snapshots with equal versions saw
-// the identical state, and a reader re-opening snapshots observes a
-// non-decreasing sequence (readers never travel back in time). Writers
-// are fully serialized — the writer-serialization guarantee the query
-// Engine (query/session.h) builds group commit on: the order in which
-// WriteGuards commit is the order statements reach the journal.
+// Version retirement is shared_ptr refcounting: when the last snapshot
+// pinning a version drops (and a newer version has been published), that
+// version's Database is freed — and COW sharing means only the record
+// copies unique to it, not the shared bulk. Database::live_instance_count()
+// makes this observable in tests.
+//
+// The version counter is monotone: two snapshots with equal versions see
+// the identical Database instance, and a reader re-opening snapshots
+// observes a non-decreasing sequence (readers never travel back in
+// time). Writers are fully serialized — the writer-serialization
+// guarantee the query Engine (query/session.h) builds group commit on:
+// the order in which WriteGuards commit is the order statements reach
+// the journal.
 //
 // See docs/CONCURRENCY.md for the full protocol.
 #ifndef TCHIMERA_CORE_DB_VERSIONED_DB_H_
@@ -32,7 +40,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <utility>
 
 #include "core/db/database.h"
@@ -41,9 +48,16 @@ namespace tchimera {
 
 class VersionedDatabase;
 
-// A pinned, immutable view of the database. Movable, not copyable; the
-// shared lock is held until destruction, so keep snapshots short-lived
-// on hot paths (a live snapshot blocks writers).
+// One immutable committed version: the database as of a commit, plus the
+// commit number. Published via atomic shared_ptr; retired by refcount.
+struct DbVersion {
+  std::shared_ptr<const Database> db;
+  uint64_t version = 0;
+};
+
+// A pinned, immutable view of the database. Movable, not copyable.
+// Holding one costs a refcount — never a lock: long-lived snapshots do
+// not delay writers, they only keep their own version's memory alive.
 class ReadSnapshot {
  public:
   ReadSnapshot() = default;
@@ -52,24 +66,28 @@ class ReadSnapshot {
   ReadSnapshot(const ReadSnapshot&) = delete;
   ReadSnapshot& operator=(const ReadSnapshot&) = delete;
 
-  bool valid() const { return db_ != nullptr; }
-  const Database& db() const { return *db_; }
-  // The commit version this snapshot observes.
-  uint64_t version() const { return version_; }
+  bool valid() const { return v_ != nullptr; }
+  const Database& db() const { return *v_->db; }
+  // The commit version this snapshot observes (0 if invalid).
+  uint64_t version() const { return v_ == nullptr ? 0 : v_->version; }
 
  private:
   friend class VersionedDatabase;
-  ReadSnapshot(std::shared_lock<std::shared_mutex> lock, const Database* db,
-               uint64_t version)
-      : lock_(std::move(lock)), db_(db), version_(version) {}
+  explicit ReadSnapshot(std::shared_ptr<const DbVersion> v)
+      : v_(std::move(v)) {}
 
-  std::shared_lock<std::shared_mutex> lock_;
-  const Database* db_ = nullptr;
-  uint64_t version_ = 0;
+  std::shared_ptr<const DbVersion> v_;
 };
 
-// Exclusive mutable access. Mutate through db(), then Commit() to
-// publish; destruction releases the lock either way.
+// Exclusive mutable access to the tip. Mutate through db(), then
+// Commit() to publish — Commit() also releases the writer lock (there
+// is deliberately no separate Release(): publishing outside the lock
+// was a version-ordering bug, so the two are fused). Calling Commit()
+// twice, or on a moved-from guard, is a hard error (abort). Destruction
+// without Commit() releases the lock and publishes nothing — but note
+// the tip keeps any mutation the guard made, which the next commit will
+// publish; the model's mutation path rejects bad statements before
+// touching state, so failed statements leave the tip unchanged.
 class WriteGuard {
  public:
   WriteGuard(WriteGuard&&) = default;
@@ -77,54 +95,67 @@ class WriteGuard {
   WriteGuard(const WriteGuard&) = delete;
   WriteGuard& operator=(const WriteGuard&) = delete;
 
-  Database& db() { return *db_; }
-  // Publishes the mutation: bumps the version counter. Returns the new
-  // version. Call at most once, only after the mutation succeeded.
+  Database& db() { return *tip_; }
+  // Publishes the tip as a new immutable version (copy-on-write copy)
+  // and releases the writer lock. Returns the new version number. Call
+  // at most once, only after the mutation succeeded.
   uint64_t Commit();
-  // Releases the lock early (before awaiting durability, say).
-  void Release() { lock_.unlock(); }
 
  private:
   friend class VersionedDatabase;
-  WriteGuard(std::unique_lock<std::shared_mutex> lock, Database* db,
-             std::atomic<uint64_t>* version)
-      : lock_(std::move(lock)), db_(db), version_(version) {}
+  WriteGuard(std::unique_lock<std::mutex> lock, Database* tip,
+             VersionedDatabase* owner)
+      : lock_(std::move(lock)), tip_(tip), owner_(owner) {}
 
-  std::unique_lock<std::shared_mutex> lock_;
-  Database* db_ = nullptr;
-  std::atomic<uint64_t>* version_ = nullptr;
+  std::unique_lock<std::mutex> lock_;
+  Database* tip_ = nullptr;
+  VersionedDatabase* owner_ = nullptr;
 };
 
 class VersionedDatabase {
  public:
-  VersionedDatabase() : db_(std::make_unique<Database>()) {}
-  // Wraps an existing database (e.g. one recovery just rebuilt).
-  explicit VersionedDatabase(std::unique_ptr<Database> db)
-      : db_(db != nullptr ? std::move(db) : std::make_unique<Database>()) {}
+  VersionedDatabase();
+  // Wraps an existing database (e.g. one recovery just rebuilt); its
+  // state is published immediately as version 0.
+  explicit VersionedDatabase(std::unique_ptr<Database> db);
 
   VersionedDatabase(const VersionedDatabase&) = delete;
   VersionedDatabase& operator=(const VersionedDatabase&) = delete;
 
-  // Blocks while a writer is active; never blocks other readers.
+  // Lock-free: one atomic load. Never blocks, never blocks anyone.
   ReadSnapshot OpenSnapshot() const;
-  // Blocks until every snapshot is released and no other writer is
-  // active.
+  // Blocks until no other writer is active (never on readers).
   WriteGuard BeginWrite();
 
   // The latest committed version (0 for a freshly wrapped database).
-  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  uint64_t version() const {
+    return published_.load(std::memory_order_acquire)->version;
+  }
 
-  // The underlying database, bypassing the lock. Strictly for
+  // The mutable tip, bypassing the writer lock. Strictly for
   // single-threaded phases (construction-time wiring, recovery replay
   // before any reader exists) and for callers already inside a
-  // WriteGuard-derived exclusive section.
-  Database& writer_db() { return *db_; }
-  const Database& writer_db() const { return *db_; }
+  // WriteGuard-derived exclusive section. Mutations made through this
+  // accessor are NOT visible to snapshots until the next publication —
+  // call PublishWriterState() (or commit a WriteGuard) afterwards.
+  Database& writer_db() { return *tip_; }
+  const Database& writer_db() const { return *tip_; }
+
+  // Publishes the current tip state as a new version (for
+  // single-threaded phases that mutated writer_db() directly).
+  uint64_t PublishWriterState();
 
  private:
-  std::unique_ptr<Database> db_;
-  mutable std::shared_mutex mu_;
-  std::atomic<uint64_t> version_{0};
+  friend class WriteGuard;
+
+  // Publishes the tip; requires writer_mu_ held.
+  uint64_t PublishLocked();
+
+  std::unique_ptr<Database> tip_;
+  mutable std::mutex writer_mu_;
+  // The committed-version chain head. atomic<shared_ptr> so OpenSnapshot
+  // is a wait-free load and retirement is plain refcounting.
+  std::atomic<std::shared_ptr<const DbVersion>> published_;
 };
 
 }  // namespace tchimera

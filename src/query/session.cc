@@ -52,7 +52,11 @@ Session Engine::OpenSession() { return Session(this); }
 Status Engine::WithExclusive(
     const std::function<Status(Database&, ActiveDatabase&)>& fn) {
   WriteGuard guard = vdb_.BeginWrite();
-  return fn(guard.db(), active_);
+  Status status = fn(guard.db(), active_);
+  // Republish on success: `fn` may have mutated the tip (definition
+  // replay, surgery), and snapshots only ever see published versions.
+  if (status.ok()) guard.Commit();
+  return status;
 }
 
 Result<std::string> Engine::ExecuteWrite(std::string_view statement,
@@ -71,15 +75,18 @@ Result<std::string> Engine::ExecuteWrite(std::string_view statement,
   if (sink_ != nullptr && IsDurableStatement(statement)) {
     ticket = sink_->Enqueue(statement);
   }
+  // Commit publishes the new version AND releases the writer lock (the
+  // two are fused — see WriteGuard). Await happens after, outside the
+  // lock. On any durability failure the statement *is* applied in
+  // memory but was never acknowledged as durable — the caller must
+  // treat the error as "not committed" (the sink is closed or poisoned
+  // and every later write fails too, so no acknowledged statement can
+  // ever depend on a lost one).
   guard.Commit();
-  guard.Release();
-  // Lock released: await durability. On failure the statement *is*
-  // applied in memory but was never acknowledged as durable — the caller
-  // must treat the error as "not committed" (the journal is poisoned and
-  // every later write fails too, so no acknowledged statement can ever
-  // depend on a lost one).
-  if (sink_ != nullptr && ticket.seq != 0) {
+  if (ticket.seq != 0) {
     TCH_RETURN_IF_ERROR(sink_->Await(ticket));
+  } else if (!ticket.status.ok()) {
+    return ticket.status;  // enqueue failed fast: never entered a batch
   }
   return result;
 }
@@ -97,7 +104,7 @@ Result<std::string> Session::Execute(std::string_view statement) {
   TCH_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
   if (!IsReadKind(stmt.kind)) {
     // Unreachable by construction (the parser keys on the first token);
-    // defend anyway rather than mutate shared state under a shared lock.
+    // defend anyway rather than mutate a published immutable version.
     snap = ReadSnapshot();
     return engine_->ExecuteWrite(statement,
                                  lint_enabled_ ? diags_.get() : nullptr);

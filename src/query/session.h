@@ -9,15 +9,18 @@
 //               Engine's serialized write path. Owns its own
 //               DiagnosticEngine, so the "one engine per lint run"
 //               contract (analysis/diagnostic.h) holds without locks.
-//   Engine    — wraps the database in a VersionedDatabase and owns the
-//               ActiveDatabase facade (triggers, constraints, `check`).
-//               Writes take the writer lock, execute through the facade,
-//               enqueue the statement with the CommitSink *while still
-//               holding the lock* (so journal order == commit order),
-//               bump the version, release the lock, and only then await
-//               durability — the group-commit window: many sessions can
-//               be between enqueue and durable at once, and one fdatasync
-//               acknowledges them all.
+//   Engine    — wraps the database in a VersionedDatabase (MVCC: reads
+//               are lock-free loads of the published version) and owns
+//               the ActiveDatabase facade (triggers, constraints,
+//               `check`). Writes take the writer lock, execute through
+//               the facade against the mutable tip, enqueue the
+//               statement with the CommitSink *while still holding the
+//               lock* (so journal order == commit order), publish the
+//               new version with Commit() (which releases the lock),
+//               and only then await durability — the group-commit
+//               window: many sessions can be between enqueue and
+//               durable at once, and one fdatasync acknowledges them
+//               all.
 //   CommitSink — the durability boundary. storage/group_commit.h is the
 //               real implementation (cross-session group commit); a null
 //               sink (in-memory engines) acknowledges immediately.
@@ -57,6 +60,10 @@ class CommitSink {
  public:
   struct Ticket {
     uint64_t seq = 0;  // 0 = nothing enqueued (Await returns OK)
+    // An Enqueue that fails fast (closed or poisoned sink) reports it
+    // here with seq == 0: the statement never entered a batch, so there
+    // is nothing to await — the engine surfaces this status instead.
+    Status status = Status::OK();
   };
 
   virtual ~CommitSink() = default;
@@ -86,14 +93,17 @@ class Engine {
   Session OpenSession();
 
   // A pinned read view (see core/db/versioned_db.h). Safe from any
-  // thread; blocks only while a writer holds the lock.
+  // thread; never blocks (one atomic load), and holding it never blocks
+  // writers.
   ReadSnapshot OpenSnapshot() const { return vdb_.OpenSnapshot(); }
 
   // The latest committed version.
   uint64_t version() const { return vdb_.version(); }
 
-  // Runs `fn` with every reader and writer excluded — the checkpoint
-  // path (quiesce the sink, snapshot the database + definitions). The
+  // Runs `fn` with the writer lock held (no concurrent writer; readers
+  // keep their pinned versions, which is all a checkpoint needs — the
+  // tip equals the last committed state). On success the tip is
+  // republished, so any mutation `fn` made becomes visible. The
   // ActiveDatabase gives access to DefinitionStatements().
   Status WithExclusive(
       const std::function<Status(Database&, ActiveDatabase&)>& fn);

@@ -46,17 +46,38 @@ void GroupCommitJournal::Close() {
 
 CommitSink::Ticket GroupCommitJournal::Enqueue(std::string_view statement) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Fail fast instead of handing out a ticket whose Await would drive
+  // LeadBatch into appends on a closed journal (or pointlessly queue
+  // behind a write that is already known lost).
+  if (!journal_.is_open()) {
+    Ticket rejected;
+    rejected.status = Status::FailedPrecondition(
+        "group-commit journal is closed; statement not enqueued");
+    return rejected;
+  }
+  if (!sticky_.ok()) {
+    Ticket rejected;
+    rejected.status = sticky_;
+    return rejected;
+  }
   pending_.emplace_back(statement);
   ++enqueued_;
   return Ticket{enqueued_};
 }
 
 Status GroupCommitJournal::Await(Ticket ticket) {
-  if (ticket.seq == 0) return Status::OK();
+  if (ticket.seq == 0) return ticket.status;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     if (durable_ >= ticket.seq) return Status::OK();
     if (!sticky_.ok()) return sticky_;
+    if (!journal_.is_open()) {
+      // Closed with our statement still pending (Close drains what it
+      // can; a poison during the drain is reported above).
+      return Status::FailedPrecondition(
+          "group-commit journal closed before the statement became "
+          "durable");
+    }
     if (!leader_active_ && taken_ < enqueued_) {
       // Elect ourselves leader for the next batch (it necessarily covers
       // the oldest pending statement; ours is pending, so repeating this
@@ -70,10 +91,20 @@ Status GroupCommitJournal::Await(Ticket ticket) {
 
 void GroupCommitJournal::LeadBatch(std::unique_lock<std::mutex>& lock) {
   leader_active_ = true;
-  if (options_.max_delay.count() > 0 && pending_.size() < options_.max_batch) {
-    // Linger for followers. cv_.wait_for releases the lock, so Enqueue
-    // can add to the batch while we wait; spurious wakeups just shorten
-    // the linger, which is harmless.
+  // Linger only when the pending statements are NOT already the whole
+  // non-durable backlog — i.e. only while another batch is still in
+  // flight, so stragglers riding its completion are plausibly imminent.
+  // When pending_ covers everything outstanding (the single-writer case
+  // in particular: one statement, one waiter), waiting max_delay buys
+  // nothing and used to tax every lone commit with the full delay;
+  // cross-session batching still happens from commits piling up during
+  // the previous sync.
+  if (options_.max_delay.count() > 0 &&
+      pending_.size() < options_.max_batch &&
+      pending_.size() < enqueued_ - durable_) {
+    // cv_.wait_for releases the lock, so Enqueue can add to the batch
+    // while we wait; spurious wakeups just shorten the linger, which is
+    // harmless.
     cv_.wait_for(lock, options_.max_delay);
   }
   std::vector<std::string> batch;

@@ -9,7 +9,10 @@
 //
 //   - Enqueue(stmt) is called by the engine while it holds the writer
 //     lock: the statement is buffered and assigned the next sequence
-//     number, so buffer order == commit order == journal order.
+//     number, so buffer order == commit order == journal order. A
+//     closed or poisoned sink rejects the enqueue outright (ticket with
+//     seq == 0 and the failure in Ticket::status) — no ticket is ever
+//     issued that could drive a flush against a dead journal.
 //   - Await(ticket) blocks until the statement is on disk. The first
 //     awaiting thread with pending work elects itself *leader*: it takes
 //     up to max_batch pending statements (optionally waiting max_delay
@@ -52,7 +55,10 @@ struct GroupCommitOptions {
   // How long a leader lingers for followers before flushing a non-full
   // batch. 0 (default) = flush immediately: batching then comes purely
   // from commits that piled up while the previous batch was syncing —
-  // no added latency, and still one sync per pile-up.
+  // no added latency, and still one sync per pile-up. Even when set, a
+  // leader whose pending statements already cover the entire non-durable
+  // backlog (in particular a lone committer) skips the linger: there is
+  // nobody to wait for, so single-writer latency never pays max_delay.
   std::chrono::microseconds max_delay{0};
 };
 

@@ -276,6 +276,100 @@ TEST(SchemaAnalyzer, AnalyzesSpecAgainstLiveDatabase) {
   EXPECT_CODE(diags.diagnostics(), "TC003");
 }
 
+// --- TC012: extents vs (superclass) lifespans ------------------------------
+
+TEST(SchemaAnalyzer, DeadSuperclassReportedTC012) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute("define class person end").ok());
+  db.Tick();
+  ASSERT_TRUE(db.DropClass("person").ok());
+
+  ClassSpec spec;
+  spec.name = "employee";
+  spec.superclasses = {"person"};
+  DiagnosticEngine diags;
+  AnalyzeClassSpec(spec, 0, &db, &diags);
+  EXPECT_CODE(diags.diagnostics(), "TC012");
+}
+
+TEST(SchemaAnalyzer, LiveSuperclassHasNoTC012) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute("define class person end").ok());
+
+  ClassSpec spec;
+  spec.name = "employee";
+  spec.superclasses = {"person"};
+  DiagnosticEngine diags;
+  AnalyzeClassSpec(spec, 0, &db, &diags);
+  EXPECT_NO_CODE(diags.diagnostics(), "TC012");
+}
+
+TEST(SchemaAnalyzer, ExtentOutsideOwnLifespanReportedTC012) {
+  // Hand-restored state (RestoreClass bypasses the dynamic validation,
+  // like a corrupt or hand-edited snapshot would): ext defined over
+  // [0,20] while the class lifespan is [5,10] — Invariant 5.1 violated.
+  Database db;
+  db.Tick(30);
+  ClassSpec spec;
+  spec.name = "person";
+  TemporalFunction ext;
+  ASSERT_TRUE(ext.Define(Interval(0, 20), Value::EmptySet()).ok());
+  ASSERT_TRUE(
+      db.RestoreClass(spec, Interval(5, 10), ext, TemporalFunction(), {})
+          .ok());
+
+  DiagnosticEngine diags;
+  AnalyzeSchema({}, &db, &diags);
+  EXPECT_CODE(diags.diagnostics(), "TC012");
+}
+
+TEST(SchemaAnalyzer, ExtentOutsideSuperclassLifespanReportedTC012) {
+  // The subclass's own lifespan covers its extent; the escape is only
+  // relative to the superclass lifespan (Invariant 6.1 lifts 5.1 up the
+  // hierarchy).
+  Database db;
+  db.Tick(30);
+  ClassSpec super_spec;
+  super_spec.name = "person";
+  TemporalFunction super_ext;
+  ASSERT_TRUE(super_ext.Define(Interval(0, 5), Value::EmptySet()).ok());
+  ASSERT_TRUE(db.RestoreClass(super_spec, Interval(0, 5), super_ext,
+                              TemporalFunction(), {})
+                  .ok());
+
+  ClassSpec sub_spec;
+  sub_spec.name = "employee";
+  sub_spec.superclasses = {"person"};
+  TemporalFunction sub_ext;
+  ASSERT_TRUE(sub_ext.Define(Interval(0, 20), Value::EmptySet()).ok());
+  ASSERT_TRUE(db.RestoreClass(sub_spec, Interval(0, 20), sub_ext,
+                              TemporalFunction(), {})
+                  .ok());
+
+  DiagnosticEngine diags;
+  AnalyzeSchema({}, &db, &diags);
+  EXPECT_CODE(diags.diagnostics(), "TC012");
+}
+
+TEST(SchemaAnalyzer, LegitimateExtentsHaveNoTC012) {
+  // State grown through the validated mutation path always satisfies the
+  // invariants, including after membership churn.
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute("define class person end").ok());
+  ASSERT_TRUE(interp.Execute("define class employee under person end").ok());
+  Result<Oid> oid = db.CreateObject("employee");
+  ASSERT_TRUE(oid.ok()) << oid.status();
+  db.Tick(3);
+  ASSERT_TRUE(db.DeleteObject(*oid).ok());
+
+  DiagnosticEngine diags;
+  AnalyzeSchema({}, &db, &diags);
+  EXPECT_CLEAN(diags.diagnostics());
+}
+
 // --- TC010 / TC111: driver-level findings ---------------------------------
 
 TEST(LintDriver, ParseErrorReported) {

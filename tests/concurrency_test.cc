@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,31 +57,113 @@ TEST(VersionedDbTest, SnapshotPinsVersionAndCommitBumpsIt) {
   EXPECT_TRUE(before.valid());
   EXPECT_EQ(before.version(), 0u);
   EXPECT_EQ(before.db().now(), 0);
-  // Snapshots are views, not copies: concurrent snapshots are free.
+  // Snapshots of the same version are views of one immutable Database,
+  // not copies: concurrent snapshots are free.
   ReadSnapshot sibling = vdb.OpenSnapshot();
   EXPECT_EQ(&sibling.db(), &before.db());
   {
-    ReadSnapshot released = std::move(before);  // movable; lock travels
+    ReadSnapshot released = std::move(sibling);  // movable; pin travels
     EXPECT_TRUE(released.valid());
   }
-  sibling = ReadSnapshot();  // drop the shared lock so a writer can enter
 
+  // MVCC: `before` stays alive across the write — a held snapshot never
+  // blocks a writer, it just keeps pinning its own version.
   {
     WriteGuard guard = vdb.BeginWrite();
     guard.db().Tick();
     EXPECT_EQ(guard.Commit(), 1u);
   }
   EXPECT_EQ(vdb.version(), 1u);
+  EXPECT_EQ(before.version(), 0u);
+  EXPECT_EQ(before.db().now(), 0);  // still the pinned pre-commit state
   ReadSnapshot after = vdb.OpenSnapshot();
   EXPECT_EQ(after.version(), 1u);
   EXPECT_EQ(after.db().now(), 1);
-  // A live snapshot blocks writers (by design — it pins the state), so
-  // release it before taking the next guard on this same thread.
-  after = ReadSnapshot();
 
   // A guard dropped without Commit publishes nothing version-wise.
   { WriteGuard abandoned = vdb.BeginWrite(); }
   EXPECT_EQ(vdb.version(), 1u);
+}
+
+// Satellite regression: Commit() publishes under the writer lock and
+// releases it — a second Commit() (the old commit-after-release pattern,
+// which used to bump the version counter without the lock and could
+// publish out of order) is a hard error, not a silent race.
+TEST(VersionedDbDeathTest, CommitAfterReleaseIsAHardError) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VersionedDatabase vdb;
+  EXPECT_DEATH(
+      {
+        WriteGuard guard = vdb.BeginWrite();
+        guard.db().Tick();
+        guard.Commit();
+        guard.Commit();  // lock already released by the first Commit
+      },
+      "no longer holds the writer lock");
+}
+
+// Version chains retire by refcount: a published version's Database is
+// freed as soon as no snapshot pins it and a newer version exists.
+TEST(VersionedDbTest, RetiredVersionsFreeTheirDatabases) {
+  const int64_t base = Database::live_instance_count();
+  VersionedDatabase vdb;  // the tip + the published version 0
+  EXPECT_EQ(Database::live_instance_count(), base + 2);
+  {
+    ReadSnapshot pinned = vdb.OpenSnapshot();
+    for (int i = 0; i < 5; ++i) {
+      WriteGuard guard = vdb.BeginWrite();
+      guard.db().Tick();
+      guard.Commit();
+    }
+    // Intermediate versions 1..4 retired the moment their successor was
+    // published; alive: tip, pinned version 0, latest version 5.
+    EXPECT_EQ(vdb.version(), 5u);
+    EXPECT_EQ(Database::live_instance_count(), base + 3);
+    EXPECT_EQ(pinned.db().now(), 0);
+  }
+  // Dropping the last pin retires version 0 too.
+  EXPECT_EQ(Database::live_instance_count(), base + 2);
+}
+
+// Satellite: snapshot-retirement property test (run under ASan in CI).
+// After N random commit / open / drop steps, the process holds exactly
+// the Databases still reachable: the tip plus one per *distinct* version
+// some snapshot pins (or the published head). No retired version leaks.
+TEST(VersionedDbTest, SnapshotRetirementProperty) {
+  const int64_t base = Database::live_instance_count();
+  VersionedDatabase vdb;
+  std::mt19937 rng(0x7c01u);  // deterministic: failures must reproduce
+  std::vector<ReadSnapshot> held;
+  for (int step = 0; step < 400; ++step) {
+    switch (rng() % 3) {
+      case 0: {
+        WriteGuard guard = vdb.BeginWrite();
+        guard.db().Tick();
+        guard.Commit();
+        break;
+      }
+      case 1:
+        held.push_back(vdb.OpenSnapshot());
+        break;
+      default:
+        if (!held.empty()) {
+          size_t victim = rng() % held.size();
+          held[victim] = std::move(held.back());
+          held.pop_back();
+        }
+        break;
+    }
+    std::set<uint64_t> pinned_versions;
+    for (const ReadSnapshot& snap : held) {
+      pinned_versions.insert(snap.version());
+    }
+    pinned_versions.insert(vdb.version());  // the head is always alive
+    ASSERT_EQ(Database::live_instance_count(),
+              base + 1 + static_cast<int64_t>(pinned_versions.size()))
+        << "at step " << step << " with " << held.size() << " snapshots";
+  }
+  held.clear();
+  EXPECT_EQ(Database::live_instance_count(), base + 2);  // tip + head
 }
 
 // ---------------------------------------------------------------------------
@@ -162,12 +246,12 @@ TEST(ConcurrencyTest, StressReadersVsWriter) {
         if (!CheckDatabaseConsistency(snap.db()).ok()) {
           audit_failures.fetch_add(1, std::memory_order_relaxed);
         }
-        snap = ReadSnapshot();  // release before the TQL read
+        snap = ReadSnapshot();  // drop the pin before the TQL read
         Result<std::string> rows =
             session.Execute("select x.v from x in emp");
         if (!rows.ok()) read_errors.fetch_add(1, std::memory_order_relaxed);
-        // Breathe between iterations: pthread rwlocks prefer readers, so
-        // four spinning readers would starve the writer for a long time.
+        // Breathe between iterations so the writer makes progress per
+        // reader-observed version (more interesting interleavings).
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       } while (!done.load(std::memory_order_acquire));
     });
@@ -187,6 +271,78 @@ TEST(ConcurrencyTest, StressReadersVsWriter) {
   EXPECT_EQ(monotonicity_violations.load(), 0);
   EXPECT_EQ(read_errors.load(), 0);
   EXPECT_EQ(engine.version(), static_cast<uint64_t>(kWrites) + 2);
+  EXPECT_TRUE(CheckDatabaseConsistency(engine.writer_db()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The MVCC interference stress: one deliberately slow reader pins a
+// single snapshot for the ENTIRE run while a writer commits hundreds of
+// statements. Under the old shared_mutex protocol this deadlocked (the
+// writer waited on the held read lock); under MVCC the writer never
+// waits, the reader's pinned view never changes, and the chain of
+// intermediate versions retires as it is superseded. TSan-clean.
+
+TEST(ConcurrencyTest, SlowReaderDoesNotBlockWriters) {
+  Engine engine;
+  {
+    Session setup = engine.OpenSession();
+    ASSERT_TRUE(setup.Execute(kSchema).ok());
+    ASSERT_TRUE(setup.Execute("create emp (v: 0)").ok());
+  }
+  const uint64_t pinned_version = engine.version();
+  const int64_t live_before = Database::live_instance_count();
+
+  constexpr int kWrites = 200;
+  std::atomic<bool> reader_pinned{false};
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> reader_failures{0};
+
+  std::thread slow_reader([&engine, &reader_pinned, &writer_done,
+                           &reader_failures, pinned_version] {
+    Session session = engine.OpenSession();
+    ReadSnapshot pinned = session.snapshot();  // held for the whole run
+    if (!pinned.valid() || pinned.version() != pinned_version) {
+      reader_failures.fetch_add(1, std::memory_order_relaxed);
+      reader_pinned.store(true, std::memory_order_release);
+      return;
+    }
+    reader_pinned.store(true, std::memory_order_release);
+    const size_t expected_objects = pinned.db().object_count();
+    while (!writer_done.load(std::memory_order_acquire)) {
+      // The pinned view must be frozen: same version, same state, fully
+      // consistent, no matter how many commits land meanwhile.
+      if (pinned.version() != pinned_version ||
+          pinned.db().object_count() != expected_objects ||
+          pinned.db().now() != 0 ||
+          !CheckDatabaseConsistency(pinned.db()).ok()) {
+        reader_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Only start committing once the reader's pin is in place — the whole
+  // point is that the pinned snapshot outlives every one of the writes.
+  while (!reader_pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  Session writer = engine.OpenSession();
+  for (int i = 0; i < kWrites; ++i) {
+    Result<std::string> out = (i % 2 == 0)
+                                  ? writer.Execute("create emp (v: 1)")
+                                  : writer.Execute("tick 1");
+    ASSERT_TRUE(out.ok()) << out.status();
+  }
+  // With the reader still pinning its snapshot, all writes are already
+  // committed and visible — the old protocol never got here.
+  EXPECT_EQ(engine.version(), pinned_version + kWrites);
+  // The version chain retired as it went: only the tip, the published
+  // head and the reader's pinned version are alive, not kWrites copies.
+  EXPECT_LE(Database::live_instance_count(), live_before + 2);
+
+  writer_done.store(true, std::memory_order_release);
+  slow_reader.join();
+  EXPECT_EQ(reader_failures.load(), 0);
   EXPECT_TRUE(CheckDatabaseConsistency(engine.writer_db()).ok());
 }
 
@@ -406,6 +562,64 @@ TEST(GroupCommitTest, FailedSyncPoisonsTheSink) {
   EXPECT_FALSE(session.Execute("tick 1").ok());
   // Reads are unaffected — durability is a write-path concern.
   EXPECT_TRUE(session.Execute("select x.v from x in emp").ok());
+  sink.Close();
+}
+
+// Satellite regression: Enqueue after Close used to hand out a live
+// ticket for a statement that silently never reached the journal. It
+// must fail fast instead — a rejected ticket (seq 0, failed status)
+// that Await reports verbatim, with nothing counted as enqueued.
+TEST(GroupCommitTest, EnqueueAfterCloseFailsFast) {
+  std::string dir = FreshDir("enqueue_after_close");
+  GroupCommitJournal sink;
+  ASSERT_TRUE(sink.Open(dir + "/journal.tchl").ok());
+  CommitSink::Ticket ok_ticket = sink.Enqueue("tick 1");
+  ASSERT_TRUE(sink.Await(ok_ticket).ok());
+  sink.Close();
+
+  CommitSink::Ticket rejected = sink.Enqueue("tick 1");
+  EXPECT_EQ(rejected.seq, 0u);
+  EXPECT_FALSE(rejected.status.ok());
+  Status awaited = sink.Await(rejected);
+  EXPECT_FALSE(awaited.ok());
+  EXPECT_NE(awaited.message().find("closed"), std::string::npos) << awaited;
+  // The rejected statement was never admitted to the pipeline.
+  EXPECT_EQ(sink.enqueued(), 1u);
+  EXPECT_EQ(sink.durable(), 1u);
+
+  // On disk: exactly the one statement that was acknowledged.
+  Result<JournalScan> scan = ScanJournal(dir + "/journal.tchl");
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->statements.size(), 1u);
+}
+
+// Same fail-fast contract for a poisoned sink: once a sync has failed,
+// Enqueue itself reports the sticky error instead of admitting
+// statements that can never become durable.
+TEST(GroupCommitTest, EnqueueAfterPoisonFailsFast) {
+  std::string dir = FreshDir("enqueue_after_poison");
+  FaultInjectionFileSystem ffs(FileSystem::Default());
+  JournalOptions jopts;
+  jopts.fs = &ffs;
+  GroupCommitJournal sink;
+  ASSERT_TRUE(sink.Open(dir + "/journal.tchl", jopts).ok());
+
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kFailOp;
+  plan.at_op = 0;  // the first journal write fails (EIO-style)
+  ffs.SetPlan(plan);
+  CommitSink::Ticket doomed = sink.Enqueue("tick 1");
+  ASSERT_EQ(doomed.seq, 1u);  // admitted before the fault fired
+  EXPECT_FALSE(sink.Await(doomed).ok());
+  ffs.ClearPlan();
+
+  // The sink is poisoned: later Enqueues are rejected outright, with
+  // the original failure as the sticky explanation.
+  CommitSink::Ticket rejected = sink.Enqueue("tick 1");
+  EXPECT_EQ(rejected.seq, 0u);
+  EXPECT_FALSE(rejected.status.ok());
+  EXPECT_FALSE(sink.Await(rejected).ok());
+  EXPECT_EQ(sink.enqueued(), 1u);
   sink.Close();
 }
 
