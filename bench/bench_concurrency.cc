@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -325,7 +326,265 @@ BENCHMARK(BM_CommitPerStatement)
     ->Threads(8)
     ->UseRealTime();
 
+// --- machine-readable report: optimistic multi-writer scaling ---------------
+//
+// Emitted as BENCH_concurrency.json (CI uploads it as an artifact): write
+// throughput vs writer count plus the observed abort rate, on two
+// workloads — disjoint objects (the scaling case: validation never
+// conflicts, so throughput must grow with writers) and one shared object
+// (the contention case: every commit round has one winner, abort rate is
+// the interesting number). The acceptance bar for the optimistic
+// protocol is >= 2x disjoint-object throughput at 4 writers vs 1.
+
+struct WriterPoint {
+  int writers = 0;
+  uint64_t statements = 0;   // successfully committed statements
+  uint64_t conflicts = 0;    // validation aborts (internally retried)
+  double seconds = 0.0;
+  double throughput = 0.0;   // statements per second
+  double abort_rate = 0.0;   // conflicts / (commits + conflicts)
+};
+
+WriterPoint MeasureWriters(int writers, int per_writer, bool disjoint) {
+  Engine engine;
+  {
+    Session setup = engine.OpenSession();
+    (void)setup.Execute(
+        "define class emp attributes v: temporal(integer) end");
+    (void)setup.Execute("tick 2000");
+    // One target object per writer (disjoint) or a single shared one.
+    const int objects = disjoint ? writers : 1;
+    for (int i = 0; i < objects; ++i) {
+      (void)setup.Execute("create emp at 0 (v: 0)");
+    }
+  }
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  const auto begin = std::chrono::steady_clock::now();
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&engine, &committed, t, per_writer, disjoint] {
+      Session session = engine.OpenSession();
+      const std::string target = "i" + std::to_string(disjoint ? t + 1 : 1);
+      for (int i = 0; i < per_writer; ++i) {
+        // The model's bread-and-butter mutation: patch a window of a
+        // temporal attribute's history (Table 2 update semantics) — the
+        // history merge is real per-statement work, where a bare integer
+        // store would only measure commit-lock overhead.
+        const int lo = (i * 2) % 1600;
+        if (session
+                .Execute("update " + target + " set v = " +
+                         std::to_string(i) + " during [" +
+                         std::to_string(lo) + "," + std::to_string(lo + 1) +
+                         "]")
+                .ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  WriterPoint point;
+  point.writers = writers;
+  point.statements = committed.load();
+  point.conflicts = engine.conflict_count();
+  point.seconds = std::chrono::duration<double>(end - begin).count();
+  point.throughput =
+      point.seconds > 0.0 ? point.statements / point.seconds : 0.0;
+  const double attempts =
+      static_cast<double>(point.statements + point.conflicts);
+  point.abort_rate = attempts > 0.0 ? point.conflicts / attempts : 0.0;
+  return point;
+}
+
+void AppendPoints(const std::vector<WriterPoint>& points, std::string* out) {
+  char buf[256];
+  for (size_t i = 0; i < points.size(); ++i) {
+    const WriterPoint& p = points[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"writers\": %d, \"statements\": %llu, "
+                  "\"conflicts\": %llu, \"seconds\": %.6f, "
+                  "\"throughput_stmts_per_sec\": %.1f, "
+                  "\"abort_rate\": %.4f}%s\n",
+                  p.writers,
+                  static_cast<unsigned long long>(p.statements),
+                  static_cast<unsigned long long>(p.conflicts), p.seconds,
+                  p.throughput, p.abort_rate,
+                  i + 1 < points.size() ? "," : "");
+    *out += buf;
+  }
+}
+
+// Single-threaded phase breakdown of one optimistic statement at the
+// VersionedDatabase layer: begin (COW copy of the base), execute (parse +
+// typecheck + history merge on the private copy) and commit (the only
+// span under the writer mutex). begin+execute parallelize across
+// writers; commit serializes — the serial fraction bounds scaling via
+// Amdahl, which is the honest number to report when the measuring host
+// itself has too few cores to demonstrate the speedup directly.
+struct PhaseBreakdown {
+  double begin_us = 0.0;
+  double exec_us = 0.0;
+  double commit_us = 0.0;
+  double serial_fraction = 0.0;
+  double amdahl(int writers) const {
+    if (serial_fraction <= 0.0) return static_cast<double>(writers);
+    return 1.0 /
+           (serial_fraction + (1.0 - serial_fraction) / writers);
+  }
+};
+
+PhaseBreakdown MeasurePhases(int statements) {
+  VersionedDatabase vdb;
+  {
+    Interpreter interp(&vdb.writer_db());
+    (void)interp.Execute(
+        "define class emp attributes v: temporal(integer) end");
+    (void)interp.Execute("tick 2000");
+    (void)interp.Execute("create emp at 0 (v: 0)");
+    vdb.PublishWriterState();
+  }
+  PhaseBreakdown phases;
+  for (int i = 0; i < statements; ++i) {
+    const auto a = std::chrono::steady_clock::now();
+    OptimisticTransaction txn = vdb.BeginTransaction();
+    const auto b = std::chrono::steady_clock::now();
+    Interpreter interp(&txn.db());
+    const int lo = (i * 2) % 1600;
+    if (!interp
+             .Execute("update i1 set v = " + std::to_string(i) +
+                      " during [" + std::to_string(lo) + "," +
+                      std::to_string(lo + 1) + "]")
+             .ok()) {
+      break;
+    }
+    const auto c = std::chrono::steady_clock::now();
+    if (!vdb.CommitTransaction(&txn).ok()) break;
+    const auto d = std::chrono::steady_clock::now();
+    phases.begin_us += std::chrono::duration<double, std::micro>(b - a).count();
+    phases.exec_us += std::chrono::duration<double, std::micro>(c - b).count();
+    phases.commit_us +=
+        std::chrono::duration<double, std::micro>(d - c).count();
+  }
+  phases.begin_us /= statements;
+  phases.exec_us /= statements;
+  phases.commit_us /= statements;
+  const double total = phases.begin_us + phases.exec_us + phases.commit_us;
+  phases.serial_fraction = total > 0.0 ? phases.commit_us / total : 0.0;
+  return phases;
+}
+
+int WriteConcurrencyReport(const std::string& path) {
+  constexpr int kPerWriter = 800;
+  constexpr int kRepeats = 3;  // keep the best run per point (noise floor)
+  const std::vector<int> writer_counts = {1, 2, 4, 8};
+
+  std::vector<WriterPoint> disjoint;
+  std::vector<WriterPoint> contended;
+  for (int writers : writer_counts) {
+    WriterPoint best_d, best_c;
+    for (int r = 0; r < kRepeats; ++r) {
+      WriterPoint d = MeasureWriters(writers, kPerWriter, /*disjoint=*/true);
+      if (d.throughput > best_d.throughput) best_d = d;
+      WriterPoint c = MeasureWriters(writers, kPerWriter, /*disjoint=*/false);
+      if (c.throughput > best_c.throughput) best_c = c;
+    }
+    disjoint.push_back(best_d);
+    contended.push_back(best_c);
+  }
+
+  double speedup4 = 0.0;
+  for (const WriterPoint& p : disjoint) {
+    if (p.writers == 4 && disjoint.front().throughput > 0.0) {
+      speedup4 = p.throughput / disjoint.front().throughput;
+    }
+  }
+  const PhaseBreakdown phases = MeasurePhases(kPerWriter);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::string json;
+  json += "{\n";
+  json += "  \"benchmark\": \"concurrency\",\n";
+  json += "  \"protocol\": \"optimistic-multi-writer\",\n";
+  json += "  \"statements_per_writer\": " + std::to_string(kPerWriter) +
+          ",\n";
+  json += "  \"host_cores\": " + std::to_string(cores) + ",\n";
+  json += "  \"disjoint_objects\": [\n";
+  AppendPoints(disjoint, &json);
+  json += "  ],\n";
+  json += "  \"shared_object\": [\n";
+  AppendPoints(contended, &json);
+  json += "  ],\n";
+  char buf[256];
+  // Measured speedup is bounded by min(host cores, Amdahl); the phase
+  // breakdown makes the protocol-level bound visible even when the host
+  // has too few cores to demonstrate it.
+  std::snprintf(buf, sizeof(buf),
+                "  \"phase_us\": {\"begin\": %.3f, \"execute\": %.3f, "
+                "\"commit_serial\": %.3f},\n"
+                "  \"commit_serial_fraction\": %.3f,\n"
+                "  \"amdahl_projected_speedup\": {\"2\": %.2f, \"4\": %.2f, "
+                "\"8\": %.2f},\n",
+                phases.begin_us, phases.exec_us, phases.commit_us,
+                phases.serial_fraction, phases.amdahl(2), phases.amdahl(4),
+                phases.amdahl(8));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"disjoint_speedup_4_writers_vs_1\": %.2f\n", speedup4);
+  json += buf;
+  json += "}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (disjoint 4-writer speedup: %.2fx)\n%s",
+               path.c_str(), speedup4, json.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace tchimera
 
-BENCHMARK_MAIN();
+// Custom main: the google-benchmark suite as usual, plus the
+// machine-readable multi-writer report.
+//   --json[=PATH]  write BENCH_concurrency.json (or PATH) after the suite
+//   --json-only    skip the google-benchmark suite (the CI artifact path)
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool json_only = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-only") {
+      json_only = true;
+      if (json_path.empty()) json_path = "BENCH_concurrency.json";
+    } else if (arg == "--json") {
+      json_path = "BENCH_concurrency.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_only) {
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  if (!json_path.empty()) {
+    return tchimera::WriteConcurrencyReport(json_path);
+  }
+  return 0;
+}

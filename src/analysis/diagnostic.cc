@@ -55,6 +55,8 @@ const std::vector<DiagnosticInfo>& AllDiagnosticInfos() {
       {"TC012", "extent-outside-superclass-lifespan", Severity::kError,
        "Invariant 5.1 / Invariant 6.1 (extents within superclass "
        "lifespans)"},
+      {"TC013", "c-attribute-shadowed", Severity::kWarning,
+       "Section 4 (class attributes) / Rule 6.1 (member refinement)"},
       // --- TC1xx: query (TQL) analysis ----------------------------------
       {"TC101", "unused-binder", Severity::kWarning,
        "Section 6.1 (query semantics)"},
@@ -72,6 +74,8 @@ const std::vector<DiagnosticInfo>& AllDiagnosticInfos() {
        "Definition 5.3 / Section 5.2 (states within lifespans)"},
       {"TC108", "history-of-non-temporal", Severity::kNote,
        "Section 5.2 (temporal vs immediate attributes)"},
+      {"TC109", "empty-query-window", Severity::kWarning,
+       "Section 3.2 (null interval) / Section 6.1 (query semantics)"},
       {"TC110", "query-type-error", Severity::kError,
        "Definition 3.6 (typing rules)"},
       {"TC111", "statement-failed", Severity::kError, "runtime check"},

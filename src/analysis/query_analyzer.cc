@@ -301,6 +301,28 @@ class QueryLint {
   DiagnosticEngine* diags_;
 };
 
+// TC109: a statically empty (inverted) `during` window on a read
+// statement — the query is restricted to no instants at all. Mirrors
+// TC106, which covers the same literal on `update`.
+void CheckQueryWindow(const std::optional<Interval>& during, size_t position,
+                      const char* verb, DiagnosticEngine* diags) {
+  if (!during.has_value()) return;
+  const Interval& window = *during;
+  // A symbolic `now` endpoint depends on the clock at execution time;
+  // only a fully concrete inverted literal is statically empty.
+  if (IsNow(window.start()) || IsNow(window.end())) return;
+  if (window.end() >= window.start()) return;
+  diags->Report(
+      "TC109", position,
+      std::string(verb) + " window [" + InstantToString(window.start()) +
+          "," + InstantToString(window.end()) +
+          "] is statically empty: " + InstantToString(window.end()) +
+          " precedes " + InstantToString(window.start()),
+      "an interval [a,b] with b < a denotes the null interval "
+      "(Section 3.2); the result is unconditionally empty — swap the "
+      "endpoints or drop the 'during' clause");
+}
+
 }  // namespace
 
 void AnalyzeSelect(SelectStmt* stmt, const Database& db,
@@ -374,6 +396,7 @@ void AnalyzeSnapshot(const SnapshotStmt& stmt, size_t position,
 
 void AnalyzeHistory(const HistoryStmt& stmt, size_t position,
                     const Database& db, DiagnosticEngine* diags) {
+  CheckQueryWindow(stmt.during, position, "history", diags);
   const Object* obj = db.GetObject(stmt.oid);
   if (obj == nullptr) return;  // the runtime reports the missing object
   const Value* v = obj->Attribute(stmt.attr);
@@ -389,6 +412,7 @@ void AnalyzeHistory(const HistoryStmt& stmt, size_t position,
 
 void AnalyzeWhen(WhenStmt* stmt, const Database& db,
                  DiagnosticEngine* diags) {
+  CheckQueryWindow(stmt->during, stmt->condition->position, "when", diags);
   Result<const Type*> r = TypeCheckExpr(stmt->condition.get(), db, TypeEnv{});
   if (!r.ok()) {
     diags->Report("TC110", stmt->condition->position, r.status().message(),

@@ -22,6 +22,7 @@ struct ClassEntry {
   std::vector<std::string> supers;  // resolved direct superclasses
   std::set<std::string> ancestors;  // transitive superclasses, self excluded
   std::map<std::string, AttributeDef> attrs;  // effective attributes
+  std::map<std::string, AttributeDef> c_attrs;  // effective c-attributes
   std::map<std::string, MethodDef> methods;   // effective methods
   bool ancestors_done = false;
   bool merged = false;
@@ -135,6 +136,7 @@ class SchemaAnalysis {
         e.ancestors.insert(s);
       }
       for (const AttributeDef& a : def->attributes()) e.attrs[a.name] = a;
+      for (const AttributeDef& a : def->c_attributes()) e.c_attrs[a.name] = a;
       for (const MethodDef& m : def->methods()) e.methods[m.name] = m;
       entries_.emplace(name, std::move(e));
     }
@@ -340,10 +342,14 @@ class SchemaAnalysis {
     // name -> first providing superclass, for conflict messages.
     std::map<std::string, std::string> attr_from;
     std::map<std::string, std::string> attr_conflict;  // second source
+    std::map<std::string, std::string> cattr_from;
     std::map<std::string, std::string> meth_from;
     std::map<std::string, std::string> meth_conflict;
     for (const std::string& super : e.supers) {
       const ClassEntry& se = entries_.find(super)->second;
+      for (const auto& [name, a] : se.c_attrs) {
+        if (e.c_attrs.emplace(name, a).second) cattr_from.emplace(name, super);
+      }
       for (const auto& [name, a] : se.attrs) {
         auto it = e.attrs.find(name);
         if (it == e.attrs.end()) {
@@ -392,9 +398,57 @@ class SchemaAnalysis {
               "T'' <=_T T");
         }
       }
+      if (auto cit = e.c_attrs.find(a.name);
+          cit != e.c_attrs.end() && cattr_from.count(a.name) > 0) {
+        // An instance attribute over an inherited c-attribute: the two
+        // live in different namespaces at runtime (attr vs c-attr slots),
+        // so the subclass silently hides the class-level member.
+        diags_->Report(
+            "TC013", e.position,
+            "class '" + spec.name + "': attribute '" + a.name +
+                "' shadows the c-attribute inherited from '" +
+                cattr_from[a.name] + "' (domain " +
+                cit->second.type->ToString() + ")",
+            "c-attributes are class-level members with their own value "
+            "slot (Section 4); an instance attribute of the same name "
+            "hides it in the subclass without refining it (Rule 6.1)");
+      }
       e.attrs[a.name] = a;
       attr_conflict.erase(a.name);
       attr_from.erase(a.name);  // redeclared locally: no longer inherited
+    }
+    for (const AttributeDef& a : spec.c_attributes) {
+      if (auto cit = e.c_attrs.find(a.name);
+          cit != e.c_attrs.end() && cattr_from.count(a.name) > 0) {
+        // Redefining an inherited c-attribute gives the subclass its own
+        // value slot, starting null and independent of the superclass's
+        // stored value — almost never what the schema author meant.
+        diags_->Report(
+            "TC013", e.position,
+            "class '" + spec.name + "': c-attribute '" + a.name +
+                "' redefines the c-attribute inherited from '" +
+                cattr_from[a.name] + "' (domain " +
+                cit->second.type->ToString() +
+                "); the subclass gets its own value slot, detached from "
+                "the superclass's value",
+            "c-attributes carry one value per class (Section 4); "
+            "redefining one in a subclass shadows the inherited value "
+            "slot rather than refining it (Rule 6.1)");
+      } else if (auto ait = e.attrs.find(a.name);
+                 ait != e.attrs.end() && attr_from.count(a.name) > 0) {
+        diags_->Report(
+            "TC013", e.position,
+            "class '" + spec.name + "': c-attribute '" + a.name +
+                "' shadows the attribute inherited from '" +
+                attr_from[a.name] + "' (domain " +
+                ait->second.type->ToString() + ")",
+            "an inherited instance attribute and a class-level "
+            "c-attribute of the same name are different members "
+            "(Section 4); the redeclaration hides rather than refines "
+            "(Rule 6.1)");
+      }
+      e.c_attrs[a.name] = a;
+      cattr_from.erase(a.name);
     }
     for (const auto& [name, second_src] : attr_conflict) {
       const AttributeDef& first = e.attrs.find(name)->second;

@@ -38,6 +38,10 @@ enum class StatusCode {
   kIoError = 9,
   // Anything that should not happen; indicates a bug in this library.
   kInternal = 10,
+  // An optimistic transaction lost the commit-time validation race against
+  // a concurrently committed writer. Retryable: re-running the statement
+  // against the new version usually succeeds.
+  kConflict = 11,
 };
 
 // Returns a stable human-readable name such as "TypeError".
@@ -86,6 +90,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -122,6 +122,7 @@ ClassDef* Database::GetMutableClass(std::string_view name) {
     slot.def = std::make_shared<ClassDef>(*slot.def);
     slot.epoch = epoch;
   }
+  footprint_.classes.insert(std::string(name));
   return slot.def.get();
 }
 
@@ -184,6 +185,7 @@ Status Database::DefineClass(const ClassSpec& spec) {
   // Rule 6.1 / method variance checks + member merge.
   TCH_ASSIGN_OR_RETURN(MergedMembers merged,
                        MergeClassMembers(spec, supers, *isa_));
+  footprint_.schema_changed = true;
   TCH_RETURN_IF_ERROR(MutableIsa().AddClass(spec.name, spec.superclasses));
   MutableClassTable().map.emplace(
       spec.name,
@@ -217,6 +219,9 @@ Status Database::DropClass(std::string_view name) {
                                         " still has a live subclass " + sub);
     }
   }
+  // Dropping ends the class lifespan, which gates superclass liveness and
+  // creations database-wide — serialize against every concurrent commit.
+  footprint_.schema_changed = true;
   return cls->CloseLifespan(now());
 }
 
@@ -389,6 +394,8 @@ Result<Oid> Database::CreateObjectAt(std::string_view class_name,
     TCH_RETURN_IF_ERROR(c->AddMember(oid, start));
   }
   ++next_oid_;
+  footprint_.oids.insert(oid.id);
+  footprint_.oid_allocated = true;
   MutableShard(oid.id).slots.emplace(
       oid.id,
       ObjectSlot{std::move(obj), cow_epoch_.load(std::memory_order_relaxed)});
@@ -586,6 +593,9 @@ Status Database::DeleteObjectUnchecked(Oid oid) {
   if (obj == nullptr) {
     return Status::NotFound("object " + oid.ToString() + " does not exist");
   }
+  // Deletions must re-validate referential integrity (Definition 5.6)
+  // against concurrently committed writers, not just local state.
+  footprint_.deleted_oids.insert(oid.id);
   TimePoint t = now();
   std::optional<std::string> cls = obj->CurrentClass();
   TCH_RETURN_IF_ERROR(obj->CloseLifespan(t));
@@ -603,6 +613,9 @@ Status Database::QuarantineObject(Oid oid) {
   if (GetObject(oid) == nullptr) {
     return Status::NotFound("object " + oid.ToString() + " does not exist");
   }
+  // Recovery surgery rewrites arbitrary extents: no per-slot footprint can
+  // describe it, so it conflicts with everything.
+  footprint_.all = true;
   MutableShard(oid.id).slots.erase(oid.id);
   for (const std::string& name : ClassNames()) {
     GetMutableClass(name)->ScrubFromExtents(oid);
@@ -627,6 +640,7 @@ Object* Database::GetMutableObject(Oid oid) {
     slot.obj = std::make_shared<Object>(*slot.obj);
     slot.epoch = epoch;
   }
+  footprint_.oids.insert(oid.id);
   return slot.obj.get();
 }
 
@@ -759,6 +773,7 @@ Status Database::RestoreClass(const ClassSpec& effective_spec,
     return Status::AlreadyExists("class " + effective_spec.name +
                                  " already exists");
   }
+  footprint_.schema_changed = true;
   TCH_RETURN_IF_ERROR(
       MutableIsa().AddClass(effective_spec.name,
                             effective_spec.superclasses));
@@ -804,11 +819,72 @@ Status Database::RestoreObject(Oid oid, const Interval& lifespan,
   for (auto& [name, v] : attributes) {
     obj->SetAttribute(name, std::move(v));
   }
+  footprint_.oids.insert(oid.id);
+  footprint_.oid_allocated = true;
   MutableShard(oid.id).slots.emplace(
       oid.id,
       ObjectSlot{std::move(obj), cow_epoch_.load(std::memory_order_relaxed)});
   if (oid.id >= next_oid_) next_oid_ = oid.id + 1;
   return Status::OK();
+}
+
+WriteFootprint Database::TakeFootprint() {
+  WriteFootprint out = std::move(footprint_);
+  footprint_ = WriteFootprint{};
+  return out;
+}
+
+void Database::AdoptChanges(const Database& src, const WriteFootprint& fp) {
+  if (fp.all || fp.schema_changed) {
+    // Spine-level adoption. Validation admits schema transactions only
+    // when no other commit intervened, so taking src's whole state is
+    // exactly what running the transaction on the tip would have built.
+    clock_ = src.clock_;
+    isa_ = src.isa_;
+    isa_epoch_ = src.isa_epoch_;
+    classes_ = src.classes_;
+    objects_ = src.objects_;
+    next_oid_ = src.next_oid_;
+    // Fresh epochs on both sides (the same protocol as the copy
+    // constructor): every adopted structure is now shared, so whichever
+    // side mutates next must clone first. Epochs are strictly increasing,
+    // so the fresh values match no existing slot.
+    cow_epoch_.store(NextCowEpoch(), std::memory_order_relaxed);
+    src.cow_epoch_.store(NextCowEpoch(), std::memory_order_relaxed);
+    return;
+  }
+  if (fp.clock_advanced) clock_ = src.clock_;
+  if (src.next_oid_ > next_oid_) next_oid_ = src.next_oid_;
+  if (!fp.classes.empty()) {
+    ClassTable& table = MutableClassTable();
+    for (const std::string& name : fp.classes) {
+      auto it = src.classes_->map.find(name);
+      if (it == src.classes_->map.end()) {
+        table.map.erase(name);  // defensive: non-schema ops never erase
+        continue;
+      }
+      // Epoch 0 matches no Database (NextCowEpoch starts at 1), so the
+      // adopted slot is re-cloned before any in-place mutation here.
+      table.map[name] = ClassSlot{it->second.def, 0};
+    }
+  }
+  for (const std::set<uint64_t>* ids : {&fp.oids, &fp.deleted_oids}) {
+    for (uint64_t id : *ids) {
+      ObjectShard& shard = MutableShard(id);
+      const ObjectShard* src_shard = src.objects_[ShardIndex(id)].get();
+      const ObjectSlot* found = nullptr;
+      if (src_shard != nullptr) {
+        auto it = src_shard->slots.find(id);
+        if (it != src_shard->slots.end()) found = &it->second;
+      }
+      if (found == nullptr) {
+        shard.slots.erase(id);  // erased in src (fp.all covers quarantine,
+                                // but stay defensive)
+        continue;
+      }
+      shard.slots[id] = ObjectSlot{found->obj, 0};
+    }
+  }
 }
 
 size_t Database::ApproxObjectBytes() const {

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -42,6 +43,40 @@
 #include "core/values/typing.h"
 
 namespace tchimera {
+
+// What a writer touched since the footprint was last taken — the unit of
+// commit-time validation for optimistic multi-writer concurrency
+// (core/db/versioned_db.h). Recorded by the mutable accessors, so it
+// covers exactly the slots whose COW clones a commit would publish.
+struct WriteFootprint {
+  // Objects cloned for mutation or newly created (slot-level granularity:
+  // two writers touching different oids never conflict, regardless of
+  // shard collisions).
+  std::set<uint64_t> oids;
+  // Objects whose lifespan this writer closed (DeleteObject) — tracked
+  // separately because referential integrity (Definition 5.6) must be
+  // re-validated against objects a *concurrent* committer touched.
+  std::set<uint64_t> deleted_oids;
+  // Classes cloned for mutation (extent splices, c-attribute updates).
+  std::set<std::string> classes;
+  // Schema-shape changes (define/drop/restore): conflict with everything —
+  // they rewrite the ISA graph and class table spine.
+  bool schema_changed = false;
+  // The clock moved. Journal replay re-runs statements in commit order,
+  // so a clock move must serialize against every concurrent commit.
+  bool clock_advanced = false;
+  // An oid was allocated from next_oid_. Two allocating transactions must
+  // conflict or replay would assign different oids than the live run.
+  bool oid_allocated = false;
+  // Sledgehammer: treat the write set as "everything" (quarantine and
+  // other surgery that scans or rewrites arbitrary state).
+  bool all = false;
+
+  bool empty() const {
+    return oids.empty() && deleted_oids.empty() && classes.empty() &&
+           !schema_changed && !clock_advanced && !oid_allocated && !all;
+  }
+};
 
 // Database is copy-on-write: the copy constructor is O(1)-ish — it shares
 // every class, object and object-map shard with the source via shared_ptr
@@ -72,8 +107,15 @@ class Database final : public ExtentProvider {
   // --- time ---------------------------------------------------------------
 
   TimePoint now() const { return clock_.now(); }
-  void Tick(int64_t steps = 1) { clock_.Tick(steps); }
-  Status AdvanceTo(TimePoint t) { return clock_.AdvanceTo(t); }
+  void Tick(int64_t steps = 1) {
+    clock_.Tick(steps);
+    footprint_.clock_advanced = true;
+  }
+  Status AdvanceTo(TimePoint t) {
+    TCH_RETURN_IF_ERROR(clock_.AdvanceTo(t));
+    footprint_.clock_advanced = true;
+    return Status::OK();
+  }
 
   // --- schema -------------------------------------------------------------
 
@@ -217,6 +259,28 @@ class Database final : public ExtentProvider {
                        TemporalFunction class_history,
                        std::vector<Value::Field> attributes);
 
+  // --- optimistic concurrency (core/db/versioned_db.h) ---------------------
+
+  // Everything mutated since the last TakeFootprint() (or construction /
+  // copy — copies start with an empty footprint). Mutating accessors
+  // record into this as a side effect.
+  const WriteFootprint& footprint() const { return footprint_; }
+  // Returns the accumulated footprint and resets it to empty.
+  WriteFootprint TakeFootprint();
+
+  // Adopts the slots listed in `fp` from `src` (a transaction-private COW
+  // copy of an ancestor of *this) into this database. Used by the
+  // optimistic commit path after validation has established that no
+  // concurrently committed transaction touched any of these slots, so
+  // per-slot substitution is equivalent to having run the transaction on
+  // the tip directly. Adopted slots get epoch 0 (matches no Database), so
+  // this side re-clones them before its next in-place mutation. Schema or
+  // `all` footprints adopt the full spines (validation guarantees the tip
+  // has not advanced in that case). Deliberately does NOT record into
+  // this database's own footprint: the caller tracks the transaction's
+  // footprint separately.
+  void AdoptChanges(const Database& src, const WriteFootprint& fp);
+
  private:
   // --- COW storage ---------------------------------------------------------
   //
@@ -265,6 +329,9 @@ class Database final : public ExtentProvider {
   std::shared_ptr<ClassTable> classes_;
   std::array<std::shared_ptr<ObjectShard>, kObjectShardCount> objects_;
   uint64_t next_oid_ = 1;
+  // Slots mutated since the last TakeFootprint(). Deliberately NOT copied
+  // by the copy constructor: a fresh copy has touched nothing yet.
+  WriteFootprint footprint_;
   // This copy's COW epoch (see ClassSlot). Atomic only because the copy
   // constructor refreshes the SOURCE's epoch too (both sides must re-COW
   // after a copy), and published MVCC versions may be copied while other

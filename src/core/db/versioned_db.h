@@ -1,4 +1,4 @@
-// MVCC access to a Database: lock-free snapshots, one writer at a time.
+// MVCC access to a Database: lock-free snapshots, optimistic writers.
 //
 // The model is inherently read-heavy: every Table 3 function (pi,
 // h_state, s_state, snapshot, ref, ...) is a pure read over immutable
@@ -10,13 +10,20 @@
 //     OpenSnapshot() is a single atomic load — no lock is held for the
 //     snapshot's lifetime, so a snapshot may live arbitrarily long
 //     without ever blocking writers (or anyone else);
-//   - exactly one writer at a time holds a WriteGuard (the writer
-//     mutex), mutates the *tip* database through it, and publishes with
-//     Commit(): the tip is copied copy-on-write (Database's copy
-//     constructor shares every untouched class/object/shard — see
-//     database.h) into a new immutable version, whose cost is
-//     proportional to what the writer touched, not to database size.
-//     A guard dropped without Commit() publishes nothing.
+//   - writers run in one of two modes. The exclusive mode: one writer
+//     at a time holds a WriteGuard (the writer mutex), mutates the
+//     *tip* database through it, and publishes with Commit(): the tip
+//     is copied copy-on-write (Database's copy constructor shares every
+//     untouched class/object/shard — see database.h) into a new
+//     immutable version, whose cost is proportional to what the writer
+//     touched, not to database size. A guard dropped without Commit()
+//     publishes nothing. The optimistic mode: any number of
+//     OptimisticTransactions mutate private COW copies concurrently
+//     without holding any lock; CommitTransaction serializes only the
+//     validate+publish(+journal-enqueue) critical section, validating
+//     each transaction's write footprint against everything committed
+//     since its base version (first committer wins; losers abort with
+//     the retryable Status::Conflict).
 //
 // Version retirement is shared_ptr refcounting: when the last snapshot
 // pinning a version drops (and a newer version has been published), that
@@ -27,10 +34,11 @@
 // The version counter is monotone: two snapshots with equal versions see
 // the identical Database instance, and a reader re-opening snapshots
 // observes a non-decreasing sequence (readers never travel back in
-// time). Writers are fully serialized — the writer-serialization
-// guarantee the query Engine (query/session.h) builds group commit on:
-// the order in which WriteGuards commit is the order statements reach
-// the journal.
+// time). Commits are fully serialized even though optimistic execution
+// is not — the commit-serialization guarantee the query Engine
+// (query/session.h) builds group commit on: the order in which commits
+// publish (WriteGuard or CommitTransaction) is the order statements
+// reach the journal.
 //
 // See docs/CONCURRENCY.md for the full protocol.
 #ifndef TCHIMERA_CORE_DB_VERSIONED_DB_H_
@@ -38,10 +46,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
 
+#include "common/result.h"
 #include "core/db/database.h"
 
 namespace tchimera {
@@ -112,6 +123,38 @@ class WriteGuard {
   VersionedDatabase* owner_ = nullptr;
 };
 
+// An optimistic writer: a private COW copy of the database pinned at a
+// base version. Mutate through db() from any one thread — no lock is
+// held, so any number of transactions run concurrently — then hand the
+// transaction to VersionedDatabase::CommitTransaction, which validates
+// the accumulated write footprint against every version committed since
+// the base (first committer wins) and either publishes or aborts with
+// Status::Conflict. Dropping an uncommitted transaction abandons it at
+// zero cost. Movable, not copyable.
+class OptimisticTransaction {
+ public:
+  OptimisticTransaction() = default;
+  OptimisticTransaction(OptimisticTransaction&&) = default;
+  OptimisticTransaction& operator=(OptimisticTransaction&&) = default;
+  OptimisticTransaction(const OptimisticTransaction&) = delete;
+  OptimisticTransaction& operator=(const OptimisticTransaction&) = delete;
+
+  bool valid() const { return db_ != nullptr; }
+  Database& db() { return *db_; }
+  const Database& db() const { return *db_; }
+  // The version this transaction is reading from (its snapshot).
+  uint64_t base_version() const { return base_ == nullptr ? 0 : base_->version; }
+
+ private:
+  friend class VersionedDatabase;
+  OptimisticTransaction(std::shared_ptr<const DbVersion> base,
+                        std::unique_ptr<Database> db)
+      : base_(std::move(base)), db_(std::move(db)) {}
+
+  std::shared_ptr<const DbVersion> base_;
+  std::unique_ptr<Database> db_;
+};
+
 class VersionedDatabase {
  public:
   VersionedDatabase();
@@ -126,6 +169,40 @@ class VersionedDatabase {
   ReadSnapshot OpenSnapshot() const;
   // Blocks until no other writer is active (never on readers).
   WriteGuard BeginWrite();
+
+  // Starts an optimistic transaction pinned at the currently published
+  // version: a COW copy of it that the caller mutates privately. Takes
+  // no lock — any number of transactions may be open at once; conflicts
+  // are detected at CommitTransaction time, not here.
+  OptimisticTransaction BeginTransaction() const;
+
+  // First-committer-wins validation + publication. Takes the writer
+  // mutex (the only serialized span of an optimistic writer's life) and
+  //   1. validates the transaction's write footprint against the
+  //      footprint of every version committed after its base — slot
+  //      overlap, schema or clock movement, duplicate OID allocation,
+  //      or a referential-integrity hazard (paper Def. 5.6: one side
+  //      deleted an object the other side's touched objects reference)
+  //      aborts with Status::Conflict, leaving the published chain and
+  //      the transaction itself untouched so the caller can retry;
+  //   2. runs `prepare` (if any) still under the mutex — the journal
+  //      enqueue hook, so journal order equals commit order. A non-OK
+  //      prepare aborts the commit without publishing;
+  //   3. folds the transaction's touched slots into the tip
+  //      (Database::AdoptChanges), publishes a new version, and records
+  //      the footprint for later validators.
+  // On success the transaction is consumed (valid() becomes false) and
+  // the new version number is returned. A base that has aged out of the
+  // retained footprint window also aborts with Conflict.
+  Result<uint64_t> CommitTransaction(OptimisticTransaction* txn,
+                                     const std::function<Status()>& prepare =
+                                         nullptr);
+
+  // How many optimistic commits have aborted in validation since
+  // construction. Exposed for tests and bench reporting.
+  uint64_t conflict_count() const {
+    return conflicts_.load(std::memory_order_relaxed);
+  }
 
   // The latest committed version (0 for a freshly wrapped database).
   uint64_t version() const {
@@ -148,14 +225,40 @@ class VersionedDatabase {
  private:
   friend class WriteGuard;
 
-  // Publishes the tip; requires writer_mu_ held.
-  uint64_t PublishLocked();
+  // One committed version's write footprint, kept so later optimistic
+  // validators can test overlap against it.
+  struct CommittedFootprint {
+    uint64_t version = 0;
+    WriteFootprint fp;
+  };
+
+  // Publishes the tip; requires writer_mu_ held. Takes the tip's own
+  // accumulated footprint as the new version's footprint (the exclusive
+  // writer path: WriteGuard commits and PublishWriterState). When
+  // `retired` is non-null it receives the previous head, so the caller
+  // can drop the (possibly last) reference after releasing the mutex.
+  uint64_t PublishLocked(std::shared_ptr<const DbVersion>* retired = nullptr);
+  // Publishes the tip with an explicit footprint (the optimistic path,
+  // where the footprint came from the transaction's private copy).
+  uint64_t PublishWithFootprintLocked(
+      WriteFootprint fp, std::shared_ptr<const DbVersion>* retired = nullptr);
+  // Appends to recent_, collapsing oversized footprints to `all` and
+  // trimming the window. Requires writer_mu_ held.
+  void RecordFootprintLocked(uint64_t version, WriteFootprint fp);
+  // The validation half of CommitTransaction. Requires writer_mu_ held.
+  Status ValidateLocked(const OptimisticTransaction& txn,
+                        const WriteFootprint& fp) const;
 
   std::unique_ptr<Database> tip_;
   mutable std::mutex writer_mu_;
   // The committed-version chain head. atomic<shared_ptr> so OpenSnapshot
   // is a wait-free load and retirement is plain refcounting.
   std::atomic<std::shared_ptr<const DbVersion>> published_;
+  // Footprints of the most recent commits, contiguous up to the
+  // published version, oldest first. Bounded: a transaction whose base
+  // predates the window can no longer be validated and must abort.
+  std::deque<CommittedFootprint> recent_;
+  std::atomic<uint64_t> conflicts_{0};
 };
 
 }  // namespace tchimera

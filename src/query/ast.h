@@ -132,6 +132,8 @@ struct SnapshotStmt {
 struct HistoryStmt {
   Oid oid;
   std::string attr;
+  // Optional `during [a,b]`: clip the reported history to the window.
+  std::optional<Interval> during;
 };
 
 struct TickStmt {
@@ -150,6 +152,8 @@ struct CheckStmt {};
 // e.g. `when i1.salary > 50000 and i2 in i3.participants`.
 struct WhenStmt {
   ExprPtr condition;
+  // Optional `during [a,b]`: intersect the answer with the window.
+  std::optional<Interval> during;
 };
 
 struct ShowStmt {

@@ -3,6 +3,7 @@
 #include "analysis/query_analyzer.h"
 #include "analysis/schema_analyzer.h"
 #include "core/db/consistency.h"
+#include "core/values/temporal_function.h"
 #include "query/evaluator.h"
 #include "query/parser.h"
 #include "query/type_checker.h"
@@ -147,6 +148,25 @@ Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
                                 " has no attribute '" + stmt->history->attr +
                                 "'");
       }
+      if (stmt->history->during.has_value() &&
+          v->kind() == ValueKind::kTemporal) {
+        // Clip the reported function to the window: keep each segment's
+        // intersection with `during [a,b]`. (Non-temporal attributes are
+        // constant functions over the lifespan; the window does not
+        // change what there is to report.)
+        const Interval window = stmt->history->during->Resolve(db_->now());
+        std::vector<TemporalFunction::Segment> clipped;
+        for (const TemporalFunction::Segment& seg :
+             v->AsTemporal().segments()) {
+          Interval cut = seg.interval.Intersect(window, db_->now());
+          if (!cut.empty()) {
+            clipped.push_back(TemporalFunction::Segment{cut, seg.value});
+          }
+        }
+        TCH_ASSIGN_OR_RETURN(TemporalFunction clipped_fn,
+                             TemporalFunction::Make(std::move(clipped)));
+        return Value::Temporal(std::move(clipped_fn)).ToString();
+      }
       return v->ToString();
     }
     case Statement::Kind::kTick: {
@@ -168,6 +188,12 @@ Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
       }
       TCH_ASSIGN_OR_RETURN(IntervalSet held,
                            EvaluateWhen(*w.condition, *db_));
+      if (w.during.has_value()) {
+        // Temporal selection restricted to the window: intersect the
+        // answer with `during [a,b]` (resolved against the clock).
+        held = held.Intersect(
+            IntervalSet::Of(w.during->Resolve(db_->now())));
+      }
       return held.ToString();
     }
     case Statement::Kind::kCheck: {

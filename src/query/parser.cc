@@ -204,6 +204,10 @@ class Parser {
       s.kind = Statement::Kind::kWhen;
       s.when.emplace();
       TCH_ASSIGN_OR_RETURN(s.when->condition, ParseExpr());
+      if (AcceptKeyword("during")) {
+        TCH_ASSIGN_OR_RETURN(Interval iv, ParseInterval());
+        s.when->during = iv;
+      }
       return s;
     }
     if (AcceptKeyword("show")) return ParseShow();
@@ -374,6 +378,10 @@ class Parser {
     TCH_ASSIGN_OR_RETURN(s.history->oid, ParseOid());
     TCH_RETURN_IF_ERROR(Expect(TokenKind::kDot));
     TCH_ASSIGN_OR_RETURN(s.history->attr, ParseName());
+    if (AcceptKeyword("during")) {
+      TCH_ASSIGN_OR_RETURN(Interval iv, ParseInterval());
+      s.history->during = iv;
+    }
     return s;
   }
 

@@ -35,6 +35,24 @@ bool IsReadKind(Statement::Kind kind) {
   }
 }
 
+// The verbs that must run on the exclusive path: schema changes conflict
+// with every concurrent commit anyway (running them optimistically would
+// only burn a doomed copy), and trigger/constraint definitions mutate
+// engine-level registries, not the database copy a transaction owns.
+bool RequiresExclusiveWrite(std::string_view statement) {
+  std::string token = FirstTokenLower(statement);
+  for (std::string_view kw : {"define", "drop", "trigger", "constraint"}) {
+    if (token == kw) return true;
+  }
+  return false;
+}
+
+// How many optimistic attempts a statement gets before falling back to
+// the exclusive path. Fallback bounds work wasted under heavy contention
+// and guarantees progress for workloads where every writer touches the
+// same slots.
+constexpr int kMaxOptimisticAttempts = 3;
+
 }  // namespace
 
 bool IsDurableStatement(std::string_view statement) {
@@ -45,14 +63,22 @@ bool IsDurableStatement(std::string_view statement) {
 
 Engine::Engine(std::unique_ptr<Database> db, size_t max_cascade_depth)
     : vdb_(std::move(db)),
-      active_(&vdb_.writer_db(), max_cascade_depth) {}
+      active_(&vdb_.writer_db(), max_cascade_depth),
+      max_cascade_depth_(max_cascade_depth) {}
 
 Session Engine::OpenSession() { return Session(this); }
 
 Status Engine::WithExclusive(
     const std::function<Status(Database&, ActiveDatabase&)>& fn) {
   WriteGuard guard = vdb_.BeginWrite();
-  Status status = fn(guard.db(), active_);
+  Status status;
+  {
+    // `fn` may define triggers/constraints (recovery replay), which
+    // optimistic writers copy under defs_mu_. Lock order: writer lock
+    // (taken by BeginWrite above) before defs_mu_.
+    std::lock_guard<std::mutex> defs_lock(defs_mu_);
+    status = fn(guard.db(), active_);
+  }
   // Republish on success: `fn` may have mutated the tip (definition
   // replay, surgery), and snapshots only ever see published versions.
   if (status.ok()) guard.Commit();
@@ -61,10 +87,87 @@ Status Engine::WithExclusive(
 
 Result<std::string> Engine::ExecuteWrite(std::string_view statement,
                                          DiagnosticEngine* lint) {
+  if (RequiresExclusiveWrite(statement)) {
+    return ExecuteWriteExclusive(statement, lint);
+  }
+  for (int attempt = 0; attempt < kMaxOptimisticAttempts; ++attempt) {
+    // Lint only on the first attempt — retries re-execute the same text
+    // and would only duplicate every finding.
+    Result<std::string> result =
+        TryOptimisticWrite(statement, attempt == 0 ? lint : nullptr);
+    if (result.ok() || result.status().code() != StatusCode::kConflict) {
+      return result;
+    }
+    // Lost the validation race — retry against a fresh base. Statement
+    // re-execution is correct here: nothing was published or journaled.
+  }
+  // Contention this persistent means the writers genuinely serialize;
+  // stop burning copies and take the lock. This also guarantees progress
+  // for worst-case workloads (every writer on the same slot).
+  return ExecuteWriteExclusive(statement, nullptr);
+}
+
+Result<std::string> Engine::TryOptimisticWrite(std::string_view statement,
+                                               DiagnosticEngine* lint) {
+  OptimisticTransaction txn = vdb_.BeginTransaction();
+  // A per-transaction facade over the private copy: triggers fire and
+  // constraints check against the transaction's own state, and their
+  // mutations land in its write footprint like any others.
+  ActiveDatabase facade(&txn.db(), max_cascade_depth_);
+  size_t copied_triggers;
+  size_t copied_constraints;
+  {
+    std::lock_guard<std::mutex> defs_lock(defs_mu_);
+    facade.CopyDefinitionsFrom(active_);
+    copied_triggers = facade.TriggerNames().size();
+    copied_constraints = facade.constraints().size();
+  }
+  facade.set_lint(lint);
+  Result<std::string> result = facade.Execute(statement);
+  facade.set_lint(nullptr);
+  if (!result.ok()) return result;  // rejected before mutating anything
+  if (facade.TriggerNames().size() != copied_triggers ||
+      facade.constraints().size() != copied_constraints) {
+    // A cascaded trigger action defined or dropped a trigger/constraint.
+    // Those live in engine-level registries, which a per-transaction
+    // facade cannot publish — the exclusive path (whose facade IS the
+    // engine's) handles this; report it as a conflict so the caller
+    // falls back there.
+    return Status::Conflict(
+        "statement changed trigger/constraint definitions; retrying on "
+        "the exclusive path");
+  }
+  CommitSink::Ticket ticket;
+  const bool durable = sink_ != nullptr && IsDurableStatement(statement);
+  Result<uint64_t> committed = vdb_.CommitTransaction(
+      &txn, [this, statement, durable, &ticket]() -> Status {
+        // Runs under the writer mutex, after validation succeeded:
+        // enqueue order is commit order. A fail-fast enqueue (closed or
+        // poisoned sink) aborts the commit before anything publishes —
+        // the optimistic path never applies a statement it cannot
+        // journal.
+        if (!durable) return Status::OK();
+        ticket = sink_->Enqueue(statement);
+        if (ticket.seq == 0 && !ticket.status.ok()) return ticket.status;
+        return Status::OK();
+      });
+  if (!committed.ok()) return committed.status();
+  if (ticket.seq != 0) {
+    TCH_RETURN_IF_ERROR(sink_->Await(ticket));
+  }
+  return result;
+}
+
+Result<std::string> Engine::ExecuteWriteExclusive(std::string_view statement,
+                                                  DiagnosticEngine* lint) {
   WriteGuard guard = vdb_.BeginWrite();
+  // Definition verbs mutate active_'s registries; hold defs_mu_ so
+  // concurrent optimistic writers copy a consistent definition set.
+  std::unique_lock<std::mutex> defs_lock(defs_mu_);
   active_.set_lint(lint);
   Result<std::string> result = active_.Execute(statement);
   active_.set_lint(nullptr);
+  defs_lock.unlock();
   if (!result.ok()) return result;  // nothing mutated, nothing to publish
   // Enqueue before releasing the lock: writers are serialized, so the
   // sink receives statements in exactly commit order — replaying the

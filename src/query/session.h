@@ -6,21 +6,27 @@
 //               read-only TQL (select / snapshot / history / when /
 //               show) runs against a ReadSnapshot, concurrently with
 //               every other reader; everything else is routed to the
-//               Engine's serialized write path. Owns its own
-//               DiagnosticEngine, so the "one engine per lint run"
-//               contract (analysis/diagnostic.h) holds without locks.
+//               Engine's write path. Owns its own DiagnosticEngine, so
+//               the "one engine per lint run" contract
+//               (analysis/diagnostic.h) holds without locks.
 //   Engine    — wraps the database in a VersionedDatabase (MVCC: reads
 //               are lock-free loads of the published version) and owns
 //               the ActiveDatabase facade (triggers, constraints,
-//               `check`). Writes take the writer lock, execute through
-//               the facade against the mutable tip, enqueue the
-//               statement with the CommitSink *while still holding the
-//               lock* (so journal order == commit order), publish the
-//               new version with Commit() (which releases the lock),
-//               and only then await durability — the group-commit
-//               window: many sessions can be between enqueue and
-//               durable at once, and one fdatasync acknowledges them
-//               all.
+//               `check`). Writes run optimistically by default: the
+//               statement executes against a private OptimisticTransaction
+//               copy with no lock held, then CommitTransaction validates
+//               its write footprint against concurrently committed
+//               versions and — inside the only serialized span —
+//               enqueues the statement with the CommitSink (so journal
+//               order == commit order) and publishes. A validation loss
+//               (Status::Conflict) is retried a bounded number of times
+//               against a fresh base; persistent losers fall back to
+//               the exclusive WriteGuard path, which also serves the
+//               schema-level verbs (define / drop / trigger /
+//               constraint) outright. Durability is awaited after the
+//               lock is released — the group-commit window: many
+//               sessions can be between enqueue and durable at once,
+//               and one fdatasync acknowledges them all.
 //   CommitSink — the durability boundary. storage/group_commit.h is the
 //               real implementation (cross-session group commit); a null
 //               sink (in-memory engines) acknowledges immediately.
@@ -114,15 +120,33 @@ class Engine {
   Database& writer_db() { return vdb_.writer_db(); }
   ActiveDatabase& active() { return active_; }
 
+  // Optimistic commits that lost validation and were retried (includes
+  // attempts that later succeeded). Tests and bench read this.
+  uint64_t conflict_count() const { return vdb_.conflict_count(); }
+
  private:
   friend class Session;
 
-  // The serialized write path (see file comment for the locking dance).
+  // The write path: optimistic with bounded retry, exclusive fallback
+  // (see file comment).
   Result<std::string> ExecuteWrite(std::string_view statement,
                                    DiagnosticEngine* lint);
+  // One optimistic attempt: execute on a private transaction copy, then
+  // validate+publish. Status::Conflict means "lost the race, retry".
+  Result<std::string> TryOptimisticWrite(std::string_view statement,
+                                         DiagnosticEngine* lint);
+  // The serialized fallback: writer lock held across execute + enqueue +
+  // publish. Also the only path for schema/definition verbs.
+  Result<std::string> ExecuteWriteExclusive(std::string_view statement,
+                                            DiagnosticEngine* lint);
 
   VersionedDatabase vdb_;
   ActiveDatabase active_;
+  // Guards active_'s trigger/constraint definitions: optimistic writers
+  // copy them into per-transaction facades without holding the writer
+  // lock. Lock order: writer_mu_ (inside vdb_) before defs_mu_.
+  std::mutex defs_mu_;
+  size_t max_cascade_depth_;
   CommitSink* sink_ = nullptr;
 };
 

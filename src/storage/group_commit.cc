@@ -41,7 +41,19 @@ void GroupCommitJournal::Close() {
       LeadBatch(lock);
     }
   }
+  if (durable_ < enqueued_ && sticky_.ok()) {
+    // Unreachable today (the drain only stops on poison or empty), but
+    // cheap insurance: a ticket enqueued before Close whose batch never
+    // got a leader must observe a sticky failure, never block forever.
+    sticky_ = Status::FailedPrecondition(
+        "group-commit journal closed with unflushed backlog");
+  }
   journal_.Close();
+  // Wake every parked waiter so it re-checks against the closed journal
+  // (and the sticky status, if the drain poisoned). Without this, a
+  // waiter that last observed an in-flight leader could sleep until the
+  // next enqueue — which, after Close, never comes.
+  cv_.notify_all();
 }
 
 CommitSink::Ticket GroupCommitJournal::Enqueue(std::string_view statement) {

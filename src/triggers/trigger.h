@@ -71,6 +71,16 @@ class ActiveDatabase {
   // (forwarded to the internal interpreter; see Interpreter::set_lint).
   void set_lint(DiagnosticEngine* diags) { interp_.set_lint(diags); }
 
+  // Copies `other`'s trigger and constraint definitions into this
+  // facade, replacing any it already had. Used to equip a per-transaction
+  // facade (optimistic writers execute against a private database copy)
+  // with the engine's registered definitions; both are cheap, copyable
+  // value types.
+  void CopyDefinitionsFrom(const ActiveDatabase& other) {
+    triggers_ = other.triggers_;
+    constraints_ = other.constraints_;
+  }
+
   // The textual definition of every registered trigger, then every
   // constraint, each in the exact re-parseable form Execute accepts.
   // This is what a checkpoint persists (snapshot v3 DEFINE records, see

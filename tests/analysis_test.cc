@@ -370,6 +370,51 @@ TEST(SchemaAnalyzer, LegitimateExtentsHaveNoTC012) {
   EXPECT_CLEAN(diags.diagnostics());
 }
 
+// --- TC013: c-attribute shadowing ------------------------------------------
+
+TEST(SchemaAnalyzer, CAttributeRedefinedInSubclassReported) {
+  // The subclass's own c-attribute slot detaches from the superclass's
+  // shared value — almost never what the schema author meant.
+  auto ds = LintSchema(
+      "define class person c-attributes population: integer end;"
+      "define class employee under person "
+      "c-attributes population: integer end");
+  EXPECT_CODE(ds, "TC013");
+}
+
+TEST(SchemaAnalyzer, InstanceAttributeShadowingCAttributeReported) {
+  auto ds = LintSchema(
+      "define class person c-attributes population: integer end;"
+      "define class employee under person "
+      "attributes population: integer end");
+  EXPECT_CODE(ds, "TC013");
+}
+
+TEST(SchemaAnalyzer, CAttributeShadowingInstanceAttributeReported) {
+  auto ds = LintSchema(
+      "define class person attributes name: string end;"
+      "define class employee under person c-attributes name: string end");
+  EXPECT_CODE(ds, "TC013");
+}
+
+TEST(SchemaAnalyzer, DistinctCAttributeNamesHaveNoTC013) {
+  auto ds = LintSchema(
+      "define class person "
+      "attributes name: string c-attributes population: integer end;"
+      "define class employee under person "
+      "attributes salary: integer c-attributes headcount: integer end");
+  EXPECT_NO_CODE(ds, "TC013");
+}
+
+TEST(SchemaAnalyzer, UnrelatedClassesMayReuseCAttributeNames) {
+  // Shadowing is an inheritance hazard; sibling classes sharing a name
+  // are fine.
+  auto ds = LintSchema(
+      "define class person c-attributes population: integer end;"
+      "define class city c-attributes population: integer end");
+  EXPECT_NO_CODE(ds, "TC013");
+}
+
 // --- TC010 / TC111: driver-level findings ---------------------------------
 
 TEST(LintDriver, ParseErrorReported) {
@@ -573,6 +618,58 @@ TEST(QueryAnalyzer, NowBoundedWindowNotFlagged) {
       "create a at 0 (v: 1);"
       "update i1 set v = 2 during [5,now]");
   EXPECT_NO_CODE(ds, "TC106");
+}
+
+// --- TC109: statically empty when/history windows --------------------------
+
+TEST(QueryAnalyzer, InvertedWhenWindowReported) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 9;"
+      "create a at 0 (v: 1);"
+      "when i1.v = 1 during [7,3]");
+  EXPECT_CODE(ds, "TC109");
+}
+
+TEST(QueryAnalyzer, InvertedHistoryWindowReported) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 9;"
+      "create a at 0 (v: 1);"
+      "history i1.v during [7,3]");
+  EXPECT_CODE(ds, "TC109");
+}
+
+TEST(QueryAnalyzer, ProperQueryWindowsHaveNoTC109) {
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 9;"
+      "create a at 0 (v: 1);"
+      "when i1.v = 1 during [3,7];"
+      "history i1.v during [8,8]");
+  EXPECT_NO_CODE(ds, "TC109");
+}
+
+TEST(QueryAnalyzer, NowBoundedQueryWindowNotFlagged) {
+  // [5,now] is empty only if the clock is behind 5 — not statically known.
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 9;"
+      "create a at 0 (v: 1);"
+      "when i1.v = 1 during [5,now];"
+      "history i1.v during [5,now]");
+  EXPECT_NO_CODE(ds, "TC109");
+}
+
+TEST(QueryAnalyzer, WindowCheckFiresEvenWhenConditionHasTypeError) {
+  // TC109 is reported before type checking: an unrelated TC110 in the
+  // condition must not mask the empty window.
+  auto ds = Lint(
+      "define class a attributes v: temporal(integer) end;"
+      "tick 9;"
+      "create a at 0 (v: 1);"
+      "when i1.v = 1 and i1.nope = 2 during [7,3]");
+  EXPECT_CODE(ds, "TC109");
 }
 
 // --- TC107: snapshot outside the object lifespan --------------------------
@@ -846,6 +943,9 @@ TEST(DiagnosticRender, EmittedCodesAreRegistered) {
       "define class u attributes w: integer end;"
       "create u (w: 1);"
       "history i2.w;"
+      "history i2.w during [3,1];"
+      "define class c1 c-attributes pop: integer end;"
+      "define class c2 under c1 c-attributes pop: integer end;"
       "update i99 set v = 1");
   for (const Diagnostic& d : ds) {
     EXPECT_NE(FindDiagnosticInfo(d.code), nullptr)
@@ -853,9 +953,9 @@ TEST(DiagnosticRender, EmittedCodesAreRegistered) {
   }
   // The fixture above is designed to light up a wide spread of codes.
   for (const char* code :
-       {"TC001", "TC002", "TC004", "TC006", "TC007", "TC101", "TC102",
-        "TC103", "TC104", "TC105", "TC106", "TC107", "TC108", "TC110",
-        "TC111"}) {
+       {"TC001", "TC002", "TC004", "TC006", "TC007", "TC013", "TC101",
+        "TC102", "TC103", "TC104", "TC105", "TC106", "TC107", "TC108",
+        "TC109", "TC110", "TC111"}) {
     EXPECT_TRUE(Has(ds, code)) << "expected " << code << " in:\n"
                                << Messages(ds);
   }

@@ -710,5 +710,391 @@ TEST(SessionTest, PerSessionDiagnosticsAreIsolated) {
   EXPECT_TRUE(quiet.diags().diagnostics().empty());
 }
 
+// ---------------------------------------------------------------------------
+// Optimistic multi-writer commits: OptimisticTransaction validation at
+// the VersionedDatabase layer, then the engine-level conflict matrix the
+// TSan job exercises.
+
+// Primes a VersionedDatabase: executes `script` against the tip and
+// publishes the result as the base version.
+void Prime(VersionedDatabase* vdb, const std::string& script) {
+  Interpreter interp(&vdb->writer_db());
+  Result<std::string> out = interp.ExecuteScript(script);
+  ASSERT_TRUE(out.ok()) << out.status();
+  vdb->PublishWriterState();
+}
+
+TEST(OptimisticTxnTest, DisjointWritersBothCommitWithoutConflict) {
+  VersionedDatabase vdb;
+  Prime(&vdb,
+      "define class emp attributes v: integer end\n"
+      "create emp (v: 1)\n"
+      "create emp (v: 2)");
+
+  OptimisticTransaction t1 = vdb.BeginTransaction();
+  OptimisticTransaction t2 = vdb.BeginTransaction();
+  ASSERT_TRUE(Interpreter(&t1.db()).Execute("update i1 set v = 10").ok());
+  ASSERT_TRUE(Interpreter(&t2.db()).Execute("update i2 set v = 20").ok());
+
+  Result<uint64_t> c1 = vdb.CommitTransaction(&t1);
+  ASSERT_TRUE(c1.ok()) << c1.status();
+  // t2's base predates t1's commit, but the footprints are disjoint
+  // slots: validation admits it.
+  Result<uint64_t> c2 = vdb.CommitTransaction(&t2);
+  ASSERT_TRUE(c2.ok()) << c2.status();
+  EXPECT_GT(*c2, *c1);
+  EXPECT_EQ(vdb.conflict_count(), 0u);
+  EXPECT_FALSE(t1.valid());  // consumed by the successful commit
+
+  // Both writes landed in the published tip.
+  ReadSnapshot snap = vdb.OpenSnapshot();
+  Interpreter reader(const_cast<Database*>(&snap.db()));
+  EXPECT_EQ(reader.Execute("select x.v from x in emp").value(), "10\n20");
+}
+
+TEST(OptimisticTxnTest, SameSlotSecondCommitterAborts) {
+  VersionedDatabase vdb;
+  Prime(&vdb,
+      "define class emp attributes v: integer end\n"
+      "create emp (v: 1)");
+
+  OptimisticTransaction t1 = vdb.BeginTransaction();
+  OptimisticTransaction t2 = vdb.BeginTransaction();
+  ASSERT_TRUE(Interpreter(&t1.db()).Execute("update i1 set v = 10").ok());
+  ASSERT_TRUE(Interpreter(&t2.db()).Execute("update i1 set v = 20").ok());
+
+  // First committer wins; the second aborts with the retryable Conflict.
+  ASSERT_TRUE(vdb.CommitTransaction(&t1).ok());
+  Result<uint64_t> lost = vdb.CommitTransaction(&t2);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.status().code(), StatusCode::kConflict) << lost.status();
+  EXPECT_EQ(vdb.conflict_count(), 1u);
+
+  // The winner's value is the published one, and a retry against a
+  // fresh base succeeds.
+  OptimisticTransaction retry = vdb.BeginTransaction();
+  ASSERT_TRUE(Interpreter(&retry.db()).Execute("update i1 set v = 20").ok());
+  ASSERT_TRUE(vdb.CommitTransaction(&retry).ok());
+  ReadSnapshot snap = vdb.OpenSnapshot();
+  Interpreter reader(const_cast<Database*>(&snap.db()));
+  EXPECT_EQ(reader.Execute("select x.v from x in emp").value(), "20");
+}
+
+TEST(OptimisticTxnTest, ConcurrentOidAllocatorsConflict) {
+  VersionedDatabase vdb;
+  Prime(&vdb,
+      "define class emp attributes v: integer end");
+
+  OptimisticTransaction t1 = vdb.BeginTransaction();
+  OptimisticTransaction t2 = vdb.BeginTransaction();
+  ASSERT_TRUE(Interpreter(&t1.db()).Execute("create emp (v: 1)").ok());
+  ASSERT_TRUE(Interpreter(&t2.db()).Execute("create emp (v: 2)").ok());
+
+  // Both allocated the same oid from the same base: replaying the
+  // journal in commit order must re-derive the same oids, so the second
+  // allocator aborts rather than silently colliding.
+  ASSERT_TRUE(vdb.CommitTransaction(&t1).ok());
+  Result<uint64_t> lost = vdb.CommitTransaction(&t2);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.status().code(), StatusCode::kConflict) << lost.status();
+}
+
+TEST(OptimisticTxnTest, CommittedClockAdvanceConflictsLaterValidators) {
+  VersionedDatabase vdb;
+  Prime(&vdb,
+      "define class emp attributes v: integer end\n"
+      "create emp (v: 1)");
+
+  OptimisticTransaction ticker = vdb.BeginTransaction();
+  OptimisticTransaction writer = vdb.BeginTransaction();
+  ASSERT_TRUE(Interpreter(&ticker.db()).Execute("tick 1").ok());
+  ASSERT_TRUE(Interpreter(&writer.db()).Execute("update i1 set v = 9").ok());
+
+  // The writer computed its assertion against the pre-tick `now`;
+  // once the tick commits, that computation is stale.
+  ASSERT_TRUE(vdb.CommitTransaction(&ticker).ok());
+  Result<uint64_t> lost = vdb.CommitTransaction(&writer);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.status().code(), StatusCode::kConflict) << lost.status();
+}
+
+TEST(OptimisticTxnTest, ReferentialIntegrityRecheckAtCommit) {
+  // Definition 5.6: even when the slot footprints are disjoint, a delete
+  // must abort if a concurrently committed writer made some other object
+  // reference the deleted one.
+  VersionedDatabase vdb;
+  Prime(&vdb,
+      "define class emp attributes v: integer, boss: emp end\n"
+      "create emp (v: 1)\n"
+      "create emp (v: 2)");
+
+  OptimisticTransaction deleter = vdb.BeginTransaction();
+  OptimisticTransaction linker = vdb.BeginTransaction();
+  // Locally valid: nothing references i2 at the deleter's base.
+  ASSERT_TRUE(Interpreter(&deleter.db()).Execute("delete i2").ok());
+  // Disjoint slot: touches only i1.
+  ASSERT_TRUE(Interpreter(&linker.db()).Execute("update i1 set boss = i2").ok());
+
+  ASSERT_TRUE(vdb.CommitTransaction(&linker).ok());
+  Result<uint64_t> lost = vdb.CommitTransaction(&deleter);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.status().code(), StatusCode::kConflict) << lost.status();
+  EXPECT_NE(lost.status().message().find("5.6"), std::string::npos)
+      << lost.status();
+
+  // And the other direction: the deleter commits first, the linker's
+  // reference into the now-dead object aborts.
+  VersionedDatabase vdb2;
+  Prime(&vdb2,
+      "define class emp attributes v: integer, boss: emp end\n"
+      "create emp (v: 1)\n"
+      "create emp (v: 2)");
+  OptimisticTransaction deleter2 = vdb2.BeginTransaction();
+  OptimisticTransaction linker2 = vdb2.BeginTransaction();
+  ASSERT_TRUE(Interpreter(&deleter2.db()).Execute("delete i2").ok());
+  ASSERT_TRUE(
+      Interpreter(&linker2.db()).Execute("update i1 set boss = i2").ok());
+  ASSERT_TRUE(vdb2.CommitTransaction(&deleter2).ok());
+  Result<uint64_t> lost2 = vdb2.CommitTransaction(&linker2);
+  ASSERT_FALSE(lost2.ok());
+  EXPECT_EQ(lost2.status().code(), StatusCode::kConflict) << lost2.status();
+}
+
+TEST(OptimisticTxnTest, ReadOnlyTransactionCommitsWithoutPublishing) {
+  VersionedDatabase vdb;
+  Prime(&vdb,
+      "define class emp attributes v: integer end\n"
+      "create emp (v: 1)");
+  const uint64_t before = vdb.version();
+  OptimisticTransaction txn = vdb.BeginTransaction();
+  ASSERT_TRUE(
+      Interpreter(&txn.db()).Execute("select x.v from x in emp").ok());
+  Result<uint64_t> committed = vdb.CommitTransaction(&txn);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(*committed, before);
+  EXPECT_EQ(vdb.version(), before);  // nothing to publish
+}
+
+TEST(OptimisticTxnTest, FailedPrepareAbortsWithoutPublishing) {
+  VersionedDatabase vdb;
+  Prime(&vdb,
+      "define class emp attributes v: integer end\n"
+      "create emp (v: 1)");
+  const uint64_t before = vdb.version();
+  OptimisticTransaction txn = vdb.BeginTransaction();
+  ASSERT_TRUE(Interpreter(&txn.db()).Execute("update i1 set v = 7").ok());
+  Result<uint64_t> committed = vdb.CommitTransaction(
+      &txn, [] { return Status::IoError("journal unavailable"); });
+  ASSERT_FALSE(committed.ok());
+  EXPECT_EQ(committed.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(vdb.version(), before);  // abort left no published trace
+  ReadSnapshot snap = vdb.OpenSnapshot();
+  Interpreter reader(const_cast<Database*>(&snap.db()));
+  EXPECT_EQ(reader.Execute("select x.v from x in emp").value(), "1");
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level conflict matrix (the TSan targets of this PR).
+
+TEST(ConcurrencyTest, DisjointShardWritersCommitWithoutAborts) {
+  Engine engine;
+  constexpr int kThreads = 4;
+  {
+    Session setup = engine.OpenSession();
+    ASSERT_TRUE(setup.Execute(kSchema).ok());
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_TRUE(setup.Execute("create emp (v: 0)").ok());
+    }
+  }
+  constexpr int kPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&engine, &failures, t] {
+      Session session = engine.OpenSession();
+      const std::string target = "i" + std::to_string(t + 1);
+      for (int i = 1; i <= kPerThread; ++i) {
+        if (!session
+                 .Execute("update " + target + " set v = " +
+                          std::to_string(i))
+                 .ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  // Disjoint objects, no clock movement, no oid allocation: every
+  // optimistic commit validates on the first attempt.
+  EXPECT_EQ(engine.conflict_count(), 0u);
+  EXPECT_EQ(engine.version(),
+            static_cast<uint64_t>(1 + kThreads + kThreads * kPerThread));
+  Session check = engine.OpenSession();
+  EXPECT_EQ(check.Execute("select x.v from x in emp").value(),
+            "50\n50\n50\n50");
+}
+
+TEST(ConcurrencyTest, SameSlotWritersSerializeToOneWinnerPerRound) {
+  Engine engine;
+  {
+    Session setup = engine.OpenSession();
+    ASSERT_TRUE(setup.Execute(kSchema).ok());
+    ASSERT_TRUE(setup.Execute("create emp (v: 0)").ok());
+  }
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&engine, &failures, t] {
+      Session session = engine.OpenSession();
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!session
+                 .Execute("update i1 set v = " +
+                          std::to_string(t * kPerThread + i))
+                 .ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  // Statement-level retry (bounded, then the exclusive fallback) makes
+  // every writer succeed eventually even though each commit round has
+  // exactly one validation winner.
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.version(),
+            static_cast<uint64_t>(2 + kThreads * kPerThread));
+  Session check = engine.OpenSession();
+  Result<std::string> v = check.Execute("select x.v from x in emp");
+  ASSERT_TRUE(v.ok());
+  // The final value is the last committed update — some thread's write,
+  // in range by construction.
+  EXPECT_GE(std::stoi(*v), 0);
+  EXPECT_LT(std::stoi(*v), kThreads * kPerThread);
+}
+
+TEST(ConcurrencyTest, AbortedThenRetriedWritersPreserveReplayEquality) {
+  // A mixed contended workload (shared-slot updates + allocations) over
+  // a real group-commit journal: after every writer finishes, replaying
+  // the journal must reproduce the engine's in-memory state bit-for-bit
+  // even though many statements lost a validation round and retried.
+  std::string dir = FreshDir("occ_replay");
+  const std::string journal_path = dir + "/journal.tchl";
+
+  Engine engine;
+  {
+    Session setup = engine.OpenSession();
+    ASSERT_TRUE(setup.Execute(kSchema).ok());
+    ASSERT_TRUE(setup.Execute("create emp (v: 0)").ok());
+  }
+  GroupCommitJournal sink;
+  ASSERT_TRUE(sink.Open(journal_path).ok());
+  engine.set_commit_sink(&sink);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&engine, &failures, t] {
+      Session session = engine.OpenSession();
+      for (int i = 0; i < kPerThread; ++i) {
+        // Alternate a contended update with a contended allocation.
+        const std::string stmt =
+            (i % 2 == 0) ? "update i1 set v = " + std::to_string(t * 100 + i)
+                         : "create emp (v: " + std::to_string(t) + ")";
+        if (!session.Execute(stmt).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ(sink.durable(), static_cast<uint64_t>(kThreads * kPerThread));
+  sink.Close();
+
+  Result<JournalScan> scan = ScanJournal(journal_path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_TRUE(scan->tail_error.ok());
+  ASSERT_EQ(scan->statements.size(),
+            static_cast<size_t>(kThreads * kPerThread));
+  Database replayed;
+  Interpreter interp(&replayed);
+  ASSERT_TRUE(interp.Execute(kSchema).ok());
+  ASSERT_TRUE(interp.Execute("create emp (v: 0)").ok());
+  for (const std::string& stmt : scan->statements) {
+    Result<std::string> out = interp.Execute(stmt);
+    ASSERT_TRUE(out.ok()) << out.status() << " replaying: " << stmt;
+  }
+  EXPECT_EQ(SaveDatabaseToString(replayed).value(),
+            SaveDatabaseToString(engine.writer_db()).value());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: Close() with a backlog that can never flush must
+// release every waiter with a non-OK status — before this PR a ticket
+// whose batch never got a leader could block in Await forever.
+
+TEST(GroupCommitTest, CloseWithUnflushedBacklogReleasesEveryWaiterNonOk) {
+  std::string dir = FreshDir("close_backlog");
+  FaultInjectionFileSystem ffs(FileSystem::Default());
+  JournalOptions jopts;
+  jopts.fs = &ffs;
+  GroupCommitJournal sink;
+  ASSERT_TRUE(sink.Open(dir + "/journal.tchl", jopts).ok());
+
+  // Admit a backlog, then make the disk reject everything: the backlog
+  // can never become durable.
+  std::vector<CommitSink::Ticket> tickets;
+  for (int i = 0; i < 3; ++i) tickets.push_back(sink.Enqueue("tick 1"));
+  for (const CommitSink::Ticket& t : tickets) ASSERT_GT(t.seq, 0u);
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kFailOp;
+  plan.at_op = 0;
+  ffs.SetPlan(plan);
+
+  // No waiter ever led a batch for these tickets; Close's drain must
+  // absorb the failure and leave a sticky status behind.
+  sink.Close();
+  ffs.ClearPlan();
+
+  for (const CommitSink::Ticket& t : tickets) {
+    Status released = sink.Await(t);  // must return, not block
+    EXPECT_FALSE(released.ok()) << released;
+  }
+  EXPECT_LT(sink.durable(), sink.enqueued());
+
+  // Waiters already parked in Await when the failure hits are released
+  // too (each non-OK): run the same shape with threads blocked before
+  // Close.
+  std::string dir2 = FreshDir("close_backlog_threads");
+  GroupCommitJournal sink2;
+  ASSERT_TRUE(sink2.Open(dir2 + "/journal.tchl", jopts).ok());
+  ffs.SetPlan(plan);
+  constexpr int kWaiters = 4;
+  std::vector<CommitSink::Ticket> tickets2;
+  for (int i = 0; i < kWaiters; ++i) tickets2.push_back(sink2.Enqueue("tick 1"));
+  std::atomic<int> released_non_ok{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&sink2, &tickets2, &released_non_ok, i] {
+      if (!sink2.Await(tickets2[i]).ok()) {
+        released_non_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  sink2.Close();
+  for (std::thread& t : waiters) t.join();  // termination IS the assertion
+  ffs.ClearPlan();
+  EXPECT_EQ(released_non_ok.load(), kWaiters);
+}
+
 }  // namespace
 }  // namespace tchimera
