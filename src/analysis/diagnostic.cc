@@ -79,6 +79,13 @@ const std::vector<DiagnosticInfo>& AllDiagnosticInfos() {
       {"TC110", "query-type-error", Severity::kError,
        "Definition 3.6 (typing rules)"},
       {"TC111", "statement-failed", Severity::kError, "runtime check"},
+      // --- TC2xx: flow-sensitive script analysis ------------------------
+      {"TC201", "use-before-initialization", Severity::kWarning,
+       "Definition 5.3 (states defined within lifespans)"},
+      {"TC202", "static-write-conflict", Severity::kNote,
+       "first-committer-wins validation (optimistic concurrency)"},
+      {"TC203", "empty-window-after-propagation", Severity::kWarning,
+       "Section 3.2 (null interval) under the tracked clock"},
   };
   return kInfos;
 }
@@ -91,7 +98,8 @@ const DiagnosticInfo* FindDiagnosticInfo(std::string_view code) {
 }
 
 void DiagnosticEngine::Report(std::string_view code, size_t offset,
-                              std::string message, std::string note) {
+                              std::string message, std::string note,
+                              std::vector<FixIt> fixits) {
   const DiagnosticInfo* info = FindDiagnosticInfo(code);
   Diagnostic d;
   d.code = std::string(code);
@@ -99,6 +107,7 @@ void DiagnosticEngine::Report(std::string_view code, size_t offset,
   d.message = std::move(message);
   d.location.offset = offset;
   d.note = std::move(note);
+  d.fixits = std::move(fixits);
   Add(std::move(d));
 }
 
@@ -136,17 +145,28 @@ void DiagnosticEngine::ResolveLocations(std::string_view file,
 }
 
 void DiagnosticEngine::SortByLocation() {
-  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
-                   [](const Diagnostic& a, const Diagnostic& b) {
-                     if (a.location.file != b.location.file) {
-                       return a.location.file < b.location.file;
-                     }
-                     // kNoOffset sorts last (it is the max size_t).
-                     if (a.location.offset != b.location.offset) {
-                       return a.location.offset < b.location.offset;
-                     }
-                     return a.code < b.code;
-                   });
+  std::stable_sort(
+      diagnostics_.begin(), diagnostics_.end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        if (a.location.file != b.location.file) {
+          return a.location.file < b.location.file;
+        }
+        // Prefer resolved (line, column) when both sides have them; they
+        // order the same as offsets but also hold for diagnostics merged
+        // from JSON, which carry no offset.
+        if (a.location.line > 0 && b.location.line > 0) {
+          if (a.location.line != b.location.line) {
+            return a.location.line < b.location.line;
+          }
+          if (a.location.column != b.location.column) {
+            return a.location.column < b.location.column;
+          }
+        } else if (a.location.offset != b.location.offset) {
+          // kNoOffset sorts last (it is the max size_t).
+          return a.location.offset < b.location.offset;
+        }
+        return a.code < b.code;
+      });
 }
 
 std::string RenderHuman(const std::vector<Diagnostic>& diagnostics) {
@@ -333,6 +353,28 @@ class JsonCursor {
   size_t pos_ = 0;
 };
 
+Result<FixIt> ParseOneFixIt(JsonCursor* c) {
+  TCH_RETURN_IF_ERROR(c->Expect('{'));
+  FixIt f;
+  bool first = true;
+  while (!c->Consume('}')) {
+    if (!first) TCH_RETURN_IF_ERROR(c->Expect(','));
+    first = false;
+    TCH_ASSIGN_OR_RETURN(std::string key, c->ParseString());
+    TCH_RETURN_IF_ERROR(c->Expect(':'));
+    if (key == "offset") {
+      TCH_ASSIGN_OR_RETURN(f.offset, c->ParseUnsigned());
+    } else if (key == "length") {
+      TCH_ASSIGN_OR_RETURN(f.length, c->ParseUnsigned());
+    } else if (key == "replacement") {
+      TCH_ASSIGN_OR_RETURN(f.replacement, c->ParseString());
+    } else {
+      TCH_RETURN_IF_ERROR(c->SkipValue());
+    }
+  }
+  return f;
+}
+
 Result<Diagnostic> ParseOneDiagnostic(JsonCursor* c) {
   TCH_RETURN_IF_ERROR(c->Expect('{'));
   Diagnostic d;
@@ -342,7 +384,14 @@ Result<Diagnostic> ParseOneDiagnostic(JsonCursor* c) {
     first = false;
     TCH_ASSIGN_OR_RETURN(std::string key, c->ParseString());
     TCH_RETURN_IF_ERROR(c->Expect(':'));
-    if (key == "code") {
+    if (key == "fixits") {
+      TCH_RETURN_IF_ERROR(c->Expect('['));
+      while (!c->Consume(']')) {
+        if (!d.fixits.empty()) TCH_RETURN_IF_ERROR(c->Expect(','));
+        TCH_ASSIGN_OR_RETURN(FixIt f, ParseOneFixIt(c));
+        d.fixits.push_back(std::move(f));
+      }
+    } else if (key == "code") {
       TCH_ASSIGN_OR_RETURN(d.code, c->ParseString());
     } else if (key == "severity") {
       TCH_ASSIGN_OR_RETURN(std::string name, c->ParseString());
@@ -397,6 +446,19 @@ std::string RenderJson(const std::vector<Diagnostic>& diagnostics) {
     if (!d.note.empty()) {
       out += ",\"note\":";
       AppendJsonString(&out, d.note);
+    }
+    if (!d.fixits.empty()) {
+      out += ",\"fixits\":[";
+      for (size_t j = 0; j < d.fixits.size(); ++j) {
+        const FixIt& f = d.fixits[j];
+        if (j > 0) out += ",";
+        out += "{\"offset\":" + std::to_string(f.offset) +
+               ",\"length\":" + std::to_string(f.length) +
+               ",\"replacement\":";
+        AppendJsonString(&out, f.replacement);
+        out += "}";
+      }
+      out += "]";
     }
     out += "}";
   }

@@ -7,6 +7,8 @@
 // Code ranges are stable and documented in docs/LINT.md:
 //   TC0xx  schema analysis (ISA graph, Rule 6.1, Invariants 5.1-6.2)
 //   TC1xx  query (TQL) analysis (dead predicates, no-op coercions, ...)
+//   TC2xx  flow-sensitive script analysis (constant propagation,
+//          definite initialization, static write-write conflicts)
 #ifndef TCHIMERA_ANALYSIS_DIAGNOSTIC_H_
 #define TCHIMERA_ANALYSIS_DIAGNOSTIC_H_
 
@@ -42,12 +44,28 @@ struct SourceLocation {
   bool has_offset() const { return offset != kNoOffset; }
 };
 
+// A machine-applicable edit attached to a diagnostic: replace `length`
+// bytes starting at `offset` in the source text with `replacement`.
+// length == 0 is a pure insertion; an empty replacement is a deletion.
+// All fix-its of one diagnostic are applied atomically (analysis/fixer.h);
+// offsets refer to the text the diagnostic was produced from.
+struct FixIt {
+  size_t offset = 0;
+  size_t length = 0;
+  std::string replacement;
+
+  size_t end() const { return offset + length; }
+};
+
 struct Diagnostic {
   std::string code;  // "TC001"
   Severity severity = Severity::kWarning;
   std::string message;
   SourceLocation location;
   std::string note;  // optional elaboration (paper reference, fix hint)
+  // Optional machine-applicable repair; empty when the finding has no
+  // mechanical fix. Preserved through RenderJson / ParseDiagnosticsJson.
+  std::vector<FixIt> fixits;
 };
 
 // Static metadata for one diagnostic code: a short kebab-case title and
@@ -74,7 +92,7 @@ class DiagnosticEngine {
  public:
   // Reports a registered code (severity taken from the registry).
   void Report(std::string_view code, size_t offset, std::string message,
-              std::string note = "");
+              std::string note = "", std::vector<FixIt> fixits = {});
   // Full control (used for driver-level findings such as parse errors).
   void Add(Diagnostic d);
 
@@ -89,7 +107,10 @@ class DiagnosticEngine {
   // 1-based line / column positions within `source`.
   void ResolveLocations(std::string_view file, std::string_view source);
 
-  // Stable sort by (file, offset, code).
+  // Stable sort by (file, line, column, code); unresolved locations fall
+  // back to the byte offset, which orders identically since line/column
+  // are derived from it monotonically. Diagnostics with no position sort
+  // last within their file.
   void SortByLocation();
 
  private:

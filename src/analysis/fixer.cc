@@ -1,0 +1,99 @@
+#include "analysis/fixer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tchimera {
+namespace {
+
+// One diagnostic's worth of edits, applied atomically.
+struct EditGroup {
+  const Diagnostic* diag = nullptr;
+  std::vector<FixIt> edits;  // sorted by offset, verified non-overlapping
+  size_t begin = 0;          // min edit offset (for group ordering)
+};
+
+bool Overlaps(const FixIt& a, const FixIt& b) {
+  // Half-open ranges; pure insertions at the same point do not overlap
+  // (they apply in group order), but an insertion inside a replaced range
+  // does.
+  return a.offset < b.end() && b.offset < a.end();
+}
+
+}  // namespace
+
+FixResult ApplyFixIts(std::string_view source,
+                      const std::vector<Diagnostic>& diagnostics) {
+  FixResult result;
+
+  // Collect candidate groups, dropping malformed ones outright.
+  std::vector<EditGroup> groups;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.fixits.empty()) continue;
+    EditGroup g;
+    g.diag = &d;
+    g.edits = d.fixits;
+    std::sort(g.edits.begin(), g.edits.end(),
+              [](const FixIt& a, const FixIt& b) {
+                return a.offset < b.offset;
+              });
+    bool bad = false;
+    for (size_t i = 0; i < g.edits.size(); ++i) {
+      if (g.edits[i].end() > source.size()) bad = true;
+      if (i > 0 && Overlaps(g.edits[i - 1], g.edits[i])) bad = true;
+    }
+    if (bad) {
+      ++result.skipped;
+      result.skipped_reasons.push_back(
+          d.code + " at offset " + std::to_string(g.edits.front().offset) +
+          ": malformed fix (out of bounds or self-overlapping)");
+      continue;
+    }
+    g.begin = g.edits.front().offset;
+    groups.push_back(std::move(g));
+  }
+
+  // Deterministic precedence: position, then code, then report order.
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const EditGroup& a, const EditGroup& b) {
+                     if (a.begin != b.begin) return a.begin < b.begin;
+                     return a.diag->code < b.diag->code;
+                   });
+
+  // Greedily accept groups whose edits touch none of the already accepted
+  // ranges; the first claimant of a span wins.
+  std::vector<FixIt> accepted;
+  for (const EditGroup& g : groups) {
+    bool conflict = false;
+    for (const FixIt& e : g.edits) {
+      for (const FixIt& a : accepted) {
+        if (Overlaps(e, a)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) break;
+    }
+    if (conflict) {
+      ++result.skipped;
+      result.skipped_reasons.push_back(
+          g.diag->code + " at offset " + std::to_string(g.begin) +
+          ": overlaps an earlier fix; re-run --fix to apply");
+      continue;
+    }
+    accepted.insert(accepted.end(), g.edits.begin(), g.edits.end());
+    ++result.applied;
+  }
+
+  // Apply back-to-front so earlier offsets stay valid.
+  std::sort(accepted.begin(), accepted.end(),
+            [](const FixIt& a, const FixIt& b) { return a.offset > b.offset; });
+  std::string text(source);
+  for (const FixIt& e : accepted) {
+    text.replace(e.offset, e.length, e.replacement);
+  }
+  result.text = std::move(text);
+  return result;
+}
+
+}  // namespace tchimera

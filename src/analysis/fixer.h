@@ -1,0 +1,39 @@
+// Applies the machine-applicable fix-its attached to diagnostics
+// (diagnostic.h) to a source text. The unit of application is the
+// diagnostic: either all of a diagnostic's fix-its are applied or none.
+// When two diagnostics carry overlapping edits, the earlier one (in
+// (offset, code) order) wins and the later one is skipped and reported —
+// a re-lint of the rewritten text regenerates the skipped finding with
+// fresh offsets, so the CLI's fixpoint loop (tchimera_lint --fix) picks
+// it up on the next pass.
+#ifndef TCHIMERA_ANALYSIS_FIXER_H_
+#define TCHIMERA_ANALYSIS_FIXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace tchimera {
+
+struct FixResult {
+  std::string text;    // the rewritten source
+  size_t applied = 0;  // diagnostics whose fix-its were applied
+  size_t skipped = 0;  // diagnostics dropped (overlap or out of bounds)
+  // One human-readable line per skipped diagnostic, e.g.
+  // "TC101 at offset 42: overlaps an earlier fix".
+  std::vector<std::string> skipped_reasons;
+
+  bool changed_anything() const { return applied > 0; }
+};
+
+// Rewrites `source` by applying every applicable fix-it in `diagnostics`.
+// Diagnostics without fix-its are ignored. Edits never cascade: all
+// offsets are interpreted against the original `source`.
+FixResult ApplyFixIts(std::string_view source,
+                      const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_ANALYSIS_FIXER_H_

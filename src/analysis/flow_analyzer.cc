@@ -1,0 +1,308 @@
+#include "analysis/flow_analyzer.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/temporal/instant.h"
+#include "core/temporal/interval.h"
+
+namespace tchimera {
+namespace {
+
+// One assigned valid-time range of a temporal attribute. `ongoing` means
+// the assignment extends indefinitely from `start` (a plain update or a
+// create init); otherwise exactly [start, end].
+struct WriteSpan {
+  TimePoint start = 0;
+  TimePoint end = 0;
+  bool ongoing = false;
+
+  bool Covers(TimePoint t) const {
+    return ongoing ? t >= start : (start <= t && t <= end);
+  }
+};
+
+// Abstract state of one created object.
+struct AbstractObject {
+  std::string class_name;
+  bool deleted = false;
+  // Per attribute: the valid-time ranges definitely assigned so far. A
+  // non-temporal attribute's presence alone means "initialized".
+  std::map<std::string, std::vector<WriteSpan>> writes;
+  // Writer statements (byte offsets, in script order) whose footprint
+  // includes this object, for TC202.
+  std::vector<size_t> writer_positions;
+  bool conflict_reported = false;
+};
+
+class FlowAnalysis {
+ public:
+  explicit FlowAnalysis(DiagnosticEngine* diags) : diags_(diags) {}
+
+  void Run(const std::vector<Statement>& stmts) {
+    for (const Statement& s : stmts) {
+      switch (s.kind) {
+        case Statement::Kind::kDefineClass:
+          classes_[s.define_class->spec.name] = &s.define_class->spec;
+          break;
+        case Statement::Kind::kDropClass:
+          classes_.erase(s.drop_class->name);
+          break;
+        case Statement::Kind::kCreate:
+          OnCreate(*s.create);
+          break;
+        case Statement::Kind::kUpdate:
+          OnUpdate(*s.update, s.position);
+          break;
+        case Statement::Kind::kMigrate:
+          OnMigrate(*s.migrate, s.position);
+          break;
+        case Statement::Kind::kDelete:
+          OnDelete(*s.del, s.position);
+          break;
+        case Statement::Kind::kTick:
+          clock_ += s.tick->steps;
+          break;
+        case Statement::Kind::kAdvance:
+          clock_ = ResolveInstant(s.advance->to, clock_);
+          break;
+        case Statement::Kind::kSelect:
+          OnSelect(*s.select, s.position);
+          break;
+        case Statement::Kind::kWhen:
+          OnWhen(*s.when, s.position);
+          break;
+        case Statement::Kind::kHistory:
+          OnHistory(*s.history, s.position);
+          break;
+        default:
+          break;  // snapshot / show / check: no flow facts to add or use
+      }
+    }
+  }
+
+ private:
+  // --- schema lookups ------------------------------------------------------
+
+  // The effective declaration of `attr` on `cls`, chasing superclasses
+  // (declaration order, first hit wins; cycles guarded).
+  const AttributeDef* FindAttr(const std::string& cls,
+                               const std::string& attr,
+                               std::set<std::string>* seen) const {
+    if (!seen->insert(cls).second) return nullptr;
+    auto it = classes_.find(cls);
+    if (it == classes_.end()) return nullptr;
+    for (const AttributeDef& a : it->second->attributes) {
+      if (a.name == attr) return &a;
+    }
+    for (const std::string& super : it->second->superclasses) {
+      if (const AttributeDef* a = FindAttr(super, attr, seen)) return a;
+    }
+    return nullptr;
+  }
+
+  const AttributeDef* FindAttr(const std::string& cls,
+                               const std::string& attr) const {
+    std::set<std::string> seen;
+    return FindAttr(cls, attr, &seen);
+  }
+
+  // --- state transformers --------------------------------------------------
+
+  void OnCreate(const CreateStmt& stmt) {
+    AbstractObject obj;
+    obj.class_name = stmt.class_name;
+    TimePoint start = stmt.at.has_value() ? ResolveInstant(*stmt.at, clock_)
+                                          : clock_;
+    for (const auto& [name, expr] : stmt.inits) {
+      obj.writes[name].push_back(WriteSpan{start, start, /*ongoing=*/true});
+    }
+    objects_[next_oid_++] = std::move(obj);
+  }
+
+  void OnUpdate(const UpdateStmt& stmt, size_t position) {
+    RecordWriter(stmt.oid.id, position);
+    CheckWindowUnderClock(stmt.during, position, "update");
+    AbstractObject* obj = Lookup(stmt.oid.id);
+    if (obj == nullptr) return;
+    WriteSpan span;
+    if (stmt.during.has_value()) {
+      Interval w = stmt.during->Resolve(clock_);
+      if (w.empty()) return;  // asserts nothing (TC106/TC203 report it)
+      span = WriteSpan{w.start(), w.end(), false};
+    } else {
+      span = WriteSpan{clock_, clock_, /*ongoing=*/true};
+    }
+    obj->writes[stmt.attr].push_back(span);
+  }
+
+  void OnMigrate(const MigrateStmt& stmt, size_t position) {
+    RecordWriter(stmt.oid.id, position);
+    AbstractObject* obj = Lookup(stmt.oid.id);
+    if (obj == nullptr) return;
+    obj->class_name = stmt.to_class;
+    for (const auto& [name, expr] : stmt.sets) {
+      obj->writes[name].push_back(
+          WriteSpan{clock_, clock_, /*ongoing=*/true});
+    }
+  }
+
+  void OnDelete(const DeleteStmt& stmt, size_t position) {
+    RecordWriter(stmt.oid.id, position);
+    AbstractObject* obj = Lookup(stmt.oid.id);
+    if (obj != nullptr) obj->deleted = true;
+  }
+
+  // --- TC202: static write footprints --------------------------------------
+
+  void RecordWriter(uint64_t oid, size_t position) {
+    AbstractObject* obj = Lookup(oid);
+    if (obj == nullptr) return;
+    obj->writer_positions.push_back(position);
+    if (obj->writer_positions.size() == 2 && !obj->conflict_reported) {
+      obj->conflict_reported = true;
+      diags_->Report(
+          "TC202", position,
+          "i" + std::to_string(oid) +
+              " is written here and by the earlier statement at offset " +
+              std::to_string(obj->writer_positions.front()) +
+              "; issued from concurrent transactions, these write "
+              "footprints intersect",
+          "footprint validation is oid-granular and first-committer-wins: "
+          "the later committer would abort and pay a full optimistic "
+          "retry — co-locate the writes in one transaction if they must "
+          "be concurrent");
+    }
+  }
+
+  // --- TC203: windows empty under the propagated clock ---------------------
+
+  void CheckWindowUnderClock(const std::optional<Interval>& during,
+                             size_t position, const char* verb) {
+    if (!during.has_value()) return;
+    bool symbolic = IsNow(during->start()) || IsNow(during->end());
+    // Fully concrete windows are TC106/TC109 territory; re-reporting them
+    // here would double up on every inverted literal.
+    if (!symbolic) return;
+    Interval resolved = during->Resolve(clock_);
+    if (!resolved.empty()) return;
+    diags_->Report(
+        "TC203", position,
+        std::string(verb) + " window [" + InstantToString(during->start()) +
+            "," + InstantToString(during->end()) +
+            "] is empty under the propagated clock: 'now' resolves to " +
+            InstantToString(clock_) + " here",
+        "the clock is advanced only by the script's own tick/advance "
+        "statements, so this window is statically known to contain no "
+        "instants (Section 3.2)");
+  }
+
+  // --- TC201: definite initialization --------------------------------------
+
+  AbstractObject* Lookup(uint64_t oid) {
+    auto it = objects_.find(oid);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  // Reports a read of `attr` through an oid literal when no earlier
+  // statement assigned it (at `read_at`, for temporal attributes;
+  // `read_at` is nullopt when the read ranges over every instant, where
+  // only a never-assigned attribute is statically null).
+  void CheckRead(uint64_t oid, const std::string& attr, size_t position,
+                 std::optional<TimePoint> read_at) {
+    AbstractObject* obj = Lookup(oid);
+    if (obj == nullptr || obj->deleted) return;
+    const AttributeDef* def = FindAttr(obj->class_name, attr);
+    if (def == nullptr) return;  // unknown member: TC110's business
+    if (!reported_uninit_.insert({oid, attr}).second) return;
+    auto wit = obj->writes.find(attr);
+    if (wit == obj->writes.end() || wit->second.empty()) {
+      diags_->Report(
+          "TC201", position,
+          "'" + attr + "' of i" + std::to_string(oid) +
+              " is read here but no earlier statement initializes it: "
+              "the value is statically null",
+          "an attribute not named in 'create' starts null and stays null "
+          "until assigned (Definition 5.3: states exist only where "
+          "written); initialize it or drop the read");
+      return;
+    }
+    reported_uninit_.erase({oid, attr});  // initialized: allow instant check
+    if (!def->is_temporal() || !read_at.has_value()) return;
+    TimePoint t = *read_at;
+    for (const WriteSpan& w : wit->second) {
+      if (w.Covers(t)) return;
+    }
+    if (!reported_uninit_.insert({oid, attr}).second) return;
+    diags_->Report(
+        "TC201", position,
+        "'" + attr + "' of i" + std::to_string(oid) + " is read at instant " +
+            InstantToString(t) +
+            ", outside every interval assigned so far: the projection is "
+            "statically null",
+        "a temporal attribute holds values only over the valid-time "
+        "intervals written to it (Definition 5.3); assign the instant or "
+        "project inside an assigned window");
+  }
+
+  // Walks an expression for reads through oid literals: i1.attr [@ t].
+  void CheckExprReads(const Expr& e, size_t position,
+                      std::optional<TimePoint> eval_at) {
+    if (e.kind == ExprKind::kAttrAccess && e.base != nullptr &&
+        e.base->kind == ExprKind::kLiteral &&
+        e.base->literal.kind() == ValueKind::kOid) {
+      std::optional<TimePoint> t = eval_at;
+      if (e.at.has_value()) {
+        t = ResolveInstant(*e.at, clock_);
+      }
+      CheckRead(e.base->literal.AsOid().id, e.name, position, t);
+    }
+    if (e.base != nullptr) CheckExprReads(*e.base, position, eval_at);
+    if (e.rhs != nullptr) CheckExprReads(*e.rhs, position, eval_at);
+    for (const ExprPtr& a : e.args) CheckExprReads(*a, position, eval_at);
+    for (const auto& [name, fe] : e.rec_fields) {
+      CheckExprReads(*fe, position, eval_at);
+    }
+  }
+
+  void OnSelect(const SelectStmt& stmt, size_t position) {
+    TimePoint eval_at = stmt.at.has_value()
+                            ? ResolveInstant(*stmt.at, clock_)
+                            : clock_;
+    for (const ExprPtr& p : stmt.projections) {
+      CheckExprReads(*p, position, eval_at);
+    }
+    if (stmt.where != nullptr) CheckExprReads(*stmt.where, position, eval_at);
+  }
+
+  void OnWhen(const WhenStmt& stmt, size_t position) {
+    CheckWindowUnderClock(stmt.during, position, "when");
+    // WHEN quantifies over every instant: only a never-assigned attribute
+    // is null at all of them.
+    CheckExprReads(*stmt.condition, position, std::nullopt);
+  }
+
+  void OnHistory(const HistoryStmt& stmt, size_t position) {
+    CheckWindowUnderClock(stmt.during, position, "history");
+    CheckRead(stmt.oid.id, stmt.attr, position, std::nullopt);
+  }
+
+  DiagnosticEngine* diags_;
+  TimePoint clock_ = 0;
+  uint64_t next_oid_ = 1;  // mirrors Database's sequential allocator
+  std::map<std::string, const ClassSpec*> classes_;
+  std::map<uint64_t, AbstractObject> objects_;
+  std::set<std::pair<uint64_t, std::string>> reported_uninit_;
+};
+
+}  // namespace
+
+void AnalyzeFlow(const std::vector<Statement>& stmts,
+                 DiagnosticEngine* diags) {
+  FlowAnalysis(diags).Run(stmts);
+}
+
+}  // namespace tchimera

@@ -1,0 +1,48 @@
+// Flow-sensitive analysis of a whole TQL script (the TC2xx codes): an
+// abstract interpretation that walks the statement sequence once,
+// propagating a small constant lattice instead of executing anything.
+//
+// Tracked state:
+//   - the clock: `tick` / `advance` are deterministic, so the instant a
+//     statement executes at is a compile-time constant;
+//   - object allocation: `create` hands out oids sequentially (i1, i2,
+//     ...), so oid literals later in the script resolve to known objects
+//     with known classes;
+//   - per (object, attribute) write coverage: which valid-time intervals
+//     have definitely been assigned by earlier statements (create inits,
+//     updates, migrate sets);
+//   - per object static write footprints, mirroring the oid-granular
+//     footprint validation of the optimistic multi-writer commit path.
+//
+// Checks:
+//   TC201  use before initialization: a read through an oid literal of an
+//          attribute no earlier statement has assigned (at the instant
+//          the read projects, for temporal attributes) — the value is
+//          statically null (Definition 5.3: states are defined only
+//          where written).
+//   TC202  static write-write conflict: two statements write the same
+//          object; were they issued by concurrent transactions,
+//          first-committer-wins footprint validation would abort the
+//          second one (a note, since sequential execution is fine).
+//   TC203  empty window after constant propagation: a `during` window
+//          with a symbolic `now` endpoint that resolves empty under the
+//          propagated clock — invisible to TC106/TC109, which must skip
+//          symbolic endpoints.
+#ifndef TCHIMERA_ANALYSIS_FLOW_ANALYZER_H_
+#define TCHIMERA_ANALYSIS_FLOW_ANALYZER_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "query/ast.h"
+
+namespace tchimera {
+
+// Runs the flow-sensitive pass over `stmts` (a parsed script, in order),
+// appending TC2xx findings to `diags`. Pure: touches no database.
+void AnalyzeFlow(const std::vector<Statement>& stmts,
+                 DiagnosticEngine* diags);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_ANALYSIS_FLOW_ANALYZER_H_

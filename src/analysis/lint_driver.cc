@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/flow_analyzer.h"
 #include "analysis/query_analyzer.h"
 #include "analysis/schema_analyzer.h"
 #include "core/db/database.h"
@@ -55,7 +56,12 @@ void LintTqlScript(std::string_view source, const LintOptions& options,
   std::vector<SchemaDecl> decls;
   for (const Statement& s : stmts) {
     if (s.kind == Statement::Kind::kDefineClass) {
-      decls.push_back({&s.define_class->spec, s.position});
+      SchemaDecl d;
+      d.spec = &s.define_class->spec;
+      d.position = s.position;
+      d.attribute_spans = &s.define_class->attribute_spans;
+      d.c_attribute_spans = &s.define_class->c_attribute_spans;
+      decls.push_back(d);
     }
   }
   AnalyzeSchema(decls, nullptr, diags);
@@ -88,6 +94,11 @@ void LintTqlScript(std::string_view source, const LintOptions& options,
                     "lint replay");
     }
   }
+
+  // Pass 3: flow-sensitive analysis over the whole statement sequence
+  // (TC2xx). Runs on its own abstract state — it never touches the replay
+  // database — so a mid-script replay failure does not silence it.
+  if (!options.no_flow) AnalyzeFlow(stmts, diags);
 }
 
 }  // namespace tchimera

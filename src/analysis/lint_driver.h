@@ -8,7 +8,11 @@
 //      in-memory database — so the clock, classes and objects are exactly
 //      what they would be at runtime — linting each SELECT / WHEN
 //      statement in context (TC1xx) and reporting statements the dynamic
-//      layer rejects (TC111).
+//      layer rejects (TC111);
+//   4. unless `schema_only` or `no_flow`, run the flow-sensitive pass
+//      (analysis/flow_analyzer.h) over the whole statement sequence
+//      (TC2xx: definite initialization, static write-write conflicts,
+//      windows empty under the propagated clock).
 #ifndef TCHIMERA_ANALYSIS_LINT_DRIVER_H_
 #define TCHIMERA_ANALYSIS_LINT_DRIVER_H_
 
@@ -20,6 +24,7 @@ namespace tchimera {
 
 struct LintOptions {
   bool schema_only = false;
+  bool no_flow = false;  // suppress the TC2xx flow-sensitive pass
 };
 
 // Lints `source` (a whole TQL script), appending findings to `diags`.

@@ -141,6 +141,26 @@ std::optional<Folded> FoldBool(const Expr& e, const Database& db) {
   return Folded{v->AsBool(), "the condition is a constant expression"};
 }
 
+// A deletion fix-it for `span`, or no fix-its when the parser recorded
+// none (programmatic AST, or the construct may not be removed).
+std::vector<FixIt> DeleteSpan(const SourceSpan& span) {
+  if (!span.valid()) return {};
+  return {FixIt{span.begin, span.length(), ""}};
+}
+
+// Swap the two endpoint literals of an inverted window. The replacement
+// spells the instants in canonical decimal, which the grammar accepts
+// wherever a t-literal is (instant := t<digits> | tnow | <digits>).
+std::vector<FixIt> SwapEndpoints(const SourceSpan& start_span,
+                                 const SourceSpan& end_span,
+                                 const Interval& window) {
+  if (!start_span.valid() || !end_span.valid()) return {};
+  return {FixIt{start_span.begin, start_span.length(),
+                InstantToString(window.end())},
+          FixIt{end_span.begin, end_span.length(),
+                InstantToString(window.start())}};
+}
+
 class QueryLint {
  public:
   QueryLint(const Database& db, DiagnosticEngine* diags)
@@ -162,7 +182,8 @@ class QueryLint {
                 "each row is repeated once per member of '" +
                     b.class_name + "'"
               : "did you mean to project or filter on '" + b.var + "'?";
-      diags_->Report("TC101", b.position, std::move(msg), std::move(note));
+      diags_->Report("TC101", b.position, std::move(msg), std::move(note),
+                     DeleteSpan(b.remove_span));
     }
   }
 
@@ -184,12 +205,17 @@ class QueryLint {
 
   // --- TC104 / TC105 (predicates) ------------------------------------------
 
-  void CheckPredicate(const Expr& where, PredicateContext ctx) {
+  // `remove_span`: the byte range that deletes the whole predicate clause
+  // (the `where` keyword through the condition); invalid when the clause
+  // is mandatory (WHEN) or the AST was built programmatically.
+  void CheckPredicate(const Expr& where, PredicateContext ctx,
+                      const SourceSpan& remove_span = SourceSpan{}) {
     if (std::optional<Folded> f = FoldBool(where, db_)) {
       if (f->value) {
         diags_->Report("TC105", where.position,
                        "condition is statically true: " + f->reason,
-                       "the filter is redundant and can be removed");
+                       "the filter is redundant and can be removed",
+                       DeleteSpan(remove_span));
       } else {
         diags_->Report("TC104", where.position,
                        "condition is statically false: " + f->reason,
@@ -225,7 +251,8 @@ class QueryLint {
                      "'@' projection on non-temporal attribute '" + e.name +
                          "' is a no-op",
                      "a non-temporal attribute has no recorded history "
-                     "(Section 5.2); drop the '@'");
+                     "(Section 5.2); drop the '@'",
+                     DeleteSpan(e.at_span));
       return;
     }
     if (!IsNow(t)) {
@@ -254,7 +281,8 @@ class QueryLint {
           "'@ " + InstantToString(t) + "' on '" + e.name +
               "' is redundant: it equals the query's evaluation instant",
           "a temporal attribute access without '@' is already coerced to "
-          "its value at the evaluation instant (Section 6.1)");
+          "its value at the evaluation instant (Section 6.1)",
+          DeleteSpan(e.at_span));
     }
   }
 
@@ -273,11 +301,22 @@ class QueryLint {
         DescendPredicate(*side, ctx);
         continue;
       }
+      // Deleting one side of `A and B` / `A or B` takes the connective
+      // with it: the left operand extends forward to the right one's
+      // start, the right operand back from the left one's end. Operand
+      // spans include any parentheses, so the remainder stays balanced.
+      SourceSpan side_removal;
+      if (e.base->span.valid() && e.rhs->span.valid()) {
+        side_removal = side == e.base.get()
+                           ? SourceSpan{e.base->span.begin, e.rhs->span.begin}
+                           : SourceSpan{e.base->span.end, e.rhs->span.end};
+      }
       if (e.op == BinaryOp::kAnd) {
         if (f->value) {
           diags_->Report("TC105", side->position,
                          "conjunct is statically true: " + f->reason,
-                         "the conjunct is redundant and can be removed");
+                         "the conjunct is redundant and can be removed",
+                         DeleteSpan(side_removal));
         } else {
           diags_->Report("TC104", side->position,
                          "conjunct is statically false: " + f->reason,
@@ -291,7 +330,8 @@ class QueryLint {
         } else {
           diags_->Report("TC105", side->position,
                          "disjunct is statically false: " + f->reason,
-                         "the disjunct is redundant and can be removed");
+                         "the disjunct is redundant and can be removed",
+                         DeleteSpan(side_removal));
         }
       }
     }
@@ -305,7 +345,9 @@ class QueryLint {
 // statement — the query is restricted to no instants at all. Mirrors
 // TC106, which covers the same literal on `update`.
 void CheckQueryWindow(const std::optional<Interval>& during, size_t position,
-                      const char* verb, DiagnosticEngine* diags) {
+                      const char* verb, DiagnosticEngine* diags,
+                      const SourceSpan& start_span = SourceSpan{},
+                      const SourceSpan& end_span = SourceSpan{}) {
   if (!during.has_value()) return;
   const Interval& window = *during;
   // A symbolic `now` endpoint depends on the clock at execution time;
@@ -320,7 +362,8 @@ void CheckQueryWindow(const std::optional<Interval>& during, size_t position,
           " precedes " + InstantToString(window.start()),
       "an interval [a,b] with b < a denotes the null interval "
       "(Section 3.2); the result is unconditionally empty — swap the "
-      "endpoints or drop the 'during' clause");
+      "endpoints or drop the 'during' clause",
+      SwapEndpoints(start_span, end_span, window));
 }
 
 }  // namespace
@@ -346,7 +389,8 @@ void AnalyzeSelect(SelectStmt* stmt, const Database& db,
   }
   if (stmt->where != nullptr) {
     lint.CheckProjections(*stmt->where, eval_at);
-    lint.CheckPredicate(*stmt->where, PredicateContext::kSelectWhere);
+    lint.CheckPredicate(*stmt->where, PredicateContext::kSelectWhere,
+                        stmt->where_span);
   }
 }
 
@@ -369,7 +413,8 @@ void AnalyzeUpdate(const UpdateStmt& stmt, size_t position,
             " precedes " + InstantToString(window.start()),
         "an interval [a,b] with b < a denotes the null interval "
         "(Section 3.2); the update asserts a value over no instants — "
-        "swap the endpoints or drop the 'during' clause");
+        "swap the endpoints or drop the 'during' clause",
+        SwapEndpoints(stmt.during_start_span, stmt.during_end_span, window));
   }
 }
 
@@ -396,7 +441,8 @@ void AnalyzeSnapshot(const SnapshotStmt& stmt, size_t position,
 
 void AnalyzeHistory(const HistoryStmt& stmt, size_t position,
                     const Database& db, DiagnosticEngine* diags) {
-  CheckQueryWindow(stmt.during, position, "history", diags);
+  CheckQueryWindow(stmt.during, position, "history", diags,
+                   stmt.during_start_span, stmt.during_end_span);
   const Object* obj = db.GetObject(stmt.oid);
   if (obj == nullptr) return;  // the runtime reports the missing object
   const Value* v = obj->Attribute(stmt.attr);
@@ -412,7 +458,8 @@ void AnalyzeHistory(const HistoryStmt& stmt, size_t position,
 
 void AnalyzeWhen(WhenStmt* stmt, const Database& db,
                  DiagnosticEngine* diags) {
-  CheckQueryWindow(stmt->during, stmt->condition->position, "when", diags);
+  CheckQueryWindow(stmt->during, stmt->condition->position, "when", diags,
+                   stmt->during_start_span, stmt->during_end_span);
   Result<const Type*> r = TypeCheckExpr(stmt->condition.get(), db, TypeEnv{});
   if (!r.ok()) {
     diags->Report("TC110", stmt->condition->position, r.status().message(),

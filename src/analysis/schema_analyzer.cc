@@ -17,6 +17,9 @@ namespace {
 struct ClassEntry {
   const ClassSpec* spec = nullptr;
   size_t position = SourceLocation::kNoOffset;
+  // Removal spans for the declared members (see SchemaDecl); may be null.
+  const std::vector<SourceSpan>* attribute_spans = nullptr;
+  const std::vector<SourceSpan>* c_attribute_spans = nullptr;
   bool from_base = false;
   bool poisoned = false;  // on an ISA cycle / under one: members unreliable
   std::vector<std::string> supers;  // resolved direct superclasses
@@ -103,6 +106,16 @@ void CollectClassRefs(const Type* t, std::set<std::string>* out) {
   }
 }
 
+// The delete-the-redeclaration fix-it for declared member `i`, when the
+// parser recorded a removal span for it.
+std::vector<FixIt> RemoveDeclFix(const std::vector<SourceSpan>* spans,
+                                 size_t i) {
+  if (spans == nullptr || i >= spans->size() || !(*spans)[i].valid()) {
+    return {};
+  }
+  return {FixIt{(*spans)[i].begin, (*spans)[i].length(), ""}};
+}
+
 class SchemaAnalysis {
  public:
   SchemaAnalysis(const Database* base, DiagnosticEngine* diags)
@@ -158,6 +171,8 @@ class SchemaAnalysis {
       ClassEntry e;
       e.spec = d.spec;
       e.position = d.position;
+      e.attribute_spans = d.attribute_spans;
+      e.c_attribute_spans = d.c_attribute_spans;
       entries_.emplace(d.spec->name, std::move(e));
       decl_order_.push_back(d.spec->name);
     }
@@ -371,7 +386,8 @@ class SchemaAnalysis {
       }
     }
     std::set<std::string> declared_names;
-    for (const AttributeDef& a : spec.attributes) {
+    for (size_t ai = 0; ai < spec.attributes.size(); ++ai) {
+      const AttributeDef& a = spec.attributes[ai];
       if (!declared_names.insert(a.name).second) continue;  // TC007 already
       auto it = e.attrs.find(a.name);
       if (it != e.attrs.end() && attr_from.count(a.name) > 0) {
@@ -411,13 +427,15 @@ class SchemaAnalysis {
                 cit->second.type->ToString() + ")",
             "c-attributes are class-level members with their own value "
             "slot (Section 4); an instance attribute of the same name "
-            "hides it in the subclass without refining it (Rule 6.1)");
+            "hides it in the subclass without refining it (Rule 6.1)",
+            RemoveDeclFix(e.attribute_spans, ai));
       }
       e.attrs[a.name] = a;
       attr_conflict.erase(a.name);
       attr_from.erase(a.name);  // redeclared locally: no longer inherited
     }
-    for (const AttributeDef& a : spec.c_attributes) {
+    for (size_t ci = 0; ci < spec.c_attributes.size(); ++ci) {
+      const AttributeDef& a = spec.c_attributes[ci];
       if (auto cit = e.c_attrs.find(a.name);
           cit != e.c_attrs.end() && cattr_from.count(a.name) > 0) {
         // Redefining an inherited c-attribute gives the subclass its own
@@ -433,7 +451,8 @@ class SchemaAnalysis {
                 "the superclass's value",
             "c-attributes carry one value per class (Section 4); "
             "redefining one in a subclass shadows the inherited value "
-            "slot rather than refining it (Rule 6.1)");
+            "slot rather than refining it (Rule 6.1)",
+            RemoveDeclFix(e.c_attribute_spans, ci));
       } else if (auto ait = e.attrs.find(a.name);
                  ait != e.attrs.end() && attr_from.count(a.name) > 0) {
         diags_->Report(
@@ -445,7 +464,8 @@ class SchemaAnalysis {
             "an inherited instance attribute and a class-level "
             "c-attribute of the same name are different members "
             "(Section 4); the redeclaration hides rather than refines "
-            "(Rule 6.1)");
+            "(Rule 6.1)",
+            RemoveDeclFix(e.c_attribute_spans, ci));
       }
       e.c_attrs[a.name] = a;
       cattr_from.erase(a.name);

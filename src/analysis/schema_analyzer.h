@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "common/source_span.h"
 #include "core/db/database.h"
 #include "core/schema/class_def.h"
 
@@ -38,6 +39,12 @@ namespace tchimera {
 struct SchemaDecl {
   const ClassSpec* spec = nullptr;
   size_t position = SourceLocation::kNoOffset;
+  // Parser-recorded removal spans parallel to spec->attributes /
+  // spec->c_attributes (DefineClassStmt in query/ast.h); nullptr when the
+  // spec was built programmatically. Used to attach delete-the-
+  // redeclaration fix-its to TC013.
+  const std::vector<SourceSpan>* attribute_spans = nullptr;
+  const std::vector<SourceSpan>* c_attribute_spans = nullptr;
 };
 
 // Analyzes `decls` (in declaration order) against an optional base

@@ -1,0 +1,22 @@
+// A half-open byte range [begin, end) into a source text. The parser
+// records spans on the AST nodes that fix-it rewrites need to anchor to
+// (analysis/fixer.h); a default-constructed span is invalid and means "no
+// span recorded" (e.g. an AST built programmatically rather than parsed).
+#ifndef TCHIMERA_COMMON_SOURCE_SPAN_H_
+#define TCHIMERA_COMMON_SOURCE_SPAN_H_
+
+#include <cstddef>
+
+namespace tchimera {
+
+struct SourceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool valid() const { return end > begin; }
+  size_t length() const { return end - begin; }
+};
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_COMMON_SOURCE_SPAN_H_

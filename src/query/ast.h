@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/source_span.h"
 #include "core/schema/class_def.h"
 #include "core/temporal/interval.h"
 #include "core/types/type.h"
@@ -59,6 +60,14 @@ using ExprPtr = std::unique_ptr<Expr>;
 struct Expr {
   ExprKind kind = ExprKind::kLiteral;
   size_t position = 0;  // for error messages
+  // Byte span of the whole expression in the parsed input. A
+  // parenthesized expression's span includes its parentheses, so fix-it
+  // deletions anchored to operand spans stay balanced. Invalid when the
+  // AST was built programmatically.
+  SourceSpan span;
+  // kAttrAccess only: the span of the explicit "@ t" suffix (the '@'
+  // token through the instant literal), for fix-its that drop it.
+  SourceSpan at_span;
 
   Value literal;               // kLiteral
   std::string name;            // kVar / kAttrAccess (attribute) / kCall
@@ -79,6 +88,12 @@ struct Expr {
 
 struct DefineClassStmt {
   ClassSpec spec;
+  // Removal spans parallel to spec.attributes / spec.c_attributes: the
+  // byte range to delete to drop declaration i from its section,
+  // including the list separator (or the section keyword when it is the
+  // only declaration). Empty when the spec was built programmatically.
+  std::vector<SourceSpan> attribute_spans;
+  std::vector<SourceSpan> c_attribute_spans;
 };
 
 struct DropClassStmt {
@@ -96,6 +111,9 @@ struct UpdateStmt {
   std::string attr;
   ExprPtr value;
   std::optional<Interval> during;  // valid-time update window
+  // Spans of the two `during` endpoint literals (for swap fix-its).
+  SourceSpan during_start_span;
+  SourceSpan during_end_span;
 };
 
 struct MigrateStmt {
@@ -112,6 +130,9 @@ struct SelectBinder {
   std::string var;
   std::string class_name;
   size_t position = 0;  // byte offset of the binder, for diagnostics
+  // The byte range to delete to drop this binder from the FROM list,
+  // including the list separator. Invalid when built programmatically.
+  SourceSpan remove_span;
 };
 
 struct SelectStmt {
@@ -122,6 +143,9 @@ struct SelectStmt {
   std::vector<SelectBinder> binders;
   std::optional<TimePoint> at;  // evaluation instant (default now)
   ExprPtr where;                // may be null
+  // The `where` keyword through the end of the predicate (for fix-its
+  // that drop a statically-true filter).
+  SourceSpan where_span;
 };
 
 struct SnapshotStmt {
@@ -134,6 +158,8 @@ struct HistoryStmt {
   std::string attr;
   // Optional `during [a,b]`: clip the reported history to the window.
   std::optional<Interval> during;
+  SourceSpan during_start_span;
+  SourceSpan during_end_span;
 };
 
 struct TickStmt {
@@ -154,6 +180,8 @@ struct WhenStmt {
   ExprPtr condition;
   // Optional `during [a,b]`: intersect the answer with the window.
   std::optional<Interval> during;
+  SourceSpan during_start_span;
+  SourceSpan during_end_span;
 };
 
 struct ShowStmt {

@@ -28,10 +28,12 @@ class Lexer {
       tok.position = pos_;
       if (pos_ >= input_.size()) {
         tok.kind = TokenKind::kEnd;
+        tok.end = pos_;
         out.push_back(tok);
         return out;
       }
       TCH_RETURN_IF_ERROR(Next(&tok));
+      tok.end = pos_;
       out.push_back(std::move(tok));
     }
   }

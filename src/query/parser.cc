@@ -51,6 +51,9 @@ class Parser {
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& Advance() { return tokens_[pos_++]; }
   bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  // End offset of the most recently consumed token (the end of whatever
+  // was just parsed); used to close SourceSpans.
+  size_t PrevEnd() const { return pos_ > 0 ? tokens_[pos_ - 1].end : 0; }
 
   bool Accept(TokenKind kind) {
     if (Peek().kind == kind) {
@@ -106,13 +109,50 @@ class Parser {
     return ErrorHere("expected an instant, found " + Peek().Describe());
   }
 
-  Result<Interval> ParseInterval() {
+  // An interval literal plus the spans of its two endpoint tokens (the
+  // anchors for endpoint-swapping fix-its).
+  struct ParsedInterval {
+    Interval value{0, 0};
+    SourceSpan start_span;
+    SourceSpan end_span;
+  };
+
+  Result<ParsedInterval> ParseInterval() {
     TCH_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+    ParsedInterval out;
+    size_t begin = Peek().position;
     TCH_ASSIGN_OR_RETURN(TimePoint s, ParseInstant());
+    out.start_span = SourceSpan{begin, PrevEnd()};
     TCH_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+    begin = Peek().position;
     TCH_ASSIGN_OR_RETURN(TimePoint e, ParseInstant());
+    out.end_span = SourceSpan{begin, PrevEnd()};
     TCH_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
-    return Interval(s, e);
+    out.value = Interval(s, e);
+    return out;
+  }
+
+  // The byte range that deletes declaration i from a comma-separated
+  // section: the lone declaration takes the section keyword with it when
+  // one is given; the first of several extends forward through the comma
+  // (to the next declaration's start); later ones extend back over the
+  // preceding comma.
+  static std::vector<SourceSpan> SectionRemoveSpans(
+      size_t keyword_begin, bool has_keyword,
+      const std::vector<size_t>& begins, const std::vector<size_t>& ends) {
+    std::vector<SourceSpan> spans(begins.size());
+    for (size_t i = 0; i < begins.size(); ++i) {
+      if (begins.size() == 1) {
+        if (has_keyword) spans[i] = SourceSpan{keyword_begin, ends[0]};
+        // No keyword (e.g. a lone FROM binder): leave the span invalid —
+        // the list may not become empty.
+      } else if (i == 0) {
+        spans[i] = SourceSpan{begins[0], begins[1]};
+      } else {
+        spans[i] = SourceSpan{ends[i - 1], ends[i]};
+      }
+    }
+    return spans;
   }
 
   // Types are parsed token-wise into the canonical textual syntax, then
@@ -205,8 +245,10 @@ class Parser {
       s.when.emplace();
       TCH_ASSIGN_OR_RETURN(s.when->condition, ParseExpr());
       if (AcceptKeyword("during")) {
-        TCH_ASSIGN_OR_RETURN(Interval iv, ParseInterval());
-        s.when->during = iv;
+        TCH_ASSIGN_OR_RETURN(ParsedInterval iv, ParseInterval());
+        s.when->during = iv.value;
+        s.when->during_start_span = iv.start_span;
+        s.when->during_end_span = iv.end_span;
       }
       return s;
     }
@@ -228,12 +270,19 @@ class Parser {
         if (!Accept(TokenKind::kComma)) break;
       }
     }
+    size_t attrs_kw = Peek().position;
     if (AcceptKeyword("attributes")) {
+      std::vector<size_t> begins;
+      std::vector<size_t> ends;
       while (true) {
+        begins.push_back(Peek().position);
         TCH_ASSIGN_OR_RETURN(AttributeDef f, ParseField());
+        ends.push_back(PrevEnd());
         spec.attributes.push_back(std::move(f));
         if (!Accept(TokenKind::kComma)) break;
       }
+      s.define_class->attribute_spans =
+          SectionRemoveSpans(attrs_kw, /*has_keyword=*/true, begins, ends);
     }
     if (AcceptKeyword("methods")) {
       while (true) {
@@ -242,12 +291,19 @@ class Parser {
         if (!Accept(TokenKind::kComma)) break;
       }
     }
+    size_t cattrs_kw = Peek().position;
     if (AcceptKeyword("c-attributes")) {
+      std::vector<size_t> begins;
+      std::vector<size_t> ends;
       while (true) {
+        begins.push_back(Peek().position);
         TCH_ASSIGN_OR_RETURN(AttributeDef f, ParseField());
+        ends.push_back(PrevEnd());
         spec.c_attributes.push_back(std::move(f));
         if (!Accept(TokenKind::kComma)) break;
       }
+      s.define_class->c_attribute_spans =
+          SectionRemoveSpans(cattrs_kw, /*has_keyword=*/true, begins, ends);
     }
     TCH_RETURN_IF_ERROR(ExpectKeyword("end"));
     return s;
@@ -297,8 +353,10 @@ class Parser {
     TCH_RETURN_IF_ERROR(Expect(TokenKind::kEq));
     TCH_ASSIGN_OR_RETURN(s.update->value, ParseExpr());
     if (AcceptKeyword("during")) {
-      TCH_ASSIGN_OR_RETURN(Interval iv, ParseInterval());
-      s.update->during = iv;
+      TCH_ASSIGN_OR_RETURN(ParsedInterval iv, ParseInterval());
+      s.update->during = iv.value;
+      s.update->during_start_span = iv.start_span;
+      s.update->during_end_span = iv.end_span;
     }
     return s;
   }
@@ -340,21 +398,34 @@ class Parser {
       if (!Accept(TokenKind::kComma)) break;
     }
     TCH_RETURN_IF_ERROR(ExpectKeyword("from"));
+    std::vector<size_t> begins;
+    std::vector<size_t> ends;
     while (true) {
       SelectBinder binder;
       binder.position = Peek().position;
+      begins.push_back(binder.position);
       TCH_ASSIGN_OR_RETURN(binder.var, ParseName());
       TCH_RETURN_IF_ERROR(ExpectKeyword("in"));
       TCH_ASSIGN_OR_RETURN(binder.class_name, ParseName());
+      ends.push_back(PrevEnd());
       s.select->binders.push_back(std::move(binder));
       if (!Accept(TokenKind::kComma)) break;
+    }
+    // A SELECT must keep at least one binder, so a lone binder gets no
+    // removal span (has_keyword=false leaves it invalid).
+    std::vector<SourceSpan> removals =
+        SectionRemoveSpans(0, /*has_keyword=*/false, begins, ends);
+    for (size_t i = 0; i < removals.size(); ++i) {
+      s.select->binders[i].remove_span = removals[i];
     }
     if (AcceptKeyword("at")) {
       TCH_ASSIGN_OR_RETURN(TimePoint t, ParseInstant());
       s.select->at = t;
     }
+    size_t where_kw = Peek().position;
     if (AcceptKeyword("where")) {
       TCH_ASSIGN_OR_RETURN(s.select->where, ParseExpr());
+      s.select->where_span = SourceSpan{where_kw, PrevEnd()};
     }
     return s;
   }
@@ -379,8 +450,10 @@ class Parser {
     TCH_RETURN_IF_ERROR(Expect(TokenKind::kDot));
     TCH_ASSIGN_OR_RETURN(s.history->attr, ParseName());
     if (AcceptKeyword("during")) {
-      TCH_ASSIGN_OR_RETURN(Interval iv, ParseInterval());
-      s.history->during = iv;
+      TCH_ASSIGN_OR_RETURN(ParsedInterval iv, ParseInterval());
+      s.history->during = iv.value;
+      s.history->during_start_span = iv.start_span;
+      s.history->during_end_span = iv.end_span;
     }
     return s;
   }
@@ -440,6 +513,13 @@ class Parser {
 
   Result<ExprPtr> ParseExpr() { return ParseOr(); }
 
+  // Closes a freshly built binary node's span: its operands' spans are
+  // already set, so the whole expression runs from the left operand's
+  // start to the last consumed token.
+  void CloseBinarySpan(Expr* node) {
+    node->span = SourceSpan{node->base->span.begin, PrevEnd()};
+  }
+
   Result<ExprPtr> ParseOr() {
     TCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
     while (Peek().IsKeyword("or")) {
@@ -449,6 +529,7 @@ class Parser {
       node->op = BinaryOp::kOr;
       node->base = std::move(lhs);
       node->rhs = std::move(rhs);
+      CloseBinarySpan(node.get());
       lhs = std::move(node);
     }
     return lhs;
@@ -463,6 +544,7 @@ class Parser {
       node->op = BinaryOp::kAnd;
       node->base = std::move(lhs);
       node->rhs = std::move(rhs);
+      CloseBinarySpan(node.get());
       lhs = std::move(node);
     }
     return lhs;
@@ -505,6 +587,7 @@ class Parser {
     node->op = op;
     node->base = std::move(lhs);
     node->rhs = std::move(rhs);
+    CloseBinarySpan(node.get());
     return node;
   }
 
@@ -520,6 +603,7 @@ class Parser {
       node->op = op;
       node->base = std::move(lhs);
       node->rhs = std::move(rhs);
+      CloseBinarySpan(node.get());
       lhs = std::move(node);
     }
     return lhs;
@@ -537,20 +621,24 @@ class Parser {
       node->op = op;
       node->base = std::move(lhs);
       node->rhs = std::move(rhs);
+      CloseBinarySpan(node.get());
       lhs = std::move(node);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseUnary() {
+    size_t begin = Peek().position;
     if (AcceptKeyword("not")) {
       ExprPtr node = MakeExpr(ExprKind::kNot);
       TCH_ASSIGN_OR_RETURN(node->base, ParseUnary());
+      node->span = SourceSpan{begin, PrevEnd()};
       return node;
     }
     if (Accept(TokenKind::kMinus)) {
       ExprPtr node = MakeExpr(ExprKind::kNegate);
       TCH_ASSIGN_OR_RETURN(node->base, ParseUnary());
+      node->span = SourceSpan{begin, PrevEnd()};
       return node;
     }
     return ParsePostfix();
@@ -562,16 +650,29 @@ class Parser {
       ExprPtr node = MakeExpr(ExprKind::kAttrAccess);
       TCH_ASSIGN_OR_RETURN(node->name, ParseName());
       node->base = std::move(e);
+      size_t at_begin = Peek().position;
       if (Accept(TokenKind::kAt)) {
         TCH_ASSIGN_OR_RETURN(TimePoint t, ParseInstant());
         node->at = t;
+        node->at_span = SourceSpan{at_begin, PrevEnd()};
       }
+      node->span = SourceSpan{node->base->span.begin, PrevEnd()};
       e = std::move(node);
     }
     return e;
   }
 
+  // Wraps ParsePrimaryInner to stamp the span. A parenthesized expression
+  // deliberately gets the paren-inclusive span (overwriting the inner
+  // one), so deletions anchored to operand spans keep parens balanced.
   Result<ExprPtr> ParsePrimary() {
+    size_t begin = Peek().position;
+    TCH_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimaryInner());
+    e->span = SourceSpan{begin, PrevEnd()};
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimaryInner() {
     const Token& tok = Peek();
     switch (tok.kind) {
       case TokenKind::kInteger: {

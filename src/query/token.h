@@ -52,6 +52,7 @@ struct Token {
   int64_t int_value = 0;
   double real_value = 0.0;
   size_t position = 0;  // byte offset in the input, for error messages
+  size_t end = 0;       // one past the last byte of the token's spelling
 
   bool IsKeyword(std::string_view kw) const {
     return kind == TokenKind::kKeyword && text == kw;

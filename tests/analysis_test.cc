@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/diagnostic.h"
+#include "analysis/fixer.h"
 #include "analysis/lint_driver.h"
 #include "analysis/query_analyzer.h"
 #include "analysis/schema_analyzer.h"
@@ -871,11 +872,12 @@ TEST(DiagnosticRender, JsonGoldenRoundTrip) {
   a.location.line = 2;
   a.location.column = 5;
   a.note = "cycle members are skipped";
+  a.fixits = {FixIt{20, 4, ""}, FixIt{30, 2, "t7"}};
   Diagnostic b;
   b.code = "TC104";
   b.severity = Severity::kWarning;
   b.message = "condition with \"quotes\"\nand a newline";
-  // No file / offset / note: optional keys must be omitted.
+  // No file / offset / note / fixits: optional keys must be omitted.
   std::vector<Diagnostic> input = {a, b};
 
   const std::string kGolden =
@@ -883,7 +885,9 @@ TEST(DiagnosticRender, JsonGoldenRoundTrip) {
       "{\"code\":\"TC001\",\"severity\":\"error\","
       "\"message\":\"ISA cycle: a -> b -> a\","
       "\"file\":\"schema.tql\",\"offset\":17,\"line\":2,\"column\":5,"
-      "\"note\":\"cycle members are skipped\"},"
+      "\"note\":\"cycle members are skipped\","
+      "\"fixits\":[{\"offset\":20,\"length\":4,\"replacement\":\"\"},"
+      "{\"offset\":30,\"length\":2,\"replacement\":\"t7\"}]},"
       "{\"code\":\"TC104\",\"severity\":\"warning\","
       "\"message\":\"condition with \\\"quotes\\\"\\nand a newline\"}"
       "],\"errors\":1,\"warnings\":1}";
@@ -900,7 +904,13 @@ TEST(DiagnosticRender, JsonGoldenRoundTrip) {
   EXPECT_EQ((*parsed)[0].location.line, 2u);
   EXPECT_EQ((*parsed)[0].location.column, 5u);
   EXPECT_EQ((*parsed)[0].note, "cycle members are skipped");
+  ASSERT_EQ((*parsed)[0].fixits.size(), 2u);
+  EXPECT_EQ((*parsed)[0].fixits[0].offset, 20u);
+  EXPECT_EQ((*parsed)[0].fixits[0].length, 4u);
+  EXPECT_EQ((*parsed)[0].fixits[0].replacement, "");
+  EXPECT_EQ((*parsed)[0].fixits[1].replacement, "t7");
   EXPECT_EQ((*parsed)[1].code, "TC104");
+  EXPECT_TRUE((*parsed)[1].fixits.empty());
   EXPECT_EQ((*parsed)[1].message, "condition with \"quotes\"\nand a newline");
   EXPECT_FALSE((*parsed)[1].location.has_offset());
 
@@ -959,6 +969,326 @@ TEST(DiagnosticRender, EmittedCodesAreRegistered) {
     EXPECT_TRUE(Has(ds, code)) << "expected " << code << " in:\n"
                                << Messages(ds);
   }
+}
+
+// --- the fixer: ApplyFixIts -----------------------------------------------
+
+TEST(Fixer, AppliesDisjointEditsFromSeveralDiagnostics) {
+  //                     0123456789012345
+  std::string source = "aaa bbb ccc ddd";
+  Diagnostic d1;
+  d1.code = "TC101";
+  d1.fixits = {FixIt{4, 4, ""}};  // delete "bbb "
+  Diagnostic d2;
+  d2.code = "TC106";
+  d2.fixits = {FixIt{0, 3, "xxx"}, FixIt{12, 3, "yyy"}};  // swap-style pair
+  FixResult r = ApplyFixIts(source, {d1, d2});
+  EXPECT_EQ(r.text, "xxx ccc yyy");
+  EXPECT_EQ(r.applied, 2u);
+  EXPECT_EQ(r.skipped, 0u);
+}
+
+TEST(Fixer, OverlappingDiagnosticsFirstWinsRestSkipped) {
+  std::string source = "abcdefgh";
+  Diagnostic first;
+  first.code = "TC105";
+  first.fixits = {FixIt{2, 4, ""}};  // delete "cdef"
+  Diagnostic second;
+  second.code = "TC103";
+  second.fixits = {FixIt{4, 2, "XY"}};  // inside the deleted range
+  FixResult r = ApplyFixIts(source, {first, second});
+  EXPECT_EQ(r.text, "abgh");
+  EXPECT_EQ(r.applied, 1u);
+  EXPECT_EQ(r.skipped, 1u);
+  ASSERT_EQ(r.skipped_reasons.size(), 1u);
+  EXPECT_NE(r.skipped_reasons[0].find("TC103"), std::string::npos);
+  EXPECT_NE(r.skipped_reasons[0].find("overlaps"), std::string::npos);
+}
+
+TEST(Fixer, GroupIsAtomicWhenOneEditConflicts) {
+  // d2's second edit overlaps d1, so NEITHER of d2's edits applies.
+  std::string source = "abcdefgh";
+  Diagnostic d1;
+  d1.code = "TC101";
+  d1.fixits = {FixIt{1, 2, ""}};  // delete "bc"
+  Diagnostic d2;
+  d2.code = "TC106";
+  d2.fixits = {FixIt{6, 1, "Z"}, FixIt{2, 1, "Q"}};
+  FixResult r = ApplyFixIts(source, {d1, d2});
+  EXPECT_EQ(r.text, "adefgh");
+  EXPECT_EQ(r.applied, 1u);
+  EXPECT_EQ(r.skipped, 1u);
+}
+
+TEST(Fixer, MalformedOutOfBoundsFixSkipped) {
+  Diagnostic d;
+  d.code = "TC101";
+  d.fixits = {FixIt{3, 10, ""}};  // extends past the end
+  FixResult r = ApplyFixIts("short", {d});
+  EXPECT_EQ(r.text, "short");
+  EXPECT_EQ(r.applied, 0u);
+  EXPECT_EQ(r.skipped, 1u);
+}
+
+TEST(Fixer, DiagnosticsWithoutFixitsAreIgnored) {
+  Diagnostic d;
+  d.code = "TC104";
+  FixResult r = ApplyFixIts("unchanged", {d});
+  EXPECT_EQ(r.text, "unchanged");
+  EXPECT_EQ(r.applied, 0u);
+  EXPECT_EQ(r.skipped, 0u);
+}
+
+// The end-to-end fix loop at the library level: linting the script,
+// applying its fix-its, and re-linting must converge — the fixed text is
+// clean, and a second application changes nothing (idempotence).
+TEST(Fixer, LintApplyRelintReachesCleanFixpoint) {
+  const std::string kScript =
+      "define class emp\n"
+      "  attributes name: string, salary: temporal(integer)\n"
+      "end;\n"
+      "create emp (name: 'ada', salary: 100);\n"
+      "tick 5;\n"
+      "update i1 set salary = 120 during [t4, t2];\n"
+      "select e.name, e.salary @ now from e in emp, u in emp;\n";
+
+  auto ds = Lint(kScript);
+  EXPECT_CODE(ds, "TC106");
+  EXPECT_CODE(ds, "TC103");
+  EXPECT_CODE(ds, "TC101");
+
+  FixResult first = ApplyFixIts(kScript, ds);
+  EXPECT_EQ(first.applied, 3u);
+  EXPECT_EQ(first.skipped, 0u);
+
+  auto fixed_ds = Lint(first.text);
+  EXPECT_CLEAN(fixed_ds);
+
+  FixResult second = ApplyFixIts(first.text, fixed_ds);
+  EXPECT_EQ(second.applied, 0u);
+  EXPECT_EQ(second.text, first.text);
+}
+
+// TC013's fix deletes the shadowing redeclaration (including the section
+// keyword when it is the lone declaration), leaving a clean schema.
+TEST(Fixer, ShadowedCAttributeRedeclarationDeleted) {
+  const std::string kScript =
+      "define class c1 c-attributes pop: integer end;\n"
+      "define class c2 under c1 c-attributes pop: integer end;\n";
+  auto ds = LintSchema(kScript);
+  EXPECT_CODE(ds, "TC013");
+  FixResult r = ApplyFixIts(kScript, ds);
+  EXPECT_EQ(r.applied, 1u);
+  auto fixed_ds = LintSchema(r.text);
+  EXPECT_CLEAN(fixed_ds);
+}
+
+// --- deterministic ordering -----------------------------------------------
+
+TEST(DiagnosticEngine, SortByLocationOrdersByFileLineColumnCode) {
+  DiagnosticEngine e;
+  Diagnostic d;
+  d.code = "TC105";
+  d.location = {"b.tql", 9, 2, 1};
+  e.Add(d);
+  d.code = "TC101";
+  d.location = {"a.tql", 30, 3, 4};
+  e.Add(d);
+  d.code = "TC104";
+  d.location = {"a.tql", 30, 3, 4};  // same spot: code breaks the tie
+  e.Add(d);
+  d.code = "TC103";
+  d.location = {"a.tql", 5, 1, 6};
+  e.Add(d);
+  e.SortByLocation();
+  std::vector<std::string> order;
+  for (const Diagnostic& x : e.diagnostics()) {
+    order.push_back(x.location.file + ":" + x.code);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"a.tql:TC103", "a.tql:TC101",
+                                             "a.tql:TC104", "b.tql:TC105"}));
+}
+
+// --- TC201: definite initialization ---------------------------------------
+
+TEST(FlowAnalyzer, UninitializedAttributeReadReported) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer), w: integer end;"
+      "create t (w: 1);"
+      "when i1.v > 0");
+  EXPECT_CODE(ds, "TC201");
+}
+
+TEST(FlowAnalyzer, InitializedAttributeReadIsClean) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "when i1.v > 0");
+  EXPECT_NO_CODE(ds, "TC201");
+}
+
+TEST(FlowAnalyzer, UpdateBeforeReadInitializes) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer), w: integer end;"
+      "create t (w: 1);"
+      "update i1 set v = 2;"
+      "when i1.v > 0");
+  EXPECT_NO_CODE(ds, "TC201");
+}
+
+TEST(FlowAnalyzer, HistoryOfUninitializedAttributeReported) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer), w: integer end;"
+      "create t (w: 1);"
+      "history i1.v");
+  EXPECT_CODE(ds, "TC201");
+}
+
+TEST(FlowAnalyzer, TemporalReadOutsideWrittenWindowsReported) {
+  // v is assigned only from instant 5 on; the projection at 2 reads a
+  // part of the timeline no statement ever wrote.
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer), w: integer end;"
+      "create t (w: 1);"
+      "tick 5;"
+      "update i1 set v = 9;"
+      "tick 1;"
+      "select x.w from x in t where i1.v @ 2 > 0");
+  EXPECT_CODE(ds, "TC201");
+}
+
+TEST(FlowAnalyzer, TemporalReadInsideWrittenWindowIsClean) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer), w: integer end;"
+      "create t (w: 1);"
+      "tick 5;"
+      "update i1 set v = 9;"
+      "tick 1;"
+      "select x.w from x in t where i1.v @ 5 > 0");
+  EXPECT_NO_CODE(ds, "TC201");
+}
+
+TEST(FlowAnalyzer, InheritedAttributeInitializationTracked) {
+  auto ds = Lint(
+      "define class base attributes v: temporal(integer) end;"
+      "define class sub under base attributes w: integer end;"
+      "create sub (w: 1);"
+      "when i1.v > 0");
+  EXPECT_CODE(ds, "TC201");
+}
+
+// --- TC202: static write-write conflicts ----------------------------------
+
+TEST(FlowAnalyzer, TwoWritersOfSameObjectReported) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "update i1 set v = 2;"
+      "update i1 set v = 3");
+  EXPECT_EQ(Count(ds, "TC202"), 1u);
+}
+
+TEST(FlowAnalyzer, ThirdWriterDoesNotRepeatTheReport) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "update i1 set v = 2;"
+      "update i1 set v = 3;"
+      "update i1 set v = 4");
+  EXPECT_EQ(Count(ds, "TC202"), 1u);
+}
+
+TEST(FlowAnalyzer, WritersOfDistinctObjectsAreClean) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "create t (v: 2);"
+      "update i1 set v = 3;"
+      "update i2 set v = 4");
+  EXPECT_NO_CODE(ds, "TC202");
+}
+
+TEST(FlowAnalyzer, DeleteAfterUpdateCountsAsConflictPair) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "update i1 set v = 2;"
+      "delete i1");
+  EXPECT_EQ(Count(ds, "TC202"), 1u);
+}
+
+TEST(FlowAnalyzer, Tc202IsANote) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "update i1 set v = 2;"
+      "update i1 set v = 3");
+  for (const Diagnostic& d : ds) {
+    if (d.code == "TC202") {
+      EXPECT_EQ(d.severity, Severity::kNote);
+    }
+  }
+}
+
+// --- TC203: windows empty under the propagated clock ----------------------
+
+TEST(FlowAnalyzer, NowEndpointWindowEmptyUnderClockReported) {
+  // [t9, now] at clock 5 resolves to [9, 5]: empty. TC106 must skip it
+  // (symbolic endpoint), TC203 catches it via constant propagation.
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "tick 5;"
+      "update i1 set v = 2 during [t9, now]");
+  EXPECT_CODE(ds, "TC203");
+  EXPECT_NO_CODE(ds, "TC106");
+}
+
+TEST(FlowAnalyzer, NowEndpointWindowNonEmptyUnderClockIsClean) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "tick 5;"
+      "update i1 set v = 2 during [t3, now]");
+  EXPECT_NO_CODE(ds, "TC203");
+}
+
+TEST(FlowAnalyzer, HistoryWindowEmptyUnderClockReported) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "tick 2;"
+      "history i1.v during [t7, now]");
+  EXPECT_CODE(ds, "TC203");
+  EXPECT_NO_CODE(ds, "TC109");
+}
+
+TEST(FlowAnalyzer, ConcreteInvertedWindowStaysTc106Territory) {
+  auto ds = Lint(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "update i1 set v = 2 during [3,1]");
+  EXPECT_CODE(ds, "TC106");
+  EXPECT_NO_CODE(ds, "TC203");
+}
+
+TEST(FlowAnalyzer, Tc2xxCodesAreRegistered) {
+  for (const char* code : {"TC201", "TC202", "TC203"}) {
+    EXPECT_NE(FindDiagnosticInfo(code), nullptr) << code;
+  }
+}
+
+TEST(FlowAnalyzer, NoFlowOptionSuppressesTc2xx) {
+  DiagnosticEngine diags;
+  LintOptions options;
+  options.no_flow = true;
+  LintTqlScript(
+      "define class t attributes v: temporal(integer) end;"
+      "create t (v: 1);"
+      "update i1 set v = 2;"
+      "update i1 set v = 3",
+      options, &diags);
+  EXPECT_FALSE(Has(diags.diagnostics(), "TC202"));
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/diagnostic.h"
+#include "analysis/lint_driver.h"
 #include "common/fault_fs.h"
 #include "core/db/consistency.h"
 #include "core/db/database.h"
@@ -1094,6 +1096,66 @@ TEST(GroupCommitTest, CloseWithUnflushedBacklogReleasesEveryWaiterNonOk) {
   for (std::thread& t : waiters) t.join();  // termination IS the assertion
   ffs.ClearPlan();
   EXPECT_EQ(released_non_ok.load(), kWaiters);
+}
+
+// The flow-sensitive linter (TC202) statically predicts which statement
+// pairs carry intersecting write footprints. This test holds the
+// prediction against the real engine: the pair the linter flags aborts
+// with the retryable Conflict when issued from concurrent optimistic
+// transactions, and the pair it leaves clean commits on both sides.
+TEST(OptimisticTxnTest, Tc202PredictionMatchesEngineConflicts) {
+  const std::string kSchema =
+      "define class emp attributes v: integer end\n"
+      "create emp (v: 1)\n"
+      "create emp (v: 2)";
+  const std::string kWriteA = "update i1 set v = 10";
+  const std::string kWriteSameOid = "update i1 set v = 20";
+  const std::string kWriteOtherOid = "update i2 set v = 20";
+
+  auto count_tc202 = [](const std::string& script) {
+    DiagnosticEngine diags;
+    LintTqlScript(script, LintOptions{}, &diags);
+    size_t n = 0;
+    for (const Diagnostic& d : diags.diagnostics()) {
+      if (d.code == "TC202") ++n;
+    }
+    return n;
+  };
+  const std::string kLintSchema =
+      "define class emp attributes v: integer end;"
+      "create emp (v: 1);"
+      "create emp (v: 2);";
+  ASSERT_EQ(count_tc202(kLintSchema + kWriteA + ";" + kWriteSameOid), 1u);
+  ASSERT_EQ(count_tc202(kLintSchema + kWriteA + ";" + kWriteOtherOid), 0u);
+
+  // Predicted conflict: the second committer must abort.
+  {
+    VersionedDatabase vdb;
+    Prime(&vdb, kSchema);
+    OptimisticTransaction t1 = vdb.BeginTransaction();
+    OptimisticTransaction t2 = vdb.BeginTransaction();
+    ASSERT_TRUE(Interpreter(&t1.db()).Execute(kWriteA).ok());
+    ASSERT_TRUE(Interpreter(&t2.db()).Execute(kWriteSameOid).ok());
+    ASSERT_TRUE(vdb.CommitTransaction(&t1).ok());
+    Result<uint64_t> lost = vdb.CommitTransaction(&t2);
+    ASSERT_FALSE(lost.ok());
+    EXPECT_EQ(lost.status().code(), StatusCode::kConflict) << lost.status();
+    EXPECT_EQ(vdb.conflict_count(), 1u);
+  }
+
+  // No prediction: both commits must land.
+  {
+    VersionedDatabase vdb;
+    Prime(&vdb, kSchema);
+    OptimisticTransaction t1 = vdb.BeginTransaction();
+    OptimisticTransaction t2 = vdb.BeginTransaction();
+    ASSERT_TRUE(Interpreter(&t1.db()).Execute(kWriteA).ok());
+    ASSERT_TRUE(Interpreter(&t2.db()).Execute(kWriteOtherOid).ok());
+    ASSERT_TRUE(vdb.CommitTransaction(&t1).ok());
+    Result<uint64_t> won = vdb.CommitTransaction(&t2);
+    ASSERT_TRUE(won.ok()) << won.status();
+    EXPECT_EQ(vdb.conflict_count(), 0u);
+  }
 }
 
 }  // namespace

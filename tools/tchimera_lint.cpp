@@ -1,6 +1,7 @@
 // tchimera-lint: static analysis for T_Chimera schema / TQL script files.
 //
-//   tchimera_lint [--json] [--schema-only] [--werror] file.tql...
+//   tchimera_lint [--json] [--schema-only] [--no-flow] [--werror]
+//                 [--fix | --fix-dry-run] file.tql...
 //
 // Pipeline per file:
 //   1. parse the whole script (parse failures are TC010);
@@ -10,7 +11,18 @@
 //      in-memory database so the clock, classes and objects are what they
 //      would be at runtime, linting every SELECT / WHEN statement just
 //      before its turn (TC1xx) and reporting statements that fail to
-//      execute (TC111).
+//      execute (TC111);
+//   4. unless --schema-only or --no-flow, run the flow-sensitive pass
+//      (TC2xx: definite initialization, static write conflicts, windows
+//      empty under the propagated clock).
+//
+// --fix applies the machine-applicable fix-its (analysis/fixer.h) and
+// re-lints the rewritten text to a fixpoint: fixes that overlapped (and
+// were skipped) in one round are regenerated with fresh offsets and
+// applied in the next, until a round changes nothing. The reported
+// findings are those of the final, fixed text. --fix-dry-run runs the
+// same loop but leaves the file untouched, printing the rewritten text's
+// destination instead.
 //
 // Exit status: 1 if any error-severity finding was produced (or any
 // finding at all under --werror), 0 otherwise — so the binary can gate CI.
@@ -21,6 +33,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "analysis/fixer.h"
 #include "analysis/lint_driver.h"
 
 namespace tchimera {
@@ -29,33 +42,112 @@ namespace {
 struct Options {
   bool json = false;
   bool schema_only = false;
+  bool no_flow = false;
   bool werror = false;
+  bool fix = false;          // rewrite files in place
+  bool fix_dry_run = false;  // run the fix loop, discard the result
   std::vector<std::string> files;
 };
 
+// Overlapping fix-its are resolved first-wins per round, so one round is
+// not always enough; a fixpoint is, and on sane input arrives within a
+// couple of rounds. The bound only guards against a pathological
+// non-idempotent fix (which would be a bug in an analyzer).
+constexpr int kMaxFixRounds = 8;
+
+// Lints `source`, leaving resolved, sorted diagnostics in `diags`.
+void LintOnce(const std::string& file, const std::string& source,
+              const Options& opts, DiagnosticEngine* diags) {
+  LintOptions lint_opts;
+  lint_opts.schema_only = opts.schema_only;
+  lint_opts.no_flow = opts.no_flow;
+  LintTqlScript(source, lint_opts, diags);
+  diags->ResolveLocations(file, source);
+  diags->SortByLocation();
+}
+
+// The --fix loop for one file: returns the fixed text, the final round's
+// diagnostics, and the number of rounds that changed anything.
+struct FixOutcome {
+  std::string text;
+  size_t rounds_with_edits = 0;
+  size_t fixes_applied = 0;
+  std::vector<std::string> skipped_reasons;
+};
+
+FixOutcome FixToFixpoint(const std::string& file, std::string source,
+                         const Options& opts, DiagnosticEngine* final_diags) {
+  FixOutcome out;
+  bool at_fixpoint = false;
+  for (int round = 0; round < kMaxFixRounds; ++round) {
+    DiagnosticEngine diags;
+    LintOnce(file, source, opts, &diags);
+    FixResult fixed = ApplyFixIts(source, diags.diagnostics());
+    for (std::string& reason : fixed.skipped_reasons) {
+      out.skipped_reasons.push_back(std::move(reason));
+    }
+    if (!fixed.changed_anything()) {
+      // Fixpoint: report the final text's findings.
+      *final_diags = std::move(diags);
+      at_fixpoint = true;
+      break;
+    }
+    out.fixes_applied += fixed.applied;
+    ++out.rounds_with_edits;
+    source = std::move(fixed.text);
+  }
+  if (!at_fixpoint) {
+    // Round budget exhausted (an analyzer emitted a non-idempotent fix);
+    // still report the findings of the text we ended up with.
+    LintOnce(file, source, opts, final_diags);
+  }
+  out.text = std::move(source);
+  return out;
+}
+
 int Run(const Options& opts) {
   std::vector<Diagnostic> all;
+  size_t total_fixes = 0;
   for (const std::string& file : opts.files) {
+    DiagnosticEngine diags;
     std::ifstream in(file, std::ios::binary);
     if (!in) {
-      Diagnostic d;
-      d.code = "TC011";
-      d.severity = Severity::kError;
-      d.message = "cannot open file";
-      d.location.file = file;
-      all.push_back(std::move(d));
+      diags.Report("TC011", SourceLocation::kNoOffset, "cannot open file");
+      diags.ResolveLocations(file, "");
+      for (const Diagnostic& d : diags.diagnostics()) all.push_back(d);
       continue;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
     std::string source = buf.str();
 
-    DiagnosticEngine diags;
-    LintOptions lint_opts;
-    lint_opts.schema_only = opts.schema_only;
-    LintTqlScript(source, lint_opts, &diags);
-    diags.ResolveLocations(file, source);
-    diags.SortByLocation();
+    if (opts.fix || opts.fix_dry_run) {
+      FixOutcome outcome = FixToFixpoint(file, source, opts, &diags);
+      total_fixes += outcome.fixes_applied;
+      for (const std::string& reason : outcome.skipped_reasons) {
+        std::fprintf(stderr, "%s: skipped fix: %s\n", file.c_str(),
+                     reason.c_str());
+      }
+      if (outcome.text != source) {
+        if (opts.fix) {
+          std::ofstream outf(file, std::ios::binary | std::ios::trunc);
+          if (!outf) {
+            diags.Report("TC011", SourceLocation::kNoOffset,
+                         "cannot write fixed file");
+            diags.ResolveLocations(file, source);
+            diags.SortByLocation();
+          } else {
+            outf << outcome.text;
+          }
+        } else {
+          std::fprintf(stderr, "%s: %zu fix(es) available (dry run, file "
+                       "unchanged)\n",
+                       file.c_str(), outcome.fixes_applied);
+        }
+      }
+    } else {
+      LintOnce(file, source, opts, &diags);
+    }
     for (const Diagnostic& d : diags.diagnostics()) all.push_back(d);
   }
 
@@ -68,13 +160,24 @@ int Run(const Options& opts) {
     std::fputc('\n', stdout);
   } else {
     std::fputs(RenderHuman(all).c_str(), stdout);
-    std::fprintf(stdout, "%zu file(s), %zu finding(s), %zu error(s)\n",
-                 opts.files.size(), all.size(), errors);
+    if (opts.fix || opts.fix_dry_run) {
+      std::fprintf(stdout,
+                   "%zu file(s), %zu finding(s) remaining, %zu error(s), "
+                   "%zu fix(es) applied\n",
+                   opts.files.size(), all.size(), errors, total_fixes);
+    } else {
+      std::fprintf(stdout, "%zu file(s), %zu finding(s), %zu error(s)\n",
+                   opts.files.size(), all.size(), errors);
+    }
   }
   if (errors > 0) return 1;
   if (opts.werror && !all.empty()) return 1;
   return 0;
 }
+
+constexpr char kUsage[] =
+    "usage: tchimera_lint [--json] [--schema-only] [--no-flow] [--werror] "
+    "[--fix | --fix-dry-run] file.tql...\n";
 
 }  // namespace
 }  // namespace tchimera
@@ -87,12 +190,16 @@ int main(int argc, char** argv) {
       opts.json = true;
     } else if (arg == "--schema-only") {
       opts.schema_only = true;
+    } else if (arg == "--no-flow") {
+      opts.no_flow = true;
     } else if (arg == "--werror") {
       opts.werror = true;
+    } else if (arg == "--fix") {
+      opts.fix = true;
+    } else if (arg == "--fix-dry-run") {
+      opts.fix_dry_run = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stdout,
-                   "usage: tchimera_lint [--json] [--schema-only] "
-                   "[--werror] file.tql...\n");
+      std::fputs(tchimera::kUsage, stdout);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -101,10 +208,12 @@ int main(int argc, char** argv) {
       opts.files.push_back(std::move(arg));
     }
   }
+  if (opts.fix && opts.fix_dry_run) {
+    std::fprintf(stderr, "--fix and --fix-dry-run are mutually exclusive\n");
+    return 2;
+  }
   if (opts.files.empty()) {
-    std::fprintf(stderr,
-                 "usage: tchimera_lint [--json] [--schema-only] [--werror] "
-                 "file.tql...\n");
+    std::fputs(tchimera::kUsage, stderr);
     return 2;
   }
   return tchimera::Run(opts);
