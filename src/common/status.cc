@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kConflict:
       return "Conflict";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

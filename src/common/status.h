@@ -42,6 +42,11 @@ enum class StatusCode {
   // a concurrently committed writer. Retryable: re-running the statement
   // against the new version usually succeeds.
   kConflict = 11,
+  // A transient replication/shipping condition: a stream gap, an epoch
+  // mismatch, a corrupt shipped record, or a source file that has moved
+  // past the follower's position. Retryable — the follower backs off and
+  // resyncs from a checkpoint; nothing was lost on the authoritative side.
+  kUnavailable = 12,
 };
 
 // Returns a stable human-readable name such as "TypeError".
@@ -93,6 +98,9 @@ class Status {
   }
   static Status Conflict(std::string msg) {
     return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "query/session.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "query/interpreter.h"
@@ -67,6 +68,33 @@ Engine::Engine(std::unique_ptr<Database> db, size_t max_cascade_depth)
       max_cascade_depth_(max_cascade_depth) {}
 
 Session Engine::OpenSession() { return Session(this); }
+
+std::shared_ptr<ReplicaLease> Engine::RegisterReplica(std::string name) {
+  auto lease = std::make_shared<ReplicaLease>(std::move(name));
+  std::lock_guard<std::mutex> lock(replicas_mu_);
+  replicas_.push_back(lease);
+  return lease;
+}
+
+uint64_t Engine::min_replicated_version() const {
+  std::lock_guard<std::mutex> lock(replicas_mu_);
+  uint64_t min_version = 0;
+  bool any = false;
+  size_t live = 0;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    std::shared_ptr<ReplicaLease> lease = replicas_[i].lock();
+    if (!lease) continue;  // decommissioned replica: drop from the set
+    if (live != i) replicas_[live] = std::move(replicas_[i]);  // no self-move
+    ++live;
+    uint64_t v = lease->replicated_version();
+    min_version = any ? std::min(min_version, v) : v;
+    any = true;
+  }
+  replicas_.resize(live);
+  // No replicas => nothing can lag: every committed version counts as
+  // replicated, and read-your-writes routing degenerates to "always OK".
+  return any ? min_version : vdb_.version();
+}
 
 Status Engine::WithExclusive(
     const std::function<Status(Database&, ActiveDatabase&)>& fn) {
@@ -196,8 +224,15 @@ Result<std::string> Engine::ExecuteWriteExclusive(std::string_view statement,
 
 Result<std::string> Session::Execute(std::string_view statement) {
   if (!IsReadStatement(statement)) {
-    return engine_->ExecuteWrite(statement,
-                                 lint_enabled_ ? diags_.get() : nullptr);
+    Result<std::string> result = engine_->ExecuteWrite(
+        statement, lint_enabled_ ? diags_.get() : nullptr);
+    if (result.ok()) {
+      // Remember the engine tip for read-your-writes routing. The tip is
+      // >= our write's version (others may have committed since), which
+      // only errs toward routing the next read to the primary — safe.
+      last_write_version_ = engine_->version();
+    }
+    return result;
   }
   // Read path: pin a snapshot and evaluate on this thread, concurrently
   // with other readers. The const_cast is sound: the interpreter's read
@@ -209,8 +244,10 @@ Result<std::string> Session::Execute(std::string_view statement) {
     // Unreachable by construction (the parser keys on the first token);
     // defend anyway rather than mutate a published immutable version.
     snap = ReadSnapshot();
-    return engine_->ExecuteWrite(statement,
-                                 lint_enabled_ ? diags_.get() : nullptr);
+    Result<std::string> result = engine_->ExecuteWrite(
+        statement, lint_enabled_ ? diags_.get() : nullptr);
+    if (result.ok()) last_write_version_ = engine_->version();
+    return result;
   }
   Interpreter interp(const_cast<Database*>(&snap.db()));
   if (lint_enabled_) interp.set_lint(diags_.get());

@@ -38,12 +38,14 @@
 #ifndef TCHIMERA_QUERY_SESSION_H_
 #define TCHIMERA_QUERY_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/diagnostic.h"
 #include "common/result.h"
@@ -78,6 +80,47 @@ class CommitSink {
 };
 
 class Session;
+
+// A primary-side handle tracking how far one replica has provably
+// replayed, in primary MVCC versions. The shipping pump
+// (storage/replication.h) advances it whenever a replica reaches a
+// drained durable horizon; Engine::min_replicated_version() aggregates
+// the leases into the watermark that decides read-your-writes routing.
+// Monotone and lock-free on both sides.
+class ReplicaLease {
+ public:
+  explicit ReplicaLease(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  // The highest primary version this replica is known to reflect.
+  uint64_t replicated_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  // Monotone advance (a stale pump round can never move a lease back).
+  void AdvanceReplicatedVersion(uint64_t version) {
+    uint64_t cur = version_.load(std::memory_order_relaxed);
+    while (cur < version &&
+           !version_.compare_exchange_weak(cur, version,
+                                           std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> version_{0};
+};
+
+// How stale a read a session tolerates when the deployment routes reads
+// to replicas (see docs/REPLICATION.md).
+enum class ReadStaleness {
+  // Replica reads are admissible only when every registered replica has
+  // replayed past this session's last write (the default: a client never
+  // fails to see its own writes).
+  kReadYourWrites,
+  // Any replica snapshot will do; the client accepts bounded lag.
+  kEventual,
+};
 
 class Engine {
  public:
@@ -124,6 +167,19 @@ class Engine {
   // attempts that later succeeded). Tests and bench read this.
   uint64_t conflict_count() const { return vdb_.conflict_count(); }
 
+  // Registers a replica with this (primary) engine and returns its
+  // lease. The engine holds only a weak reference: dropping the returned
+  // shared_ptr (replica decommissioned) removes the replica from the
+  // watermark with no explicit unregister call.
+  std::shared_ptr<ReplicaLease> RegisterReplica(std::string name);
+
+  // The replicated watermark: the highest version every *live* replica
+  // is known to reflect (minimum over the registered leases). With no
+  // replicas registered, returns version() — there is nobody lagging, so
+  // every committed version is "replicated". Expired leases are pruned
+  // in passing.
+  uint64_t min_replicated_version() const;
+
  private:
   friend class Session;
 
@@ -139,6 +195,12 @@ class Engine {
   // publish. Also the only path for schema/definition verbs.
   Result<std::string> ExecuteWriteExclusive(std::string_view statement,
                                             DiagnosticEngine* lint);
+
+  // Replica leases (weak: a dropped lease is an unregistered replica).
+  // Guarded by replicas_mu_; never taken together with any other engine
+  // lock, so it cannot participate in a lock cycle.
+  mutable std::mutex replicas_mu_;
+  mutable std::vector<std::weak_ptr<ReplicaLease>> replicas_;
 
   VersionedDatabase vdb_;
   ActiveDatabase active_;
@@ -170,6 +232,28 @@ class Session {
   // A pinned read view for direct (C++ API) reads.
   ReadSnapshot snapshot() const { return engine_->OpenSnapshot(); }
 
+  // Read routing policy for deployments with replicas. The session only
+  // *answers* the routing question (CanReadFromReplica); actually sending
+  // the read to a replica's engine is the front end's move.
+  void set_read_staleness(ReadStaleness staleness) {
+    read_staleness_ = staleness;
+  }
+  ReadStaleness read_staleness() const { return read_staleness_; }
+
+  // The primary version of this session's most recent successful write
+  // (0 = never wrote). Conservative: sampled from the engine tip after
+  // the write, so it is >= the write's own version — read-your-writes
+  // stays safe, at worst a read is routed to the primary unnecessarily.
+  uint64_t last_write_version() const { return last_write_version_; }
+
+  // True when this session's staleness policy admits serving its next
+  // read from a replica: always for kEventual; for kReadYourWrites, only
+  // once the replicated watermark has passed the session's last write.
+  bool CanReadFromReplica() const {
+    if (read_staleness_ == ReadStaleness::kEventual) return true;
+    return engine_->min_replicated_version() >= last_write_version_;
+  }
+
  private:
   friend class Engine;
   explicit Session(Engine* engine)
@@ -180,6 +264,8 @@ class Session {
   // the interpreter during a statement.
   std::unique_ptr<DiagnosticEngine> diags_;
   bool lint_enabled_ = false;
+  ReadStaleness read_staleness_ = ReadStaleness::kReadYourWrites;
+  uint64_t last_write_version_ = 0;
 };
 
 }  // namespace tchimera

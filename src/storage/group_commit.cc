@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "storage/replication.h"
+
 namespace tchimera {
 
 Status GroupCommitJournal::Open(const std::string& path,
@@ -22,6 +24,12 @@ Status GroupCommitJournal::Open(const std::string& path,
   enqueued_ = taken_ = durable_ = batches_ = 0;
   leader_active_ = false;
   sticky_ = Status::OK();
+  // Records already in the file (a reopened journal) were synced by their
+  // original writer or survived salvage: durable, shippable. Whatever
+  // ended the previous epoch happened before this sink existed.
+  horizon_epoch_ = journal_.epoch();
+  horizon_seq_ = journal_.last_seq();
+  horizon_handoff_seq_ = JournalHorizon::kNoHandoff;
   return Status::OK();
 }
 
@@ -58,6 +66,17 @@ void GroupCommitJournal::Close() {
 
 CommitSink::Ticket GroupCommitJournal::Enqueue(std::string_view statement) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (fence_ != nullptr) {
+    Status authority = fence_->Authorize(authority_token_);
+    if (!authority.ok()) {
+      // Fenced by a replica promotion: this node is no longer the
+      // primary. Reject outright — nothing may be journaled (and so
+      // nothing committed) under a revoked authority.
+      Ticket rejected;
+      rejected.status = authority;
+      return rejected;
+    }
+  }
   // Fail fast instead of handing out a ticket whose Await would drive
   // LeadBatch into appends on a closed journal (or pointlessly queue
   // behind a write that is already known lost).
@@ -142,6 +161,11 @@ void GroupCommitJournal::LeadBatch(std::unique_lock<std::mutex>& lock) {
   if (result.ok()) {
     durable_ = batch_high;
     ++batches_;
+    // No concurrent appends exist (appends happen only under
+    // leader_active_, which is ours), so the journal counters are stable
+    // here: everything appended is now synced.
+    horizon_epoch_ = journal_.epoch();
+    horizon_seq_ = journal_.last_seq();
   } else if (sticky_.ok()) {
     // Poison: some prefix of this batch may or may not be on disk; no
     // later append may be acknowledged over that uncertainty.
@@ -165,9 +189,44 @@ Status GroupCommitJournal::WithQuiesced(
       LeadBatch(lock);
     }
   }
+  if (fence_ != nullptr) {
+    Status authority = fence_->Authorize(authority_token_);
+    if (!authority.ok()) return authority;  // fenced: no checkpoints either
+  }
   // Everything enqueued is durable and we hold the mutex, so no leader
   // can be flushing: the journal is exclusively ours for `fn`.
-  return fn(journal_);
+  const uint64_t epoch_before = journal_.epoch();
+  const uint64_t seq_before = journal_.last_seq();
+  Status result = fn(journal_);
+  // `fn` may have rotated the journal (the checkpoint path): re-sample
+  // the frontier. Rotation syncs before renaming, so everything on disk
+  // is durable. A single rotation hands the old epoch's extent to the
+  // horizon, so caught-up followers can roll without the rotated file.
+  horizon_epoch_ = journal_.epoch();
+  horizon_seq_ = journal_.last_seq();
+  if (horizon_epoch_ == epoch_before + 1) {
+    horizon_handoff_seq_ = seq_before;
+  } else if (horizon_epoch_ != epoch_before) {
+    horizon_handoff_seq_ = JournalHorizon::kNoHandoff;
+  }
+  return result;
+}
+
+JournalHorizon GroupCommitJournal::ReplicationHorizon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalHorizon h;
+  h.epoch = horizon_epoch_;
+  h.seq = horizon_seq_;
+  h.drained = durable_ == enqueued_ && sticky_.ok();
+  h.handoff_seq = horizon_handoff_seq_;
+  return h;
+}
+
+void GroupCommitJournal::AttachFence(const EpochFence* fence,
+                                     uint64_t authority_token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fence_ = fence;
+  authority_token_ = authority_token;
 }
 
 uint64_t GroupCommitJournal::enqueued() const {

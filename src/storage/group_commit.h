@@ -62,7 +62,9 @@ struct GroupCommitOptions {
   std::chrono::microseconds max_delay{0};
 };
 
-class GroupCommitJournal final : public CommitSink {
+class EpochFence;  // storage/replication.h
+
+class GroupCommitJournal final : public CommitSink, public HorizonProvider {
  public:
   GroupCommitJournal() = default;
   GroupCommitJournal(const GroupCommitJournal&) = delete;
@@ -80,6 +82,23 @@ class GroupCommitJournal final : public CommitSink {
   // CommitSink: see class comment. Thread-safe.
   Ticket Enqueue(std::string_view statement) override;
   Status Await(Ticket ticket) override;
+
+  // HorizonProvider: the durable frontier replication may ship up to.
+  // Updated after every successful batch sync and after WithQuiesced
+  // returns (a checkpoint may have rotated the journal). Records beyond
+  // the horizon exist only as unsynced bytes a crash could drop — a
+  // source that shipped them could make a follower run ahead of a
+  // recovered primary, which is divergence.
+  JournalHorizon ReplicationHorizon() const override;
+
+  // Fences this sink under `fence` with the given authority token
+  // (typically the journal's epoch at open/attach time — the token stays
+  // fixed across rotations; see storage/replication.h). Once a replica
+  // promotion fences the token, every Enqueue is rejected and WithQuiesced
+  // (the checkpoint path) fails: a recovered ex-primary cannot
+  // double-serve. Call during single-threaded setup.
+  void AttachFence(const EpochFence* fence, uint64_t authority_token);
+  uint64_t authority_token() const { return authority_token_; }
 
   // Drains every pending statement to disk, then runs `fn` on the
   // underlying journal with all group-commit activity excluded — the
@@ -114,6 +133,17 @@ class GroupCommitJournal final : public CommitSink {
   uint64_t batches_ = 0;
   bool leader_active_ = false;
   Status sticky_;  // first append/sync failure; poisons the sink
+
+  // Durable frontier (see ReplicationHorizon). Guarded by mu_ — the
+  // journal's own counters cannot be read while a leader appends off-lock.
+  uint64_t horizon_epoch_ = 0;
+  uint64_t horizon_seq_ = 0;
+  // Final seq of epoch horizon_epoch_ - 1 if this sink witnessed the
+  // rotation that ended it (see JournalHorizon::handoff_seq).
+  uint64_t horizon_handoff_seq_ = JournalHorizon::kNoHandoff;
+
+  const EpochFence* fence_ = nullptr;  // not owned
+  uint64_t authority_token_ = 0;
 };
 
 }  // namespace tchimera

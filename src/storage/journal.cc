@@ -174,6 +174,113 @@ Result<JournalScan> ScanJournal(const std::string& path, FileSystem* fs) {
   return scan;
 }
 
+Result<TailScan> ScanJournalTail(const std::string& path, uint64_t offset,
+                                 uint64_t expected_seq, size_t max_records,
+                                 FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  TCH_ASSIGN_OR_RETURN(std::string content, fs->ReadFileToString(path));
+  TailScan scan;
+  if (offset > content.size()) {
+    // The file shrank below our position: it was rotated or truncated
+    // underneath us. Not corruption — the caller re-resolves its cursor.
+    scan.error = Status::Unavailable(
+        "journal " + path + " is shorter (" +
+        std::to_string(content.size()) + " bytes) than the read offset " +
+        std::to_string(offset) + "; the file was rotated or truncated");
+    return scan;
+  }
+  if (offset == 0) {
+    if (content.empty()) {
+      // Created but header not yet durable — an open in flight.
+      scan.partial_tail = true;
+      return scan;
+    }
+    size_t probe = std::min(content.size(), kJournalMagic.size());
+    if (std::string_view(content).substr(0, probe) !=
+        kJournalMagic.substr(0, probe)) {
+      return Status::FailedPrecondition(
+          "journal " + path + " is v1 (unframed); v1 journals cannot be "
+          "tail-followed");
+    }
+    size_t header_end = content.find('\n');
+    if (header_end == std::string::npos) {
+      // The header line itself is mid-append.
+      scan.partial_tail = true;
+      return scan;
+    }
+    std::string_view header = std::string_view(content).substr(0, header_end);
+    size_t pos = 0;
+    std::string_view magic, version_text;
+    uint64_t version = 0;
+    if (!NextToken(header, &pos, &magic) || magic != kJournalMagic ||
+        !NextToken(header, &pos, &version_text) ||
+        !ParseU64(version_text, &version) || version != 2 ||
+        !ParseU64(header.substr(pos), &scan.epoch)) {
+      scan.error = Status::Corruption("malformed journal header in " + path);
+      return scan;
+    }
+    scan.format = 2;
+    offset = header_end + 1;
+  } else {
+    scan.format = 2;
+  }
+  scan.end_offset = offset;
+
+  std::string_view body(content);
+  while (offset < body.size() && scan.records.size() < max_records) {
+    size_t newline = body.find('\n', offset);
+    if (newline == std::string_view::npos) {
+      // An append in flight (or a torn tail recovery has not yet seen):
+      // retryable, never salvageable from here.
+      scan.partial_tail = true;
+      break;
+    }
+    std::string_view line = body.substr(offset, newline - offset);
+    size_t pos = 0;
+    std::string_view tag, seq_text, len_text, crc_text;
+    uint64_t seq = 0, len = 0;
+    uint32_t crc = 0;
+    if (!NextToken(line, &pos, &tag) || tag != "R" ||
+        !NextToken(line, &pos, &seq_text) || !ParseU64(seq_text, &seq) ||
+        !NextToken(line, &pos, &len_text) || !ParseU64(len_text, &len) ||
+        !NextToken(line, &pos, &crc_text) || !ParseCrc32Hex(crc_text, &crc)) {
+      // A complete line that does not frame: real damage, not a torn
+      // append (torn appends have no newline).
+      scan.error = Status::Corruption("malformed record framing at offset " +
+                                      std::to_string(offset) + " in " + path);
+      break;
+    }
+    std::string_view statement = line.substr(pos);
+    if (statement.size() != len) {
+      scan.error = Status::Corruption(
+          "record length mismatch at offset " + std::to_string(offset) +
+          " in " + path);
+      break;
+    }
+    if (expected_seq != 0 && seq != expected_seq) {
+      scan.error = Status::Corruption(
+          "sequence discontinuity in " + path + " (expected " +
+          std::to_string(expected_seq) + ", found " + std::to_string(seq) +
+          ")");
+      break;
+    }
+    if (Crc32(RecordPayload(seq, statement)) != crc) {
+      scan.error = Status::Corruption("checksum mismatch at record " +
+                                      std::to_string(seq) + " in " + path);
+      break;
+    }
+    TailRecord record;
+    record.seq = seq;
+    record.crc = crc;
+    record.statement.assign(statement);
+    scan.records.push_back(std::move(record));
+    expected_seq = seq + 1;
+    offset = newline + 1;
+    scan.end_offset = offset;
+  }
+  return scan;
+}
+
 Result<JournalScan> SalvageJournal(const std::string& path, FileSystem* fs) {
   if (fs == nullptr) fs = FileSystem::Default();
   TCH_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(path, fs));

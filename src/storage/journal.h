@@ -93,8 +93,83 @@ Result<JournalScan> ScanJournal(const std::string& path,
 // (appending, so repeated salvages accumulate evidence) and truncates the
 // journal to its longest valid prefix. Returns the scan describing what
 // was kept. No-op beyond the scan for clean files and v1 files.
+//
+// RECOVERY-ONLY: salvage decides that the file will never grow again and
+// amputates its tail. A journal that is still being appended to routinely
+// shows a partially-written final record; live-tail readers (replication,
+// tail-follow) must use ScanJournalTail below, which reports such a tail
+// as retryable instead of quarantining acknowledged-in-flight bytes.
 Result<JournalScan> SalvageJournal(const std::string& path,
                                    FileSystem* fs = nullptr);
+
+// One framed record as seen by a tail-follower: the statement plus the
+// framing fields a follower re-verifies on its own side.
+struct TailRecord {
+  uint64_t seq = 0;
+  uint32_t crc = 0;  // CRC32 over "<seq> <statement>", as framed on disk
+  std::string statement;
+};
+
+// The result of one incremental live-tail read (see ScanJournalTail).
+struct TailScan {
+  int format = 0;        // 0 = empty file (header not yet durable), 1 or 2
+  uint64_t epoch = 0;    // v2 header epoch (valid once format == 2)
+  std::vector<TailRecord> records;
+  // Byte offset just past the last complete record consumed (or past the
+  // header when no record was). Pass it back as the next read's `offset`.
+  uint64_t end_offset = 0;
+  // Trailing bytes after end_offset form an incomplete record (no
+  // terminating newline yet): an append in flight, or a torn tail that
+  // recovery has not yet adjudicated. The reader retries later — it must
+  // never salvage (that decision belongs to recovery alone).
+  bool partial_tail = false;
+  // Non-OK only for damage that cannot be an append in flight: a
+  // *complete* line with malformed framing, a length or CRC mismatch, or
+  // a sequence discontinuity. The scan stops at the damaged record.
+  Status error;
+};
+
+// Incrementally parses the framed records of a v2 journal starting at
+// byte `offset` (0 = start of file; the header is parsed and skipped),
+// expecting the first record to carry `expected_seq` (0 = accept whatever
+// sequence the first record carries, then require contiguity). Reads at
+// most `max_records` records. Purely observational: never truncates,
+// renames, or quarantines anything — safe against a journal that another
+// process is appending to. v1 files cannot be tail-followed
+// (FailedPrecondition).
+Result<TailScan> ScanJournalTail(const std::string& path, uint64_t offset,
+                                 uint64_t expected_seq, size_t max_records,
+                                 FileSystem* fs = nullptr);
+
+// The durable frontier of a journal as sampled by a replication source:
+// every record up to (epoch, seq) is fdatasync-durable and safe to ship.
+// `drained` reports whether every statement accepted for commit had
+// reached disk at sampling time (the condition under which a follower
+// that catches up to this horizon has seen *everything* committed).
+struct JournalHorizon {
+  // `handoff_seq` value meaning "the previous epoch's extent is unknown".
+  static constexpr uint64_t kNoHandoff = ~0ULL;
+
+  uint64_t epoch = 0;
+  uint64_t seq = 0;   // last durable record of `epoch`; 0 = none yet
+  bool drained = true;
+  // The final seq of epoch `epoch - 1`, when the provider witnessed the
+  // rotation that ended it (kNoHandoff otherwise). Lets a follower that
+  // had fully consumed the previous epoch roll to `epoch` even after a
+  // checkpoint deleted the rotated file — without this, every checkpoint
+  // would force a snapshot resync on followers that missed nothing.
+  uint64_t handoff_seq = kNoHandoff;
+};
+
+// Implemented by journal owners that know their durable frontier
+// (GroupCommitJournal). A ReplicationSource constructed without one falls
+// back to shipping whatever is on disk — correct only for files no
+// writer holds open (offline copies, a closed journal).
+class HorizonProvider {
+ public:
+  virtual ~HorizonProvider() = default;
+  virtual JournalHorizon ReplicationHorizon() const = 0;
+};
 
 class Journal {
  public:
@@ -126,6 +201,10 @@ class Journal {
 
   // Number of statements appended through this handle.
   size_t appended() const { return appended_; }
+
+  // Sequence number of the last record in the current epoch (0 when the
+  // epoch is still empty). Replication sources use it to bound shipping.
+  uint64_t last_seq() const { return next_seq_ - 1; }
 
   // Number of fdatasyncs issued through Sync() on this handle (including
   // the per-record syncs of kEveryAppend) — the denominator group commit

@@ -175,4 +175,13 @@ Result<std::string> SaveDatabaseToString(
   return out.str();
 }
 
+Result<uint32_t> DatabaseStateHash(
+    const Database& db, const std::vector<std::string>& definitions) {
+  // Epoch 0 on purpose: the hash compares logical state across nodes
+  // whose checkpoint cadence (and hence epoch counter) differs.
+  TCH_ASSIGN_OR_RETURN(std::string text,
+                       SaveDatabaseToString(db, /*epoch=*/0, definitions));
+  return Crc32(text);
+}
+
 }  // namespace tchimera

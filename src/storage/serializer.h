@@ -77,6 +77,16 @@ Result<std::string> SaveDatabaseToString(
     const Database& db, uint64_t epoch = 0,
     const std::vector<std::string>& definitions = {});
 
+// A content hash of the full logical state (schema, extents, objects,
+// histories, clock, oid counter, plus `definitions`): CRC32 over the
+// canonical snapshot serialization at epoch 0, so the epoch a node
+// happens to be at never perturbs the hash. Two databases hash equal iff
+// they serialize identically — the equality check replication uses to
+// assert a replica converged to its primary (tests,
+// `tchimera_recover verify-replica`).
+Result<uint32_t> DatabaseStateHash(
+    const Database& db, const std::vector<std::string>& definitions = {});
+
 }  // namespace tchimera
 
 #endif  // TCHIMERA_STORAGE_SERIALIZER_H_

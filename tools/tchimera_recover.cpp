@@ -9,12 +9,21 @@
 //   tchimera_recover salvage <dir>   quarantine torn v2 journal tails to
 //                                    <journal>.corrupt (what recovery
 //                                    would do, without replaying)
+//   tchimera_recover verify-replica <replica-dir> <primary-dir>
+//                                    recover both directories and compare
+//                                    state hashes: exit 0 when the
+//                                    replica's replayed copy of the
+//                                    shipped journal matches the primary,
+//                                    1 on divergence, 2 when the replica
+//                                    merely lags (a resync/drain away
+//                                    from comparable)
 //
 // Nothing here ever mutates the snapshot; `salvage` only moves corrupt
 // journal bytes aside, which is information-preserving.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +31,7 @@
 #include "storage/deserializer.h"
 #include "storage/journal.h"
 #include "storage/recovery.h"
+#include "storage/serializer.h"
 #include "triggers/trigger.h"
 
 namespace tchimera {
@@ -185,17 +195,113 @@ int Salvage(const std::string& dir) {
   return failures == 0 ? 0 : 1;
 }
 
+// One recovered database directory plus where its journal stream ends
+// (replica journals mirror the primary's epoch/seq numbering, so the
+// positions are directly comparable).
+struct RecoveredDir {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ActiveDatabase> active;
+  uint64_t epoch = 0;
+  uint64_t last_seq = 0;
+};
+
+Status RecoverDir(const std::string& dir, RecoveredDir* out) {
+  RecoveryManager manager(dir + "/" + kSnapshotName,
+                          dir + "/" + kJournalName);
+  RecoveryStats stats;
+  auto loaded = manager.LoadSnapshot(&stats);
+  if (!loaded.ok()) return loaded.status();
+  out->db = std::move(loaded).value();
+  out->active = std::make_unique<ActiveDatabase>(out->db.get());
+  for (const std::string& definition : manager.snapshot_definitions()) {
+    Status status = out->active->Execute(definition).status();
+    if (!status.ok()) return status;
+  }
+  TCH_RETURN_IF_ERROR(manager.ReplayJournals(
+      [out](const std::string& statement) {
+        return out->active->Execute(statement).status();
+      },
+      &stats));
+  std::string live = dir + "/" + kJournalName;
+  out->epoch = stats.next_epoch;
+  if (FileSystem::Default()->FileExists(live)) {
+    auto scan = ScanJournal(live);
+    if (scan.ok()) {
+      out->epoch = scan->epoch;
+      out->last_seq = scan->last_seq;
+    }
+  }
+  return Status::OK();
+}
+
+int VerifyReplica(const std::string& replica_dir,
+                  const std::string& primary_dir) {
+  RecoveredDir replica, primary;
+  Status status = RecoverDir(replica_dir, &replica);
+  if (!status.ok()) {
+    std::printf("replica %s: NOT RECOVERABLE: %s\n", replica_dir.c_str(),
+                status.ToString().c_str());
+    return 1;
+  }
+  status = RecoverDir(primary_dir, &primary);
+  if (!status.ok()) {
+    std::printf("primary %s: NOT RECOVERABLE: %s\n", primary_dir.c_str(),
+                status.ToString().c_str());
+    return 1;
+  }
+  auto replica_hash =
+      DatabaseStateHash(*replica.db, replica.active->DefinitionStatements());
+  auto primary_hash =
+      DatabaseStateHash(*primary.db, primary.active->DefinitionStatements());
+  if (!replica_hash.ok() || !primary_hash.ok()) {
+    std::printf("state hash failed: %s\n",
+                (!replica_hash.ok() ? replica_hash.status() :
+                                      primary_hash.status())
+                    .ToString()
+                    .c_str());
+    return 1;
+  }
+  std::printf("replica  epoch %llu seq %llu  hash %08x\n",
+              static_cast<unsigned long long>(replica.epoch),
+              static_cast<unsigned long long>(replica.last_seq),
+              replica_hash.value());
+  std::printf("primary  epoch %llu seq %llu  hash %08x\n",
+              static_cast<unsigned long long>(primary.epoch),
+              static_cast<unsigned long long>(primary.last_seq),
+              primary_hash.value());
+  if (replica_hash.value() == primary_hash.value()) {
+    std::printf("OK: replica state matches the primary\n");
+    return 0;
+  }
+  const bool lagging =
+      replica.epoch < primary.epoch ||
+      (replica.epoch == primary.epoch && replica.last_seq < primary.last_seq);
+  if (lagging) {
+    std::printf("LAGGING: replica is behind the primary's stream position "
+                "(not divergence; drain or resync and re-verify)\n");
+    return 2;
+  }
+  std::printf("DIVERGED: replica is at or past the primary's stream "
+              "position yet its state hash differs\n");
+  return 1;
+}
+
 }  // namespace
 }  // namespace tchimera
 
 int main(int argc, char** argv) {
+  std::string command = argc > 1 ? argv[1] : "";
+  if ((command == "verify-replica" || command == "--verify-replica") &&
+      argc == 4) {
+    return tchimera::VerifyReplica(argv[2], argv[3]);
+  }
   if (argc != 3) {
     std::fprintf(stderr,
-                 "usage: %s inspect|verify|salvage <db-directory>\n",
-                 argv[0]);
+                 "usage: %s inspect|verify|salvage <db-directory>\n"
+                 "       %s verify-replica <replica-dir> <primary-dir>\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  std::string command = argv[1];
   std::string dir = argv[2];
   if (command == "inspect") return tchimera::Inspect(dir);
   if (command == "verify") return tchimera::Verify(dir);
