@@ -1,6 +1,10 @@
 // An interactive TQL shell over a persistent T_Chimera database.
 //
-//   ./build/examples/temporal_repl [db-directory]
+//   ./build/examples/temporal_repl [--no-compile] [db-directory]
+//
+// `--no-compile` disables the compiled read path (query/lower.h +
+// query/vm.h): every select/when tree-walks through the evaluator, and
+// `explain` still shows what the compiler would have produced.
 //
 // On startup the shell runs crash recovery over the database directory
 // (snapshot load, journal replay in epoch order with torn-tail salvage,
@@ -44,6 +48,7 @@ constexpr const char* kHelp = R"(TQL statements:
   select expr, ... from x in CLASS [at T] [where expr]
   snapshot iN [at T]   |  history iN.attr
   tick [n]  |  advance to T  |  check  |  when <expr>
+  explain <select|when ...>   (print the compiled plan or fallback reason)
   show class NAME | show object iN | show classes | show now
   trigger NAME on EVENT [of CLASS[.ATTR]] do <stmt>
   constraint NAME on CLASS always|sometime <expr>
@@ -62,9 +67,19 @@ int main(int argc, char** argv) {
   using tchimera::Session;
   using tchimera::Status;
 
+  bool compile_enabled = true;
+  std::string dir_arg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-compile") {
+      compile_enabled = false;
+    } else {
+      dir_arg = argv[i];
+    }
+  }
+
   std::string snapshot_path, journal_path;
-  if (argc > 1) {
-    std::filesystem::path dir(argv[1]);
+  if (!dir_arg.empty()) {
+    std::filesystem::path dir(dir_arg);
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     snapshot_path = (dir / "snapshot.tchdb").string();
@@ -91,6 +106,7 @@ int main(int argc, char** argv) {
   // statements are not re-journaled.
   Engine engine(std::move(db));
   Session session = engine.OpenSession();
+  session.set_compile_enabled(compile_enabled);
   GroupCommitJournal sink;
   if (!journal_path.empty()) {
     Status replayed = Status::OK();

@@ -61,7 +61,8 @@ Database::Database(const Database& other)
       isa_epoch_(other.isa_epoch_),
       classes_(other.classes_),
       objects_(other.objects_),
-      next_oid_(other.next_oid_) {
+      next_oid_(other.next_oid_),
+      schema_version_(other.schema_version_) {
   // Both sides get fresh epochs: every structure the two copies now share
   // carries an epoch neither side owns, so whichever side mutates first
   // clones before writing. Epochs are strictly increasing, so a stale
@@ -186,6 +187,7 @@ Status Database::DefineClass(const ClassSpec& spec) {
   TCH_ASSIGN_OR_RETURN(MergedMembers merged,
                        MergeClassMembers(spec, supers, *isa_));
   footprint_.schema_changed = true;
+  ++schema_version_;
   TCH_RETURN_IF_ERROR(MutableIsa().AddClass(spec.name, spec.superclasses));
   MutableClassTable().map.emplace(
       spec.name,
@@ -222,6 +224,7 @@ Status Database::DropClass(std::string_view name) {
   // Dropping ends the class lifespan, which gates superclass liveness and
   // creations database-wide — serialize against every concurrent commit.
   footprint_.schema_changed = true;
+  ++schema_version_;
   return cls->CloseLifespan(now());
 }
 
@@ -774,6 +777,7 @@ Status Database::RestoreClass(const ClassSpec& effective_spec,
                                  " already exists");
   }
   footprint_.schema_changed = true;
+  ++schema_version_;
   TCH_RETURN_IF_ERROR(
       MutableIsa().AddClass(effective_spec.name,
                             effective_spec.superclasses));

@@ -127,6 +127,12 @@ class Database final : public ExtentProvider {
   // or subclasses that are still alive.
   Status DropClass(std::string_view name);
 
+  // Monotone counter bumped by every schema-shape change (define / drop /
+  // restore). Copied through COW publication, so a pinned snapshot's
+  // schema version is consistent with its class table — the plan cache
+  // (query/session.h) keys compiled statements on it.
+  uint64_t schema_version() const { return schema_version_; }
+
   const ClassDef* GetClass(std::string_view name) const;
   Result<const ClassDef*> FindClass(std::string_view name) const;
   std::vector<std::string> ClassNames() const;
@@ -329,6 +335,7 @@ class Database final : public ExtentProvider {
   std::shared_ptr<ClassTable> classes_;
   std::array<std::shared_ptr<ObjectShard>, kObjectShardCount> objects_;
   uint64_t next_oid_ = 1;
+  uint64_t schema_version_ = 1;  // see schema_version()
   // Slots mutated since the last TakeFootprint(). Deliberately NOT copied
   // by the copy constructor: a fresh copy has touched nothing yet.
   WriteFootprint footprint_;

@@ -116,6 +116,22 @@ IntervalSet IntervalSet::Difference(const IntervalSet& other) const {
 
 void IntervalSet::Add(const Interval& interval) {
   if (interval.empty()) return;
+  // In-order adds are O(1): WHEN evaluation (query/evaluator.cc,
+  // query/vm.cc) appends qualifying boundary intervals in ascending
+  // order, and the full re-normalize made that quadratic in the number
+  // of result intervals.
+  if (intervals_.empty() || interval.start() > intervals_.back().end() + 1) {
+    intervals_.push_back(interval);
+    return;
+  }
+  Interval& last = intervals_.back();
+  if (interval.start() >= last.start()) {
+    // Overlaps or abuts the last interval: extend it in place.
+    if (interval.end() > last.end()) {
+      last = Interval(last.start(), interval.end());
+    }
+    return;
+  }
   intervals_.push_back(interval);
   Normalize();
 }

@@ -207,6 +207,7 @@ struct Statement {
     kCheck,
     kWhen,
     kShow,
+    kExplain,
   };
   Kind kind = Kind::kCheck;
   // Byte offset of the statement's first token in the parsed input (for
@@ -228,6 +229,9 @@ struct Statement {
   std::optional<AdvanceStmt> advance;
   std::optional<WhenStmt> when;
   std::optional<ShowStmt> show;
+  // kExplain: the statement being explained (`explain <stmt>` prints its
+  // lowered ExecProgram, or the reason it falls back to the tree-walker).
+  std::unique_ptr<Statement> explain_inner;
 };
 
 }  // namespace tchimera

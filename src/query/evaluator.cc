@@ -1,12 +1,190 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
-#include <set>
+#include <utility>
 
 #include "core/db/equality.h"
 #include "core/values/temporal_function.h"
 
 namespace tchimera {
+
+// --- scalar kernels ----------------------------------------------------------
+
+std::optional<CallKind> CallKindOf(std::string_view fn) {
+  if (fn == "size") return CallKind::kSize;
+  if (fn == "defined") return CallKind::kDefined;
+  if (fn == "snapshot") return CallKind::kSnapshot;
+  if (fn == "lifespan") return CallKind::kLifespan;
+  if (fn == "videntical") return CallKind::kVIdentical;
+  if (fn == "vequal") return CallKind::kVEqual;
+  if (fn == "vinstant") return CallKind::kVInstant;
+  if (fn == "vweak") return CallKind::kVWeak;
+  if (fn == "vdeep") return CallKind::kVDeep;
+  return std::nullopt;
+}
+
+const char* CallKindName(CallKind kind) {
+  switch (kind) {
+    case CallKind::kSize:
+      return "size";
+    case CallKind::kDefined:
+      return "defined";
+    case CallKind::kSnapshot:
+      return "snapshot";
+    case CallKind::kLifespan:
+      return "lifespan";
+    case CallKind::kVIdentical:
+      return "videntical";
+    case CallKind::kVEqual:
+      return "vequal";
+    case CallKind::kVInstant:
+      return "vinstant";
+    case CallKind::kVWeak:
+      return "vweak";
+    case CallKind::kVDeep:
+      return "vdeep";
+  }
+  return "call";
+}
+
+Value ApplyNot(const Value& v) {
+  if (v.is_null()) return Value::Null();
+  return Value::Bool(!v.AsBool());
+}
+
+Value ApplyNegate(const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (v.kind() == ValueKind::kReal) return Value::Real(-v.AsReal());
+  return Value::Integer(-v.AsInteger());
+}
+
+Result<Value> ApplyBinaryOp(BinaryOp op, const Value& l, const Value& r) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(l == r);
+    case BinaryOp::kNeq:
+      return Value::Bool(l != r);
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      int c = Value::Compare(l, r);
+      switch (op) {
+        case BinaryOp::kLt:
+          return Value::Bool(c < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(c <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(c > 0);
+        default:
+          return Value::Bool(c >= 0);
+      }
+    }
+    case BinaryOp::kIn:
+      if (r.is_null()) return Value::Null();
+      return Value::Bool(r.Contains(l));
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (l.kind() == ValueKind::kReal) {
+        double a = l.AsReal(), b = r.AsReal();
+        switch (op) {
+          case BinaryOp::kAdd:
+            return Value::Real(a + b);
+          case BinaryOp::kSub:
+            return Value::Real(a - b);
+          case BinaryOp::kMul:
+            return Value::Real(a * b);
+          default:
+            return Value::Real(a / b);
+        }
+      }
+      int64_t a = l.AsInteger(), b = r.AsInteger();
+      if (op == BinaryOp::kDiv && b == 0) {
+        return Status::InvalidArgument("integer division by zero");
+      }
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value::Integer(a + b);
+        case BinaryOp::kSub:
+          return Value::Integer(a - b);
+        case BinaryOp::kMul:
+          return Value::Integer(a * b);
+        default:
+          return Value::Integer(a / b);
+      }
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Value> ApplyCall(CallKind kind, const std::vector<Value>& args,
+                        const Database& db, TimePoint at) {
+  switch (kind) {
+    case CallKind::kSize: {
+      const Value& v = args[0];
+      if (v.is_null()) return Value::Null();
+      return Value::Integer(static_cast<int64_t>(v.Elements().size()));
+    }
+    case CallKind::kDefined:
+      return Value::Bool(!args[0].is_null());
+    case CallKind::kSnapshot: {
+      const Value& v = args[0];
+      if (v.is_null()) return Value::Null();
+      TimePoint t = at;
+      if (args.size() == 2) {
+        if (args[1].is_null()) return Value::Null();
+        t = ResolveInstant(args[1].AsTime(), db.now());
+      }
+      Result<Value> snap = db.SnapshotOf(v.AsOid(), t);
+      // An undefined snapshot (Section 5.3) evaluates to null rather than
+      // failing the whole query.
+      if (!snap.ok()) return Value::Null();
+      return std::move(snap).value();
+    }
+    case CallKind::kLifespan: {
+      const Value& v = args[0];
+      if (v.is_null()) return Value::Null();
+      TCH_ASSIGN_OR_RETURN(Interval ls, db.OLifespan(v.AsOid()));
+      return Value::List({Value::Time(ls.start()), Value::Time(ls.end())});
+    }
+    case CallKind::kVIdentical:
+    case CallKind::kVEqual:
+    case CallKind::kVInstant:
+    case CallKind::kVWeak:
+    case CallKind::kVDeep: {
+      const Value& a = args[0];
+      const Value& b = args[1];
+      if (a.is_null() || b.is_null()) return Value::Null();
+      TCH_ASSIGN_OR_RETURN(const Object* oa, db.FindObject(a.AsOid()));
+      TCH_ASSIGN_OR_RETURN(const Object* ob, db.FindObject(b.AsOid()));
+      switch (kind) {
+        case CallKind::kVIdentical:
+          return Value::Bool(EqualByIdentity(*oa, *ob));
+        case CallKind::kVEqual:
+          return Value::Bool(EqualByValue(*oa, *ob));
+        case CallKind::kVDeep:
+          return Value::Bool(DeepValueEqual(db, *oa, *ob));
+        case CallKind::kVInstant:
+          return Value::Bool(InstantaneousValueEqual(*oa, *ob, db.now()));
+        default:
+          return Value::Bool(WeakValueEqual(*oa, *ob, db.now()));
+      }
+    }
+  }
+  return Status::Internal("unhandled call kind");
+}
+
+Value ProjectStoredAttribute(const Value& stored, TimePoint t) {
+  if (stored.kind() != ValueKind::kTemporal) return stored;
+  const Value* projected = stored.AsTemporal().At(t);
+  return projected == nullptr ? Value::Null() : *projected;
+}
+
 namespace {
 
 class Evaluator {
@@ -30,14 +208,11 @@ class Evaluator {
         return EvalAttrAccess(e);
       case ExprKind::kNot: {
         TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.base));
-        if (v.is_null()) return Value::Null();
-        return Value::Bool(!v.AsBool());
+        return ApplyNot(v);
       }
       case ExprKind::kNegate: {
         TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.base));
-        if (v.is_null()) return Value::Null();
-        if (v.kind() == ValueKind::kReal) return Value::Real(-v.AsReal());
-        return Value::Integer(-v.AsInteger());
+        return ApplyNegate(v);
       }
       case ExprKind::kBinary:
         return EvalBinary(e);
@@ -77,12 +252,8 @@ class Evaluator {
     }
     const Value* stored = obj->Attribute(e.name);
     if (stored == nullptr) return Value::Null();
-    if (stored->kind() == ValueKind::kTemporal) {
-      TimePoint t = e.at.has_value() ? ResolveInstant(*e.at, db_.now()) : at_;
-      const Value* projected = stored->AsTemporal().At(t);
-      return projected == nullptr ? Value::Null() : *projected;
-    }
-    return *stored;
+    TimePoint t = e.at.has_value() ? ResolveInstant(*e.at, db_.now()) : at_;
+    return ProjectStoredAttribute(*stored, t);
   }
 
   Result<Value> EvalBinary(const Expr& e) {
@@ -97,117 +268,27 @@ class Evaluator {
     }
     TCH_ASSIGN_OR_RETURN(Value l, Eval(*e.base));
     TCH_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs));
-    switch (e.op) {
-      case BinaryOp::kEq:
-        return Value::Bool(l == r);
-      case BinaryOp::kNeq:
-        return Value::Bool(l != r);
-      case BinaryOp::kLt:
-      case BinaryOp::kLe:
-      case BinaryOp::kGt:
-      case BinaryOp::kGe: {
-        if (l.is_null() || r.is_null()) return Value::Null();
-        int c = Value::Compare(l, r);
-        switch (e.op) {
-          case BinaryOp::kLt:
-            return Value::Bool(c < 0);
-          case BinaryOp::kLe:
-            return Value::Bool(c <= 0);
-          case BinaryOp::kGt:
-            return Value::Bool(c > 0);
-          default:
-            return Value::Bool(c >= 0);
-        }
-      }
-      case BinaryOp::kIn:
-        if (r.is_null()) return Value::Null();
-        return Value::Bool(r.Contains(l));
-      case BinaryOp::kAdd:
-      case BinaryOp::kSub:
-      case BinaryOp::kMul:
-      case BinaryOp::kDiv: {
-        if (l.is_null() || r.is_null()) return Value::Null();
-        if (l.kind() == ValueKind::kReal) {
-          double a = l.AsReal(), b = r.AsReal();
-          switch (e.op) {
-            case BinaryOp::kAdd:
-              return Value::Real(a + b);
-            case BinaryOp::kSub:
-              return Value::Real(a - b);
-            case BinaryOp::kMul:
-              return Value::Real(a * b);
-            default:
-              return Value::Real(a / b);
-          }
-        }
-        int64_t a = l.AsInteger(), b = r.AsInteger();
-        if (e.op == BinaryOp::kDiv && b == 0) {
-          return Status::InvalidArgument("integer division by zero");
-        }
-        switch (e.op) {
-          case BinaryOp::kAdd:
-            return Value::Integer(a + b);
-          case BinaryOp::kSub:
-            return Value::Integer(a - b);
-          case BinaryOp::kMul:
-            return Value::Integer(a * b);
-          default:
-            return Value::Integer(a / b);
-        }
-      }
-      default:
-        return Status::Internal("unhandled binary op");
-    }
+    return ApplyBinaryOp(e.op, l, r);
   }
 
   Result<Value> EvalCall(const Expr& e) {
-    const std::string& fn = e.name;
-    if (fn == "size") {
-      TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
-      if (v.is_null()) return Value::Null();
-      return Value::Integer(static_cast<int64_t>(v.Elements().size()));
+    std::optional<CallKind> kind = CallKindOf(e.name);
+    if (!kind.has_value()) {
+      return Status::Internal("unknown function '" + e.name + "'");
     }
-    if (fn == "defined") {
-      TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
-      return Value::Bool(!v.is_null());
-    }
-    if (fn == "snapshot") {
-      TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
-      if (v.is_null()) return Value::Null();
-      TimePoint t = at_;
-      if (e.args.size() == 2) {
-        TCH_ASSIGN_OR_RETURN(Value tv, Eval(*e.args[1]));
-        if (tv.is_null()) return Value::Null();
-        t = ResolveInstant(tv.AsTime(), db_.now());
+    // snapshot(x, t) evaluates the instant argument only when the object
+    // argument is non-null (null short-circuits the whole call).
+    std::vector<Value> args;
+    args.reserve(e.args.size());
+    for (const ExprPtr& a : e.args) {
+      if (*kind == CallKind::kSnapshot && args.size() == 1 &&
+          args[0].is_null()) {
+        return Value::Null();
       }
-      Result<Value> snap = db_.SnapshotOf(v.AsOid(), t);
-      // An undefined snapshot (Section 5.3) evaluates to null rather than
-      // failing the whole query.
-      if (!snap.ok()) return Value::Null();
-      return std::move(snap).value();
+      TCH_ASSIGN_OR_RETURN(Value v, Eval(*a));
+      args.push_back(std::move(v));
     }
-    if (fn == "lifespan") {
-      TCH_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
-      if (v.is_null()) return Value::Null();
-      TCH_ASSIGN_OR_RETURN(Interval ls, db_.OLifespan(v.AsOid()));
-      return Value::List({Value::Time(ls.start()), Value::Time(ls.end())});
-    }
-    if (fn == "videntical" || fn == "vequal" || fn == "vinstant" ||
-        fn == "vweak" || fn == "vdeep") {
-      TCH_ASSIGN_OR_RETURN(Value a, Eval(*e.args[0]));
-      TCH_ASSIGN_OR_RETURN(Value b, Eval(*e.args[1]));
-      if (a.is_null() || b.is_null()) return Value::Null();
-      TCH_ASSIGN_OR_RETURN(const Object* oa, db_.FindObject(a.AsOid()));
-      TCH_ASSIGN_OR_RETURN(const Object* ob, db_.FindObject(b.AsOid()));
-      if (fn == "videntical") return Value::Bool(EqualByIdentity(*oa, *ob));
-      if (fn == "vequal") return Value::Bool(EqualByValue(*oa, *ob));
-      if (fn == "vdeep") return Value::Bool(DeepValueEqual(db_, *oa, *ob));
-      if (fn == "vinstant") {
-        return Value::Bool(InstantaneousValueEqual(*oa, *ob, db_.now()));
-      }
-      return Value::Bool(WeakValueEqual(*oa, *ob, db_.now()));
-    }
-    return Status::Internal("unknown function '" + fn + "'");
+    return ApplyCall(*kind, args, db_, at_);
   }
 
   const Database& db_;
@@ -260,44 +341,144 @@ Status EnumerateBindings(const SelectStmt& stmt, const Database& db,
 
 namespace {
 
-// All oids mentioned literally anywhere in the expression.
-void CollectExprOids(const Expr& e, std::vector<Oid>* out) {
-  if (e.kind == ExprKind::kLiteral) e.literal.CollectOids(out);
-  if (e.base != nullptr) CollectExprOids(*e.base, out);
-  if (e.rhs != nullptr) CollectExprOids(*e.rhs, out);
-  for (const ExprPtr& a : e.args) CollectExprOids(*a, out);
-  for (const auto& [unused, fe] : e.rec_fields) CollectExprOids(*fe, out);
+// One requirement accumulator per oid (all_attrs wins over any list).
+using ReqMap = std::map<Oid, WhenBoundaryReq>;
+
+WhenBoundaryReq& ReqFor(Oid oid, ReqMap* reqs) {
+  auto [it, inserted] = reqs->try_emplace(oid);
+  if (inserted) it->second.oid = oid;
+  return it->second;
+}
+
+void MentionLiteralOids(const Value& literal, ReqMap* reqs) {
+  std::vector<Oid> oids;
+  literal.CollectOids(&oids);
+  for (Oid oid : oids) ReqFor(oid, reqs);
+}
+
+// True when the call reads the whole object state of its oid arguments,
+// so any attribute change can flip the condition.
+bool CallReadsWholeState(CallKind kind) {
+  switch (kind) {
+    case CallKind::kSnapshot:
+    case CallKind::kVIdentical:
+    case CallKind::kVEqual:
+    case CallKind::kVInstant:
+    case CallKind::kVWeak:
+    case CallKind::kVDeep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void WalkForReqs(const Expr& e, ReqMap* reqs) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      // A bare oid mention: the oid value itself is constant over time, so
+      // only the object's lifespan edges matter (always contributed).
+      MentionLiteralOids(e.literal, reqs);
+      return;
+    case ExprKind::kAttrAccess:
+      if (e.base->kind == ExprKind::kLiteral &&
+          e.base->literal.kind() == ValueKind::kOid) {
+        // The condition reads exactly this attribute of this object.
+        WhenBoundaryReq& req = ReqFor(e.base->literal.AsOid(), reqs);
+        if (!req.all_attrs) req.attrs.push_back(e.name);
+        return;
+      }
+      WalkForReqs(*e.base, reqs);
+      return;
+    case ExprKind::kCall: {
+      std::optional<CallKind> kind = CallKindOf(e.name);
+      const bool whole_state = kind.has_value() && CallReadsWholeState(*kind);
+      for (const ExprPtr& a : e.args) {
+        if (whole_state && a->kind == ExprKind::kLiteral &&
+            a->literal.kind() == ValueKind::kOid) {
+          ReqFor(a->literal.AsOid(), reqs).all_attrs = true;
+          continue;
+        }
+        WalkForReqs(*a, reqs);
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  if (e.base != nullptr) WalkForReqs(*e.base, reqs);
+  if (e.rhs != nullptr) WalkForReqs(*e.rhs, reqs);
+  for (const ExprPtr& a : e.args) WalkForReqs(*a, reqs);
+  for (const auto& [unused, fe] : e.rec_fields) WalkForReqs(*fe, reqs);
 }
 
 }  // namespace
 
-Result<IntervalSet> EvaluateWhen(const Expr& condition, const Database& db) {
-  // Boundaries at which the condition can change truth value: the
-  // lifespan edges and temporal-segment edges of every mentioned object.
-  std::vector<Oid> oids;
-  CollectExprOids(condition, &oids);
-  std::set<TimePoint> boundary_set = {0};
-  TimePoint now = db.now();
-  auto add = [&boundary_set, now](TimePoint t) {
-    if (t >= 0 && t <= now) boundary_set.insert(t);
+std::vector<WhenBoundaryReq> CollectWhenBoundaryReqs(const Expr& condition) {
+  ReqMap reqs;
+  WalkForReqs(condition, &reqs);
+  std::vector<WhenBoundaryReq> out;
+  out.reserve(reqs.size());
+  for (auto& [oid, req] : reqs) {
+    std::sort(req.attrs.begin(), req.attrs.end());
+    req.attrs.erase(std::unique(req.attrs.begin(), req.attrs.end()),
+                    req.attrs.end());
+    if (req.all_attrs) req.attrs.clear();
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+std::vector<TimePoint> CollectWhenBoundaries(
+    const std::vector<WhenBoundaryReq>& reqs, const Database& db) {
+  const TimePoint now = db.now();
+  std::vector<TimePoint> boundaries = {0};
+  auto add = [&boundaries, now](TimePoint t) {
+    if (t >= 0 && t <= now) boundaries.push_back(t);
   };
-  for (Oid oid : oids) {
-    const Object* obj = db.GetObject(oid);
+  auto add_segments = [&add](const Value& stored) {
+    if (stored.kind() != ValueKind::kTemporal) return;
+    for (const auto& seg : stored.AsTemporal().segments()) {
+      add(seg.interval.start());
+      if (!seg.interval.is_ongoing()) add(seg.interval.end() + 1);
+    }
+  };
+  for (const WhenBoundaryReq& req : reqs) {
+    const Object* obj = db.GetObject(req.oid);
     if (obj == nullptr) continue;
     add(obj->lifespan().start());
     if (!obj->lifespan().is_ongoing()) add(obj->lifespan().end() + 1);
-    for (const std::string& name : obj->AttributeNames()) {
-      const Value* v = obj->Attribute(name);
-      if (v->kind() != ValueKind::kTemporal) continue;
-      for (const auto& seg : v->AsTemporal().segments()) {
-        add(seg.interval.start());
-        if (!seg.interval.is_ongoing()) add(seg.interval.end() + 1);
+    if (req.all_attrs) {
+      for (const std::string& name : obj->AttributeNames()) {
+        add_segments(*obj->Attribute(name));
       }
+      continue;
+    }
+    for (const std::string& name : req.attrs) {
+      const Value* stored = obj->Attribute(name);
+      if (stored != nullptr) add_segments(*stored);
     }
   }
-  std::vector<TimePoint> boundaries(boundary_set.begin(),
-                                    boundary_set.end());
-  ValueEnv empty;
+  // The dominant shape (one object, one attribute) emits boundaries in
+  // ascending order already — temporal segments are stored sorted and
+  // each segment contributes start <= end+1 <= next start. Sorting an
+  // already-sorted vector still pays the full comparison bill, and this
+  // runs once per WHEN execution, so skip it when possible.
+  if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
+    std::sort(boundaries.begin(), boundaries.end());
+  }
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return boundaries;
+}
+
+Result<IntervalSet> EvaluateWhen(const Expr& condition, const Database& db) {
+  // Boundaries at which the condition can change truth value — computed
+  // once, sorted and deduplicated, restricted to the attribute histories
+  // the condition actually reads (see CollectWhenBoundaryReqs).
+  std::vector<TimePoint> boundaries =
+      CollectWhenBoundaries(CollectWhenBoundaryReqs(condition), db);
+  const TimePoint now = db.now();
+  const ValueEnv empty;  // the condition is closed; hoisted out of the loop
   IntervalSet held;
   for (size_t i = 0; i < boundaries.size(); ++i) {
     TimePoint from = boundaries[i];

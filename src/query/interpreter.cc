@@ -5,6 +5,7 @@
 #include "core/db/consistency.h"
 #include "core/values/temporal_function.h"
 #include "query/evaluator.h"
+#include "query/lower.h"
 #include "query/parser.h"
 #include "query/type_checker.h"
 
@@ -21,6 +22,23 @@ Result<Value> EvalConst(const Expr& e, const Database& db) {
 }
 
 }  // namespace
+
+std::string FormatSelectRows(const std::vector<SelectRow>& rows) {
+  std::string out;
+  for (const SelectRow& row : rows) {
+    if (!out.empty()) out += "\n";
+    if (row.columns.empty()) {
+      out += row.oid.ToString();
+    } else {
+      for (size_t i = 0; i < row.columns.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += row.columns[i].ToString();
+      }
+    }
+  }
+  if (out.empty()) return "(no results)";
+  return out;
+}
 
 Result<std::string> Interpreter::Execute(std::string_view statement) {
   TCH_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
@@ -119,20 +137,7 @@ Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
       TCH_RETURN_IF_ERROR(TypeCheckSelect(&s, *db_).status());
       TCH_ASSIGN_OR_RETURN(std::vector<SelectRow> rows,
                            EvaluateSelect(s, *db_));
-      std::string out;
-      for (const SelectRow& row : rows) {
-        if (!out.empty()) out += "\n";
-        if (row.columns.empty()) {
-          out += row.oid.ToString();
-        } else {
-          for (size_t i = 0; i < row.columns.size(); ++i) {
-            if (i > 0) out += " | ";
-            out += row.columns[i].ToString();
-          }
-        }
-      }
-      if (out.empty()) return std::string("(no results)");
-      return out;
+      return FormatSelectRows(rows);
     }
     case Statement::Kind::kSnapshot: {
       TimePoint t = stmt->snapshot->at.value_or(db_->now());
@@ -200,6 +205,18 @@ Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
       Status s = CheckDatabaseConsistency(*db_);
       if (!s.ok()) return s;
       return std::string("consistent");
+    }
+    case Statement::Kind::kExplain: {
+      // `explain <stmt>` lowers the inner statement and prints the
+      // compiled program, or the reason it falls back to tree-walking.
+      // Type errors in the inner statement surface unchanged.
+      TCH_ASSIGN_OR_RETURN(
+          LowerOutcome outcome,
+          LowerStatement(stmt->explain_inner.get(), *db_));
+      if (!outcome.compiled()) {
+        return "fallback: " + outcome.fallback_reason;
+      }
+      return outcome.plan->ToString();
     }
     case Statement::Kind::kShow: {
       ShowStmt& sh = *stmt->show;

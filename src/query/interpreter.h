@@ -11,8 +11,15 @@
 #include "common/result.h"
 #include "core/db/database.h"
 #include "query/ast.h"
+#include "query/evaluator.h"
 
 namespace tchimera {
+
+// Renders SELECT rows the way the REPL prints them: one row per line,
+// columns " | "-joined, a bare oid when there are no projections,
+// "(no results)" for an empty set. Shared by the interpreter and the
+// compiled read path (query/session.cc) so both render identically.
+std::string FormatSelectRows(const std::vector<SelectRow>& rows);
 
 class Interpreter {
  public:

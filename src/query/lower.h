@@ -1,0 +1,149 @@
+// Lowering: type-checked TQL AST -> ExecProgram (compact register bytecode).
+//
+// The compiled read path is a three-stage pipeline:
+//
+//   type_checker  --->  lower (this file)  --->  vm.h (batch execution)
+//
+// LowerStatement type-checks the statement exactly like the interpreter
+// (same error messages — a statement that fails to check fails
+// identically on both paths), then flattens the expression tree into a
+// linear instruction sequence over virtual registers:
+//
+//   - every builtin call is resolved to a CallKind at compile time (enum
+//     dispatch in the VM, no string comparison per row);
+//   - attribute accesses carry their resolved attribute name and, when
+//     explicit, their `@ t` projection instant;
+//   - pure constant subtrees are folded to a single kLoadConst (a pure
+//     subtree whose evaluation would *error*, e.g. `1/0`, is deliberately
+//     NOT folded — the error must fire only when a row actually reaches
+//     it, exactly like the tree-walker);
+//   - the short-circuit connectives and/or and snapshot()'s lazy second
+//     argument lower to mask instructions, so the VM evaluates a
+//     sub-expression over exactly the rows the tree-walker would —
+//     data-dependent errors fire on the same rows on both paths;
+//   - a WHEN `during [a,b]` window is normalized at compile time when
+//     both endpoints are concrete; a symbolic `now` endpoint stays
+//     symbolic and is resolved per execution (plans survive clock
+//     ticks, so the cache never has to invalidate on `tick`).
+//
+// Instants inside a program are stored UNRESOLVED (kNow stays symbolic);
+// the VM resolves them against the database clock at execution time.
+//
+// Not everything lowers. Multi-binder selects (cartesian products) and
+// the non-query verbs fall back to the tree-walking evaluator; the
+// lowering reports a human-readable fallback reason that `explain`
+// surfaces and the plan cache remembers (negative entries).
+#ifndef TCHIMERA_QUERY_LOWER_H_
+#define TCHIMERA_QUERY_LOWER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/db/database.h"
+#include "core/temporal/interval.h"
+#include "query/ast.h"
+#include "query/evaluator.h"
+
+namespace tchimera {
+
+enum class OpCode : uint8_t {
+  kLoadConst,     // reg[dst] = constants[idx]
+  kLoadSelf,      // reg[dst] = the row's binder oid (select programs only)
+  kLoadAttr,      // reg[dst] = project(reg[a].attr, at or row instant)
+  kNot,           // reg[dst] = ApplyNot(reg[a])
+  kNegate,        // reg[dst] = ApplyNegate(reg[a])
+  kBinary,        // reg[dst] = ApplyBinaryOp(bop, reg[a], reg[b])
+  kCall,          // reg[dst] = ApplyCall(call, reg[args...])
+  kMakeSet,       // reg[dst] = set{reg[args...]}
+  kMakeList,      // reg[dst] = list[reg[args...]]
+  kMakeRec,       // reg[dst] = rec(names[i]: reg[args[i]])
+  kMaskIfTrue,    // push mask: rows where reg[a] is non-null true
+  kMaskIfNotTrue, // push mask: rows where reg[a] is null or false
+  kMaskIfNotNull, // push mask: rows where reg[a] is non-null
+  kPopMask,       // pop the innermost mask
+  kAndMerge,      // reg[dst] = truthy(reg[a]) ? Bool(truthy(reg[b])) : false
+  kOrMerge,       // reg[dst] = truthy(reg[a]) ? true : Bool(truthy(reg[b]))
+};
+
+const char* OpCodeName(OpCode op);
+
+struct Instr {
+  OpCode op = OpCode::kLoadConst;
+  uint16_t dst = 0;
+  uint16_t a = 0;   // first operand register
+  uint16_t b = 0;   // second operand register (kBinary / kAndMerge / kOrMerge)
+  uint32_t idx = 0; // constant index (kLoadConst)
+  BinaryOp bop = BinaryOp::kEq;    // kBinary
+  CallKind call = CallKind::kSize; // kCall
+  std::string attr;                // kLoadAttr attribute name
+  // kLoadAttr: explicit `@ t` (unresolved; nullopt = the row instant).
+  std::optional<TimePoint> at;
+  std::vector<uint16_t> args;      // kCall / kMakeSet / kMakeList / kMakeRec
+  std::vector<std::string> names;  // kMakeRec field names
+};
+
+// A contiguous instruction range computing one value per row into
+// `result`. A SELECT program has one fragment for WHERE (absent = keep
+// every row) and one per projection; a WHEN program has exactly one for
+// the condition.
+struct Fragment {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  uint16_t result = 0;
+};
+
+// A compiled, database-independent-except-for-schema query program.
+struct ExecProgram {
+  std::vector<Value> constants;
+  std::vector<Instr> code;
+  uint16_t num_regs = 0;
+
+  // SELECT: the (single) binder and its class extent.
+  std::string binder;
+  std::string class_name;
+  std::optional<TimePoint> at;  // evaluation instant (unresolved)
+  std::optional<Fragment> where;
+  std::vector<Fragment> projections;
+
+  // WHEN: the condition and the compile-time boundary analysis.
+  Fragment condition;
+  std::vector<WhenBoundaryReq> when_reqs;
+  // `during [a,b]` window; `during_normalized` when both endpoints were
+  // concrete at compile time (the stored interval is final).
+  std::optional<Interval> during;
+  bool during_normalized = false;
+
+  // Opcode listing for `explain` (one instruction per line).
+  std::string ToString() const;
+};
+
+// A lowered statement ready for the VM.
+struct LoweredPlan {
+  enum class Kind { kSelect, kWhen };
+  Kind kind = Kind::kSelect;
+  ExecProgram program;
+
+  std::string ToString() const;  // explain rendering
+};
+
+// The outcome of lowering: a plan, or a fallback reason naming the
+// construct the compiler does not handle (the tree-walker does).
+struct LowerOutcome {
+  std::optional<LoweredPlan> plan;
+  std::string fallback_reason;  // set iff !plan
+
+  bool compiled() const { return plan.has_value(); }
+};
+
+// Lowers a parsed statement. Type-checks it first (annotating `inferred`,
+// same checks and messages as the interpreter): a statement that fails
+// the type checker returns that error. A well-typed statement the
+// compiler cannot handle returns a LowerOutcome with a fallback reason.
+Result<LowerOutcome> LowerStatement(Statement* stmt, const Database& db);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_QUERY_LOWER_H_

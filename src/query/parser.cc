@@ -223,6 +223,19 @@ class Parser {
   }
 
   Result<Statement> ParseStmt() {
+    if (AcceptKeyword("explain")) {
+      if (AtEnd() || Peek().kind == TokenKind::kSemicolon) {
+        return ErrorHere("explain requires a statement to explain");
+      }
+      TCH_ASSIGN_OR_RETURN(Statement inner, ParseStmt());
+      if (inner.kind == Statement::Kind::kExplain) {
+        return ErrorHere("explain cannot be nested");
+      }
+      Statement stmt;
+      stmt.kind = Statement::Kind::kExplain;
+      stmt.explain_inner = std::make_unique<Statement>(std::move(inner));
+      return stmt;
+    }
     if (AcceptKeyword("define")) return ParseDefineClass();
     if (AcceptKeyword("drop")) return ParseDropClass();
     if (AcceptKeyword("create")) return ParseCreate();

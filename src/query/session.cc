@@ -1,10 +1,13 @@
 #include "query/session.h"
 
 #include <algorithm>
+#include <cctype>
 #include <utility>
 
+#include "analysis/query_analyzer.h"
 #include "query/interpreter.h"
 #include "query/parser.h"
+#include "query/vm.h"
 #include "storage/journal.h"
 
 namespace tchimera {
@@ -13,11 +16,12 @@ namespace {
 // The read-only TQL verbs. The parser dispatches on the first keyword,
 // so first-token classification agrees exactly with Statement::Kind; and
 // these kinds touch only const Database members, which is what makes the
-// lock-free-for-writers snapshot read path sound.
+// lock-free-for-writers snapshot read path sound. `explain` only lowers
+// its inner statement — it never executes it, so it is a read too.
 bool IsReadStatement(std::string_view statement) {
   std::string token = FirstTokenLower(statement);
   for (std::string_view kw : {"select", "snapshot", "history", "when",
-                              "show"}) {
+                              "show", "explain"}) {
     if (token == kw) return true;
   }
   return false;
@@ -30,6 +34,7 @@ bool IsReadKind(Statement::Kind kind) {
     case Statement::Kind::kHistory:
     case Statement::Kind::kWhen:
     case Statement::Kind::kShow:
+    case Statement::Kind::kExplain:
       return true;
     default:
       return false;
@@ -60,6 +65,100 @@ bool IsDurableStatement(std::string_view statement) {
   if (IsMutatingStatement(statement)) return true;
   std::string token = FirstTokenLower(statement);
   return token == "trigger" || token == "constraint";
+}
+
+// --- plan cache --------------------------------------------------------------
+
+std::string NormalizePlanKey(std::string_view statement) {
+  std::string out;
+  out.reserve(statement.size());
+  bool in_space = true;  // swallow leading whitespace
+  for (size_t i = 0; i < statement.size(); ++i) {
+    char c = statement[i];
+    if (c == '\'') {
+      // Quoted literal: copied byte-for-byte (including escapes — the
+      // lexer's escape rules must not interact with normalization).
+      out += c;
+      ++i;
+      while (i < statement.size()) {
+        out += statement[i];
+        if (statement[i] == '\\' && i + 1 < statement.size()) {
+          out += statement[++i];
+        } else if (statement[i] == '\'') {
+          break;
+        }
+        ++i;
+      }
+      in_space = false;
+      continue;
+    }
+    if (c == '-' && i + 1 < statement.size() && statement[i + 1] == '-') {
+      // `--` line comment: skip to end of line.
+      while (i < statement.size() && statement[i] != '\n') ++i;
+      --i;  // the newline (or end) is handled as whitespace next round
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out += ' ';
+      in_space = true;
+      continue;
+    }
+    out += c;
+    in_space = false;
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    const std::string& key, uint64_t schema_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.schema_version != schema_version) {
+    // Compiled under a different schema: a DDL committed since. Evict.
+    map_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second.plan;
+}
+
+void PlanCache::Insert(const std::string& key, uint64_t schema_version,
+                       std::shared_ptr<const CachedPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.size() >= kMaxEntries && map_.count(key) == 0) {
+    // Evict entries compiled under other schema versions first (they can
+    // never hit again once every reader sees the current schema).
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second.schema_version != schema_version) {
+        it = map_.erase(it);
+        ++stats_.invalidations;
+      } else {
+        ++it;
+      }
+    }
+    // Still full: drop everything rather than grow without bound. A
+    // workload with >kMaxEntries distinct hot statements re-compiles;
+    // correctness is unaffected.
+    if (map_.size() >= kMaxEntries) map_.clear();
+  }
+  map_[key] = Entry{schema_version, std::move(plan)};
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
 }
 
 Engine::Engine(std::unique_ptr<Database> db, size_t max_cascade_depth)
@@ -249,9 +348,60 @@ Result<std::string> Session::Execute(std::string_view statement) {
     if (result.ok()) last_write_version_ = engine_->version();
     return result;
   }
+  if (compile_enabled_ && (stmt.kind == Statement::Kind::kSelect ||
+                           stmt.kind == Statement::Kind::kWhen)) {
+    TCH_ASSIGN_OR_RETURN(
+        std::optional<std::string> compiled,
+        TryCompiledRead(&stmt, snap.db(), NormalizePlanKey(statement)));
+    if (compiled.has_value()) return *std::move(compiled);
+    // Negative cache entry: fall through to the tree-walker below.
+  }
   Interpreter interp(const_cast<Database*>(&snap.db()));
   if (lint_enabled_) interp.set_lint(diags_.get());
   return interp.ExecuteStatement(&stmt);
+}
+
+Result<std::optional<std::string>> Session::TryCompiledRead(
+    Statement* stmt, const Database& db, const std::string& key) {
+  PlanCache& cache = engine_->plan_cache();
+  // The snapshot's own schema version: consistent with the class table
+  // the plan compiles against, so a DDL committing concurrently can
+  // never cache a plan under the wrong version.
+  const uint64_t schema_version = db.schema_version();
+  std::shared_ptr<const CachedPlan> cached =
+      cache.Lookup(key, schema_version);
+  if (cached == nullptr) {
+    // Miss: lower now (type errors surface unchanged — the tree-walker
+    // would report the identical error) and publish the outcome,
+    // negative outcomes included.
+    TCH_ASSIGN_OR_RETURN(LowerOutcome outcome, LowerStatement(stmt, db));
+    auto fresh = std::make_shared<CachedPlan>();
+    if (outcome.compiled()) {
+      fresh->plan = std::move(outcome.plan);
+    } else {
+      fresh->fallback_reason = std::move(outcome.fallback_reason);
+    }
+    cache.Insert(key, schema_version, fresh);
+    cached = std::move(fresh);
+  }
+  if (!cached->plan.has_value()) return std::optional<std::string>();
+  // Lint runs on the unlowered AST, exactly like the interpreter path
+  // (the analyzers never see bytecode).
+  if (lint_enabled_) {
+    if (stmt->kind == Statement::Kind::kSelect) {
+      AnalyzeSelect(&*stmt->select, db, diags_.get());
+    } else {
+      AnalyzeWhen(&*stmt->when, db, diags_.get());
+    }
+  }
+  const LoweredPlan& plan = *cached->plan;
+  if (plan.kind == LoweredPlan::Kind::kSelect) {
+    TCH_ASSIGN_OR_RETURN(std::vector<SelectRow> rows,
+                         RunSelect(plan.program, db));
+    return std::optional<std::string>(FormatSelectRows(rows));
+  }
+  TCH_ASSIGN_OR_RETURN(IntervalSet held, RunWhen(plan.program, db));
+  return std::optional<std::string>(held.ToString());
 }
 
 }  // namespace tchimera

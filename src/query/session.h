@@ -43,16 +43,71 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/diagnostic.h"
 #include "common/result.h"
 #include "core/db/versioned_db.h"
+#include "query/lower.h"
 #include "triggers/trigger.h"
 
 namespace tchimera {
+
+// --- plan cache --------------------------------------------------------------
+
+// One cached compilation: either a lowered plan or a remembered fallback
+// reason (negative entry — re-lowering a statement the compiler cannot
+// handle would waste the type-check every call). Immutable once
+// published; shared by every session that executes the same text.
+struct CachedPlan {
+  std::optional<LoweredPlan> plan;
+  std::string fallback_reason;  // set iff !plan
+};
+
+// Canonical cache key for a statement: `--` comments stripped, quoted
+// literals preserved byte-for-byte, whitespace runs collapsed to one
+// space, trimmed. Deliberately NOT case-folded — identifiers are
+// case-sensitive.
+std::string NormalizePlanKey(std::string_view statement);
+
+// The engine-wide compiled-statement cache, keyed on normalized text and
+// guarded by the schema version the plan was compiled under: a lookup
+// with a newer schema version evicts the stale entry (DDL invalidation).
+// Thread-safe; bounded (kMaxEntries, stale-first eviction).
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  // entries evicted for a stale schema
+  };
+
+  static constexpr size_t kMaxEntries = 256;
+
+  // The cached plan compiled under exactly `schema_version`, or nullptr
+  // (miss). An entry compiled under a different version is dropped.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key,
+                                           uint64_t schema_version);
+  void Insert(const std::string& key, uint64_t schema_version,
+              std::shared_ptr<const CachedPlan> plan);
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t schema_version = 0;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  Stats stats_;
+};
 
 // True for the statements the engine must hand to its CommitSink: the
 // journaled verbs (IsMutatingStatement) plus the trigger / constraint
@@ -180,6 +235,11 @@ class Engine {
   // in passing.
   uint64_t min_replicated_version() const;
 
+  // The engine-wide compiled-statement cache (see PlanCache). Sessions
+  // consult it on the read path; DDL invalidates through the schema
+  // version each pinned snapshot carries (Database::schema_version).
+  PlanCache& plan_cache() { return plan_cache_; }
+
  private:
   friend class Session;
 
@@ -210,6 +270,7 @@ class Engine {
   std::mutex defs_mu_;
   size_t max_cascade_depth_;
   CommitSink* sink_ = nullptr;
+  PlanCache plan_cache_;
 };
 
 // One client's handle. Execute() is the single entry point: reads run
@@ -228,6 +289,13 @@ class Session {
   // engine; never shared across threads).
   void set_lint_enabled(bool enabled) { lint_enabled_ = enabled; }
   DiagnosticEngine& diags() { return *diags_; }
+
+  // Compiled execution of select/when (on by default): lower to an
+  // ExecProgram (consulting the engine's plan cache) and run the batch
+  // VM; non-lowerable statements and every other verb tree-walk. Off
+  // (`--no-compile`) forces the tree-walking evaluator for everything.
+  void set_compile_enabled(bool enabled) { compile_enabled_ = enabled; }
+  bool compile_enabled() const { return compile_enabled_; }
 
   // A pinned read view for direct (C++ API) reads.
   ReadSnapshot snapshot() const { return engine_->OpenSnapshot(); }
@@ -259,11 +327,20 @@ class Session {
   explicit Session(Engine* engine)
       : engine_(engine), diags_(std::make_unique<DiagnosticEngine>()) {}
 
+  // The compiled read path for one parsed select/when: consult the plan
+  // cache (keyed on `key` + the snapshot's schema version), lower on a
+  // miss, run the VM. Returns nullopt when the statement must
+  // tree-walk (negative cache entry); type errors propagate unchanged.
+  Result<std::optional<std::string>> TryCompiledRead(Statement* stmt,
+                                                     const Database& db,
+                                                     const std::string& key);
+
   Engine* engine_;
   // unique_ptr so Session stays movable with a stable address to hand to
   // the interpreter during a statement.
   std::unique_ptr<DiagnosticEngine> diags_;
   bool lint_enabled_ = false;
+  bool compile_enabled_ = true;
   ReadStaleness read_staleness_ = ReadStaleness::kReadYourWrites;
   uint64_t last_write_version_ = 0;
 };

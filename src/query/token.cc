@@ -7,16 +7,17 @@ namespace tchimera {
 namespace {
 
 // Sorted for binary search.
-constexpr std::array<std::string_view, 45> kKeywords = {
+constexpr std::array<std::string_view, 46> kKeywords = {
     "advance",  "and",        "at",        "attributes", "c-attributes",
     "check",    "class",      "classes",   "create",     "define",
     "defined",  "delete",     "drop",      "during",     "end",
-    "false",    "from",       "history",   "in",         "lifespan",
-    "methods",  "migrate",    "not",       "now",        "null",
-    "or",       "rec",        "select",    "set",        "show",
-    "size",     "snapshot",   "tick",      "to",         "true",
-    "under",    "update",     "vdeep",     "vequal",     "videntical",
-    "vinstant", "vweak",      "when",      "where",      "object",
+    "explain",  "false",      "from",      "history",    "in",
+    "lifespan", "methods",    "migrate",   "not",        "now",
+    "null",     "or",         "rec",       "select",     "set",
+    "show",     "size",       "snapshot",  "tick",       "to",
+    "true",     "under",      "update",    "vdeep",      "vequal",
+    "videntical", "vinstant", "vweak",     "when",       "where",
+    "object",
 };
 
 }  // namespace

@@ -97,6 +97,19 @@ TEST(ParserTest, Statements) {
                   .ok());
 }
 
+TEST(ParserTest, Explain) {
+  auto r = ParseStatement("explain select x from x in employee");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->kind, Statement::Kind::kExplain);
+  ASSERT_NE(r->explain_inner, nullptr);
+  EXPECT_EQ(r->explain_inner->kind, Statement::Kind::kSelect);
+  EXPECT_TRUE(ParseStatement("explain when i1.a > 0").ok());
+  EXPECT_TRUE(ParseStatement("explain tick 3").ok());
+  // explain needs a statement and cannot wrap itself.
+  EXPECT_FALSE(ParseStatement("explain").ok());
+  EXPECT_FALSE(ParseStatement("explain explain select x from x in c").ok());
+}
+
 TEST(ParserTest, Rejections) {
   EXPECT_FALSE(ParseStatement("").ok());
   EXPECT_FALSE(ParseStatement("select from x in c").ok());
@@ -179,6 +192,32 @@ TEST_F(QueryEndToEndTest, TypeErrorsAreStatic) {
   EXPECT_FALSE(Run("select x from x in employee where x.ghost = 1").ok());
   EXPECT_FALSE(Run("select x from x in ghost").ok());
   EXPECT_FALSE(Run("select y.salary from x in employee").ok());
+}
+
+TEST_F(QueryEndToEndTest, ExplainPrintsCompiledPlan) {
+  Result<std::string> r =
+      Run("explain select x.name from x in employee where x.salary > 150");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->find("compiled select plan"), std::string::npos) << *r;
+  EXPECT_NE(r->find("extent: employee"), std::string::npos) << *r;
+  r = Run("explain when " + a_ + ".salary > 150");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->find("compiled when plan"), std::string::npos) << *r;
+}
+
+TEST_F(QueryEndToEndTest, ExplainReportsFallbackAndTypeErrors) {
+  // Non-query verbs do not lower; explain names the reason instead of
+  // executing anything (`tick` must NOT advance the clock).
+  Result<std::string> r = Run("explain tick 5");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rfind("fallback:", 0), 0u) << *r;
+  EXPECT_EQ(Run("show now").value(), "now = 50");
+  // A statement that fails the type checker fails identically under
+  // explain (lowering type-checks first).
+  Result<std::string> bad =
+      Run("explain select x from x in employee where x.salary = 'rich'");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
 }
 
 TEST_F(QueryEndToEndTest, UpdateDuringAndHistory) {

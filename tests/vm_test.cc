@@ -1,0 +1,367 @@
+// Differential tests for the compiled query pipeline (query/lower.h +
+// query/vm.h): every lowerable statement must produce bit-identical
+// results on the batch VM and the tree-walking evaluator — including
+// WHICH rows error (the short-circuit masks) — plus plan-cache
+// behaviour (hits, DDL invalidation) through Engine/Session.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/db/database.h"
+#include "query/interpreter.h"
+#include "query/lower.h"
+#include "query/parser.h"
+#include "query/session.h"
+#include "query/vm.h"
+
+namespace tchimera {
+namespace {
+
+// Lowers and runs `text` on the VM. A fallback is surfaced as an error so
+// differential tests notice when a statement they expect to compile
+// stops compiling.
+Result<std::string> RunCompiled(const std::string& text,
+                                const Database& db) {
+  TCH_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
+  TCH_ASSIGN_OR_RETURN(LowerOutcome outcome, LowerStatement(&stmt, db));
+  if (!outcome.compiled()) {
+    return Status::FailedPrecondition("fallback: " +
+                                      outcome.fallback_reason);
+  }
+  const ExecProgram& prog = outcome.plan->program;
+  if (outcome.plan->kind == LoweredPlan::Kind::kSelect) {
+    TCH_ASSIGN_OR_RETURN(std::vector<SelectRow> rows,
+                         RunSelect(prog, db));
+    return FormatSelectRows(rows);
+  }
+  TCH_ASSIGN_OR_RETURN(IntervalSet held, RunWhen(prog, db));
+  return held.ToString();
+}
+
+class VmDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Interpreter interp(&db_);
+    auto run = [&](const std::string& s) {
+      auto r = interp.Execute(s);
+      ASSERT_TRUE(r.ok()) << s << ": " << r.status();
+    };
+    run("define class person attributes name: temporal(string), "
+        "birthyear: integer end");
+    run("define class employee under person attributes "
+        "salary: temporal(integer), office: string end");
+    Result<std::string> a =
+        interp.Execute("create employee (name: 'Ann', birthyear: 1970, "
+                       "salary: 100, office: 'A1')");
+    ASSERT_TRUE(a.ok());
+    a_ = *a;
+    Result<std::string> b =
+        interp.Execute("create employee (name: 'Bob', birthyear: 1980, "
+                       "salary: 200, office: 'B2')");
+    ASSERT_TRUE(b.ok());
+    b_ = *b;
+    // Multi-segment histories: salary changes mid-life, one update is
+    // retroactive (splits segments), names change too.
+    run("advance to 20");
+    run("update " + a_ + " set salary = 150");
+    run("update " + b_ + " set name = 'Rob'");
+    run("advance to 40");
+    run("update " + a_ + " set salary = 90 during [5,9]");
+    run("update " + b_ + " set salary = 300");
+    Result<std::string> c =
+        interp.Execute("create employee (name: 'Cyd', birthyear: 1990, "
+                       "salary: 50, office: 'C3')");
+    ASSERT_TRUE(c.ok());
+    c_ = *c;
+    run("advance to 60");
+  }
+
+  // The core differential assertion: same success/failure, same output
+  // text, same error (code and message) on both paths.
+  void ExpectSame(const std::string& text) {
+    Interpreter interp(&db_);
+    Result<std::string> walked = interp.Execute(text);
+    Result<std::string> compiled = RunCompiled(text, db_);
+    if (walked.ok()) {
+      ASSERT_TRUE(compiled.ok())
+          << text << "\n  tree-walker: " << *walked
+          << "\n  vm error: " << compiled.status().ToString();
+      EXPECT_EQ(*walked, *compiled) << text;
+    } else {
+      ASSERT_FALSE(compiled.ok())
+          << text << "\n  tree-walker error: "
+          << walked.status().ToString()
+          << "\n  vm result: " << *compiled;
+      EXPECT_EQ(walked.status().code(), compiled.status().code()) << text;
+      EXPECT_EQ(walked.status().ToString(), compiled.status().ToString())
+          << text;
+    }
+  }
+
+  Database db_;
+  std::string a_, b_, c_;
+};
+
+TEST_F(VmDifferentialTest, SelectBattery) {
+  const std::string queries[] = {
+      "select x from x in employee",
+      "select x from x in person",
+      "select x.name from x in employee where x.salary > 120",
+      "select x, x.salary from x in employee where x.salary <= 150",
+      "select x.name, x.office from x in employee",
+      "select x from x in employee at 10 where x.salary > 95",
+      "select x from x in employee at 3 where x.salary > 95",
+      "select x from x in employee where x.salary @ 7 < 100",
+      "select x from x in employee where x.salary @ 25 >= 150",
+      "select x.name @ 10 from x in employee",
+      "select x from x in employee where x.birthyear + 10 < 1985",
+      "select x from x in employee where x.salary * 2 > 250 and "
+      "x.birthyear < 1985",
+      "select x from x in employee where x.salary > 100 or "
+      "x.office = 'C3'",
+      "select x from x in employee where not (x.salary > 100)",
+      "select x from x in employee where x.name = 'Rob'",
+      "select x from x in employee where 1 + 1 = 2",
+      "select x from x in employee where false",
+      "select x from x in employee where x = " + a_,
+  };
+  for (const std::string& q : queries) ExpectSame(q);
+}
+
+TEST_F(VmDifferentialTest, WhenBattery) {
+  const std::string queries[] = {
+      "when " + a_ + ".salary > 95",
+      "when " + a_ + ".salary > 95 and " + b_ + ".salary < 250",
+      "when " + a_ + ".salary + " + b_ + ".salary > 300",
+      "when " + a_ + ".name = 'Ann' or " + c_ + ".salary = 50",
+      "when not (" + a_ + ".salary = 100)",
+      "when " + a_ + ".salary > 95 during [3,30]",
+      "when " + a_ + ".salary > 95 during [0,now]",
+      "when " + b_ + ".salary >= 300 during [35,now]",
+      "when true",
+      "when false",
+  };
+  for (const std::string& q : queries) ExpectSame(q);
+}
+
+TEST_F(VmDifferentialTest, ShortCircuitMasksErrorsIdentically) {
+  // The masked rhs must evaluate over exactly the rows the tree-walker
+  // reaches: rows short-circuited away never see the division.
+  ExpectSame("select x from x in employee where false and 1 / 0 = 1");
+  ExpectSame("select x from x in employee where true or 1 / 0 = 1");
+  // Bob (1980) would divide by zero; the conjunction masks him out.
+  ExpectSame("select x from x in employee where x.birthyear < 1979 and "
+             "100 / (x.birthyear - 1980) < 0");
+  // Here Ann (1970) reaches the division by zero on both paths.
+  ExpectSame("select x from x in employee where x.birthyear < 1979 and "
+             "100 / (x.birthyear - 1970) > 0");
+  // Pure-but-erroring subtrees are not folded away; they fire only when
+  // a row reaches them.
+  ExpectSame("select x from x in employee where x.salary > 1000 and "
+             "1 / 0 = 1");
+}
+
+TEST_F(VmDifferentialTest, RandomizedPredicates) {
+  // Seeded grammar walk over int/bool expressions; every generated
+  // predicate must agree between the two paths (including the ones that
+  // error — e.g. a division whose divisor hits zero on some row).
+  std::mt19937 rng(20260809);
+  auto pick = [&](int n) { return static_cast<int>(rng() % n); };
+  std::function<std::string(int)> int_expr = [&](int depth) -> std::string {
+    if (depth <= 0 || pick(3) == 0) {
+      switch (pick(4)) {
+        case 0: return "x.birthyear";
+        case 1: return "x.salary";
+        case 2: return std::to_string(pick(400) - 50);
+        default: return "x.salary @ " + std::to_string(pick(60));
+      }
+    }
+    static const char* ops[] = {" + ", " - ", " * ", " / "};
+    return "(" + int_expr(depth - 1) + ops[pick(4)] +
+           int_expr(depth - 1) + ")";
+  };
+  std::function<std::string(int)> bool_expr =
+      [&](int depth) -> std::string {
+    if (depth <= 0 || pick(4) == 0) {
+      static const char* cmps[] = {" = ", " <> ", " < ", " <= ", " > ",
+                                   " >= "};
+      return "(" + int_expr(1) + cmps[pick(6)] + int_expr(1) + ")";
+    }
+    switch (pick(3)) {
+      case 0: return "(" + bool_expr(depth - 1) + " and " +
+                     bool_expr(depth - 1) + ")";
+      case 1: return "(" + bool_expr(depth - 1) + " or " +
+                     bool_expr(depth - 1) + ")";
+      default: return "(not " + bool_expr(depth - 1) + ")";
+    }
+  };
+  for (int i = 0; i < 150; ++i) {
+    ExpectSame("select x, x.salary from x in employee where " +
+               bool_expr(3));
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::string cond = bool_expr(2);
+    // Rebind the free variable to a literal object for WHEN.
+    size_t pos;
+    while ((pos = cond.find("x.")) != std::string::npos) {
+      cond.replace(pos, 1, pick(2) == 0 ? a_ : b_);
+    }
+    ExpectSame("when " + cond);
+  }
+}
+
+TEST_F(VmDifferentialTest, SessionCompileToggleMatches) {
+  // The same statements through Session with the compiled path on/off.
+  Engine engine;
+  Session on = engine.OpenSession();
+  Session off = engine.OpenSession();
+  off.set_compile_enabled(false);
+  for (const char* s :
+       {"define class p attributes v: temporal(integer) end",
+        "create p (v: 1)", "advance to 9", "update i1 set v = 5"}) {
+    Result<std::string> r = on.Execute(s);
+    ASSERT_TRUE(r.ok()) << s << ": " << r.status();
+  }
+  const std::string queries[] = {
+      "select x, x.v from x in p where x.v > 0",
+      "select x from x in p where x.v @ 3 = 1",
+      "when i1.v > 2",
+      "when i1.v > 2 during [0,5]",
+  };
+  for (const std::string& q : queries) {
+    Result<std::string> compiled = on.Execute(q);
+    Result<std::string> walked = off.Execute(q);
+    ASSERT_TRUE(compiled.ok()) << q << ": " << compiled.status();
+    ASSERT_TRUE(walked.ok()) << q << ": " << walked.status();
+    EXPECT_EQ(*compiled, *walked) << q;
+  }
+}
+
+TEST(PlanCacheTest, NormalizePlanKey) {
+  // Comments stripped, whitespace collapsed, trimmed...
+  EXPECT_EQ(NormalizePlanKey("  select   x -- pick x\n from x in p  "),
+            "select x from x in p");
+  // ...but quoted literals are preserved byte-for-byte (spacing and
+  // comment-looking content included), and case is significant.
+  EXPECT_EQ(NormalizePlanKey("select 'a  -- b'  from x in p"),
+            "select 'a  -- b' from x in p");
+  EXPECT_NE(NormalizePlanKey("select X from x in p"),
+            NormalizePlanKey("select x from x in p"));
+}
+
+TEST(PlanCacheTest, HitsAndDdlInvalidation) {
+  Engine engine;
+  Session s = engine.OpenSession();
+  ASSERT_TRUE(
+      s.Execute("define class p attributes v: temporal(integer) end").ok());
+  ASSERT_TRUE(s.Execute("create p (v: 7)").ok());
+
+  const std::string q = "select x from x in p where x.v > 0";
+  Result<std::string> first = s.Execute(q);
+  ASSERT_TRUE(first.ok()) << first.status();
+  PlanCache::Stats stats = engine.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // Normalization makes the spaced/commented spelling the same plan.
+  Result<std::string> second =
+      s.Execute("select   x from x in p -- cached\n where x.v > 0");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  stats = engine.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // DDL bumps the schema version: the cached plan is stale and must be
+  // recompiled (counted as an invalidation + a miss), and the query
+  // still answers correctly.
+  ASSERT_TRUE(
+      s.Execute("define class q attributes w: integer end").ok());
+  Result<std::string> third = s.Execute(q);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*first, *third);
+  stats = engine.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.invalidations, 1u);
+}
+
+TEST(PlanCacheTest, NegativeEntriesCacheFallbacks) {
+  Engine engine;
+  Session s = engine.OpenSession();
+  ASSERT_TRUE(
+      s.Execute("define class p attributes v: integer end").ok());
+  ASSERT_TRUE(s.Execute("create p (v: 1)").ok());
+  // A cartesian product does not lower; the session tree-walks it and
+  // remembers the fallback so the next execution skips re-lowering.
+  const std::string q = "select x, y from x in p, y in p";
+  Result<std::string> r1 = s.Execute(q);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  Result<std::string> r2 = s.Execute(q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+  PlanCache::Stats stats = engine.plan_cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(LowerFallbackTest, ReasonsAreReported) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(
+      interp.Execute("define class p attributes v: integer end").ok());
+  Statement multi =
+      ParseStatement("select x from x in p, y in p").value();
+  Result<LowerOutcome> outcome = LowerStatement(&multi, db);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->compiled());
+  EXPECT_NE(outcome->fallback_reason.find("multi-binder"),
+            std::string::npos)
+      << outcome->fallback_reason;
+
+  Statement tick = ParseStatement("tick 1").value();
+  outcome = LowerStatement(&tick, db);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->compiled());
+
+  // Type errors are NOT fallbacks: they propagate as the same error the
+  // interpreter reports.
+  Statement bad =
+      ParseStatement("select x from x in p where x.v = 'no'").value();
+  Result<LowerOutcome> err = LowerStatement(&bad, db);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kTypeError);
+}
+
+TEST(VmWhenTest, BoundaryRestrictionKeepsSemantics) {
+  // The WHEN boundary scan only collects segment edges of the attributes
+  // the condition actually reads; an unrelated attribute with a busy
+  // history must not change the answer (it only ever could have split
+  // intervals finer, and IntervalSet coalesces).
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp
+                  .ExecuteScript(
+                      "define class p attributes v: temporal(integer), "
+                      "noise: temporal(integer) end; "
+                      "create p (v: 1, noise: 0)")
+                  .ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(interp.Execute("tick 3").ok());
+    ASSERT_TRUE(
+        interp.Execute("update i1 set noise = " + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(interp.Execute("update i1 set v = 9 during [7,11]").ok());
+  Result<std::string> walked = interp.Execute("when i1.v > 5");
+  ASSERT_TRUE(walked.ok()) << walked.status();
+  Result<std::string> compiled = RunCompiled("when i1.v > 5", db);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_EQ(*walked, *compiled);
+  EXPECT_EQ(*walked, IntervalSet::Of(Interval(7, 11)).ToString());
+}
+
+}  // namespace
+}  // namespace tchimera
