@@ -79,6 +79,8 @@ const std::vector<DiagnosticInfo>& AllDiagnosticInfos() {
       {"TC110", "query-type-error", Severity::kError,
        "Definition 3.6 (typing rules)"},
       {"TC111", "statement-failed", Severity::kError, "runtime check"},
+      {"TC112", "invalid-index-ddl", Severity::kError,
+       "index DDL against the declared schema (docs/INDEXING.md)"},
       // --- TC2xx: flow-sensitive script analysis ------------------------
       {"TC201", "use-before-initialization", Severity::kWarning,
        "Definition 5.3 (states defined within lifespans)"},

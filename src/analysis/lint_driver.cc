@@ -31,11 +31,15 @@ size_t ExtractPosition(const std::string& message) {
   return any ? pos : SourceLocation::kNoOffset;
 }
 
-// True if the analyzer reported a TC110 (type error) among the
-// diagnostics appended after index `from`.
+// True if the analyzer reported a TC110 (type error) or TC112 (doomed
+// index DDL) among the diagnostics appended after index `from` — both
+// mean the replay would fail with the very error already reported.
 bool ReportedTypeError(const DiagnosticEngine& diags, size_t from) {
   for (size_t i = from; i < diags.diagnostics().size(); ++i) {
-    if (diags.diagnostics()[i].code == "TC110") return true;
+    if (diags.diagnostics()[i].code == "TC110" ||
+        diags.diagnostics()[i].code == "TC112") {
+      return true;
+    }
   }
   return false;
 }
@@ -83,6 +87,10 @@ void LintTqlScript(std::string_view source, const LintOptions& options,
       AnalyzeSnapshot(*s.snapshot, s.position, db, diags);
     } else if (s.kind == Statement::Kind::kHistory) {
       AnalyzeHistory(*s.history, s.position, db, diags);
+    } else if (s.kind == Statement::Kind::kCreateIndex) {
+      AnalyzeCreateIndex(*s.create_index, s.position, db, diags);
+    } else if (s.kind == Statement::Kind::kDropIndex) {
+      AnalyzeDropIndex(*s.drop_index, s.position, db, diags);
     }
     if (ReportedTypeError(*diags, before)) {
       continue;  // already reported; execution would fail the same way

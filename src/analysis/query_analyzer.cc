@@ -418,6 +418,42 @@ void AnalyzeUpdate(const UpdateStmt& stmt, size_t position,
   }
 }
 
+void AnalyzeCreateIndex(const CreateIndexStmt& stmt, size_t position,
+                        const Database& db, DiagnosticEngine* diags) {
+  if (db.GetIndexDef(stmt.name) != nullptr) {
+    diags->Report("TC112", position,
+                  "index '" + stmt.name + "' already exists",
+                  "the statement would fail at execution; drop the "
+                  "existing index first or pick another name");
+    return;
+  }
+  Result<const ClassDef*> cls = db.FindClass(stmt.class_name);
+  if (!cls.ok()) {
+    diags->Report("TC112", position,
+                  "index '" + stmt.name + "' names unknown class '" +
+                      stmt.class_name + "'",
+                  "an index is declared against a class so the planner "
+                  "can estimate extent cardinality; define the class "
+                  "first");
+    return;
+  }
+  if (!stmt.lifespan && (*cls)->FindAttribute(stmt.attr) == nullptr) {
+    diags->Report("TC112", position,
+                  "class '" + stmt.class_name +
+                      "' declares no attribute '" + stmt.attr + "'",
+                  "a value index covers one declared attribute; check "
+                  "the spelling or use `lifespan` for a timeline index");
+  }
+}
+
+void AnalyzeDropIndex(const DropIndexStmt& stmt, size_t position,
+                      const Database& db, DiagnosticEngine* diags) {
+  if (db.GetIndexDef(stmt.name) != nullptr) return;
+  diags->Report("TC112", position,
+                "index '" + stmt.name + "' does not exist",
+                "the statement would fail at execution with NotFound");
+}
+
 void AnalyzeSnapshot(const SnapshotStmt& stmt, size_t position,
                      const Database& db, DiagnosticEngine* diags) {
   if (!stmt.at.has_value() || IsNow(*stmt.at)) return;

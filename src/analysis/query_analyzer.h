@@ -21,6 +21,9 @@
 //   TC108  HISTORY of a non-temporal attribute: there is no recorded
 //          history, only the single current value
 //   TC110  the statement fails static type checking (Definition 3.6)
+//   TC112  index DDL that cannot succeed: `create index` naming an
+//          unknown class or an attribute the class does not declare, a
+//          duplicate index name, or `drop index` on an unknown index
 #ifndef TCHIMERA_ANALYSIS_QUERY_ANALYZER_H_
 #define TCHIMERA_ANALYSIS_QUERY_ANALYZER_H_
 
@@ -54,6 +57,15 @@ void AnalyzeWhen(WhenStmt* stmt, const Database& db, DiagnosticEngine* diags);
 // not exist are left to the runtime (NotFound), not double-reported.
 void AnalyzeUpdate(const UpdateStmt& stmt, size_t position,
                    const Database& db, DiagnosticEngine* diags);
+
+// Lints index DDL against the current schema (TC112): a `create index`
+// naming an unknown class or attribute, a duplicate index name, or a
+// `drop index` on an index that does not exist. Execution would fail
+// with the matching runtime error; the lint surfaces it statically.
+void AnalyzeCreateIndex(const CreateIndexStmt& stmt, size_t position,
+                        const Database& db, DiagnosticEngine* diags);
+void AnalyzeDropIndex(const DropIndexStmt& stmt, size_t position,
+                      const Database& db, DiagnosticEngine* diags);
 void AnalyzeSnapshot(const SnapshotStmt& stmt, size_t position,
                      const Database& db, DiagnosticEngine* diags);
 void AnalyzeHistory(const HistoryStmt& stmt, size_t position,

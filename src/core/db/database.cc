@@ -47,7 +47,9 @@ Status ValidateMemberType(const std::string& owner, const char* kind,
 
 Database::Database()
     : isa_(std::make_shared<IsaGraph>()),
-      classes_(std::make_shared<ClassTable>()) {
+      classes_(std::make_shared<ClassTable>()),
+      index_defs_(
+          std::make_shared<std::map<std::string, IndexDef, std::less<>>>()) {
   const uint64_t epoch = NextCowEpoch();
   cow_epoch_.store(epoch, std::memory_order_relaxed);
   isa_epoch_ = epoch;
@@ -61,6 +63,8 @@ Database::Database(const Database& other)
       isa_epoch_(other.isa_epoch_),
       classes_(other.classes_),
       objects_(other.objects_),
+      index_defs_(other.index_defs_),
+      index_shards_(other.index_shards_),
       next_oid_(other.next_oid_),
       schema_version_(other.schema_version_) {
   // Both sides get fresh epochs: every structure the two copies now share
@@ -102,6 +106,214 @@ Database::ObjectShard& Database::MutableShard(uint64_t id) {
     shard = std::move(clone);
   }
   return *shard;
+}
+
+IndexShard& Database::MutableIndexShard(uint64_t id) {
+  const uint64_t epoch = cow_epoch_.load(std::memory_order_relaxed);
+  std::shared_ptr<IndexShard>& shard = index_shards_[ShardIndex(id)];
+  if (shard == nullptr) {
+    shard = std::make_shared<IndexShard>();
+    shard->epoch = epoch;
+  } else if (shard->epoch != epoch) {
+    auto clone = std::make_shared<IndexShard>(*shard);
+    clone->epoch = epoch;
+    shard = std::move(clone);
+  }
+  return *shard;
+}
+
+void Database::ReindexOid(uint64_t id) {
+  if (index_defs_->empty()) return;
+  const Object* obj = GetObject(Oid{id});
+  IndexShard& shard = MutableIndexShard(id);
+  for (const auto& [name, def] : *index_defs_) {
+    RebuildPartitionEntry(def, obj, Oid{id}, &shard.parts[name]);
+  }
+}
+
+void Database::BuildIndex(const IndexDef& def) {
+  for (uint64_t s = 0; s < kObjectShardCount; ++s) {
+    IndexPartition& part = MutableIndexShard(s).parts[def.name];
+    part = IndexPartition{};
+    const ObjectShard* src = objects_[s].get();
+    if (src == nullptr) continue;
+    for (const auto& [id, slot] : src->slots) {
+      AppendIndexEntries(def, *slot.obj, Oid{id}, &part);
+    }
+    // Shard iteration order is unordered; the sorted postings and the
+    // oid-keyed timeline map are order-independent, so a build is
+    // deterministic for given object state.
+    std::sort(part.postings.begin(), part.postings.end(), IndexEntryLess);
+  }
+}
+
+Status Database::CreateIndex(const IndexDef& def) {
+  if (!IsIdentifier(def.name)) {
+    return Status::InvalidArgument("index name '" + def.name +
+                                   "' is not a valid identifier");
+  }
+  if (index_defs_->count(def.name) != 0) {
+    return Status::AlreadyExists("index " + def.name + " already exists");
+  }
+  TCH_ASSIGN_OR_RETURN(const ClassDef* cls, FindClass(def.class_name));
+  if (def.kind == IndexKind::kValue &&
+      cls->FindAttribute(def.attr) == nullptr) {
+    return Status::NotFound("class " + def.class_name +
+                            " has no attribute '" + def.attr + "'");
+  }
+  // Index DDL is a schema-shape change: it must invalidate every cached
+  // plan (schema_version gates the PlanCache, negative entries included)
+  // and serialize against every concurrent commit (the full build below
+  // reads all shards).
+  footprint_.schema_changed = true;
+  ++schema_version_;
+  auto defs =
+      std::make_shared<std::map<std::string, IndexDef, std::less<>>>(
+          *index_defs_);
+  (*defs)[def.name] = def;
+  index_defs_ = std::move(defs);
+  BuildIndex(def);
+  return Status::OK();
+}
+
+Status Database::DropIndex(std::string_view name) {
+  if (index_defs_->find(name) == index_defs_->end()) {
+    return Status::NotFound("index " + std::string(name) +
+                            " does not exist");
+  }
+  footprint_.schema_changed = true;
+  ++schema_version_;
+  auto defs =
+      std::make_shared<std::map<std::string, IndexDef, std::less<>>>(
+          *index_defs_);
+  defs->erase(defs->find(name));
+  index_defs_ = std::move(defs);
+  for (uint64_t s = 0; s < kObjectShardCount; ++s) {
+    if (index_shards_[s] == nullptr) continue;
+    MutableIndexShard(s).parts.erase(std::string(name));
+  }
+  return Status::OK();
+}
+
+const IndexDef* Database::GetIndexDef(std::string_view name) const {
+  auto it = index_defs_->find(name);
+  return it == index_defs_->end() ? nullptr : &it->second;
+}
+
+std::vector<IndexDef> Database::IndexDefs() const {
+  std::vector<IndexDef> out;
+  out.reserve(index_defs_->size());
+  for (const auto& [unused, def] : *index_defs_) out.push_back(def);
+  return out;
+}
+
+const IndexDef* Database::FindValueIndex(std::string_view attr) const {
+  for (const auto& [unused, def] : *index_defs_) {
+    if (def.kind == IndexKind::kValue && def.attr == attr) return &def;
+  }
+  return nullptr;
+}
+
+std::vector<Oid> Database::IndexProbe(std::string_view index_name,
+                                      ProbeOp op, const Value& bound,
+                                      TimePoint t) const {
+  std::vector<Oid> out;
+  for (const auto& shard : index_shards_) {
+    if (shard == nullptr) continue;
+    auto it = shard->parts.find(index_name);
+    if (it == shard->parts.end()) continue;
+    auto [lo, hi] = ProbeRange(it->second, op, bound);
+    for (size_t i = lo; i < hi; ++i) {
+      const IndexEntry& e = it->second.postings[i];
+      // Raw containment (ongoing = valid at every t >= start): matches
+      // TemporalFunction::At, which the scan path projects with, even
+      // for instants beyond the current clock.
+      if (e.valid.ContainsResolved(t)) out.push_back(e.oid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t Database::IndexProbeEstimate(std::string_view index_name, ProbeOp op,
+                                    const Value& bound) const {
+  size_t n = 0;
+  for (const auto& shard : index_shards_) {
+    if (shard == nullptr) continue;
+    auto it = shard->parts.find(index_name);
+    if (it == shard->parts.end()) continue;
+    auto [lo, hi] = ProbeRange(it->second, op, bound);
+    n += hi - lo;
+  }
+  return n;
+}
+
+size_t Database::IndexEntryCount(std::string_view index_name) const {
+  size_t n = 0;
+  for (const auto& shard : index_shards_) {
+    if (shard == nullptr) continue;
+    auto it = shard->parts.find(index_name);
+    if (it != shard->parts.end()) n += it->second.postings.size();
+  }
+  return n;
+}
+
+const std::vector<TimePoint>* Database::AttrTimeline(
+    Oid oid, std::string_view attr) const {
+  const IndexDef* def = FindValueIndex(attr);
+  if (def == nullptr) return nullptr;
+  const IndexShard* shard = index_shards_[ShardIndex(oid.id)].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->parts.find(def->name);
+  if (it == shard->parts.end()) return nullptr;
+  auto tl = it->second.timelines.find(oid.id);
+  return tl == it->second.timelines.end() ? nullptr : &tl->second;
+}
+
+const std::vector<TimePoint>* Database::LifespanTimeline(Oid oid) const {
+  const IndexDef* def = nullptr;
+  for (const auto& [unused, d] : *index_defs_) {
+    if (d.kind == IndexKind::kLifespan) {
+      def = &d;
+      break;
+    }
+  }
+  if (def == nullptr) return nullptr;
+  const IndexShard* shard = index_shards_[ShardIndex(oid.id)].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->parts.find(def->name);
+  if (it == shard->parts.end()) return nullptr;
+  auto tl = it->second.timelines.find(oid.id);
+  return tl == it->second.timelines.end() ? nullptr : &tl->second;
+}
+
+std::string Database::DebugDumpIndexes() const {
+  std::string out;
+  for (const auto& [name, def] : *index_defs_) {
+    out += "index " + name + " kind=" + IndexKindName(def.kind) +
+           " class=" + def.class_name + " attr=" +
+           (def.attr.empty() ? "-" : def.attr) + "\n";
+    for (size_t s = 0; s < kObjectShardCount; ++s) {
+      const IndexShard* shard = index_shards_[s].get();
+      if (shard == nullptr) continue;
+      auto it = shard->parts.find(name);
+      if (it == shard->parts.end()) continue;
+      const IndexPartition& part = it->second;
+      if (part.postings.empty() && part.timelines.empty()) continue;
+      out += " shard " + std::to_string(s) + "\n";
+      for (const IndexEntry& e : part.postings) {
+        out += "  post " + e.value.ToString() + " " + e.valid.ToString() +
+               " " + e.oid.ToString() + "\n";
+      }
+      for (const auto& [id, tl] : part.timelines) {
+        out += "  timeline " + Oid{id}.ToString();
+        for (TimePoint b : tl) out += " " + std::to_string(b);
+        out += "\n";
+      }
+    }
+  }
+  return out;
 }
 
 IsaGraph& Database::MutableIsa() {
@@ -402,6 +614,7 @@ Result<Oid> Database::CreateObjectAt(std::string_view class_name,
   MutableShard(oid.id).slots.emplace(
       oid.id,
       ObjectSlot{std::move(obj), cow_epoch_.load(std::memory_order_relaxed)});
+  ReindexOid(oid.id);
   return oid;
 }
 
@@ -426,10 +639,14 @@ Status Database::UpdateAttribute(Oid oid, std::string_view attr, Value v) {
     TCH_RETURN_IF_ERROR(CheckLegalValueOverInterval(
         v, def->type->element(), Interval::FromUntilNow(now()),
         typing_context()));
-    return mut->AssertTemporalAttribute(attr, now(), std::move(v));
+    TCH_RETURN_IF_ERROR(
+        mut->AssertTemporalAttribute(attr, now(), std::move(v)));
+    ReindexOid(oid.id);
+    return Status::OK();
   }
   TCH_RETURN_IF_ERROR(CheckLegalValue(v, def->type, now(), typing_context()));
   mut->SetAttribute(attr, std::move(v));
+  ReindexOid(oid.id);
   return Status::OK();
 }
 
@@ -459,8 +676,10 @@ Status Database::UpdateAttributeAt(Oid oid, std::string_view attr,
   }
   TCH_RETURN_IF_ERROR(CheckLegalValueOverInterval(
       v, def->type->element(), interval, typing_context()));
-  return GetMutableObject(oid)->DefineTemporalAttribute(attr, interval,
-                                                        std::move(v));
+  TCH_RETURN_IF_ERROR(GetMutableObject(oid)->DefineTemporalAttribute(
+      attr, interval, std::move(v)));
+  ReindexOid(oid.id);
+  return Status::OK();
 }
 
 Status Database::Migrate(Oid oid, std::string_view new_class,
@@ -563,6 +782,7 @@ Status Database::Migrate(Oid oid, std::string_view new_class,
       TCH_RETURN_IF_ERROR(GetMutableClass(cls)->AddMember(oid, t));
     }
   }
+  ReindexOid(oid.id);
   return Status::OK();
 }
 
@@ -609,6 +829,7 @@ Status Database::DeleteObjectUnchecked(Oid oid) {
       TCH_RETURN_IF_ERROR(sc->RemoveMember(oid, t + 1));
     }
   }
+  ReindexOid(oid.id);
   return Status::OK();
 }
 
@@ -623,6 +844,7 @@ Status Database::QuarantineObject(Oid oid) {
   for (const std::string& name : ClassNames()) {
     GetMutableClass(name)->ScrubFromExtents(oid);
   }
+  ReindexOid(oid.id);
   return Status::OK();
 }
 
@@ -829,6 +1051,7 @@ Status Database::RestoreObject(Oid oid, const Interval& lifespan,
       oid.id,
       ObjectSlot{std::move(obj), cow_epoch_.load(std::memory_order_relaxed)});
   if (oid.id >= next_oid_) next_oid_ = oid.id + 1;
+  ReindexOid(oid.id);
   return Status::OK();
 }
 
@@ -848,6 +1071,8 @@ void Database::AdoptChanges(const Database& src, const WriteFootprint& fp) {
     isa_epoch_ = src.isa_epoch_;
     classes_ = src.classes_;
     objects_ = src.objects_;
+    index_defs_ = src.index_defs_;
+    index_shards_ = src.index_shards_;
     next_oid_ = src.next_oid_;
     // Fresh epochs on both sides (the same protocol as the copy
     // constructor): every adopted structure is now shared, so whichever
@@ -884,9 +1109,15 @@ void Database::AdoptChanges(const Database& src, const WriteFootprint& fp) {
       if (found == nullptr) {
         shard.slots.erase(id);  // erased in src (fp.all covers quarantine,
                                 // but stay defensive)
-        continue;
+      } else {
+        shard.slots[id] = ObjectSlot{found->obj, 0};
       }
-      shard.slots[id] = ObjectSlot{found->obj, 0};
+      // Index entries are a pure function of the object's state, so
+      // recomputing them here is equivalent to having run the
+      // transaction's index maintenance on the tip directly — and an
+      // index write whose underlying oid lost first-committer-wins never
+      // reaches this point (validation aborted the commit).
+      ReindexOid(id);
     }
   }
 }

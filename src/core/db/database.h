@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/db/index.h"
 #include "core/object/object.h"
 #include "core/schema/class_def.h"
 #include "core/schema/isa_graph.h"
@@ -231,6 +232,50 @@ class Database final : public ExtentProvider {
   Result<std::vector<Oid>> Ref(Oid oid, TimePoint t) const;
   Result<Value> SnapshotOf(Oid oid, TimePoint t) const;
 
+  // --- temporal secondary indexes (core/db/index.h) -------------------------
+
+  // Registers and builds a secondary index. Validates the declared class
+  // (and, for a value index, its attribute), bumps schema_version() —
+  // index DDL invalidates every cached plan, including negative entries —
+  // and records a schema-shape footprint (index DDL serializes against
+  // every concurrent commit).
+  Status CreateIndex(const IndexDef& def);
+  Status DropIndex(std::string_view name);
+  const IndexDef* GetIndexDef(std::string_view name) const;
+  // All registered definitions, sorted by name (serialization order).
+  std::vector<IndexDef> IndexDefs() const;
+  // The first (by name) value index over `attr`; nullptr when none.
+  // Class is not part of the match: postings cover every object carrying
+  // the attribute, and extent membership is re-checked per probe.
+  const IndexDef* FindValueIndex(std::string_view attr) const;
+
+  // Probes a value index: ascending, deduplicated oids whose indexed
+  // attribute satisfies `op bound` at instant `t` (raw validity intervals
+  // are resolved against now()). Extent filtering is the caller's job.
+  std::vector<Oid> IndexProbe(std::string_view index_name, ProbeOp op,
+                              const Value& bound, TimePoint t) const;
+  // How many postings `op bound` spans across all shards, ignoring
+  // validity intervals — the planner's cardinality estimate.
+  size_t IndexProbeEstimate(std::string_view index_name, ProbeOp op,
+                            const Value& bound) const;
+  // Total postings in `index_name` across all shards.
+  size_t IndexEntryCount(std::string_view index_name) const;
+
+  // The pre-extracted boundary timeline of `oid`'s attribute `attr`
+  // under any value index covering it (nullptr when not indexed), and of
+  // its lifespan under any lifespan index. Used by WHEN boundary
+  // collection to binary-search a `during` window instead of walking
+  // segments (query/evaluator.cc).
+  const std::vector<TimePoint>* AttrTimeline(Oid oid,
+                                             std::string_view attr) const;
+  const std::vector<TimePoint>* LifespanTimeline(Oid oid) const;
+
+  // Canonical text dump of every index's full content (defs, postings,
+  // timelines). Two databases with identical objects and index defs dump
+  // identically — the bit-identical-rebuild check recovery/replication
+  // tests assert.
+  std::string DebugDumpIndexes() const;
+
   // --- typing ----------------------------------------------------------------
 
   TypingContext typing_context() const { return {*this, *isa_}; }
@@ -320,6 +365,18 @@ class Database final : public ExtentProvider {
   // the shared one on first touch per epoch).
   ClassTable& MutableClassTable();
   ObjectShard& MutableShard(uint64_t id);
+  // The index shard covering `oid`'s object shard, cloned on first touch
+  // per epoch (index entries ride the same COW protocol as objects, so a
+  // commit publishes index clones for exactly the shards it wrote).
+  IndexShard& MutableIndexShard(uint64_t id);
+  // Recomputes every registered index's entries for `oid` from the
+  // object's current state (removal when the slot is gone). Called by
+  // every object mutation and by AdoptChanges for each adopted oid; does
+  // not record footprint — index writes conflict through the oid slots
+  // they accompany.
+  void ReindexOid(uint64_t id);
+  // Rebuilds all shards of `def` from scratch (index creation).
+  void BuildIndex(const IndexDef& def);
 
   ClassDef* GetMutableClass(std::string_view name);
   IsaGraph& MutableIsa();
@@ -334,6 +391,11 @@ class Database final : public ExtentProvider {
   uint64_t isa_epoch_ = 0;
   std::shared_ptr<ClassTable> classes_;
   std::array<std::shared_ptr<ObjectShard>, kObjectShardCount> objects_;
+  // Index definitions (shared spine, replaced wholesale by DDL) and the
+  // per-shard index partitions (COW, parallel to objects_).
+  std::shared_ptr<const std::map<std::string, IndexDef, std::less<>>>
+      index_defs_;
+  std::array<std::shared_ptr<IndexShard>, kObjectShardCount> index_shards_;
   uint64_t next_oid_ = 1;
   uint64_t schema_version_ = 1;  // see schema_version()
   // Slots mutated since the last TakeFootprint(). Deliberately NOT copied

@@ -1,0 +1,131 @@
+#include "core/db/index.h"
+
+#include <algorithm>
+
+#include "core/values/temporal_function.h"
+
+namespace tchimera {
+
+const char* IndexKindName(IndexKind kind) {
+  return kind == IndexKind::kValue ? "value" : "lifespan";
+}
+
+bool IndexEntryLess(const IndexEntry& a, const IndexEntry& b) {
+  int c = Value::Compare(a.value, b.value);
+  if (c != 0) return c < 0;
+  if (a.oid != b.oid) return a.oid < b.oid;
+  return a.valid.start() < b.valid.start();
+}
+
+namespace {
+
+// Boundary instants of one temporal function: segment starts and the
+// instant after each closed segment's end — the same points
+// CollectWhenBoundaries derives by walking the segments directly
+// (query/evaluator.cc), stored unclamped so the timeline is
+// clock-independent.
+void AddSegmentBoundaries(const TemporalFunction& f,
+                          std::vector<TimePoint>* out) {
+  for (const auto& seg : f.segments()) {
+    out->push_back(seg.interval.start());
+    if (!seg.interval.is_ongoing()) out->push_back(seg.interval.end() + 1);
+  }
+}
+
+void FinishTimeline(std::vector<TimePoint>* timeline) {
+  std::sort(timeline->begin(), timeline->end());
+  timeline->erase(std::unique(timeline->begin(), timeline->end()),
+                  timeline->end());
+}
+
+}  // namespace
+
+void AppendIndexEntries(const IndexDef& def, const Object& obj, Oid oid,
+                        IndexPartition* part) {
+  std::vector<TimePoint> timeline;
+  if (def.kind == IndexKind::kLifespan) {
+    const Interval& ls = obj.lifespan();
+    if (!ls.empty()) {
+      timeline.push_back(ls.start());
+      if (!ls.is_ongoing()) timeline.push_back(ls.end() + 1);
+    }
+  } else {
+    const Value* stored = obj.Attribute(def.attr);
+    if (stored == nullptr) return;
+    if (stored->kind() == ValueKind::kTemporal) {
+      for (const auto& seg : stored->AsTemporal().segments()) {
+        part->postings.push_back({seg.value, seg.interval, oid});
+      }
+      AddSegmentBoundaries(stored->AsTemporal(), &timeline);
+    } else {
+      // A non-temporal attribute projects to its stored value at every
+      // instant (ProjectStoredAttribute), so the posting is always valid.
+      part->postings.push_back(
+          {*stored, Interval::FromUntilNow(0), oid});
+    }
+  }
+  if (!timeline.empty()) {
+    FinishTimeline(&timeline);
+    part->timelines[oid.id] = std::move(timeline);
+  }
+}
+
+void RebuildPartitionEntry(const IndexDef& def, const Object* obj, Oid oid,
+                           IndexPartition* part) {
+  part->postings.erase(
+      std::remove_if(part->postings.begin(), part->postings.end(),
+                     [&](const IndexEntry& e) { return e.oid == oid; }),
+      part->postings.end());
+  part->timelines.erase(oid.id);
+  if (obj == nullptr) return;
+  size_t first_new = part->postings.size();
+  AppendIndexEntries(def, *obj, oid, part);
+  if (part->postings.size() > first_new) {
+    std::sort(part->postings.begin() + first_new, part->postings.end(),
+              IndexEntryLess);
+    std::inplace_merge(part->postings.begin(),
+                       part->postings.begin() + first_new,
+                       part->postings.end(), IndexEntryLess);
+  }
+}
+
+std::pair<size_t, size_t> ProbeRange(const IndexPartition& part, ProbeOp op,
+                                     const Value& bound) {
+  auto value_less = [](const IndexEntry& e, const Value& v) {
+    return Value::Compare(e.value, v) < 0;
+  };
+  auto value_greater = [](const Value& v, const IndexEntry& e) {
+    return Value::Compare(v, e.value) < 0;
+  };
+  const auto begin = part.postings.begin();
+  const auto end = part.postings.end();
+  auto lower = std::lower_bound(begin, end, bound, value_less);
+  auto upper = std::upper_bound(begin, end, bound, value_greater);
+  // The inequality kernels return null (never truthy) when the attribute
+  // value is null, but Value::Compare ranks null below everything — so
+  // the null-valued prefix of the postings must not match < / <=. The
+  // planner never probes with a null bound (kEq on null would also have
+  // to match *undefined* attributes, which carry no posting at all).
+  auto after_nulls =
+      std::upper_bound(begin, end, Value::Null(), value_greater);
+  switch (op) {
+    case ProbeOp::kEq:
+      return {static_cast<size_t>(lower - begin),
+              static_cast<size_t>(upper - begin)};
+    case ProbeOp::kLt:
+      return {static_cast<size_t>(after_nulls - begin),
+              static_cast<size_t>(std::max(lower, after_nulls) - begin)};
+    case ProbeOp::kLe:
+      return {static_cast<size_t>(after_nulls - begin),
+              static_cast<size_t>(std::max(upper, after_nulls) - begin)};
+    case ProbeOp::kGt:
+      return {static_cast<size_t>(upper - begin),
+              static_cast<size_t>(end - begin)};
+    case ProbeOp::kGe:
+      return {static_cast<size_t>(std::max(lower, after_nulls) - begin),
+              static_cast<size_t>(end - begin)};
+  }
+  return {0, 0};
+}
+
+}  // namespace tchimera

@@ -1,0 +1,117 @@
+// Temporal secondary indexes (see docs/INDEXING.md).
+//
+// Two kinds, both derived *purely* from single-object state, so an index
+// can always be rebuilt deterministically from the objects alone (journal
+// replay, checkpoint recovery and replica resync all rely on this — only
+// index *definitions* are persisted, never index data):
+//
+//   kValue     — an equality/range index over the values of one named
+//                attribute. Each temporal segment of the attribute's
+//                history contributes one posting <value, valid, oid>;
+//                a non-temporal attribute contributes a single
+//                always-valid posting. Postings are sorted by
+//                (value, oid, valid.start) under Value::Compare — the
+//                exact ordering the query kernels use for =, <, <=, >,
+//                >= (query/evaluator.cc ApplyBinaryOp), so a range probe
+//                agrees with a scan on every value kind.
+//   kLifespan  — a timeline index over object lifespans: per-oid sorted
+//                boundary instants (lifespan start, end+1 when closed).
+//
+// Both kinds additionally keep a per-oid *timeline*: the sorted, unique
+// boundary instants of the indexed attribute's history (segment starts,
+// ends+1; for kLifespan the lifespan edges). WHEN evaluation slices these
+// with binary search instead of walking every segment when a `during`
+// window is present (query/evaluator.cc CollectWhenBoundaries).
+//
+// Storage is per COW shard: Database keeps one IndexShard per object
+// shard, cloned with the same epoch protocol as the object shards, so an
+// index write clones exactly the touched 1/64th of the index
+// (core/db/database.h). Entries are keyed by oid only — the index covers
+// every object that has the indexed attribute, regardless of class; the
+// declared class is validated at creation and used by the planner's cost
+// model, while extent membership is re-checked per probe (so class
+// filtering can never diverge from a scan).
+#ifndef TCHIMERA_CORE_DB_INDEX_H_
+#define TCHIMERA_CORE_DB_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/object/object.h"
+#include "core/temporal/interval.h"
+#include "core/values/value.h"
+
+namespace tchimera {
+
+enum class IndexKind { kValue, kLifespan };
+
+const char* IndexKindName(IndexKind kind);
+
+// One index declaration (`create index <name> on <class> (<attr>)` or
+// `create index <name> on <class> lifespan`).
+struct IndexDef {
+  std::string name;
+  IndexKind kind = IndexKind::kValue;
+  std::string class_name;
+  std::string attr;  // empty for kLifespan
+};
+
+// Comparison operators a value-index probe supports. The semantics are
+// Value::Compare — identical to the scalar kernels, so the probe's match
+// set equals the rows on which the predicate evaluates truthy (a null or
+// undefined attribute matches nothing, exactly as the kernels return
+// null/false for it).
+enum class ProbeOp { kEq, kLt, kLe, kGt, kGe };
+
+// One value posting: `oid`'s indexed attribute compared equal to `value`
+// throughout `valid` (the raw stored interval — possibly kNow-ending;
+// resolved against the clock at probe time).
+struct IndexEntry {
+  Value value;
+  Interval valid;
+  Oid oid;
+};
+
+// Sort key for postings: (value, oid, valid.start) under Value::Compare.
+bool IndexEntryLess(const IndexEntry& a, const IndexEntry& b);
+
+// The per-shard slice of one index.
+struct IndexPartition {
+  // Sorted by IndexEntryLess. Empty for kLifespan indexes.
+  std::vector<IndexEntry> postings;
+  // oid -> sorted unique boundary instants of the indexed attribute's
+  // history (or the lifespan edges for kLifespan).
+  std::map<uint64_t, std::vector<TimePoint>> timelines;
+};
+
+// One COW shard of the index store: every registered index's partition
+// for this shard's oids. Cloned wholesale when a writer first touches
+// the shard in its epoch (same protocol as Database::ObjectShard).
+struct IndexShard {
+  uint64_t epoch = 0;
+  std::map<std::string, IndexPartition, std::less<>> parts;
+};
+
+// Appends `oid`'s entries under `def` to `part` (postings stay sorted
+// only if callers re-sort; RebuildPartitionEntry handles one oid
+// incrementally). Pure function of (def, obj).
+void AppendIndexEntries(const IndexDef& def, const Object& obj, Oid oid,
+                        IndexPartition* part);
+
+// Removes every trace of `oid` from `part` and, when `obj` is non-null,
+// re-inserts its entries at the right sorted positions. The incremental
+// reindex step used by every object mutation.
+void RebuildPartitionEntry(const IndexDef& def, const Object* obj, Oid oid,
+                           IndexPartition* part);
+
+// The half-open posting range [first, last) whose values satisfy
+// `op bound`, as indices into `part.postings`. For kEq this is the
+// equal_range of `bound`; for the inequalities it is a prefix or suffix.
+std::pair<size_t, size_t> ProbeRange(const IndexPartition& part, ProbeOp op,
+                                     const Value& bound);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_CORE_DB_INDEX_H_

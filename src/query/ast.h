@@ -100,6 +100,20 @@ struct DropClassStmt {
   std::string name;
 };
 
+// `create index <name> on <class> ( <attr> )` — an equality/range index
+// over the attribute's values — or `create index <name> on <class>
+// lifespan` — a timeline index over object lifespans (core/db/index.h).
+struct CreateIndexStmt {
+  std::string name;
+  std::string class_name;
+  std::string attr;       // empty for a lifespan index
+  bool lifespan = false;
+};
+
+struct DropIndexStmt {
+  std::string name;
+};
+
 struct CreateStmt {
   std::string class_name;
   std::vector<std::pair<std::string, ExprPtr>> inits;
@@ -195,6 +209,8 @@ struct Statement {
   enum class Kind {
     kDefineClass,
     kDropClass,
+    kCreateIndex,
+    kDropIndex,
     kCreate,
     kUpdate,
     kMigrate,
@@ -218,6 +234,8 @@ struct Statement {
   // a variant for readable accessors).
   std::optional<DefineClassStmt> define_class;
   std::optional<DropClassStmt> drop_class;
+  std::optional<CreateIndexStmt> create_index;
+  std::optional<DropIndexStmt> drop_index;
   std::optional<CreateStmt> create;
   std::optional<UpdateStmt> update;
   std::optional<MigrateStmt> migrate;

@@ -429,11 +429,24 @@ std::vector<WhenBoundaryReq> CollectWhenBoundaryReqs(const Expr& condition) {
 }
 
 std::vector<TimePoint> CollectWhenBoundaries(
-    const std::vector<WhenBoundaryReq>& reqs, const Database& db) {
+    const std::vector<WhenBoundaryReq>& reqs, const Database& db,
+    const Interval* window) {
   const TimePoint now = db.now();
-  std::vector<TimePoint> boundaries = {0};
-  auto add = [&boundaries, now](TimePoint t) {
-    if (t >= 0 && t <= now) boundaries.push_back(t);
+  // The evaluated range [lo, hi]: all of [0, now], or its intersection
+  // with the (resolved) `during` window. An empty range means the
+  // condition is never evaluated at all — identical on the VM and
+  // tree-walker paths, so window-excluded errors fire on neither.
+  TimePoint lo = 0;
+  TimePoint hi = now;
+  if (window != nullptr) {
+    if (window->empty()) return {};
+    lo = std::max<TimePoint>(window->start(), 0);
+    hi = std::min(window->end(), now);
+    if (lo > hi) return {};
+  }
+  std::vector<TimePoint> boundaries = {lo};
+  auto add = [&boundaries, lo, hi](TimePoint t) {
+    if (t >= lo && t <= hi) boundaries.push_back(t);
   };
   auto add_segments = [&add](const Value& stored) {
     if (stored.kind() != ValueKind::kTemporal) return;
@@ -454,6 +467,17 @@ std::vector<TimePoint> CollectWhenBoundaries(
       continue;
     }
     for (const std::string& name : req.attrs) {
+      // A value index on this attribute keeps the same boundary instants
+      // pre-sorted per oid (core/db/index.h): slice the window by binary
+      // search instead of walking every segment. The point set is
+      // identical to the segment walk, so an index never changes the
+      // answer — it only skips the out-of-range segments.
+      if (const std::vector<TimePoint>* tl = db.AttrTimeline(req.oid, name)) {
+        auto first = std::lower_bound(tl->begin(), tl->end(), lo);
+        auto last = std::upper_bound(first, tl->end(), hi);
+        boundaries.insert(boundaries.end(), first, last);
+        continue;
+      }
       const Value* stored = obj->Attribute(name);
       if (stored != nullptr) add_segments(*stored);
     }
@@ -466,17 +490,24 @@ std::vector<TimePoint> CollectWhenBoundaries(
   if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
     std::sort(boundaries.begin(), boundaries.end());
   }
+  // Sorted does NOT imply unique here: the carry-in `lo` duplicates the
+  // first boundary whenever a segment edge lands exactly on the window
+  // start (and distinct attributes can share edges). A duplicate
+  // boundary would emit a degenerate [b, b-1] piece, so the dedup must
+  // run even when the fast path above skipped the sort.
   boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
                    boundaries.end());
   return boundaries;
 }
 
-Result<IntervalSet> EvaluateWhen(const Expr& condition, const Database& db) {
+Result<IntervalSet> EvaluateWhen(const Expr& condition, const Database& db,
+                                 const Interval* window) {
   // Boundaries at which the condition can change truth value — computed
   // once, sorted and deduplicated, restricted to the attribute histories
-  // the condition actually reads (see CollectWhenBoundaryReqs).
-  std::vector<TimePoint> boundaries =
-      CollectWhenBoundaries(CollectWhenBoundaryReqs(condition), db);
+  // the condition actually reads (see CollectWhenBoundaryReqs) and to
+  // the `during` window when one is present.
+  std::vector<TimePoint> boundaries = CollectWhenBoundaries(
+      CollectWhenBoundaryReqs(condition), db, window);
   const TimePoint now = db.now();
   const ValueEnv empty;  // the condition is closed; hoisted out of the loop
   IntervalSet held;

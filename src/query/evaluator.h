@@ -109,18 +109,35 @@ struct WhenBoundaryReq {
 // the tree-walker) — never per boundary.
 std::vector<WhenBoundaryReq> CollectWhenBoundaryReqs(const Expr& condition);
 
-// The sorted, deduplicated evaluation boundaries in [0, now] for the
-// given requirements against the current database state. Always contains
-// 0; each requirement contributes its object's lifespan edges plus the
-// segment edges of the required attribute histories.
+// The sorted, deduplicated evaluation boundaries for the given
+// requirements against the current database state. Without a window the
+// boundaries cover [0, now] and always contain 0; with a (resolved)
+// `during` window they cover [max(window.start, 0), min(window.end, now)]
+// instead: the carry-in instant `lo` plus every boundary inside the
+// range. An empty range yields no boundaries at all — the condition is
+// then never evaluated (so a data-dependent error outside the window
+// does not fire on either execution path). When a value index covers a
+// required attribute, its per-oid timeline is sliced by binary search
+// instead of walking every history segment; the point set is identical
+// either way, so an index can never change a WHEN answer.
+//
+// The boundary list is sorted but NOT always unique before the final
+// dedup: the carry-in `lo` can coincide with the first in-range segment
+// edge (and two attributes can share an edge), so the dedup pass is
+// unconditional even when the is_sorted fast path skips the sort.
 std::vector<TimePoint> CollectWhenBoundaries(
-    const std::vector<WhenBoundaryReq>& reqs, const Database& db);
+    const std::vector<WhenBoundaryReq>& reqs, const Database& db,
+    const Interval* window = nullptr);
 
 // Evaluates a WHEN statement: the coalesced set of instants in [0, now]
 // at which the closed boolean condition held. Piecewise-exact: the
 // condition is constant between the value-change boundaries of every
-// attribute history it reads, so it is decided once per piece.
-Result<IntervalSet> EvaluateWhen(const Expr& condition, const Database& db);
+// attribute history it reads, so it is decided once per piece. `window`
+// (a resolved `during` interval, or null) restricts which pieces are
+// evaluated; the caller still intersects the answer with the window —
+// the last piece extends to `now` regardless.
+Result<IntervalSet> EvaluateWhen(const Expr& condition, const Database& db,
+                                 const Interval* window = nullptr);
 
 }  // namespace tchimera
 

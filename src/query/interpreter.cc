@@ -72,6 +72,13 @@ Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
       case Statement::Kind::kUpdate:
         AnalyzeUpdate(*stmt->update, stmt->position, *db_, lint_);
         break;
+      case Statement::Kind::kCreateIndex:
+        AnalyzeCreateIndex(*stmt->create_index, stmt->position, *db_,
+                           lint_);
+        break;
+      case Statement::Kind::kDropIndex:
+        AnalyzeDropIndex(*stmt->drop_index, stmt->position, *db_, lint_);
+        break;
       case Statement::Kind::kSnapshot:
         AnalyzeSnapshot(*stmt->snapshot, stmt->position, *db_, lint_);
         break;
@@ -90,6 +97,20 @@ Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
     case Statement::Kind::kDropClass: {
       TCH_RETURN_IF_ERROR(db_->DropClass(stmt->drop_class->name));
       return "class " + stmt->drop_class->name + " dropped";
+    }
+    case Statement::Kind::kCreateIndex: {
+      CreateIndexStmt& ci = *stmt->create_index;
+      IndexDef def;
+      def.name = ci.name;
+      def.kind = ci.lifespan ? IndexKind::kLifespan : IndexKind::kValue;
+      def.class_name = ci.class_name;
+      def.attr = ci.attr;
+      TCH_RETURN_IF_ERROR(db_->CreateIndex(def));
+      return "index " + ci.name + " created";
+    }
+    case Statement::Kind::kDropIndex: {
+      TCH_RETURN_IF_ERROR(db_->DropIndex(stmt->drop_index->name));
+      return "index " + stmt->drop_index->name + " dropped";
     }
     case Statement::Kind::kCreate: {
       CreateStmt& c = *stmt->create;
@@ -191,13 +212,19 @@ Result<std::string> Interpreter::ExecuteStatement(Statement* stmt) {
         return Status::TypeError("WHEN condition must be bool, got " +
                                  t->ToString());
       }
-      TCH_ASSIGN_OR_RETURN(IntervalSet held,
-                           EvaluateWhen(*w.condition, *db_));
-      if (w.during.has_value()) {
-        // Temporal selection restricted to the window: intersect the
-        // answer with `during [a,b]` (resolved against the clock).
-        held = held.Intersect(
-            IntervalSet::Of(w.during->Resolve(db_->now())));
+      // Temporal selection restricted to the window: evaluate only the
+      // pieces inside `during [a,b]` (resolved against the clock), then
+      // intersect the answer with it. Passing the window down also means
+      // a data-dependent error outside it never fires — matching the
+      // compiled path, which clips its boundary set the same way.
+      std::optional<Interval> window;
+      if (w.during.has_value()) window = w.during->Resolve(db_->now());
+      TCH_ASSIGN_OR_RETURN(
+          IntervalSet held,
+          EvaluateWhen(*w.condition, *db_,
+                       window.has_value() ? &*window : nullptr));
+      if (window.has_value()) {
+        held = held.Intersect(IntervalSet::Of(*window));
       }
       return held.ToString();
     }

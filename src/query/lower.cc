@@ -43,8 +43,25 @@ const char* OpCodeName(OpCode op) {
       return "and-merge";
     case OpCode::kOrMerge:
       return "or-merge";
+    case OpCode::kIndexProbe:
+      return "index-probe";
   }
   return "?";
+}
+
+ProbeOp ProbeOpOf(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return ProbeOp::kLt;
+    case BinaryOp::kLe:
+      return ProbeOp::kLe;
+    case BinaryOp::kGt:
+      return ProbeOp::kGt;
+    case BinaryOp::kGe:
+      return ProbeOp::kGe;
+    default:
+      return ProbeOp::kEq;
+  }
 }
 
 namespace {
@@ -533,6 +550,161 @@ void RecycleRegisters(ExecProgram* prog) {
   prog->num_regs = next;
 }
 
+// --- cost-based access-path planning -----------------------------------------
+
+// True for the comparisons a value-index probe can serve (ProbeOpOf).
+// kNeq is excluded on semantics, not cost: postings exist only where the
+// attribute is defined, so a probe for "everything except v" would also
+// have to produce rows whose attribute is null — which the kernel
+// comparison `<>` treats as a match (structural compare), while an
+// undefined attribute yields null = no row. The scan handles it.
+bool IsIndexableOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Rewrites `literal op attr` as `attr op' literal`; false when op is not
+// an indexable comparison.
+bool FlipComparison(BinaryOp* op) {
+  switch (*op) {
+    case BinaryOp::kEq:
+      return true;
+    case BinaryOp::kLt:
+      *op = BinaryOp::kGt;
+      return true;
+    case BinaryOp::kLe:
+      *op = BinaryOp::kGe;
+      return true;
+    case BinaryOp::kGt:
+      *op = BinaryOp::kLt;
+      return true;
+    case BinaryOp::kGe:
+      *op = BinaryOp::kLe;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// The leftmost leaf of the top-level AND spine: the first predicate the
+// scan path evaluates on every row. Only this leaf may drive an index
+// probe — conjuncts are short-circuited left to right, so every row the
+// probe excludes is a row whose scan evaluation already stopped at this
+// (error-free) comparison; probing on a later conjunct could skip a row
+// on which an earlier conjunct would have raised an error (e.g. 1/0).
+const Expr* LeftmostConjunct(const Expr& where) {
+  const Expr* e = &where;
+  while (e->kind == ExprKind::kBinary && e->op == BinaryOp::kAnd) {
+    e = e->base.get();
+  }
+  return e;
+}
+
+struct IndexableLeaf {
+  std::string attr;
+  BinaryOp op = BinaryOp::kEq;
+  const Value* bound = nullptr;
+};
+
+// Matches `x.attr <cmp> literal` (either orientation): the binder's
+// attribute, no explicit `@ t` (the probe runs at the query instant),
+// compared against a non-null literal. A null bound is refused because
+// `= null` must also match objects that lack the attribute entirely —
+// those carry no posting, so only the scan sees them.
+bool MatchIndexableLeaf(const Expr& leaf, const std::string& binder,
+                        IndexableLeaf* out) {
+  if (leaf.kind != ExprKind::kBinary) return false;
+  auto is_attr = [&binder](const Expr* e) {
+    return e->kind == ExprKind::kAttrAccess && !e->at.has_value() &&
+           e->base != nullptr && e->base->kind == ExprKind::kVar &&
+           e->base->name == binder;
+  };
+  const Expr* attr = leaf.base.get();
+  const Expr* lit = leaf.rhs.get();
+  BinaryOp op = leaf.op;
+  if (is_attr(attr) && lit->kind == ExprKind::kLiteral) {
+    if (!IsIndexableOp(op)) return false;
+  } else if (attr->kind == ExprKind::kLiteral && is_attr(lit)) {
+    std::swap(attr, lit);
+    if (!FlipComparison(&op)) return false;
+  } else {
+    return false;
+  }
+  if (lit->literal.is_null()) return false;
+  out->attr = attr->name;
+  out->op = op;
+  out->bound = &lit->literal;
+  return true;
+}
+
+// Chooses index-vs-scan for a lowered select and records the decision
+// (either way) for `explain`. The probe is sound for ANY matched leaf —
+// it returns exactly the extent rows on which the leaf is truthy — so
+// this is purely a cost call: probe + per-candidate extent check beats a
+// scan only when the extent is large and the posting range is selective.
+// Estimates are plan-time stats: the extent cardinality at the query
+// instant and the matching posting count (all validity intervals, so a
+// long history inflates it — a deliberately conservative bias toward the
+// scan). Data changes can stale them until the plan is recompiled; index
+// DDL cannot, because it bumps schema_version and evicts the plan.
+void PlanAccessPath(const SelectStmt& s, const Database& db,
+                    ExecProgram* prog) {
+  if (s.where == nullptr) {
+    prog->access_note = "no where clause";
+    return;
+  }
+  IndexableLeaf leaf;
+  if (!MatchIndexableLeaf(*LeftmostConjunct(*s.where), prog->binder,
+                          &leaf)) {
+    prog->access_note = "leftmost conjunct is not an indexable comparison";
+    return;
+  }
+  const IndexDef* def = db.FindValueIndex(leaf.attr);
+  if (def == nullptr) {
+    prog->access_note = "no value index on '" + leaf.attr + "'";
+    return;
+  }
+  const TimePoint at =
+      s.at.has_value() ? ResolveInstant(*s.at, db.now()) : db.now();
+  prog->est_extent_rows = db.Pi(prog->class_name, at).size();
+  prog->est_index_rows =
+      db.IndexProbeEstimate(def->name, ProbeOpOf(leaf.op), *leaf.bound);
+  // Below this, the per-candidate extent-membership checks and the probe
+  // setup cost roughly what the scan's first comparison column costs.
+  constexpr size_t kMinExtentRows = 64;
+  if (prog->est_extent_rows < kMinExtentRows) {
+    prog->access_note = "extent too small (" +
+                        std::to_string(prog->est_extent_rows) +
+                        " rows) to beat a scan";
+    return;
+  }
+  if (prog->est_index_rows * 2 >= prog->est_extent_rows) {
+    prog->access_note = "probe not selective (" +
+                        std::to_string(prog->est_index_rows) +
+                        " postings vs " +
+                        std::to_string(prog->est_extent_rows) +
+                        " extent rows)";
+    return;
+  }
+  Instr probe;
+  probe.op = OpCode::kIndexProbe;
+  probe.attr = leaf.attr;
+  probe.names = {def->name};
+  probe.bop = leaf.op;
+  prog->constants.push_back(*leaf.bound);
+  probe.idx = static_cast<uint32_t>(prog->constants.size() - 1);
+  prog->access = std::move(probe);
+  prog->access_note = "leftmost conjunct via index " + def->name;
+}
+
 Result<LowerOutcome> LowerSelect(SelectStmt* s, const Database& db) {
   // Identical checking (and error messages) to the interpreter path.
   TCH_RETURN_IF_ERROR(TypeCheckSelect(s, db).status());
@@ -562,6 +734,7 @@ Result<LowerOutcome> LowerSelect(SelectStmt* s, const Database& db) {
     }
     prog.projections.push_back(std::move(frag).value());
   }
+  PlanAccessPath(*s, db, &prog);
   RecycleRegisters(&prog);
   return LowerOutcome{std::move(plan), ""};
 }
@@ -684,6 +857,18 @@ std::string ExecProgram::ToString() const {
     out += "  extent: " + class_name + " (binder " + binder + ") at " +
            (at.has_value() ? InstantToString(*at) : std::string("now")) +
            "\n";
+    // The planner's access-path decision, visible either way.
+    if (access.has_value()) {
+      out += "  access: index " + access->names[0] + " (" + access->attr +
+             " " + BinaryOpName(access->bop) + " " +
+             constants[access->idx].ToString() + "), est " +
+             std::to_string(est_index_rows) + " postings of " +
+             std::to_string(est_extent_rows) + " extent rows\n";
+    } else {
+      out += "  access: scan";
+      if (!access_note.empty()) out += " (" + access_note + ")";
+      out += "\n";
+    }
   }
   out += "  registers: " + std::to_string(num_regs) +
          ", constants: " + std::to_string(constants.size()) + "\n";

@@ -66,9 +66,16 @@ enum class OpCode : uint8_t {
   kPopMask,       // pop the innermost mask
   kAndMerge,      // reg[dst] = truthy(reg[a]) ? Bool(truthy(reg[b])) : false
   kOrMerge,       // reg[dst] = truthy(reg[a]) ? true : Bool(truthy(reg[b]))
+  kIndexProbe,    // access path only (ExecProgram::access, never in code):
+                  // candidates = IndexProbe(names[0], bop, constants[idx])
 };
 
 const char* OpCodeName(OpCode op);
+
+// Maps an indexable comparison (=, <, <=, >, >=) to its index ProbeOp.
+// Callers guarantee `op` is one of those five (the planner never builds
+// a kIndexProbe access from any other operator).
+ProbeOp ProbeOpOf(BinaryOp op);
 
 struct Instr {
   OpCode op = OpCode::kLoadConst;
@@ -107,6 +114,23 @@ struct ExecProgram {
   std::optional<TimePoint> at;  // evaluation instant (unresolved)
   std::optional<Fragment> where;
   std::vector<Fragment> projections;
+
+  // SELECT access path. When set, the VM sources candidate rows from a
+  // temporal secondary index instead of scanning the extent: a single
+  // kIndexProbe instruction (names[0] = index name, attr = indexed
+  // attribute, bop = comparison, idx = constant-pool bound), chosen by
+  // the cost-based planner from the leftmost conjunct of the WHERE
+  // clause. The probe is a strict superset filter — the full WHERE still
+  // runs over the candidates — so rows, order, and error behavior are
+  // identical to the scan. `access_note` records the planner's decision
+  // (either way) for `explain`; the estimates are the cardinalities the
+  // decision was based on, frozen at plan time (a plan outlives data
+  // changes but never an index DDL: CreateIndex/DropIndex bump
+  // schema_version, which evicts cached plans).
+  std::optional<Instr> access;
+  std::string access_note;
+  size_t est_index_rows = 0;
+  size_t est_extent_rows = 0;
 
   // WHEN: the condition and the compile-time boundary analysis.
   Fragment condition;

@@ -323,6 +323,16 @@ class Parser {
   }
 
   Result<Statement> ParseDropClass() {
+    // "index" is an ordinary identifier (not a keyword), so peek before
+    // committing to `drop class`.
+    if (Peek().kind == TokenKind::kIdentifier && Peek().text == "index") {
+      Advance();
+      Statement s;
+      s.kind = Statement::Kind::kDropIndex;
+      s.drop_index.emplace();
+      TCH_ASSIGN_OR_RETURN(s.drop_index->name, ParseName());
+      return s;
+    }
     TCH_RETURN_IF_ERROR(ExpectKeyword("class"));
     Statement s;
     s.kind = Statement::Kind::kDropClass;
@@ -331,7 +341,38 @@ class Parser {
     return s;
   }
 
+  // create index <name> on <class> ( <attr> )   -- value index
+  // create index <name> on <class> lifespan     -- lifespan timeline index
+  Result<Statement> ParseCreateIndex() {
+    Statement s;
+    s.kind = Statement::Kind::kCreateIndex;
+    s.create_index.emplace();
+    TCH_ASSIGN_OR_RETURN(s.create_index->name, ParseName());
+    if (!(Peek().kind == TokenKind::kIdentifier && Peek().text == "on")) {
+      return ErrorHere("expected 'on' after the index name, found " +
+                       Peek().Describe());
+    }
+    Advance();
+    TCH_ASSIGN_OR_RETURN(s.create_index->class_name, ParseName());
+    if (AcceptKeyword("lifespan")) {
+      s.create_index->lifespan = true;
+      return s;
+    }
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    TCH_ASSIGN_OR_RETURN(s.create_index->attr, ParseName());
+    TCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return s;
+  }
+
   Result<Statement> ParseCreate() {
+    // `create index i on c ...` vs `create index` (an object of a class
+    // named "index"): index DDL always continues with another name, and
+    // object creation never puts an identifier after the class name.
+    if (Peek().kind == TokenKind::kIdentifier && Peek().text == "index" &&
+        tokens_[pos_ + 1].kind == TokenKind::kIdentifier) {
+      Advance();
+      return ParseCreateIndex();
+    }
     Statement s;
     s.kind = Statement::Kind::kCreate;
     s.create.emplace();

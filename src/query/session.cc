@@ -45,10 +45,32 @@ bool IsReadKind(Statement::Kind kind) {
 // with every concurrent commit anyway (running them optimistically would
 // only burn a doomed copy), and trigger/constraint definitions mutate
 // engine-level registries, not the database copy a transaction owns.
+// `create index` joins them: the initial build scans every object shard,
+// so its footprint is schema-wide and an optimistic attempt is doomed
+// the moment any concurrent writer commits. (`drop index` is covered by
+// the `drop` first token.)
 bool RequiresExclusiveWrite(std::string_view statement) {
   std::string token = FirstTokenLower(statement);
   for (std::string_view kw : {"define", "drop", "trigger", "constraint"}) {
     if (token == kw) return true;
+  }
+  if (token == "create") {
+    std::string_view rest = statement;
+    size_t i = rest.find_first_not_of(" \t\r\n");
+    if (i != std::string_view::npos) rest.remove_prefix(i);
+    // Skip the `create` token, then whitespace, then compare the verb.
+    i = rest.find_first_of(" \t\r\n");
+    if (i == std::string_view::npos) return false;
+    rest.remove_prefix(i);
+    i = rest.find_first_not_of(" \t\r\n");
+    if (i == std::string_view::npos) return false;
+    rest.remove_prefix(i);
+    std::string second;
+    for (char c : rest.substr(0, rest.find_first_of(" \t\r\n("))) {
+      second.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    return second == "index";
   }
   return false;
 }

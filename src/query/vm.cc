@@ -283,10 +283,23 @@ class Vm {
       }
       // Segments are sorted, disjoint, with kNow as +infinity — and the
       // row instants are ascending (boundaries, or one fixed instant), so
-      // the segment cursor only ever moves forward.
+      // the segment cursor only ever moves forward. Seed it at the first
+      // instant by binary search: a windowed WHEN evaluates a handful of
+      // boundaries deep inside a long history, and walking the cursor
+      // there linearly would cost O(history) per batch.
       const std::vector<TemporalFunction::Segment>& segs =
           stored->AsTemporal().segments();
       size_t si = 0;
+      if (!cur.empty()) {
+        const TimePoint t0 = instants_[cur.front()];
+        si = static_cast<size_t>(
+            std::lower_bound(segs.begin(), segs.end(), t0,
+                             [](const TemporalFunction::Segment& seg,
+                                TimePoint t) {
+                               return seg.interval.end() < t;
+                             }) -
+            segs.begin());
+      }
       for (uint32_t row : cur) {
         TimePoint t = instants_[row];
         while (si < segs.size() && segs[si].interval.end() < t) ++si;
@@ -342,7 +355,28 @@ Result<std::vector<SelectRow>> RunSelect(const ExecProgram& prog,
   const TimePoint now = db.now();
   const TimePoint at =
       prog.at.has_value() ? ResolveInstant(*prog.at, now) : now;
-  const std::vector<Oid> oids = db.Pi(prog.class_name, at);
+  std::vector<Oid> oids;
+  if (prog.access.has_value()) {
+    // Index access path: probe the value index for the oids whose
+    // indexed attribute satisfies the planned comparison at `at`, then
+    // keep only extent members. The probe covers every object with the
+    // attribute regardless of class, and an extent is a canonically
+    // sorted oid set — so the filtered, ascending probe output visits
+    // exactly the extent rows a scan would keep after its first
+    // conjunct, in the same order. The full WHERE still runs below:
+    // identical rows, projections, and error behavior by construction.
+    const Instr& probe = *prog.access;
+    std::vector<Oid> cand =
+        db.IndexProbe(probe.names[0], ProbeOpOf(probe.bop),
+                      prog.constants[probe.idx], at);
+    TCH_ASSIGN_OR_RETURN(const ClassDef* cls, db.FindClass(prog.class_name));
+    oids.reserve(cand.size());
+    for (Oid oid : cand) {
+      if (cls->InExtentAt(oid, at)) oids.push_back(oid);
+    }
+  } else {
+    oids = db.Pi(prog.class_name, at);
+  }
   std::vector<SelectRow> out;
   Vm vm(prog, db, std::min(kVmBatchSize, oids.size()));
   std::vector<uint32_t> sel;
@@ -382,8 +416,17 @@ Result<std::vector<SelectRow>> RunSelect(const ExecProgram& prog,
 
 Result<IntervalSet> RunWhen(const ExecProgram& prog, const Database& db) {
   const TimePoint now = db.now();
-  const std::vector<TimePoint> boundaries =
-      CollectWhenBoundaries(prog.when_reqs, db);
+  // A `during` window restricts which pieces are evaluated at all (the
+  // tree-walker clips identically — see CollectWhenBoundaries); the
+  // final intersection below still trims the last piece, which runs to
+  // `now` regardless.
+  std::optional<Interval> window;
+  if (prog.during.has_value()) {
+    window = prog.during_normalized ? *prog.during
+                                    : prog.during->Resolve(now);
+  }
+  const std::vector<TimePoint> boundaries = CollectWhenBoundaries(
+      prog.when_reqs, db, window.has_value() ? &*window : nullptr);
   IntervalSet held;
   Vm vm(prog, db, std::min(kVmBatchSize, boundaries.size()));
   std::vector<uint32_t> sel;
@@ -404,10 +447,8 @@ Result<IntervalSet> RunWhen(const ExecProgram& prog, const Database& db) {
       held.Add(Interval(from, to));
     }
   }
-  if (prog.during.has_value()) {
-    const Interval window =
-        prog.during_normalized ? *prog.during : prog.during->Resolve(now);
-    held = held.Intersect(IntervalSet::Of(window));
+  if (window.has_value()) {
+    held = held.Intersect(IntervalSet::Of(*window));
   }
   return held;
 }

@@ -66,6 +66,13 @@ class SnapshotReader {
         // Carried, not applied: trigger/constraint statements address the
         // execution facade, which the reader has no access to.
         definitions_.push_back(rest);
+      } else if (tag == "INDEX" && version_ >= 4) {
+        // Applied immediately: INDEX records follow every CLASS and
+        // OBJECT record, so CreateIndex validates against the restored
+        // schema and rebuilds the index data from the restored objects
+        // (only definitions are persisted — data is a pure function of
+        // object state; docs/INDEXING.md).
+        TCH_RETURN_IF_ERROR(LoadIndex(rest, db.get()));
       } else {
         return Corrupt(line_no_, "unexpected record '" + tag + "'");
       }
@@ -206,6 +213,30 @@ class SnapshotReader {
                             std::move(c_values));
   }
 
+  // "INDEX <name> <kind> <class> <attr|->" (v4).
+  Status LoadIndex(const std::string& rest, Database* db) {
+    auto [name, after_name] = SplitName(rest);
+    auto [kind_text, after_kind] = SplitName(after_name);
+    auto [class_name, attr_text] = SplitName(after_kind);
+    IndexDef def;
+    def.name = name;
+    def.class_name = class_name;
+    def.attr = attr_text == "-" ? "" : attr_text;
+    if (kind_text == "value") {
+      def.kind = IndexKind::kValue;
+    } else if (kind_text == "lifespan") {
+      def.kind = IndexKind::kLifespan;
+    } else {
+      return Corrupt(line_no_, "bad index kind '" + kind_text + "'");
+    }
+    Status s = db->CreateIndex(def);
+    if (!s.ok()) {
+      return Corrupt(line_no_, "index '" + name +
+                                   "' failed to restore: " + s.message());
+    }
+    return Status::OK();
+  }
+
   Status LoadObject(const std::string& header, Database* db) {
     auto [oid_text, lifespan_text] = SplitName(header);
     Oid oid{std::strtoull(oid_text.c_str(), nullptr, 10)};
@@ -291,6 +322,8 @@ Result<SnapshotInfo> ProbeSnapshot(const std::string& text) {
     info.version = 2;
   } else if (version_text == "3") {
     info.version = 3;
+  } else if (version_text == "4") {
+    info.version = 4;
   } else {
     info.integrity = Status::Corruption("unsupported snapshot version '" +
                                         version_text + "'");

@@ -74,7 +74,7 @@ Status SaveDatabaseBody(const Database& db, std::ostream* out,
                         uint64_t epoch,
                         const std::vector<std::string>& definitions,
                         size_t* records) {
-  *out << "TCHIMERA-SNAPSHOT 3\n";
+  *out << "TCHIMERA-SNAPSHOT 4\n";
   *out << "EPOCH " << epoch << "\n";
   *out << "NOW " << db.now() << "\n";
   // Emit classes in an ISA-respecting order: repeatedly flush classes
@@ -122,6 +122,17 @@ Status SaveDatabaseBody(const Database& db, std::ostream* out,
           "definition statement contains a newline");
     }
     *out << "DEFINE " << stmt << "\n";
+  }
+  // v4: index definitions, after classes and objects (CreateIndex on
+  // restore validates against the loaded schema and rebuilds from the
+  // loaded objects). Only definitions are persisted — index data is a
+  // pure function of object state and is rebuilt deterministically
+  // (docs/INDEXING.md) — and, like DEFINE, these are excluded from the
+  // footer's CLASS+OBJECT record count.
+  for (const IndexDef& def : db.IndexDefs()) {
+    *out << "INDEX " << def.name << " " << IndexKindName(def.kind) << " "
+         << def.class_name << " " << (def.attr.empty() ? "-" : def.attr)
+         << "\n";
   }
   // NEXT-OID last so restore can clamp upward regardless of object order.
   *out << "NEXT-OID " << db.next_oid() << "\n";

@@ -6,7 +6,7 @@
 // Format sketch (one record per line; values/types in their canonical
 // textual syntax, which never contains newlines):
 //
-//   TCHIMERA-SNAPSHOT 3
+//   TCHIMERA-SNAPSHOT 4
 //   EPOCH <e>
 //   NOW <t>
 //   CLASS <name>
@@ -25,6 +25,7 @@
 //   ATTRVAL <name> <value>
 //   END
 //   DEFINE <statement>
+//   INDEX <name> <kind> <class> <attr|->
 //   NEXT-OID <n>
 //   CHECKSUM <records> <crc32>
 //   EOF
@@ -42,6 +43,12 @@
 // checksummed body. They are replayed through the execution facade on
 // restore; the record count in the footer stays CLASS+OBJECT only.
 //
+// v4 adds INDEX records: temporal secondary index definitions (name,
+// kind, class, attribute) written after DEFINE. Only the definition is
+// persisted — index *data* is a pure function of object state and is
+// rebuilt deterministically on restore (docs/INDEXING.md). Like DEFINE,
+// INDEX records are excluded from the footer's record count.
+//
 // Classes are emitted in topological (ISA) order so restore never sees a
 // dangling superclass.
 #ifndef TCHIMERA_STORAGE_SERIALIZER_H_
@@ -58,7 +65,7 @@
 
 namespace tchimera {
 
-// Writes a full v3 snapshot of `db` (footer included). `definitions` are
+// Writes a full v4 snapshot of `db` (footer included). `definitions` are
 // extra statements (trigger / constraint declarations) emitted as DEFINE
 // records; each must be newline-free (statements always are — string
 // literals escape newlines) or InvalidArgument is returned.

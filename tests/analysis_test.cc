@@ -444,6 +444,47 @@ TEST(LintDriver, CleanScriptStaysClean) {
   EXPECT_CLEAN(ds);
 }
 
+// --- TC112: index DDL validation ------------------------------------------
+
+TEST(QueryAnalyzer, IndexOnUnknownClassReportedTC112) {
+  auto ds = Lint("create index iv on nosuch (v)");
+  EXPECT_CODE(ds, "TC112");
+  // The analyzer claimed the statement: replay must not pile a TC111
+  // execution failure on top of it.
+  EXPECT_NO_CODE(ds, "TC111");
+}
+
+TEST(QueryAnalyzer, IndexOnMissingAttributeReportedTC112) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "create index iv on a (w)");
+  EXPECT_CODE(ds, "TC112");
+}
+
+TEST(QueryAnalyzer, DuplicateIndexNameReportedTC112) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "create index iv on a (v);"
+      "create index iv on a (v)");
+  EXPECT_CODE(ds, "TC112");
+}
+
+TEST(QueryAnalyzer, DropOfUnknownIndexReportedTC112) {
+  auto ds = Lint("drop index nosuch");
+  EXPECT_CODE(ds, "TC112");
+}
+
+TEST(QueryAnalyzer, ValidIndexDdlIsClean) {
+  auto ds = Lint(
+      "define class a attributes v: integer end;"
+      "create a (v: 1);"
+      "create index iv on a (v);"
+      "create index la on a lifespan;"
+      "select x from x in a where x.v = 1;"
+      "drop index iv");
+  EXPECT_CLEAN(ds);
+}
+
 // --- TC101: unused binder -------------------------------------------------
 
 TEST(QueryAnalyzer, UnusedBinderReported) {

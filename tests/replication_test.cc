@@ -221,6 +221,53 @@ TEST(ReplicationTest, ShipsWorkloadAndConvergesStateHash) {
             WorkloadPartOne().size() + WorkloadPartTwo().size());
 }
 
+TEST(ReplicationTest, IndexDdlShipsAndReplicaRebuildsIdentically) {
+  // Index DDL is a mutating statement: it must journal, ship, and replay
+  // on the replica — which rebuilds the index data from its own objects
+  // and must land bit-identical to the primary's incrementally-maintained
+  // state (index data never travels over the wire).
+  Primary primary = Primary::Start(FreshDir("idx_primary"));
+  ReplicationSource source(primary.journal_path(), primary.SourceOptions());
+  auto replica = Replica::Open(FreshDir("idx_replica"));
+  ASSERT_TRUE(replica.ok()) << replica.status();
+  ReplicationShipper shipper(&source, primary.engine.get(),
+                             InstantShipperOptions());
+  shipper.AddReplica(replica.value().get(), "r1");
+
+  Session session = primary.engine->OpenSession();
+  const std::vector<std::string> workload = {
+      "define class person attributes name: temporal(string), "
+      "salary: temporal(integer) end",
+      "create person (name: 'Ann', salary: 100)",
+      "create person (name: 'Bob', salary: 200)",
+      "create index psal on person (salary)",
+      "create index plife on person lifespan",
+      "tick 3",
+      "update i1 set salary = 150",
+      "update i2 set salary = 50 during [1,2]",
+      "tick 2",
+      "drop index plife",
+      "create person (name: 'Cyd', salary: 70)",
+  };
+  for (const std::string& statement : workload) {
+    ASSERT_TRUE(session.Execute(statement).ok()) << statement;
+  }
+  ASSERT_TRUE(shipper.DrainAll().ok());
+
+  EXPECT_EQ(StateHashOf(primary.engine.get()),
+            StateHashOf(&replica.value()->engine()));
+  const Database& pdb = primary.engine->writer_db();
+  const Database& rdb = replica.value()->engine().writer_db();
+  ASSERT_NE(rdb.GetIndexDef("psal"), nullptr);
+  EXPECT_EQ(rdb.GetIndexDef("plife"), nullptr);  // dropped before drain
+  EXPECT_EQ(pdb.DebugDumpIndexes(), rdb.DebugDumpIndexes());
+  // The replica's index actually answers probes over its replayed data.
+  std::vector<Oid> hit =
+      rdb.IndexProbe("psal", ProbeOp::kEq, Value::Integer(150), rdb.now());
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0].id, 1u);
+}
+
 TEST(ReplicationTest, ReadYourWritesWatermarkGatesReplicaReads) {
   Primary primary = Primary::Start(FreshDir("ryw_primary"));
   ReplicationSource source(primary.journal_path(), primary.SourceOptions());

@@ -336,6 +336,253 @@ TEST(LowerFallbackTest, ReasonsAreReported) {
   EXPECT_EQ(err.status().code(), StatusCode::kTypeError);
 }
 
+// --- temporal secondary indexes: planner + differential correctness ---
+
+// A class with an extent large enough (>= 64 rows) for the cost-based
+// planner to consider an index probe, with multi-segment histories on a
+// few objects so probes exercise temporal postings.
+class IndexedSelectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Interpreter interp(&db_);
+    auto run = [&](const std::string& s) {
+      auto r = interp.Execute(s);
+      ASSERT_TRUE(r.ok()) << s << ": " << r.status();
+    };
+    run("define class item attributes v: temporal(integer), "
+        "tag: string end");
+    for (int i = 0; i < 80; ++i) {
+      run("create item (v: " + std::to_string(i % 20) + ", tag: 't" +
+          std::to_string(i % 5) + "')");
+    }
+    run("advance to 10");
+    run("update i3 set v = 100");
+    run("update i7 set v = 100 during [2,5]");
+    run("update i11 set v = 5");
+    run("advance to 30");
+  }
+
+  Result<std::string> Walk(const std::string& q) {
+    Interpreter interp(&db_);
+    return interp.Execute(q);
+  }
+
+  Status CreateIndex() {
+    Interpreter interp(&db_);
+    return interp.Execute("create index idx_v on item (v)").status();
+  }
+
+  Database db_;
+};
+
+TEST_F(IndexedSelectTest, PlannerChoosesIndexAndExplainsIt) {
+  ASSERT_TRUE(CreateIndex().ok());
+  auto lower = [&](const std::string& q) {
+    Statement stmt = ParseStatement(q).value();
+    Result<LowerOutcome> outcome = LowerStatement(&stmt, db_);
+    EXPECT_TRUE(outcome.ok()) << q << ": " << outcome.status();
+    EXPECT_TRUE(outcome->compiled()) << q;
+    return outcome->plan->program;
+  };
+
+  // A selective equality on the leftmost conjunct probes the index; the
+  // decision and its estimates are visible in explain.
+  ExecProgram p = lower("select x from x in item where x.v = 5");
+  ASSERT_TRUE(p.access.has_value());
+  EXPECT_EQ(p.access->names[0], "idx_v");
+  EXPECT_NE(p.ToString().find("access: index idx_v"), std::string::npos)
+      << p.ToString();
+
+  // Flipped orientation still matches (literal on the left).
+  EXPECT_TRUE(lower("select x from x in item where 5 = x.v")
+                  .access.has_value());
+  // Only the LEFTMOST conjunct of the AND spine may drive the probe.
+  EXPECT_TRUE(
+      lower("select x from x in item where x.v = 5 and x.tag = 't1'")
+          .access.has_value());
+  p = lower("select x from x in item where x.tag = 't1' and x.v = 5");
+  EXPECT_FALSE(p.access.has_value());
+  EXPECT_NE(p.access_note.find("no value index on 'tag'"),
+            std::string::npos)
+      << p.access_note;
+
+  // Refused shapes fall back to the scan, with the reason recorded.
+  p = lower("select x from x in item where x.v <> 5");
+  EXPECT_FALSE(p.access.has_value());
+  p = lower("select x from x in item where x.v @ 4 = 5");
+  EXPECT_FALSE(p.access.has_value());
+  p = lower("select x from x in item");
+  EXPECT_FALSE(p.access.has_value());
+  EXPECT_EQ(p.access_note, "no where clause");
+  // A non-selective range (matches nearly every row) is rejected by the
+  // cost model, not by shape.
+  p = lower("select x from x in item where x.v >= 0");
+  EXPECT_FALSE(p.access.has_value());
+  EXPECT_NE(p.access_note.find("not selective"), std::string::npos)
+      << p.access_note;
+  EXPECT_NE(p.ToString().find("access: scan"), std::string::npos);
+}
+
+TEST_F(IndexedSelectTest, IndexScanAndTreeWalkerReturnIdenticalRows) {
+  const std::string queries[] = {
+      "select x from x in item where x.v = 5",
+      "select x, x.v from x in item where x.v = 5",
+      "select x from x in item where 5 = x.v",
+      "select x from x in item where x.v < 2",
+      "select x from x in item where x.v <= 1",
+      "select x from x in item where x.v > 17",
+      "select x from x in item where x.v >= 100",
+      "select x from x in item where x.v = 100",
+      "select x from x in item at 4 where x.v = 100",
+      "select x from x in item at 4 where x.v = 3",
+      "select x.tag from x in item where x.v = 19",
+      "select x from x in item where x.v = 5 and x.tag = 't1'",
+      // Probe survivors reach the second conjunct on both paths: here it
+      // divides by zero on exactly the v = 5 rows (identical error), and
+      // on the next one it never does (identical rows).
+      "select x from x in item where x.v = 5 and 1 / (x.v - 5) = 1",
+      "select x from x in item where x.v = 5 and 100 / (x.v - 6) < 0",
+      "select x from x in item where x.v = -1",
+  };
+  // Capture the compiled-scan results before any index exists.
+  std::vector<Result<std::string>> scan;
+  for (const std::string& q : queries) scan.push_back(RunCompiled(q, db_));
+  ASSERT_TRUE(CreateIndex().ok());
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    const std::string& q = queries[i];
+    Result<std::string> indexed = RunCompiled(q, db_);
+    Result<std::string> walked = Walk(q);
+    ASSERT_EQ(scan[i].ok(), indexed.ok()) << q;
+    ASSERT_EQ(walked.ok(), indexed.ok()) << q;
+    if (indexed.ok()) {
+      EXPECT_EQ(*scan[i], *indexed) << q;
+      EXPECT_EQ(*walked, *indexed) << q;
+    } else {
+      EXPECT_EQ(scan[i].status().ToString(), indexed.status().ToString())
+          << q;
+      EXPECT_EQ(walked.status().ToString(), indexed.status().ToString())
+          << q;
+    }
+  }
+}
+
+TEST(PlanCacheTest, IndexDdlInvalidatesCachedPlans) {
+  Engine engine;
+  Session s = engine.OpenSession();
+  ASSERT_TRUE(
+      s.Execute("define class p attributes v: temporal(integer) end").ok());
+  for (int i = 0; i < 70; ++i) {
+    ASSERT_TRUE(
+        s.Execute("create p (v: " + std::to_string(100 + i) + ")").ok());
+  }
+  ASSERT_TRUE(s.Execute("update i1 set v = 1").ok());
+
+  const std::string q = "select x from x in p where x.v = 1";
+  Result<std::string> scanned = s.Execute(q);
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+  ASSERT_TRUE(s.Execute(q).ok());
+  PlanCache::Stats stats = engine.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // Index DDL bumps the schema version: the cached scan plan (compiled
+  // before the index existed) must be invalidated and recompiled, or the
+  // session would keep scanning forever.
+  ASSERT_TRUE(s.Execute("create index pv on p (v)").ok());
+  Result<std::string> indexed = s.Execute(q);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  EXPECT_EQ(*scanned, *indexed);
+  stats = engine.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  // The recompiled plan really takes the index path.
+  Result<std::string> explained = s.Execute("explain " + q);
+  ASSERT_TRUE(explained.ok()) << explained.status();
+  EXPECT_NE(explained->find("access: index pv"), std::string::npos)
+      << *explained;
+
+  // Dropping the index invalidates again — a plan probing a dead index
+  // would be unsound, not just slow.
+  ASSERT_TRUE(s.Execute("drop index pv").ok());
+  Result<std::string> after_drop = s.Execute(q);
+  ASSERT_TRUE(after_drop.ok());
+  EXPECT_EQ(*scanned, *after_drop);
+  EXPECT_GE(engine.plan_cache().stats().invalidations, 2u);
+  explained = s.Execute("explain " + q);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->find("access: scan"), std::string::npos)
+      << *explained;
+}
+
+// --- WHEN boundary handling at adjacent-interval edges (satellite 2) ---
+
+TEST(VmWhenTest, AdjacentIntervalBoundariesMatchTreeWalker) {
+  // i1.v has exactly adjacent segments: [0,9] -> 1, [10,19] -> 2,
+  // [20,now] -> 3. Every WHEN below is answered identically by the VM
+  // and the tree-walker, and a handful are pinned to exact interval
+  // sets so a shared bug cannot hide.
+  Database db;
+  Interpreter interp(&db);
+  auto run = [&](const std::string& s) {
+    auto r = interp.Execute(s);
+    ASSERT_TRUE(r.ok()) << s << ": " << r.status();
+  };
+  run("define class p attributes v: temporal(integer) end");
+  run("create p (v: 1)");
+  run("advance to 10");
+  run("update i1 set v = 2");
+  run("advance to 20");
+  run("update i1 set v = 3");
+  run("advance to 25");
+
+  auto same = [&](const std::string& q) {
+    Result<std::string> walked = interp.Execute(q);
+    Result<std::string> compiled = RunCompiled(q, db);
+    ASSERT_TRUE(walked.ok()) << q << ": " << walked.status();
+    ASSERT_TRUE(compiled.ok()) << q << ": " << compiled.status();
+    EXPECT_EQ(*walked, *compiled) << q;
+  };
+  auto pinned = [&](const std::string& q, const IntervalSet& want) {
+    same(q);
+    Result<std::string> walked = interp.Execute(q);
+    ASSERT_TRUE(walked.ok());
+    EXPECT_EQ(*walked, want.ToString()) << q;
+  };
+
+  pinned("when i1.v = 2", IntervalSet::Of(Interval(10, 19)));
+  pinned("when i1.v >= 2", IntervalSet::Of(Interval(10, 25)));
+  // Windows whose endpoints sit exactly on segment edges: the carry-in
+  // boundary at the window start duplicates the segment edge, which the
+  // dedup in CollectWhenBoundaries must absorb (a sorted-but-non-unique
+  // boundary list would otherwise emit a degenerate piece).
+  pinned("when i1.v = 2 during [10,19]", IntervalSet::Of(Interval(10, 19)));
+  pinned("when i1.v = 2 during [10,10]", IntervalSet::Of(Interval(10, 10)));
+  pinned("when i1.v = 2 during [9,10]", IntervalSet::Of(Interval(10, 10)));
+  pinned("when i1.v = 2 during [19,20]", IntervalSet::Of(Interval(19, 19)));
+  pinned("when i1.v = 1 during [0,9]", IntervalSet::Of(Interval(0, 9)));
+  pinned("when i1.v = 3 during [20,now]",
+         IntervalSet::Of(Interval(20, 25)));
+  pinned("when i1.v = 2 during [11,12]", IntervalSet::Of(Interval(11, 12)));
+  // Window entirely in one segment, endpoints interior.
+  pinned("when i1.v = 1 during [3,6]", IntervalSet::Of(Interval(3, 6)));
+  // Empty / out-of-range windows.
+  pinned("when i1.v >= 1 during [26,40]", IntervalSet());
+  same("when i1.v = 2 during [0,now]");
+  same("when i1.v <> 2 during [5,14]");
+
+  // The same battery with a value index present: CollectWhenBoundaries
+  // switches to the pre-extracted timeline slice, which must be
+  // point-identical to the segment walk it replaces.
+  ASSERT_TRUE(interp.Execute("create index pv on p (v)").ok());
+  pinned("when i1.v = 2", IntervalSet::Of(Interval(10, 19)));
+  pinned("when i1.v = 2 during [10,19]", IntervalSet::Of(Interval(10, 19)));
+  pinned("when i1.v = 2 during [9,10]", IntervalSet::Of(Interval(10, 10)));
+  pinned("when i1.v = 2 during [19,20]", IntervalSet::Of(Interval(19, 19)));
+  pinned("when i1.v >= 1 during [26,40]", IntervalSet());
+  same("when i1.v <> 2 during [5,14]");
+}
+
 TEST(VmWhenTest, BoundaryRestrictionKeepsSemantics) {
   // The WHEN boundary scan only collects segment edges of the attributes
   // the condition actually reads; an unrelated attribute with a busy
