@@ -32,6 +32,7 @@
 #include "common/string_util.h"
 #include "core/db/database.h"
 #include "query/session.h"
+#include "server/net.h"
 #include "storage/group_commit.h"
 #include "storage/recovery.h"
 #include "triggers/trigger.h"
@@ -60,6 +61,9 @@ meta commands:
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A shell piped into `head` (or a dying pager) should see EPIPE as an
+  // ordinary write error, not take the process down mid-fdatasync.
+  tchimera::IgnoreSigpipe();
   using tchimera::Database;
   using tchimera::Engine;
   using tchimera::GroupCommitJournal;

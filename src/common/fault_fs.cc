@@ -8,8 +8,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 namespace tchimera {
 namespace {
@@ -38,11 +36,14 @@ class PosixWritableFile final : public WritableFile {
     const char* p = data.data();
     size_t left = data.size();
     while (left > 0) {
+      // Short writes are legal (quota boundaries, signals): loop until
+      // every byte is handed to the OS. EINTR restarts the same write.
       ssize_t n = ::write(fd_, p, left);
       if (n < 0) {
         if (errno == EINTR) continue;
         return ErrnoStatus("write", path_);
       }
+      if (n == 0) return Status::IoError("write " + path_ + ": wrote 0 bytes");
       p += n;
       left -= static_cast<size_t>(n);
     }
@@ -51,7 +52,13 @@ class PosixWritableFile final : public WritableFile {
 
   Status Sync() override {
     if (fd_ < 0) return Status::FailedPrecondition("file is closed");
-    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+    // A signal during fdatasync (a client disconnect delivering SIGIO/
+    // SIGPIPE-adjacent wakeups, a profiler tick) must not surface as a
+    // durability failure: EINTR means "not done", so go again.
+    while (::fdatasync(fd_) != 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("fdatasync", path_);
+    }
     return Status::OK();
   }
 
@@ -59,7 +66,10 @@ class PosixWritableFile final : public WritableFile {
     if (fd_ < 0) return Status::OK();
     int fd = fd_;
     fd_ = -1;
-    if (::close(fd) != 0) return ErrnoStatus("close", path_);
+    // POSIX leaves the fd state unspecified on EINTR, but Linux
+    // guarantees it is closed — retrying could close a recycled fd owned
+    // by another thread, which is far worse than accepting the close.
+    if (::close(fd) != 0 && errno != EINTR) return ErrnoStatus("close", path_);
     return Status::OK();
   }
 
@@ -68,13 +78,23 @@ class PosixWritableFile final : public WritableFile {
   std::string path_;
 };
 
+// open(2) restarted across EINTR (it is not restartable via SA_RESTART
+// on all kernels for all file kinds).
+int OpenRetry(const char* path, int flags, mode_t mode = 0) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
 class PosixFileSystem final : public FileSystem {
  public:
   Result<std::unique_ptr<WritableFile>> OpenWritable(
       const std::string& path, bool truncate) override {
     int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
     flags |= truncate ? O_TRUNC : O_APPEND;
-    int fd = ::open(path.c_str(), flags, 0644);
+    int fd = OpenRetry(path.c_str(), flags, 0644);
     if (fd < 0) return ErrnoStatus("open", path);
     return std::unique_ptr<WritableFile>(
         std::make_unique<PosixWritableFile>(fd, path));
@@ -93,30 +113,53 @@ class PosixFileSystem final : public FileSystem {
   }
 
   Status TruncateFile(const std::string& path, uint64_t size) override {
-    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
-      return ErrnoStatus("truncate", path);
-    }
+    int rc;
+    do {
+      rc = ::truncate(path.c_str(), static_cast<off_t>(size));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) return ErrnoStatus("truncate", path);
     return Status::OK();
   }
 
   Status SyncDir(const std::string& path) override {
-    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) return ErrnoStatus("open dir", path);
     Status s = Status::OK();
-    if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir", path);
+    while (::fsync(fd) != 0) {
+      if (errno == EINTR) continue;
+      s = ErrnoStatus("fsync dir", path);
+      break;
+    }
     ::close(fd);
     return s;
   }
 
   Result<std::string> ReadFileToString(const std::string& path) override {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open()) {
-      return Status::IoError("cannot open " + path + " for reading");
+    // Raw read loop rather than ifstream: short reads are the norm once
+    // signals fly (a serving process fields SIGIO/timer ticks constantly),
+    // and iostreams conflate EINTR with EOF on some libstdc++ builds —
+    // which would silently truncate a snapshot or journal mid-recovery.
+    int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open for read", path);
+    std::string out;
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      out.reserve(static_cast<size_t>(st.st_size));
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    if (in.bad()) return Status::IoError("read of " + path + " failed");
-    return buf.str();
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status s = ErrnoStatus("read", path);
+        ::close(fd);
+        return s;
+      }
+      if (n == 0) break;  // true EOF — the only loop exit besides error
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
   }
 
   bool FileExists(const std::string& path) override {

@@ -100,13 +100,21 @@ VersionedDatabase::VersionedDatabase(std::unique_ptr<Database> db)
   // published wholesale as version 0 — its accumulated footprint is not
   // a commit anyone can race against, so discard it.
   tip_->TakeFootprint();
-  published_.store(MakeVersion(*tip_, 0), std::memory_order_release);
+  ExchangeHead(MakeVersion(*tip_, 0));
+}
+
+std::shared_ptr<const DbVersion> VersionedDatabase::ExchangeHead(
+    std::shared_ptr<const DbVersion> next) {
+  std::lock_guard<std::mutex> lock(published_mu_);
+  std::shared_ptr<const DbVersion> prev = std::move(published_);
+  published_ = std::move(next);
+  return prev;
 }
 
 ReadSnapshot VersionedDatabase::OpenSnapshot() const {
-  // acquire pairs with the release store in PublishLocked: a snapshot
-  // that observes version N observes every write commit N published.
-  return ReadSnapshot(published_.load(std::memory_order_acquire));
+  // The mutex pairs the reader with ExchangeHead: a snapshot that
+  // observes version N observes every write commit N published.
+  return ReadSnapshot(Head());
 }
 
 WriteGuard VersionedDatabase::BeginWrite() {
@@ -115,8 +123,7 @@ WriteGuard VersionedDatabase::BeginWrite() {
 }
 
 OptimisticTransaction VersionedDatabase::BeginTransaction() const {
-  std::shared_ptr<const DbVersion> base =
-      published_.load(std::memory_order_acquire);
+  std::shared_ptr<const DbVersion> base = Head();
   // The COW copy of a published (immutable) Database is safe without a
   // lock: concurrent copiers only race on the epoch counter stores,
   // which are atomic and where any fresh value is correct.
@@ -142,7 +149,7 @@ Result<uint64_t> VersionedDatabase::CommitTransaction(
   if (fp.empty()) {
     // Read-only transaction: nothing to validate or publish. (Prepare is
     // skipped too — there is no commit to journal.)
-    const uint64_t v = published_.load(std::memory_order_relaxed)->version;
+    const uint64_t v = Head()->version;
     released_base = std::move(txn->base_);
     consumed = std::move(txn->db_);
     return v;
@@ -198,8 +205,7 @@ Result<uint64_t> VersionedDatabase::CommitTransaction(
 Status VersionedDatabase::ValidateLocked(const OptimisticTransaction& txn,
                                          const WriteFootprint& fp) const {
   const uint64_t base = txn.base_->version;
-  const uint64_t tip_version =
-      published_.load(std::memory_order_relaxed)->version;
+  const uint64_t tip_version = Head()->version;
   if (tip_version == base) return Status::OK();  // nothing committed since
   if (recent_.empty() || recent_.front().version > base + 1) {
     return Status::Conflict(
@@ -274,15 +280,16 @@ uint64_t VersionedDatabase::PublishLocked(
 
 uint64_t VersionedDatabase::PublishWithFootprintLocked(
     WriteFootprint fp, std::shared_ptr<const DbVersion>* retired) {
-  // Only the writer lock holder publishes, so the relaxed read of the
-  // previous head cannot race another publication.
-  const uint64_t next =
-      published_.load(std::memory_order_relaxed)->version + 1;
-  // exchange hands the previous head to the caller: if no snapshot pins
-  // it, the caller drops the last reference after releasing the writer
-  // mutex rather than destroying a whole Database inside it.
-  std::shared_ptr<const DbVersion> prev =
-      published_.exchange(MakeVersion(*tip_, next), std::memory_order_release);
+  // Only the writer lock holder publishes, so reading the previous head
+  // here cannot race another publication.
+  const uint64_t next = Head()->version + 1;
+  // ExchangeHead hands the previous head to the caller: if no snapshot
+  // pins it, the caller drops the last reference after releasing the
+  // writer mutex rather than destroying a whole Database inside it.
+  // (The version copy happens before the swap so published_mu_ is never
+  // held across a Database copy.)
+  std::shared_ptr<const DbVersion> next_version = MakeVersion(*tip_, next);
+  std::shared_ptr<const DbVersion> prev = ExchangeHead(std::move(next_version));
   if (retired != nullptr) {
     *retired = std::move(prev);
   }

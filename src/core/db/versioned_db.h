@@ -7,9 +7,10 @@
 // multi-version concurrency protocol:
 //
 //   - the committed state is an immutable, shared_ptr-published version.
-//     OpenSnapshot() is a single atomic load — no lock is held for the
-//     snapshot's lifetime, so a snapshot may live arbitrarily long
-//     without ever blocking writers (or anyone else);
+//     OpenSnapshot() copies the head shared_ptr under a mutex held for
+//     just that copy — no lock is held for the snapshot's lifetime, so a
+//     snapshot may live arbitrarily long without ever blocking writers
+//     (or anyone else);
 //   - writers run in one of two modes. The exclusive mode: one writer
 //     at a time holds a WriteGuard (the writer mutex), mutates the
 //     *tip* database through it, and publishes with Commit(): the tip
@@ -60,7 +61,8 @@ namespace tchimera {
 class VersionedDatabase;
 
 // One immutable committed version: the database as of a commit, plus the
-// commit number. Published via atomic shared_ptr; retired by refcount.
+// commit number. Published as the mutex-guarded head; retired by
+// refcount.
 struct DbVersion {
   std::shared_ptr<const Database> db;
   uint64_t version = 0;
@@ -165,7 +167,9 @@ class VersionedDatabase {
   VersionedDatabase(const VersionedDatabase&) = delete;
   VersionedDatabase& operator=(const VersionedDatabase&) = delete;
 
-  // Lock-free: one atomic load. Never blocks, never blocks anyone.
+  // A shared_ptr copy under a briefly-held mutex. Never blocks on
+  // writer execution (publication swaps a pointer), and holding the
+  // returned snapshot holds no lock.
   ReadSnapshot OpenSnapshot() const;
   // Blocks until no other writer is active (never on readers).
   WriteGuard BeginWrite();
@@ -206,7 +210,8 @@ class VersionedDatabase {
 
   // The latest committed version (0 for a freshly wrapped database).
   uint64_t version() const {
-    return published_.load(std::memory_order_acquire)->version;
+    std::lock_guard<std::mutex> lock(published_mu_);
+    return published_->version;
   }
 
   // The mutable tip, bypassing the writer lock. Strictly for
@@ -249,11 +254,30 @@ class VersionedDatabase {
   Status ValidateLocked(const OptimisticTransaction& txn,
                         const WriteFootprint& fp) const;
 
+  // Swaps in a new head and returns the previous one. The caller (a
+  // publisher holding writer_mu_, or the constructor) drops the returned
+  // reference outside published_mu_.
+  std::shared_ptr<const DbVersion> ExchangeHead(
+      std::shared_ptr<const DbVersion> next);
+  // The current head. The only code allowed to touch published_.
+  std::shared_ptr<const DbVersion> Head() const {
+    std::lock_guard<std::mutex> lock(published_mu_);
+    return published_;
+  }
+
   std::unique_ptr<Database> tip_;
   mutable std::mutex writer_mu_;
-  // The committed-version chain head. atomic<shared_ptr> so OpenSnapshot
-  // is a wait-free load and retirement is plain refcounting.
-  std::atomic<std::shared_ptr<const DbVersion>> published_;
+  // The committed-version chain head; retirement is plain refcounting.
+  // Guarded by its own mutex, held only long enough to copy or swap the
+  // shared_ptr, rather than std::atomic<shared_ptr>: libstdc++'s
+  // _Sp_atomic::load reads the pointer under an internal spin lock but
+  // releases that lock with a relaxed RMW, so a subsequent store's plain
+  // pointer write formally races the reader's plain pointer read (TSan
+  // reports it, and the serving front end's worker pool hits it
+  // constantly). The implementation was never lock-free anyway — this
+  // buys the same cost with actual happens-before edges.
+  mutable std::mutex published_mu_;
+  std::shared_ptr<const DbVersion> published_;
   // Footprints of the most recent commits, contiguous up to the
   // published version, oldest first. Bounded: a transaction whose base
   // predates the window can no longer be validated and must abort.

@@ -75,12 +75,6 @@ bool RequiresExclusiveWrite(std::string_view statement) {
   return false;
 }
 
-// How many optimistic attempts a statement gets before falling back to
-// the exclusive path. Fallback bounds work wasted under heavy contention
-// and guarantees progress for workloads where every writer touches the
-// same slots.
-constexpr int kMaxOptimisticAttempts = 3;
-
 }  // namespace
 
 bool IsDurableStatement(std::string_view statement) {
@@ -95,6 +89,13 @@ std::string NormalizePlanKey(std::string_view statement) {
   std::string out;
   out.reserve(statement.size());
   bool in_space = true;  // swallow leading whitespace
+  // Set when the scan ends inside a quoted literal that never closed
+  // (including one whose closing quote was escaped away by a trailing
+  // backslash). Every byte after the opening quote is then literal
+  // content, and the final trailing-space trim must not touch it: with
+  // the trim, `select 'ab` and `select 'ab ` — lexically different
+  // texts — would collapse onto one cache key.
+  bool unterminated_quote = false;
   for (size_t i = 0; i < statement.size(); ++i) {
     char c = statement[i];
     if (c == '\'') {
@@ -102,15 +103,18 @@ std::string NormalizePlanKey(std::string_view statement) {
       // lexer's escape rules must not interact with normalization).
       out += c;
       ++i;
+      bool terminated = false;
       while (i < statement.size()) {
         out += statement[i];
         if (statement[i] == '\\' && i + 1 < statement.size()) {
           out += statement[++i];
         } else if (statement[i] == '\'') {
+          terminated = true;
           break;
         }
         ++i;
       }
+      unterminated_quote = !terminated;
       in_space = false;
       continue;
     }
@@ -128,7 +132,13 @@ std::string NormalizePlanKey(std::string_view statement) {
     out += c;
     in_space = false;
   }
-  while (!out.empty() && out.back() == ' ') out.pop_back();
+  // Trim only separator whitespace. Bytes inside an unterminated literal
+  // are content: trimming them makes lexically different statements
+  // (differing exactly in that trailing literal whitespace, or in a
+  // trailing backslash that escaped a final space) share a key.
+  if (!unterminated_quote) {
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+  }
   return out;
 }
 
@@ -235,20 +245,37 @@ Status Engine::WithExclusive(
 }
 
 Result<std::string> Engine::ExecuteWrite(std::string_view statement,
-                                         DiagnosticEngine* lint) {
+                                         DiagnosticEngine* lint,
+                                         const WriteRetryPolicy& policy) {
   if (RequiresExclusiveWrite(statement)) {
     return ExecuteWriteExclusive(statement, lint);
   }
-  for (int attempt = 0; attempt < kMaxOptimisticAttempts; ++attempt) {
+  const int attempts = std::max(policy.max_optimistic_attempts, 1);
+  Result<std::string> result = Status::Internal("write never attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
     // Lint only on the first attempt — retries re-execute the same text
     // and would only duplicate every finding.
-    Result<std::string> result =
-        TryOptimisticWrite(statement, attempt == 0 ? lint : nullptr);
+    bool needs_exclusive = false;
+    result = TryOptimisticWrite(statement, attempt == 0 ? lint : nullptr,
+                                &needs_exclusive);
+    if (needs_exclusive) {
+      // Not contention: the statement can only publish through the
+      // exclusive facade (a cascaded definition change). Retrying
+      // optimistically — ours or the client's — would loop forever, so
+      // the policy's fallback choice does not apply.
+      return ExecuteWriteExclusive(statement, nullptr);
+    }
     if (result.ok() || result.status().code() != StatusCode::kConflict) {
       return result;
     }
     // Lost the validation race — retry against a fresh base. Statement
     // re-execution is correct here: nothing was published or journaled.
+  }
+  if (!policy.exclusive_fallback) {
+    // The budget is spent and the caller owns what happens next: a
+    // server surfaces this kConflict as a retryable wire error instead
+    // of convoying every hot-slot writer onto the exclusive lock.
+    return result;
   }
   // Contention this persistent means the writers genuinely serialize;
   // stop burning copies and take the lock. This also guarantees progress
@@ -257,7 +284,8 @@ Result<std::string> Engine::ExecuteWrite(std::string_view statement,
 }
 
 Result<std::string> Engine::TryOptimisticWrite(std::string_view statement,
-                                               DiagnosticEngine* lint) {
+                                               DiagnosticEngine* lint,
+                                               bool* needs_exclusive) {
   OptimisticTransaction txn = vdb_.BeginTransaction();
   // A per-transaction facade over the private copy: triggers fire and
   // constraints check against the transaction's own state, and their
@@ -280,8 +308,9 @@ Result<std::string> Engine::TryOptimisticWrite(std::string_view statement,
     // A cascaded trigger action defined or dropped a trigger/constraint.
     // Those live in engine-level registries, which a per-transaction
     // facade cannot publish — the exclusive path (whose facade IS the
-    // engine's) handles this; report it as a conflict so the caller
-    // falls back there.
+    // engine's) handles this. Flagged distinctly from a validation loss:
+    // no retry budget applies (retrying optimistically can never work).
+    *needs_exclusive = true;
     return Status::Conflict(
         "statement changed trigger/constraint definitions; retrying on "
         "the exclusive path");
@@ -345,8 +374,9 @@ Result<std::string> Engine::ExecuteWriteExclusive(std::string_view statement,
 
 Result<std::string> Session::Execute(std::string_view statement) {
   if (!IsReadStatement(statement)) {
-    Result<std::string> result = engine_->ExecuteWrite(
-        statement, lint_enabled_ ? diags_.get() : nullptr);
+    Result<std::string> result =
+        engine_->ExecuteWrite(statement, lint_enabled_ ? diags_.get() : nullptr,
+                              write_retry_policy_);
     if (result.ok()) {
       // Remember the engine tip for read-your-writes routing. The tip is
       // >= our write's version (others may have committed since), which
@@ -365,8 +395,9 @@ Result<std::string> Session::Execute(std::string_view statement) {
     // Unreachable by construction (the parser keys on the first token);
     // defend anyway rather than mutate a published immutable version.
     snap = ReadSnapshot();
-    Result<std::string> result = engine_->ExecuteWrite(
-        statement, lint_enabled_ ? diags_.get() : nullptr);
+    Result<std::string> result =
+        engine_->ExecuteWrite(statement, lint_enabled_ ? diags_.get() : nullptr,
+                              write_retry_policy_);
     if (result.ok()) last_write_version_ = engine_->version();
     return result;
   }

@@ -134,6 +134,23 @@ class CommitSink {
   virtual Status Await(Ticket ticket) = 0;
 };
 
+// How a write that loses optimistic validation (StatusCode::kConflict)
+// is retried. The policy belongs to the caller, not the engine: an
+// embedded session wants guaranteed progress (bounded retry, then take
+// the writer lock), while a network front end wants a per-request retry
+// budget after which the *client* is told to retry — backpressure, not
+// a lock convoy (see src/server/server.h).
+struct WriteRetryPolicy {
+  // Optimistic attempts before the policy gives up (clamped to >= 1).
+  int max_optimistic_attempts = 3;
+  // What "giving up" means: true = fall back to the exclusive writer
+  // lock (progress is guaranteed even when every writer touches the same
+  // slot); false = surface the final kConflict to the caller, who owns
+  // the retry. Statements that *require* the exclusive path (DDL,
+  // definition-changing cascades) always take it, whatever this says.
+  bool exclusive_fallback = true;
+};
+
 class Session;
 
 // A primary-side handle tracking how far one replica has provably
@@ -243,14 +260,19 @@ class Engine {
  private:
   friend class Session;
 
-  // The write path: optimistic with bounded retry, exclusive fallback
-  // (see file comment).
+  // The write path: optimistic with retry per `policy`, then exclusive
+  // fallback or a surfaced kConflict (see WriteRetryPolicy).
   Result<std::string> ExecuteWrite(std::string_view statement,
-                                   DiagnosticEngine* lint);
+                                   DiagnosticEngine* lint,
+                                   const WriteRetryPolicy& policy);
   // One optimistic attempt: execute on a private transaction copy, then
-  // validate+publish. Status::Conflict means "lost the race, retry".
+  // validate+publish. Status::Conflict means "lost the race, retry" —
+  // except when `*needs_exclusive` is set: the statement did something
+  // only the exclusive path can publish (definition-changing cascade),
+  // so no number of optimistic retries can ever succeed.
   Result<std::string> TryOptimisticWrite(std::string_view statement,
-                                         DiagnosticEngine* lint);
+                                         DiagnosticEngine* lint,
+                                         bool* needs_exclusive);
   // The serialized fallback: writer lock held across execute + enqueue +
   // publish. Also the only path for schema/definition verbs.
   Result<std::string> ExecuteWriteExclusive(std::string_view statement,
@@ -297,6 +319,17 @@ class Session {
   void set_compile_enabled(bool enabled) { compile_enabled_ = enabled; }
   bool compile_enabled() const { return compile_enabled_; }
 
+  // The conflict-retry policy for this session's writes (default: 3
+  // optimistic attempts, then the exclusive lock). A server front end
+  // sets {budget, false} so an exhausted budget surfaces kConflict as a
+  // retryable wire error instead of convoying on the writer lock.
+  void set_write_retry_policy(const WriteRetryPolicy& policy) {
+    write_retry_policy_ = policy;
+  }
+  const WriteRetryPolicy& write_retry_policy() const {
+    return write_retry_policy_;
+  }
+
   // A pinned read view for direct (C++ API) reads.
   ReadSnapshot snapshot() const { return engine_->OpenSnapshot(); }
 
@@ -341,6 +374,7 @@ class Session {
   std::unique_ptr<DiagnosticEngine> diags_;
   bool lint_enabled_ = false;
   bool compile_enabled_ = true;
+  WriteRetryPolicy write_retry_policy_;
   ReadStaleness read_staleness_ = ReadStaleness::kReadYourWrites;
   uint64_t last_write_version_ = 0;
 };

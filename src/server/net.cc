@@ -1,0 +1,240 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace tchimera {
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+// Milliseconds left of a deadline started `elapsed` ago; -1 = forever.
+int RemainingMs(int timeout_ms, std::chrono::steady_clock::time_point start) {
+  if (timeout_ms < 0) return -1;
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  long long left = timeout_ms - elapsed;
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+// poll() for `events`, restarted across EINTR with the remaining budget.
+Status PollFor(int fd, short events, int timeout_ms,
+               std::chrono::steady_clock::time_point start) {
+  while (true) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    int left = RemainingMs(timeout_ms, start);
+    if (timeout_ms >= 0 && left == 0) {
+      return Status::Unavailable("socket operation timed out");
+    }
+    int rc = ::poll(&pfd, 1, left);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    if (rc == 0) return Status::Unavailable("socket operation timed out");
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+void IgnoreSigpipe() {
+  // sigaction rather than signal() for defined semantics everywhere; the
+  // disposition is process-wide and inherited by every thread we spawn.
+  struct sigaction sa {};
+  sa.sa_handler = SIG_IGN;
+  ::sigemptyset(&sa.sa_mask);
+  (void)::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+uint64_t TryRaiseNofileLimit(uint64_t want) {
+  struct rlimit rl {};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 0;
+  if (rl.rlim_cur >= want) return rl.rlim_cur;
+  rlim_t target = rl.rlim_max == RLIM_INFINITY
+                      ? static_cast<rlim_t>(want)
+                      : std::min<rlim_t>(static_cast<rlim_t>(want),
+                                         rl.rlim_max);
+  rl.rlim_cur = target;
+  (void)::setrlimit(RLIMIT_NOFILE, &rl);
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 0;
+  return rl.rlim_cur;
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  flags = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) return ErrnoStatus("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = ErrnoStatus("bind " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = ErrnoStatus("listen");
+    CloseFd(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  struct sockaddr_in addr {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return ErrnoStatus("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms) {
+  auto start = std::chrono::steady_clock::now();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad connect address: " + host);
+  }
+  // Connect nonblocking so the timeout is enforceable, then flip back.
+  Status s = SetNonBlocking(fd, true);
+  if (!s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS && errno != EALREADY &&
+      errno != EISCONN) {
+    Status err = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return err;
+  }
+  if (rc != 0) {
+    s = PollFor(fd, POLLOUT, timeout_ms, start);
+    if (s.ok()) {
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
+        s = ErrnoStatus("getsockopt(SO_ERROR)");
+      } else if (soerr != 0) {
+        s = Status::IoError("connect " + host + ":" + std::to_string(port) +
+                            ": " + std::strerror(soerr));
+      }
+    }
+    if (!s.ok()) {
+      CloseFd(fd);
+      return s;
+    }
+  }
+  s = SetNonBlocking(fd, false);
+  if (!s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SendAll(int fd, std::string_view data, int timeout_ms) {
+  auto start = std::chrono::steady_clock::now();
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    // MSG_NOSIGNAL: a peer that hung up mid-reply yields EPIPE, not a
+    // process-wide SIGPIPE. Short sends loop; EINTR restarts.
+    ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        TCH_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms, start));
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer closed the connection mid-send");
+      }
+      return ErrnoStatus("send");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvExactly(int fd, void* buf, size_t n, int timeout_ms) {
+  auto start = std::chrono::steady_clock::now();
+  char* p = static_cast<char*>(buf);
+  size_t left = n;
+  while (left > 0) {
+    ssize_t got = ::recv(fd, p, left, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        TCH_RETURN_IF_ERROR(PollFor(fd, POLLIN, timeout_ms, start));
+        continue;
+      }
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("peer reset the connection");
+      }
+      return ErrnoStatus("recv");
+    }
+    if (got == 0) {
+      return Status::Unavailable(
+          "peer closed the connection mid-frame (" + std::to_string(n - left) +
+          " of " + std::to_string(n) + " bytes read)");
+    }
+    p += got;
+    left -= static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  // Linux closes the fd even on EINTR; retrying could close a recycled
+  // descriptor owned by another thread.
+  (void)::close(fd);
+}
+
+}  // namespace tchimera

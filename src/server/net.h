@@ -1,0 +1,64 @@
+// Low-level socket plumbing shared by the server (server.h), the client
+// library (client.h) and the CLIs.
+//
+// Everything here is written for a process that serves real connections:
+// every call is EINTR-safe (a signal mid-read/-write/-connect restarts
+// the operation instead of surfacing a phantom failure), partial
+// transfers are looped to completion, and nothing ever raises SIGPIPE
+// (sends use MSG_NOSIGNAL; IgnoreSigpipe() covers third-party code and
+// the stdio paths). A client disconnecting mid-reply is an ordinary
+// Status, never a process-killing signal.
+#ifndef TCHIMERA_SERVER_NET_H_
+#define TCHIMERA_SERVER_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace tchimera {
+
+// Ignores SIGPIPE process-wide (idempotent). Every networked binary and
+// CLI must call this first thing in main(): without it, a peer that
+// closes its end mid-write kills the whole process — including a write
+// that happens to race a perfectly healthy fdatasync elsewhere.
+void IgnoreSigpipe();
+
+// Raises RLIMIT_NOFILE's soft limit toward `want` (capped at the hard
+// limit). Returns the resulting soft limit. Serving thousands of
+// connections needs more than the conservative default on some systems.
+uint64_t TryRaiseNofileLimit(uint64_t want);
+
+// Sets or clears O_NONBLOCK.
+Status SetNonBlocking(int fd, bool nonblocking);
+
+// A listening TCP socket on host:port (port 0 = ephemeral), nonblocking,
+// SO_REUSEADDR, with `backlog` pending connections. Returns the fd.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog);
+
+// The port a bound socket actually listens on (resolves port 0).
+Result<uint16_t> LocalPort(int fd);
+
+// Connects to host:port with a timeout; returns a *blocking* connected
+// fd. EINTR during connect/poll is retried with the remaining time.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms);
+
+// Writes all of `data` to a blocking socket. Loops over short writes,
+// restarts on EINTR, uses MSG_NOSIGNAL (a closed peer is Status, not
+// SIGPIPE). `timeout_ms` < 0 means no timeout.
+Status SendAll(int fd, std::string_view data, int timeout_ms);
+
+// Reads exactly `n` bytes into `buf` from a blocking socket, looping
+// over short reads and EINTR. EOF before `n` bytes is an error
+// (kUnavailable: the peer went away mid-frame).
+Status RecvExactly(int fd, void* buf, size_t n, int timeout_ms);
+
+// Closes `fd`, swallowing EINTR (Linux semantics: the fd is gone).
+void CloseFd(int fd);
+
+}  // namespace tchimera
+
+#endif  // TCHIMERA_SERVER_NET_H_

@@ -57,6 +57,22 @@ std::chrono::microseconds ExponentialBackoff::NextDelay() {
 
 void ExponentialBackoff::Reset() { attempts_ = 0; }
 
+ExponentialBackoff::Options ExponentialBackoff::SeededFor(
+    const Options& options, std::string_view name) {
+  // FNV-1a over the replica name, folded into the configured seed. The
+  // result stays deterministic per (seed, name) — failure-path tests
+  // still reproduce — while distinct replicas get distinct LCG streams.
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  Options seeded = options;
+  seeded.seed = (options.seed ? options.seed : 1) ^ h;
+  if (seeded.seed == 0) seeded.seed = 1;  // the LCG treats 0 as "unseeded"
+  return seeded;
+}
+
 // ---------------------------------------------------------------------------
 // ReplicationSource
 
@@ -544,7 +560,11 @@ void ReplicationShipper::AddReplica(Replica* replica, std::string name) {
   Follower follower;
   follower.replica = replica;
   follower.name = name;
-  follower.backoff = ExponentialBackoff(options_.backoff);
+  // Per-replica seed: identically configured followers must not share a
+  // jitter stream (see SeededFor) — after a primary restart they would
+  // all retry in lockstep.
+  follower.backoff =
+      ExponentialBackoff(ExponentialBackoff::SeededFor(options_.backoff, name));
   if (primary_ != nullptr) {
     follower.lease = primary_->RegisterReplica(std::move(name));
   }

@@ -133,6 +133,14 @@ class ExponentialBackoff {
   ExponentialBackoff() : ExponentialBackoff(Options()) {}
   explicit ExponentialBackoff(const Options& options);
 
+  // `options` with its seed folded together with `name` (FNV-1a), so a
+  // fleet of followers configured identically still jitters apart.
+  // Feeding every replica the same Options::seed verbatim puts their LCG
+  // streams in lockstep: after a primary restart all lagging followers
+  // would sleep the same jittered delays and retry at the same instants —
+  // a thundering herd the jitter exists to prevent.
+  static Options SeededFor(const Options& options, std::string_view name);
+
   // The next delay: min(initial * multiplier^attempts, max), jittered.
   // Always within [0, max].
   std::chrono::microseconds NextDelay();

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -591,6 +592,49 @@ TEST(ReplicationTest, BackoffIsBoundedDeterministicAndJittered) {
   EXPECT_EQ(a.attempts(), 0u);
   EXPECT_LE(a.NextDelay().count(),
             static_cast<int64_t>(opts.initial.count() * (1.0 + opts.jitter)));
+}
+
+TEST(ReplicationTest, PerReplicaSeedsSpreadTheHerd) {
+  // Regression: every follower used to construct its backoff from the
+  // shared options verbatim — identical seed, identical jitter stream —
+  // so after a primary hiccup all replicas retried in lockstep, which is
+  // exactly the thundering herd jitter exists to prevent. SeededFor must
+  // derive distinct streams per replica name while staying deterministic
+  // for a given (seed, name) pair.
+  ExponentialBackoff::Options opts;
+  opts.initial = std::chrono::microseconds(1'000);
+  opts.max = std::chrono::microseconds(1'000'000);
+  opts.multiplier = 2.0;
+  opts.jitter = 0.5;
+
+  const char* names[] = {"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8"};
+  std::vector<ExponentialBackoff> herd;
+  for (const char* name : names) {
+    herd.emplace_back(ExponentialBackoff::SeededFor(opts, name));
+  }
+  // Deterministic: the same (options, name) yields the same stream.
+  ExponentialBackoff again(ExponentialBackoff::SeededFor(opts, "r1"));
+  EXPECT_EQ(herd[0].NextDelay(), again.NextDelay());
+
+  // Spread: across a few rounds the herd must not collapse onto one
+  // delay. With 50% jitter and distinct streams, even one all-equal
+  // round is astronomically unlikely — require most delays distinct.
+  for (int round = 0; round < 4; ++round) {
+    std::set<int64_t> distinct;
+    for (ExponentialBackoff& b : herd) {
+      distinct.insert(b.NextDelay().count());
+    }
+    EXPECT_GE(distinct.size(), herd.size() / 2)
+        << "followers retried in lockstep on round " << round;
+  }
+
+  // A zero caller seed must not defeat the name mixing.
+  ExponentialBackoff::Options zero = opts;
+  zero.seed = 0;
+  auto s1 = ExponentialBackoff::SeededFor(zero, "a");
+  auto s2 = ExponentialBackoff::SeededFor(zero, "b");
+  EXPECT_NE(s1.seed, s2.seed);
+  EXPECT_NE(s1.seed, 0u);
 }
 
 // ---------------------------------------------------------------------------

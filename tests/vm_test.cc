@@ -252,6 +252,29 @@ TEST(PlanCacheTest, NormalizePlanKey) {
             NormalizePlanKey("select x from x in p"));
 }
 
+TEST(PlanCacheTest, NormalizePlanKeyUnterminatedLiteral) {
+  // An unterminated quoted literal runs to end-of-statement, so every
+  // byte after the quote — trailing spaces included — is literal content.
+  // The final trim must not eat those bytes: `select 'ab` and
+  // `select 'ab ` are different (both invalid) statements, and colliding
+  // keys would let one statement's negative cache entry answer for the
+  // other.
+  EXPECT_NE(NormalizePlanKey("select 'ab"), NormalizePlanKey("select 'ab "));
+  EXPECT_NE(NormalizePlanKey("select 'ab"),
+            NormalizePlanKey("select 'ab   "));
+  // Same collision through a trailing backslash: the escape consumes the
+  // final space into the (unterminated) literal, which the trim then
+  // used to strip.
+  EXPECT_NE(NormalizePlanKey("select 'a\\"),
+            NormalizePlanKey("select 'a\\ "));
+  // Terminated literals still trim trailing whitespace outside the quote.
+  EXPECT_EQ(NormalizePlanKey("select 'ab'  "), "select 'ab'");
+  // And an escaped quote does not terminate the literal — the bytes
+  // after it stay significant.
+  EXPECT_NE(NormalizePlanKey("select 'a\\'"),
+            NormalizePlanKey("select 'a\\' "));
+}
+
 TEST(PlanCacheTest, HitsAndDdlInvalidation) {
   Engine engine;
   Session s = engine.OpenSession();

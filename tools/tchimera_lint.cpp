@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "server/net.h"
 #include "analysis/fixer.h"
 #include "analysis/lint_driver.h"
 
@@ -183,6 +184,9 @@ constexpr char kUsage[] =
 }  // namespace tchimera
 
 int main(int argc, char** argv) {
+  // A lint run piped into `head` must exit with a write error, not die
+  // on SIGPIPE mid-report.
+  tchimera::IgnoreSigpipe();
   tchimera::Options opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

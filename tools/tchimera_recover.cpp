@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/fault_fs.h"
+#include "server/net.h"
 #include "storage/deserializer.h"
 #include "storage/journal.h"
 #include "storage/recovery.h"
@@ -290,6 +291,7 @@ int VerifyReplica(const std::string& replica_dir,
 }  // namespace tchimera
 
 int main(int argc, char** argv) {
+  tchimera::IgnoreSigpipe();
   std::string command = argc > 1 ? argv[1] : "";
   if ((command == "verify-replica" || command == "--verify-replica") &&
       argc == 4) {
